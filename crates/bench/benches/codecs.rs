@@ -1,0 +1,90 @@
+//! Criterion wall-clock benchmarks of the functional codecs.
+//!
+//! These measure this *reproduction's software implementation* — useful
+//! for keeping the simulator fast — and are distinct from the modelled
+//! ASIC latencies of Table II (`cargo run -p tmcc-bench --bin
+//! table2_deflate_perf`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tmcc_compression::{BdiCodec, BestOfCodec, BlockCodec, BpcCodec, CpackCodec};
+use tmcc_deflate::{MemDeflate, SoftwareDeflate};
+use tmcc_workloads::WorkloadProfile;
+
+fn corpus_page(i: u64) -> Vec<u8> {
+    let w = WorkloadProfile::by_name("pageRank").expect("known workload");
+    w.page_content(42).page_bytes(i)
+}
+
+fn bench_block_codecs(c: &mut Criterion) {
+    let page = corpus_page(0);
+    let mut blocks: Vec<[u8; 64]> = Vec::new();
+    for ch in page.chunks_exact(64) {
+        blocks.push(ch.try_into().expect("64B"));
+    }
+    let mut g = c.benchmark_group("block-codecs");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("bdi/compress-page", |b| {
+        let codec = BdiCodec::new();
+        b.iter(|| {
+            for blk in &blocks {
+                black_box(codec.compressed_size(blk));
+            }
+        })
+    });
+    g.bench_function("bpc/compress-page", |b| {
+        let codec = BpcCodec::new();
+        b.iter(|| {
+            for blk in &blocks {
+                black_box(codec.compressed_size(blk));
+            }
+        })
+    });
+    g.bench_function("cpack/compress-page", |b| {
+        let codec = CpackCodec::new();
+        b.iter(|| {
+            for blk in &blocks {
+                black_box(codec.compressed_size(blk));
+            }
+        })
+    });
+    g.bench_function("best-of/compress-page", |b| {
+        let codec = BestOfCodec::new();
+        b.iter(|| {
+            for blk in &blocks {
+                black_box(codec.compressed_size(blk));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let page = corpus_page(1);
+    let codec = MemDeflate::default();
+    let compressed = codec.compress_page(&page);
+    let mut g = c.benchmark_group("mem-deflate");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("compress-4k", |b| {
+        b.iter(|| black_box(codec.compress_page(black_box(&page))))
+    });
+    g.bench_function("decompress-4k", |b| {
+        b.iter(|| black_box(codec.decompress_page(black_box(&compressed))))
+    });
+    g.finish();
+
+    let sw = SoftwareDeflate::new();
+    let mut dump = Vec::new();
+    for i in 0..8 {
+        dump.extend_from_slice(&corpus_page(i));
+    }
+    let mut g = c.benchmark_group("software-deflate");
+    g.throughput(Throughput::Bytes(dump.len() as u64));
+    g.sample_size(20);
+    g.bench_function("compress-32k", |b| {
+        b.iter(|| black_box(sw.compress(black_box(&dump))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_codecs, bench_deflate);
+criterion_main!(benches);

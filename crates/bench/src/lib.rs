@@ -1,0 +1,203 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has one binary in
+//! `src/bin/` (see DESIGN.md §4). They share this tiny library: pretty
+//! table printing, JSON result emission under `results/`, and the standard
+//! run helpers (iso-savings budgets, normalized comparisons, iso-perf
+//! search).
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+use tmcc::config::TmccToggles;
+use tmcc::{RunReport, SchemeKind, System, SystemConfig};
+use tmcc_workloads::WorkloadProfile;
+
+/// Default measured accesses per run. Large enough to stabilize miss
+/// rates on every workload, small enough that a full figure regenerates
+/// in minutes.
+pub const DEFAULT_ACCESSES: u64 = 100_000;
+
+/// Prints a two-column-plus table with a header.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Writes a JSON result document under `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from(env_root()).join("results");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if fs::write(&path, s).is_ok() {
+                println!("\n[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize results: {e}"),
+    }
+}
+
+fn env_root() -> String {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| format!("{d}/../.."))
+        .unwrap_or_else(|_| ".".to_string())
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Runs one workload under one scheme with an optional budget.
+pub fn run_scheme(
+    workload: &WorkloadProfile,
+    scheme: SchemeKind,
+    budget: Option<u64>,
+    accesses: u64,
+) -> RunReport {
+    let mut cfg = SystemConfig::new(workload.clone(), scheme);
+    cfg.dram_budget_bytes = budget;
+    System::new(cfg).run(accesses)
+}
+
+/// Runs a two-level scheme with explicit toggles (Fig. 20 ablations).
+pub fn run_two_level(
+    workload: &WorkloadProfile,
+    toggles: TmccToggles,
+    budget: u64,
+    accesses: u64,
+) -> RunReport {
+    let kind = if toggles.embedded_ctes && toggles.fast_deflate {
+        SchemeKind::Tmcc
+    } else {
+        SchemeKind::OsInspired
+    };
+    let cfg = SystemConfig::new(workload.clone(), kind)
+        .with_budget(budget)
+        .with_toggles(toggles);
+    System::new(cfg).run(accesses)
+}
+
+/// Runs Compresso and returns `(report, dram_used)` — the iso-savings
+/// anchor of Figs. 17/18/19.
+pub fn compresso_anchor(workload: &WorkloadProfile, accesses: u64) -> (RunReport, u64) {
+    let r = run_scheme(workload, SchemeKind::Compresso, None, accesses);
+    let used = r.stats.dram_used_bytes;
+    (r, used)
+}
+
+/// The feasible TMCC budget nearest `target` (clamped to the minimum
+/// feasible budget for the workload).
+pub fn feasible_budget(workload: &WorkloadProfile, target: u64) -> u64 {
+    let cfg = SystemConfig::new(workload.clone(), SchemeKind::Tmcc);
+    let min = System::min_budget_bytes(&cfg);
+    target.max(min)
+}
+
+/// Binary-search the smallest DRAM budget at which `toggles` still
+/// delivers at least `perf_floor` accesses/µs (the Table IV methodology:
+/// "operating points where TMCC can still provide the same performance as
+/// Compresso"). Returns `(budget, report_at_budget)`.
+pub fn iso_perf_budget_search(
+    workload: &WorkloadProfile,
+    toggles: TmccToggles,
+    perf_floor: f64,
+    accesses: u64,
+) -> (u64, RunReport) {
+    let cfg = SystemConfig::new(workload.clone(), SchemeKind::Tmcc);
+    let min = System::min_budget_bytes(&cfg);
+    let max = workload.sim_pages * 4096 + (1 << 22);
+    let mut lo = min;
+    let mut hi = max;
+    let mut best: Option<(u64, RunReport)> = None;
+    for _ in 0..5 {
+        let mid = lo + (hi - lo) / 2;
+        let r = run_two_level(workload, toggles, mid, accesses);
+        if r.perf_accesses_per_us() >= perf_floor {
+            best = Some((mid, r));
+            hi = mid; // try to save more
+        } else {
+            lo = mid + 1;
+        }
+    }
+    best.unwrap_or_else(|| {
+        let r = run_two_level(workload, toggles, max, accesses);
+        (max, r)
+    })
+}
+
+/// Like [`iso_perf_budget_search`], but with an arbitrary config factory —
+/// used by the huge-page sensitivity study, which needs extra settings on
+/// every probe.
+pub fn iso_perf_budget_search_cfg(
+    workload: &WorkloadProfile,
+    make_cfg: impl Fn(u64) -> SystemConfig,
+    perf_floor: f64,
+    accesses: u64,
+) -> (u64, RunReport) {
+    let probe = SystemConfig::new(workload.clone(), SchemeKind::Tmcc);
+    let min = System::min_budget_bytes(&probe);
+    let max = workload.sim_pages * 4096 + (1 << 22);
+    let mut lo = min;
+    let mut hi = max;
+    let mut best: Option<(u64, RunReport)> = None;
+    for _ in 0..5 {
+        let mid = lo + (hi - lo) / 2;
+        let r = System::new(make_cfg(mid)).run(accesses);
+        if r.perf_accesses_per_us() >= perf_floor {
+            best = Some((mid, r));
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    best.unwrap_or_else(|| {
+        let r = System::new(make_cfg(max)).run(accesses);
+        (max, r)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! MSB-first bit-granular writer/reader used by the bit-packed codecs
+//! (BPC, CPack) and by the Deflate implementation downstream.
+
+/// Writes an MSB-first bit stream into a growing byte vector.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the stream.
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Appends the low `n` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn put(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            let byte_idx = self.len_bits / 8;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            if bit != 0 {
+                self.bytes[byte_idx] |= 0x80 >> (self.len_bits % 8);
+            }
+            self.len_bits += 1;
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        self.put(bit as u64, 1);
+    }
+
+    /// Finishes the stream, returning the padded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// The stream length rounded up to whole bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.len_bits.div_ceil(8)
+    }
+}
+
+/// Reads an MSB-first bit stream produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice for reading.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos_bits: 0 }
+    }
+
+    /// Reads `n` bits, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bits remain or `n > 64`.
+    pub fn get(&mut self, n: u32) -> u64 {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        assert!(
+            self.pos_bits + n as usize <= self.bytes.len() * 8,
+            "bit stream exhausted"
+        );
+        let mut out = 0u64;
+        for _ in 0..n {
+            let byte = self.bytes[self.pos_bits / 8];
+            let bit = (byte >> (7 - self.pos_bits % 8)) & 1;
+            out = (out << 1) | bit as u64;
+            self.pos_bits += 1;
+        }
+        out
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is exhausted.
+    pub fn get_bit(&mut self) -> bool {
+        self.get(1) != 0
+    }
+
+    /// Bits remaining (counting byte padding).
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos_bits
+    }
+
+    /// Current read position in bits.
+    pub fn pos_bits(&self) -> usize {
+        self.pos_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0xdead, 16);
+        w.put_bit(true);
+        w.put(0x1234_5678_9abc_def0, 64);
+        let bits = w.len_bits();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(3), 0b101);
+        assert_eq!(r.get(16), 0xdead);
+        assert!(r.get_bit());
+        assert_eq!(r.get(64), 0x1234_5678_9abc_def0);
+        assert_eq!(r.pos_bits(), bits);
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.put(0xffff, 0);
+        assert_eq!(w.len_bits(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bit stream exhausted")]
+    fn reader_panics_past_end() {
+        let mut r = BitReader::new(&[0xff]);
+        let _ = r.get(9);
+    }
+
+    #[test]
+    fn len_bytes_rounds_up() {
+        let mut w = BitWriter::new();
+        w.put(0b1, 1);
+        assert_eq!(w.len_bytes(), 1);
+        w.put(0xff, 8);
+        assert_eq!(w.len_bytes(), 2);
+    }
+}

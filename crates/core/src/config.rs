@@ -1,0 +1,208 @@
+//! System configuration.
+
+use serde::Serialize;
+use tmcc_sim_dram::{DramConfig, InterleavePolicy};
+use tmcc_sim_mem::{CteCacheConfig, HierarchyConfig};
+use tmcc_workloads::WorkloadProfile;
+
+/// Which memory-compression scheme the memory controller implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SchemeKind {
+    /// A conventional memory system (no compression, no CTEs).
+    NoCompression,
+    /// Compresso-style block-level compression for capacity (§III).
+    Compresso,
+    /// The barebone OS-inspired two-level design of §IV: page-level CTEs,
+    /// serial CTE fetches, IBM-speed ML2 Deflate.
+    OsInspired,
+    /// Full TMCC (§V): embedded CTEs + memory-specialized Deflate.
+    Tmcc,
+}
+
+impl SchemeKind {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::NoCompression => "no-compression",
+            SchemeKind::Compresso => "compresso",
+            SchemeKind::OsInspired => "os-inspired",
+            SchemeKind::Tmcc => "tmcc",
+        }
+    }
+}
+
+/// Optimization toggles separating TMCC from the barebone OS-inspired
+/// design — the split the paper quantifies in Fig. 20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmccToggles {
+    /// §V-A: compressed PTBs with embedded CTEs and speculative parallel
+    /// DRAM access (the ML1 optimization).
+    pub embedded_ctes: bool,
+    /// §V-B: memory-specialized Deflate instead of IBM-speed Deflate for
+    /// ML2 (the ML2 optimization).
+    pub fast_deflate: bool,
+}
+
+impl TmccToggles {
+    /// Both optimizations on (full TMCC).
+    pub fn full() -> Self {
+        Self {
+            embedded_ctes: true,
+            fast_deflate: true,
+        }
+    }
+
+    /// Both off (barebone OS-inspired design).
+    pub fn none() -> Self {
+        Self {
+            embedded_ctes: false,
+            fast_deflate: false,
+        }
+    }
+
+    /// Only the ML1 optimization (Fig. 20's "ML1 opt").
+    pub fn ml1_only() -> Self {
+        Self {
+            embedded_ctes: true,
+            fast_deflate: false,
+        }
+    }
+
+    /// Only the ML2 optimization (Fig. 20's "ML2 opt").
+    pub fn ml2_only() -> Self {
+        Self {
+            embedded_ctes: false,
+            fast_deflate: true,
+        }
+    }
+}
+
+/// Full configuration of one simulated system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The workload to run.
+    pub workload: WorkloadProfile,
+    /// The compression scheme.
+    pub scheme: SchemeKind,
+    /// Optimization toggles for the two-level schemes (ignored by
+    /// NoCompression / Compresso). Derived from `scheme` by default.
+    pub toggles: TmccToggles,
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// DRAM the workload's data may occupy, bytes. `None` sizes DRAM to
+    /// the uncompressed footprint (no capacity pressure). Two-level
+    /// schemes migrate pages to ML2 until they fit.
+    pub dram_budget_bytes: Option<u64>,
+    /// TLB entries (Table III: 2048).
+    pub tlb_entries: usize,
+    /// CTE cache geometry; defaults per scheme (Table III).
+    pub cte_cache: CteCacheConfig,
+    /// Map 2 MiB huge pages (§VIII sensitivity).
+    pub huge_pages: bool,
+    /// DRAM timing/geometry.
+    pub dram: DramConfig,
+    /// Interleaving policy.
+    pub interleave: InterleavePolicy,
+    /// Cache hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Number of interleaved logical access streams (threads).
+    pub cores: usize,
+    /// Accesses used to warm caches/TLB/placement before measuring.
+    pub warmup_accesses: u64,
+    /// Recency-list sampling probability. The hardware value is 1 %
+    /// (§IV-B) over billions of accesses; scaled simulations default to
+    /// 15 % so the list accumulates a comparable number of samples per
+    /// resident page within the simulated window.
+    pub recency_sample: f64,
+}
+
+impl SystemConfig {
+    /// A paper-default configuration for the named workload under the
+    /// given scheme. Returns `None` for unknown workload names.
+    pub fn for_workload(name: &str, scheme: SchemeKind) -> Option<Self> {
+        let workload = WorkloadProfile::by_name(name)?;
+        Some(Self::new(workload, scheme))
+    }
+
+    /// A paper-default configuration for a workload profile.
+    pub fn new(workload: WorkloadProfile, scheme: SchemeKind) -> Self {
+        let cte_cache = match scheme {
+            SchemeKind::Compresso => CteCacheConfig::compresso(),
+            _ => CteCacheConfig::tmcc(),
+        };
+        let toggles = match scheme {
+            SchemeKind::Tmcc => TmccToggles::full(),
+            _ => TmccToggles::none(),
+        };
+        Self {
+            workload,
+            scheme,
+            toggles,
+            seed: 0xC0FFEE,
+            dram_budget_bytes: None,
+            tlb_entries: 2048,
+            cte_cache,
+            huge_pages: false,
+            dram: DramConfig::default(),
+            interleave: InterleavePolicy::coarse_mc(),
+            hierarchy: HierarchyConfig::default(),
+            cores: 4,
+            warmup_accesses: 60_000,
+            recency_sample: 0.15,
+        }
+    }
+
+    /// Sets the DRAM budget (builder style).
+    pub fn with_budget(mut self, bytes: u64) -> Self {
+        self.dram_budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the optimization toggles (builder style).
+    pub fn with_toggles(mut self, toggles: TmccToggles) -> Self {
+        self.toggles = toggles;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The workload's uncompressed footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.workload.sim_pages * 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_defaults() {
+        let c = SystemConfig::for_workload("mcf", SchemeKind::Compresso).unwrap();
+        assert_eq!(c.cte_cache.pages_per_line, 1);
+        let t = SystemConfig::for_workload("mcf", SchemeKind::Tmcc).unwrap();
+        assert_eq!(t.cte_cache.pages_per_line, 8);
+        assert!(t.toggles.embedded_ctes && t.toggles.fast_deflate);
+        let b = SystemConfig::for_workload("mcf", SchemeKind::OsInspired).unwrap();
+        assert!(!b.toggles.embedded_ctes && !b.toggles.fast_deflate);
+    }
+
+    #[test]
+    fn unknown_workload_is_none() {
+        assert!(SystemConfig::for_workload("nope", SchemeKind::Tmcc).is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SystemConfig::for_workload("bfs", SchemeKind::Tmcc)
+            .unwrap()
+            .with_budget(1 << 27)
+            .with_seed(9);
+        assert_eq!(c.dram_budget_bytes, Some(1 << 27));
+        assert_eq!(c.seed, 9);
+    }
+}

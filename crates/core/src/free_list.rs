@@ -1,0 +1,450 @@
+//! Hardware free lists (paper §II, §IV-B, Fig. 3).
+//!
+//! Three flavours:
+//!
+//! * [`CompressoFreeList`] — the prior-work list of free 512 B chunks
+//!   (Fig. 3a); pointers live "for free" inside free chunks, so the list
+//!   costs no DRAM.
+//! * [`Ml1FreeList`] — the same structure scaled to 4 KiB chunks for ML1
+//!   (Fig. 3b).
+//! * [`Ml2FreeLists`] — one list per sub-chunk size class (Fig. 3c). Free
+//!   space for ML2 is created by carving *super-chunks* (groups of `M`
+//!   interlinked 4 KiB chunks) into `N` equal sub-chunks, choosing `N, M`
+//!   to minimize `(4KB · M) mod N` waste; when every sub-chunk of a
+//!   super-chunk frees up, its chunks return to ML1 (the "ML2 gracefully
+//!   shrinks" behaviour of §IV-A).
+//!
+//! All three enforce the conservation invariant — a chunk is never in two
+//! places at once — which the property tests exercise.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A simple LIFO free list of uniform chunks, used for Compresso's 512 B
+/// chunks and ML1's 4 KiB chunks.
+///
+/// Chunks are identified by index (chunk number within the managed
+/// region). Push/pop at the top mirrors the paper's "push to / pop from
+/// the top of the Free List".
+#[derive(Debug, Clone, Default)]
+pub struct ChunkFreeList {
+    free: Vec<u32>,
+}
+
+impl ChunkFreeList {
+    /// Creates a list owning chunks `0..chunks`.
+    pub fn with_chunks(chunks: u32) -> Self {
+        Self {
+            free: (0..chunks).rev().collect(),
+        }
+    }
+
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a free chunk from the top, if any.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.free.pop()
+    }
+
+    /// Returns a chunk to the top.
+    pub fn push(&mut self, chunk: u32) {
+        debug_assert!(!self.free.contains(&chunk), "chunk {chunk} double-freed");
+        self.free.push(chunk);
+    }
+
+    /// Number of free chunks.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether no chunks are free.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+/// Compresso's 512 B-chunk free list (Fig. 3a).
+pub type CompressoFreeList = ChunkFreeList;
+
+/// ML1's 4 KiB-chunk free list (Fig. 3b).
+pub type Ml1FreeList = ChunkFreeList;
+
+/// A super-chunk: `M` 4 KiB chunks carved into `N` sub-chunks of one size
+/// class (Fig. 3c).
+#[derive(Debug, Clone)]
+struct SuperChunk {
+    /// The 4 KiB chunk numbers backing this super-chunk.
+    chunks: Vec<u32>,
+    /// Free sub-chunk slots (0..n).
+    free_slots: VecDeque<u8>,
+    /// Total sub-chunk slots.
+    n: u8,
+}
+
+/// Identifier of an allocated ML2 sub-chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubChunk {
+    /// Size class index within [`Ml2FreeLists`].
+    pub class: usize,
+    /// Super-chunk id.
+    pub super_id: u32,
+    /// Slot within the super-chunk.
+    pub slot: u8,
+}
+
+/// The set of ML2 free lists, one per sub-chunk size class.
+///
+/// # Examples
+///
+/// ```
+/// use tmcc::free_list::{Ml1FreeList, Ml2FreeLists};
+///
+/// let mut ml1 = Ml1FreeList::with_chunks(1000);
+/// let mut ml2 = Ml2FreeLists::paper_classes();
+/// // Store a 1300-byte compressed page: needs the 1536-byte class.
+/// let sc = ml2.allocate(1300, &mut ml1).expect("space available");
+/// assert_eq!(ml2.class_size(sc.class), 1536);
+/// ml2.free(sc, &mut ml1);
+/// assert_eq!(ml1.len(), 1000, "all chunks returned");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ml2FreeLists {
+    /// Sub-chunk sizes per class, ascending.
+    class_sizes: Vec<usize>,
+    /// Per class: `(M chunks, N sub-chunks)` chosen to minimize waste.
+    geometry: Vec<(usize, usize)>,
+    /// Per class: super-chunks with at least one free slot (ids).
+    avail: Vec<Vec<u32>>,
+    /// All live super-chunks.
+    supers: HashMap<u32, SuperChunk>,
+    next_super: u32,
+    /// Bytes of live sub-chunk allocations (for usage accounting).
+    allocated_bytes: usize,
+    /// 4 KiB chunks currently owned by ML2.
+    owned_chunks: usize,
+}
+
+impl Ml2FreeLists {
+    /// The size classes used throughout the reproduction: enough classes
+    /// that a compressed page wastes little (the paper: "many free lists,
+    /// each tracking sub-physical pages of a different size").
+    pub fn paper_classes() -> Self {
+        Self::new(vec![256, 512, 768, 1024, 1280, 1536, 1792, 2048, 2560, 3072, 4096])
+    }
+
+    /// Creates lists for the given ascending size classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_sizes` is empty, unsorted, or contains a class
+    /// larger than 4 KiB.
+    pub fn new(class_sizes: Vec<usize>) -> Self {
+        assert!(!class_sizes.is_empty(), "need at least one class");
+        assert!(
+            class_sizes.windows(2).all(|w| w[0] < w[1]),
+            "classes must be ascending"
+        );
+        assert!(
+            *class_sizes.last().expect("non-empty") <= 4096,
+            "sub-chunks cannot exceed a 4 KiB chunk"
+        );
+        let geometry = class_sizes.iter().map(|&s| Self::best_geometry(s)).collect();
+        let len = class_sizes.len();
+        Self {
+            class_sizes,
+            geometry,
+            avail: vec![Vec::new(); len],
+            supers: HashMap::new(),
+            next_super: 0,
+            allocated_bytes: 0,
+            owned_chunks: 0,
+        }
+    }
+
+    /// Chooses `(M, N)` with `N·size ≤ M·4096`, `M ≤ 8`, minimizing waste
+    /// `(M·4096) mod (N·size)` relative to the super-chunk (paper §IV-B:
+    /// "N, M are chosen to minimize (4KB · M) mod N").
+    fn best_geometry(size: usize) -> (usize, usize) {
+        let mut best = (1usize, 4096 / size.max(1));
+        let mut best_waste = 4096 % (best.1 * size).max(1);
+        for m in 1..=8usize {
+            let n = (m * 4096) / size;
+            if n == 0 {
+                continue;
+            }
+            let waste = (m * 4096) - n * size;
+            // Prefer lower waste per chunk; tie-break on smaller M.
+            if (waste as f64 / m as f64) < (best_waste as f64 / best.0 as f64) {
+                best = (m, n);
+                best_waste = waste;
+            }
+        }
+        (best.0, best.1)
+    }
+
+    /// Number of size classes.
+    pub fn classes(&self) -> usize {
+        self.class_sizes.len()
+    }
+
+    /// Sub-chunk size of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class_size(&self, class: usize) -> usize {
+        self.class_sizes[class]
+    }
+
+    /// The smallest class that fits `bytes`, if any.
+    pub fn class_for(&self, bytes: usize) -> Option<usize> {
+        self.class_sizes.iter().position(|&s| s >= bytes)
+    }
+
+    /// Allocates a sub-chunk for a `bytes`-long compressed page, carving a
+    /// new super-chunk from `ml1`'s free chunks when the class is empty.
+    /// Returns `None` when `bytes` exceeds the largest class or ML1 has no
+    /// chunks to donate.
+    pub fn allocate(&mut self, bytes: usize, ml1: &mut Ml1FreeList) -> Option<SubChunk> {
+        let class = self.class_for(bytes)?;
+        if self.avail[class].is_empty() {
+            self.carve_super(class, ml1)?;
+        }
+        let super_id = *self.avail[class].last().expect("non-empty avail");
+        let sc = self.supers.get_mut(&super_id).expect("live super");
+        let slot = sc.free_slots.pop_front().expect("has a free slot");
+        if sc.free_slots.is_empty() {
+            self.avail[class].pop();
+        }
+        self.allocated_bytes += self.class_sizes[class];
+        Some(SubChunk {
+            class,
+            super_id,
+            slot,
+        })
+    }
+
+    fn carve_super(&mut self, class: usize, ml1: &mut Ml1FreeList) -> Option<()> {
+        let (m, n) = self.geometry[class];
+        // Take M chunks from ML1 (§IV-A: "ML1 gives cold victim physical
+        // pages to ML2" — here modelled from the free list).
+        let mut chunks = Vec::with_capacity(m);
+        for _ in 0..m {
+            match ml1.pop() {
+                Some(c) => chunks.push(c),
+                None => {
+                    for c in chunks {
+                        ml1.push(c);
+                    }
+                    return None;
+                }
+            }
+        }
+        let id = self.next_super;
+        self.next_super += 1;
+        self.supers.insert(
+            id,
+            SuperChunk {
+                chunks,
+                free_slots: (0..n as u8).collect(),
+                n: n as u8,
+            },
+        );
+        self.avail[class].push(id);
+        self.owned_chunks += m;
+        Some(())
+    }
+
+    /// Frees a sub-chunk. If its super-chunk becomes entirely free, the
+    /// backing chunks return to ML1 (§IV-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free or unknown sub-chunks.
+    pub fn free(&mut self, sub: SubChunk, ml1: &mut Ml1FreeList) {
+        let sc = self.supers.get_mut(&sub.super_id).expect("live super-chunk");
+        assert!(
+            !sc.free_slots.contains(&sub.slot),
+            "sub-chunk slot {} double-freed",
+            sub.slot
+        );
+        // Newly-freed super-chunks go to the *top* of the list (§IV-B).
+        sc.free_slots.push_front(sub.slot);
+        self.allocated_bytes -= self.class_sizes[sub.class];
+        if sc.free_slots.len() == 1 {
+            self.avail[sub.class].push(sub.super_id);
+        }
+        if sc.free_slots.len() == sc.n as usize {
+            // Fully free: dissolve and return chunks to ML1.
+            let sc = self.supers.remove(&sub.super_id).expect("live super-chunk");
+            self.owned_chunks -= sc.chunks.len();
+            for c in sc.chunks {
+                ml1.push(c);
+            }
+            self.avail[sub.class].retain(|&id| id != sub.super_id);
+        }
+    }
+
+    /// Bytes currently allocated to compressed pages.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_bytes
+    }
+
+    /// 4 KiB chunks ML2 currently owns (allocated + internal free space).
+    pub fn owned_chunks(&self) -> usize {
+        self.owned_chunks
+    }
+
+    /// DRAM bytes ML2 occupies (owned chunks × 4 KiB) — the capacity
+    /// accounting the effective-ratio experiments use.
+    pub fn footprint_bytes(&self) -> usize {
+        self.owned_chunks * 4096
+    }
+
+    /// DRAM byte address where sub-chunk `sub` starts. Sub-chunks may span
+    /// the boundary between the interlinked chunks of their super-chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub` does not name a live allocation.
+    pub fn addr_of(&self, sub: SubChunk) -> u64 {
+        let sc = self.supers.get(&sub.super_id).expect("live super-chunk");
+        let offset = sub.slot as usize * self.class_sizes[sub.class];
+        let chunk = sc.chunks[offset / 4096];
+        chunk as u64 * 4096 + (offset % 4096) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_list_lifo() {
+        let mut l = ChunkFreeList::with_chunks(3);
+        assert_eq!(l.pop(), Some(0));
+        l.push(0);
+        assert_eq!(l.pop(), Some(0));
+        assert_eq!(l.pop(), Some(1));
+        assert_eq!(l.pop(), Some(2));
+        assert_eq!(l.pop(), None);
+    }
+
+    #[test]
+    fn geometry_minimizes_waste() {
+        // 1536-byte sub-chunks: M=3 chunks -> N=8 sub-chunks, zero waste.
+        let (m, n) = Ml2FreeLists::best_geometry(1536);
+        assert_eq!((m * 4096) % (n * 1536), (m * 4096) - n * 1536);
+        assert_eq!((m * 4096) - n * 1536, 0, "1536B should pack perfectly (M={m}, N={n})");
+        // 4096-byte sub-chunks pack 1:1.
+        let (m4, n4) = Ml2FreeLists::best_geometry(4096);
+        assert_eq!(m4, n4);
+    }
+
+    #[test]
+    fn allocate_free_conserves_chunks() {
+        let mut ml1 = Ml1FreeList::with_chunks(64);
+        let mut ml2 = Ml2FreeLists::paper_classes();
+        let mut subs = Vec::new();
+        for i in 0..20usize {
+            let bytes = 200 + i * 150;
+            subs.push(ml2.allocate(bytes, &mut ml1).expect("fits"));
+        }
+        assert!(ml1.len() < 64);
+        assert_eq!(ml2.owned_chunks() + ml1.len(), 64);
+        for s in subs {
+            ml2.free(s, &mut ml1);
+        }
+        assert_eq!(ml1.len(), 64, "every chunk must return to ML1");
+        assert_eq!(ml2.allocated_bytes(), 0);
+        assert_eq!(ml2.owned_chunks(), 0);
+    }
+
+    #[test]
+    fn allocation_prefers_smallest_fitting_class() {
+        let mut ml1 = Ml1FreeList::with_chunks(8);
+        let mut ml2 = Ml2FreeLists::paper_classes();
+        let s = ml2.allocate(513, &mut ml1).expect("fits");
+        assert_eq!(ml2.class_size(s.class), 768);
+    }
+
+    #[test]
+    fn addr_of_is_unique_and_within_owned_chunks() {
+        let mut ml1 = Ml1FreeList::with_chunks(32);
+        let mut ml2 = Ml2FreeLists::new(vec![1536]);
+        let mut addrs = std::collections::HashSet::new();
+        let mut subs = Vec::new();
+        for _ in 0..16 {
+            let s = ml2.allocate(1500, &mut ml1).expect("fits");
+            let a = ml2.addr_of(s);
+            assert!(addrs.insert(a), "duplicate sub-chunk address {a:#x}");
+            subs.push(s);
+        }
+        // Adjacent slots in one super-chunk are exactly 1536 B apart in
+        // the concatenated chunk space.
+        let a0 = ml2.addr_of(subs[0]);
+        let a1 = ml2.addr_of(subs[1]);
+        if subs[0].super_id == subs[1].super_id {
+            let off = |s: &super::SubChunk| s.slot as u64 * 1536;
+            assert_eq!(off(&subs[1]) - off(&subs[0]), 1536);
+            let _ = (a0, a1);
+        }
+    }
+
+    #[test]
+    fn oversized_pages_rejected() {
+        let mut ml1 = Ml1FreeList::with_chunks(8);
+        let mut ml2 = Ml2FreeLists::paper_classes();
+        assert!(ml2.allocate(5000, &mut ml1).is_none());
+    }
+
+    #[test]
+    fn exhausted_ml1_fails_cleanly() {
+        let mut ml1 = Ml1FreeList::with_chunks(0);
+        let mut ml2 = Ml2FreeLists::paper_classes();
+        assert!(ml2.allocate(100, &mut ml1).is_none());
+        assert_eq!(ml1.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-freed")]
+    fn double_free_detected() {
+        let mut ml1 = Ml1FreeList::with_chunks(8);
+        let mut ml2 = Ml2FreeLists::new(vec![2048]);
+        let a = ml2.allocate(2000, &mut ml1).expect("fits");
+        let _b = ml2.allocate(2000, &mut ml1).expect("fits");
+        ml2.free(a, &mut ml1);
+        ml2.free(a, &mut ml1);
+    }
+
+    #[test]
+    fn many_allocations_within_budget() {
+        let mut ml1 = Ml1FreeList::with_chunks(256);
+        let mut ml2 = Ml2FreeLists::paper_classes();
+        let mut live = Vec::new();
+        let mut k = 0usize;
+        // Allocate until ML1 runs dry, then free half and repeat.
+        for round in 0..6 {
+            loop {
+                match ml2.allocate(300 + (k * 97) % 3500, &mut ml1) {
+                    Some(s) => {
+                        live.push(s);
+                        k += 1;
+                    }
+                    None => break,
+                }
+            }
+            let half = live.len() / 2;
+            for s in live.drain(..half) {
+                ml2.free(s, &mut ml1);
+            }
+            assert!(ml2.owned_chunks() + ml1.len() == 256, "round {round}");
+        }
+        for s in live.drain(..) {
+            ml2.free(s, &mut ml1);
+        }
+        assert_eq!(ml1.len(), 256);
+    }
+}

@@ -1,0 +1,270 @@
+//! The ML1 Recency List (paper §IV-B).
+//!
+//! A doubly linked list of the pages resident in ML1, hottest at the head,
+//! coldest at the tail. To keep hardware cost low the paper updates it for
+//! only **1 % of randomly chosen ML1 accesses**; victims for eviction to
+//! ML2 come from the cold tail. Incompressible pages are *removed* from
+//! the list (so ML1 stops trying to evict them) and re-enter with 1 %
+//! probability after a writeback (§IV-B).
+//!
+//! The list costs real DRAM — 0.4 % of capacity (§V-A6) — accounted by
+//! [`RecencyList::dram_overhead_bytes`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tmcc_types::addr::Ppn;
+
+/// The paper's hardware sampling probability: 1 % of ML1 accesses update
+/// the list (§IV-B). Hardware runs billions of accesses, so 1 % sampling
+/// converges; scaled-down simulations should use
+/// [`RecencyList::with_probability`] to keep the *list quality* (samples
+/// per resident page) comparable — see `SystemConfig::recency_sample`.
+pub const SAMPLE_PROBABILITY: f64 = 0.01;
+
+/// The recency list.
+///
+/// # Examples
+///
+/// ```
+/// use tmcc::RecencyList;
+/// use tmcc_types::addr::Ppn;
+///
+/// let mut rl = RecencyList::new(7);
+/// rl.insert_hot(Ppn::new(1));
+/// rl.insert_hot(Ppn::new(2));
+/// assert_eq!(rl.coldest(), Some(Ppn::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecencyList {
+    /// Intrusive doubly linked list over page indices.
+    nodes: HashMap<u64, Node>,
+    head: Option<u64>, // hottest
+    tail: Option<u64>, // coldest
+    rng: SmallRng,
+    sample_prob: f64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Node {
+    prev: Option<u64>, // towards head
+    next: Option<u64>, // towards tail
+}
+
+impl RecencyList {
+    /// Creates an empty list with the paper's 1 % sampling.
+    pub fn new(seed: u64) -> Self {
+        Self::with_probability(seed, SAMPLE_PROBABILITY)
+    }
+
+    /// Creates an empty list with a custom sampling probability (used by
+    /// scaled-down simulations to keep samples-per-page comparable to a
+    /// full-length hardware run).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < sample_prob <= 1`.
+    pub fn with_probability(seed: u64, sample_prob: f64) -> Self {
+        assert!(
+            sample_prob > 0.0 && sample_prob <= 1.0,
+            "sampling probability must be in (0, 1]"
+        );
+        Self {
+            nodes: HashMap::new(),
+            head: None,
+            tail: None,
+            rng: SmallRng::seed_from_u64(seed ^ 0xDEC_AF),
+            sample_prob,
+        }
+    }
+
+    /// Number of tracked pages.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the list tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `page` is tracked.
+    pub fn contains(&self, page: Ppn) -> bool {
+        self.nodes.contains_key(&page.raw())
+    }
+
+    /// Unconditionally inserts/moves `page` to the hot end.
+    pub fn insert_hot(&mut self, page: Ppn) {
+        let key = page.raw();
+        if self.nodes.contains_key(&key) {
+            self.unlink(key);
+        }
+        let old_head = self.head;
+        self.nodes.insert(
+            key,
+            Node {
+                prev: None,
+                next: old_head,
+            },
+        );
+        if let Some(h) = old_head {
+            self.nodes.get_mut(&h).expect("head exists").prev = Some(key);
+        }
+        self.head = Some(key);
+        if self.tail.is_none() {
+            self.tail = Some(key);
+        }
+    }
+
+    /// Called on every ML1 access: with 1 % probability, moves the page to
+    /// the hot end (inserting it if untracked). Returns whether the update
+    /// fired (for stats).
+    pub fn on_access(&mut self, page: Ppn) -> bool {
+        if self.rng.gen::<f64>() < self.sample_prob {
+            self.insert_hot(page);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Called when a writeback hits a page marked incompressible: with 1 %
+    /// probability the page re-enters the list (§IV-B: "ML1 adds an
+    /// incompressible page back to the Recency List at 1% probability
+    /// after a writeback"). Returns whether it re-entered.
+    pub fn on_incompressible_writeback(&mut self, page: Ppn) -> bool {
+        if self.rng.gen::<f64>() < self.sample_prob {
+            self.insert_hot(page);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The coldest tracked page.
+    pub fn coldest(&self) -> Option<Ppn> {
+        self.tail.map(Ppn::new)
+    }
+
+    /// Removes and returns the coldest page (the eviction victim).
+    pub fn pop_coldest(&mut self) -> Option<Ppn> {
+        let t = self.tail?;
+        self.unlink(t);
+        self.nodes.remove(&t);
+        Some(Ppn::new(t))
+    }
+
+    /// Removes `page` (e.g., when found incompressible, or migrated away).
+    pub fn remove(&mut self, page: Ppn) -> bool {
+        let key = page.raw();
+        if self.nodes.contains_key(&key) {
+            self.unlink(key);
+            self.nodes.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unlink(&mut self, key: u64) {
+        let node = *self.nodes.get(&key).expect("node exists");
+        match node.prev {
+            Some(p) => self.nodes.get_mut(&p).expect("prev exists").next = node.next,
+            None => self.head = node.next,
+        }
+        match node.next {
+            Some(n) => self.nodes.get_mut(&n).expect("next exists").prev = node.prev,
+            None => self.tail = node.prev,
+        }
+    }
+
+    /// Pages from coldest to hottest (diagnostics; O(n)).
+    pub fn cold_to_hot(&self) -> Vec<Ppn> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut cur = self.tail;
+        while let Some(k) = cur {
+            out.push(Ppn::new(k));
+            cur = self.nodes.get(&k).expect("linked node").prev;
+        }
+        out
+    }
+
+    /// DRAM cost of the list for a machine with `total_pages` ML1-capable
+    /// pages: two 8-byte pointers + an 8-byte PPN per element ≈ 0.4 % of
+    /// DRAM (§V-A6).
+    pub fn dram_overhead_bytes(total_pages: u64) -> u64 {
+        total_pages * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_lru() {
+        let mut rl = RecencyList::new(1);
+        for p in 1..=4u64 {
+            rl.insert_hot(Ppn::new(p));
+        }
+        assert_eq!(
+            rl.cold_to_hot(),
+            vec![Ppn::new(1), Ppn::new(2), Ppn::new(3), Ppn::new(4)]
+        );
+        rl.insert_hot(Ppn::new(1)); // re-touch the coldest
+        assert_eq!(rl.coldest(), Some(Ppn::new(2)));
+    }
+
+    #[test]
+    fn pop_coldest_drains_in_order() {
+        let mut rl = RecencyList::new(1);
+        for p in 0..5u64 {
+            rl.insert_hot(Ppn::new(p));
+        }
+        let drained: Vec<u64> = std::iter::from_fn(|| rl.pop_coldest().map(|p| p.raw())).collect();
+        assert_eq!(drained, [0, 1, 2, 3, 4]);
+        assert!(rl.is_empty());
+    }
+
+    #[test]
+    fn remove_middle_keeps_links() {
+        let mut rl = RecencyList::new(1);
+        for p in 0..3u64 {
+            rl.insert_hot(Ppn::new(p));
+        }
+        assert!(rl.remove(Ppn::new(1)));
+        assert_eq!(rl.cold_to_hot(), vec![Ppn::new(0), Ppn::new(2)]);
+        assert!(!rl.remove(Ppn::new(1)));
+    }
+
+    #[test]
+    fn sampling_rate_is_about_one_percent() {
+        let mut rl = RecencyList::new(99);
+        let mut fired = 0;
+        for i in 0..100_000u64 {
+            if rl.on_access(Ppn::new(i % 64)) {
+                fired += 1;
+            }
+        }
+        let rate = fired as f64 / 100_000.0;
+        assert!((rate - 0.01).abs() < 0.004, "sample rate {rate}");
+    }
+
+    #[test]
+    fn single_element_list() {
+        let mut rl = RecencyList::new(1);
+        rl.insert_hot(Ppn::new(9));
+        assert_eq!(rl.coldest(), Some(Ppn::new(9)));
+        assert_eq!(rl.pop_coldest(), Some(Ppn::new(9)));
+        assert_eq!(rl.pop_coldest(), None);
+        assert_eq!(rl.coldest(), None);
+    }
+
+    #[test]
+    fn overhead_is_0_4_percent() {
+        // 16 B per 4096 B page = 0.39 %.
+        let pages = 1_000_000u64;
+        let frac = RecencyList::dram_overhead_bytes(pages) as f64 / (pages * 4096) as f64;
+        assert!((frac - 0.004).abs() < 0.001);
+    }
+}

@@ -1,0 +1,108 @@
+//! Memory-controller scheme models.
+//!
+//! A [`Scheme`] is everything behind the LLC↔MC interface: physical→DRAM
+//! translation (CTEs + CTE cache), data placement (free lists, chunks,
+//! ML1/ML2), migration, and the DRAM accesses those imply. The system
+//! model calls into it on LLC misses, dirty writebacks and page-walker
+//! PTB deliveries.
+
+pub mod compresso;
+pub mod nocomp;
+pub mod two_level;
+
+pub use compresso::CompressoScheme;
+pub use nocomp::NoCompressionScheme;
+pub use two_level::TwoLevelScheme;
+
+use crate::config::SchemeKind;
+use crate::stats::SimStats;
+use tmcc_sim_dram::DramSim;
+use tmcc_types::addr::{BlockAddr, Ppn};
+use tmcc_types::pte::PageTableBlock;
+
+/// DRAM byte address of the CTE/metadata table region (kept disjoint from
+/// data frames; the tables are small, §V-A6).
+pub const CTE_TABLE_BASE: u64 = 1 << 40;
+
+/// An LLC-miss request delivered to the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Physical page of the missing block.
+    pub ppn: Ppn,
+    /// The missing 64 B block.
+    pub block: BlockAddr,
+    /// Whether the request is a store/writeback.
+    pub write: bool,
+    /// Whether the block is a page-table block fetched by the walker.
+    pub is_ptb: bool,
+    /// Whether this request is part of servicing a TLB miss (the walker's
+    /// own fetches and the data access immediately after the walk) —
+    /// drives the Fig. 5 statistic.
+    pub after_tlb_miss: bool,
+}
+
+/// A memory-controller scheme.
+pub trait Scheme {
+    /// Which scheme this is.
+    fn kind(&self) -> SchemeKind;
+
+    /// Services an LLC-miss read (or write-allocate). Returns the MC+DRAM
+    /// service latency in ns (excluding the on-chip/NoC part, which the
+    /// caller accounts).
+    fn access(&mut self, req: &MemRequest, now_ns: f64, dram: &mut DramSim, stats: &mut SimStats)
+        -> f64;
+
+    /// Handles a dirty LLC writeback (background: consumes DRAM bandwidth
+    /// but adds no latency to the instruction stream).
+    fn writeback(
+        &mut self,
+        req: &MemRequest,
+        now_ns: f64,
+        dram: &mut DramSim,
+        stats: &mut SimStats,
+    );
+
+    /// Notifies the scheme that the page walker fetched a PTB — TMCC
+    /// harvests embedded CTEs into the CTE buffer here (§V-A3).
+    fn on_ptb_fetched(&mut self, _block: BlockAddr, _ptb: &PageTableBlock) {}
+
+    /// Periodic background maintenance (ML1 free-list replenishment via
+    /// cold-page eviction, §VI).
+    fn maintain(&mut self, _now_ns: f64, _dram: &mut DramSim, _stats: &mut SimStats) {}
+
+    /// DRAM bytes currently occupied by data + translation metadata.
+    fn dram_used_bytes(&self) -> u64;
+
+    /// Pages evicted to ML2 since the last call. The system model flushes
+    /// their blocks from the cache hierarchy (hardware collects a page's
+    /// dirty lines when compressing it into ML2; leaving stale dirty lines
+    /// behind would ping-pong the page straight back to ML1).
+    fn drain_evicted_pages(&mut self) -> Vec<Ppn> {
+        Vec::new()
+    }
+}
+
+/// Row-sized stride separating successive pages' translation entries in
+/// the *simulated* DRAM address space.
+///
+/// In a full-scale system the CTE/metadata tables span gigabytes, so
+/// demand-driven entry fetches see essentially no row-buffer locality. Our
+/// scaled-down footprints would pack the whole table into a handful of
+/// DRAM rows and make serial CTE fetches artificially cheap; spreading
+/// entries at row granularity restores the full-scale behaviour. (The CTE
+/// *cache* still operates on dense 64 B lines — this stride only affects
+/// where a missing entry lands in DRAM.)
+const TABLE_ROW_STRIDE: u64 = 8192;
+
+/// DRAM address of the page-level CTE for `ppn` (8 B entries; see
+/// [`TABLE_ROW_STRIDE`] for the placement rationale).
+pub fn cte_dram_addr(ppn: Ppn) -> u64 {
+    CTE_TABLE_BASE + (ppn.raw() / 8) * TABLE_ROW_STRIDE + (ppn.raw() % 8) * 8
+}
+
+/// DRAM address of the block-level metadata entry for `ppn` (64 B
+/// entries, Compresso; one entry per simulated row, see
+/// [`TABLE_ROW_STRIDE`]).
+pub fn metadata_dram_addr(ppn: Ppn) -> u64 {
+    CTE_TABLE_BASE + (1 << 38) + ppn.raw() * TABLE_ROW_STRIDE
+}

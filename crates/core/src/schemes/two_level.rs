@@ -1,0 +1,849 @@
+//! The two-level (ML1/ML2) schemes: the barebone OS-inspired design of
+//! §IV and full TMCC (§V), selected by [`TmccToggles`].
+//!
+//! ML1 holds pages uncompressed at 4 KiB-frame granularity; ML2 holds
+//! aggressively Deflate-compressed pages in sub-chunks. A single 8-byte
+//! page-level CTE per page maps physical pages to either. Differences
+//! between the two schemes:
+//!
+//! | | OS-inspired (§IV) | TMCC (§V) |
+//! |---|---|---|
+//! | CTE miss for ML1 data | serial CTE fetch → data fetch (Fig. 8a) | speculative **parallel** fetch using the CTE embedded in the walked PTB, verified against the real CTE (Fig. 8b/c) |
+//! | ML2 codec latency | IBM general-purpose ASIC Deflate | memory-specialized ASIC Deflate (4× faster) |
+//!
+//! Both share the ML1 free list, the ML2 super-chunk free lists, the
+//! sampled recency list, the migration machinery with its 8-page buffer,
+//! and the eviction thresholds of §VI.
+
+use super::{cte_dram_addr, MemRequest, Scheme};
+use crate::config::{SchemeKind, TmccToggles};
+use crate::free_list::{Ml1FreeList, Ml2FreeLists, SubChunk};
+use crate::recency::RecencyList;
+use crate::size_model::SizeModel;
+use crate::stats::SimStats;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use tmcc_deflate::{DeflateTiming, IbmDeflateModel};
+use tmcc_sim_dram::DramSim;
+use tmcc_sim_mem::{CteBuffer, CteCache, CteCacheConfig, PageTable};
+use tmcc_types::addr::{BlockAddr, DramAddr, Ppn, PAGE_SIZE};
+use tmcc_types::cte::{Cte, MemoryLevel, TruncatedCte};
+use tmcc_types::pte::{PageTableBlock, PTES_PER_PTB};
+use tmcc_types::ptb::{CompressedPtb, PtbGeometry};
+
+/// Entries in the MC's page-migration buffer (§VI: "a 32KB buffer (i.e.,
+/// eight 4KB entries)").
+const MIGRATION_BUFFER_ENTRIES: usize = 8;
+
+/// Probability a writeback re-draws a page's compressibility.
+const DIRTY_REDRAW_PROBABILITY: f64 = 0.02;
+
+/// Where a page's bytes currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Placement {
+    Ml1 { frame: u32 },
+    Ml2 { sub: SubChunk, comp_bytes: u32 },
+}
+
+/// Per-page state.
+#[derive(Debug, Clone, Copy)]
+struct PageInfo {
+    cte: Cte,
+    place: Placement,
+    dirty_epoch: u32,
+    /// Page-table pages are pinned in ML1 and never migrate.
+    pinned: bool,
+}
+
+/// The shared two-level scheme.
+pub struct TwoLevelScheme {
+    toggles: TmccToggles,
+    pages: HashMap<u64, PageInfo>,
+    ml1_free: Ml1FreeList,
+    ml2: Ml2FreeLists,
+    recency: RecencyList,
+    cte_cache: CteCache,
+    cte_buffer: CteBuffer,
+    /// Modelled embedded CTEs per PTB block (what is physically stored in
+    /// the compressed PTB encoding in DRAM).
+    ptb_embed: HashMap<u64, [Option<TruncatedCte>; PTES_PER_PTB]>,
+    /// Latest PTB location of each PPN's PTE, for lazy repair.
+    ptb_slot_of: HashMap<u64, (u64, usize)>,
+    size_model: SizeModel,
+    timing: DeflateTiming,
+    ibm: IbmDeflateModel,
+    /// Low-water mark: start evicting (paper's 4000-chunk threshold,
+    /// scaled).
+    evict_lo: usize,
+    /// Eviction target (hysteresis).
+    evict_hi: usize,
+    /// Critical mark: ML2 reads yield to evictions (paper's 3000-chunk
+    /// flip).
+    evict_crit: usize,
+    /// Completion times of in-flight page migrations (≤ 8).
+    migration_buffer: VecDeque<f64>,
+    /// Pages evicted to ML2 awaiting cache-hierarchy flush by the system.
+    evicted_pages: Vec<Ppn>,
+    total_frames: u32,
+    rng: SmallRng,
+}
+
+impl TwoLevelScheme {
+    /// Builds the scheme and performs initial placement.
+    ///
+    /// `budget_frames` 4 KiB frames of DRAM are available. Page-table
+    /// pages are pinned into ML1 first; data pages (hottest first — their
+    /// index order) fill ML1 until only the eviction reserve remains, and
+    /// the rest are compressed into ML2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget cannot hold the workload even with every
+    /// overflow page compressed into ML2 (use
+    /// [`min_budget_frames`](Self::min_budget_frames) to pick feasible
+    /// budgets).
+    pub fn new(
+        toggles: TmccToggles,
+        cte_cfg: CteCacheConfig,
+        size_model: SizeModel,
+        page_table: &PageTable,
+        data_pages: u64,
+        budget_frames: u32,
+        seed: u64,
+        recency_sample: f64,
+    ) -> Self {
+        let evict_lo = ((budget_frames as usize) / 64).max(24);
+        let mut s = Self {
+            toggles,
+            pages: HashMap::new(),
+            ml1_free: Ml1FreeList::with_chunks(budget_frames),
+            ml2: Ml2FreeLists::paper_classes(),
+            recency: RecencyList::with_probability(seed, recency_sample),
+            cte_cache: CteCache::new(cte_cfg),
+            cte_buffer: CteBuffer::paper_default(),
+            ptb_embed: HashMap::new(),
+            ptb_slot_of: HashMap::new(),
+            size_model,
+            timing: DeflateTiming::default(),
+            ibm: IbmDeflateModel::default(),
+            evict_lo,
+            evict_hi: evict_lo + evict_lo / 2,
+            evict_crit: (evict_lo * 3) / 4,
+            migration_buffer: VecDeque::new(),
+            evicted_pages: Vec::new(),
+            total_frames: budget_frames,
+            rng: SmallRng::seed_from_u64(seed ^ 0x2_1E5E1),
+        };
+        // Pin page-table pages in ML1.
+        let mut table_ppns: Vec<u64> = Vec::new();
+        for level in (1..=4).rev() {
+            for (block, _) in page_table.ptbs_at_level(level) {
+                table_ppns.push(block.ppn().raw());
+            }
+        }
+        table_ppns.sort_unstable();
+        table_ppns.dedup();
+        for ppn in table_ppns {
+            let frame = s
+                .ml1_free
+                .pop()
+                .expect("budget cannot even hold the page table");
+            s.pages.insert(
+                ppn,
+                PageInfo {
+                    cte: Cte::new(frame, MemoryLevel::Ml1),
+                    place: Placement::Ml1 { frame },
+                    dirty_epoch: 0,
+                    pinned: true,
+                },
+            );
+        }
+        // Place data pages, hottest (lowest index) first. Choose the split
+        // point k so that pages 0..k live in ML1 and k.. fit into ML2
+        // within the remaining budget (plus the eviction reserve).
+        let class_rounded: Vec<u64> = (0..data_pages)
+            .map(|i| {
+                let comp = s.size_model.sizes_of(i, 0).deflate_bytes.min(PAGE_SIZE);
+                s.ml2
+                    .class_for(comp)
+                    .map(|c| s.ml2.class_size(c) as u64)
+                    .unwrap_or(PAGE_SIZE as u64)
+            })
+            .collect();
+        // suffix[k] = ML2 bytes needed if pages k.. go to ML2.
+        let mut suffix = vec![0u64; data_pages as usize + 1];
+        for k in (0..data_pages as usize).rev() {
+            suffix[k] = suffix[k + 1] + class_rounded[k];
+        }
+        let avail = s.ml1_free.len() as u64;
+        let reserve = s.evict_hi as u64 + 8;
+        let mut split = 0u64;
+        for k in (0..=data_pages).rev() {
+            // ML2 frames with ~3% carving slack.
+            let ml2_frames = (suffix[k as usize] * 103 / 100).div_ceil(PAGE_SIZE as u64);
+            if k + ml2_frames + reserve <= avail {
+                split = k;
+                break;
+            }
+            assert!(
+                k > 0,
+                "DRAM budget infeasible: {avail} frames cannot hold the workload \
+                 even fully compressed ({} ML2 bytes needed)",
+                suffix[0]
+            );
+        }
+        // Walk pages coldest-first so the recency list ends up ordered
+        // with the hottest (lowest-index) pages at the hot end.
+        for idx in (0..data_pages).rev() {
+            let ppn = Ppn::new(idx);
+            if idx < split {
+                let frame = s.ml1_free.pop().expect("split point guarantees a frame");
+                s.pages.insert(
+                    idx,
+                    PageInfo {
+                        cte: Cte::new(frame, MemoryLevel::Ml1),
+                        place: Placement::Ml1 { frame },
+                        dirty_epoch: 0,
+                        pinned: false,
+                    },
+                );
+                s.recency.insert_hot(ppn);
+            } else {
+                let sizes = s.size_model.sizes_of(idx, 0);
+                let comp = sizes.deflate_bytes.min(PAGE_SIZE);
+                let sub = s
+                    .ml2
+                    .allocate(comp, &mut s.ml1_free)
+                    .expect("DRAM budget infeasible: ML2 allocation failed during placement");
+                let frame = (s.ml2.addr_of(sub) / PAGE_SIZE as u64) as u32;
+                s.pages.insert(
+                    idx,
+                    PageInfo {
+                        cte: Cte::new(frame, MemoryLevel::Ml2),
+                        place: Placement::Ml2 {
+                            sub,
+                            comp_bytes: comp as u32,
+                        },
+                        dirty_epoch: 0,
+                        pinned: false,
+                    },
+                );
+            }
+        }
+        // Warm the embedded CTEs in every compressible PTB (§VI: "warm up
+        // ML1, ML2, and embedded CTEs in compressed PTBs").
+        if toggles.embedded_ctes {
+            let geometry = PtbGeometry::paper_default();
+            for level in 1..=4u8 {
+                for (block, ptb) in page_table.ptbs_at_level(level) {
+                    s.refresh_ptb_embedding(block, &ptb, geometry);
+                }
+            }
+        }
+        s
+    }
+
+    /// Smallest feasible budget (in frames) for a workload: the page
+    /// table pinned uncompressed, every data page in ML2, plus the
+    /// eviction reserve.
+    pub fn min_budget_frames(
+        size_model: &SizeModel,
+        table_pages: u64,
+        data_pages: u64,
+    ) -> u32 {
+        // Mirror the placement logic: class-rounded ML2 sizes plus ~3%
+        // carving slack.
+        let classes = Ml2FreeLists::paper_classes();
+        let mut ml2_bytes = 0u64;
+        for idx in 0..data_pages {
+            let comp = size_model.sizes_of(idx, 0).deflate_bytes.min(PAGE_SIZE);
+            let rounded = classes
+                .class_for(comp)
+                .map(|c| classes.class_size(c) as u64)
+                .unwrap_or(PAGE_SIZE as u64);
+            ml2_bytes += rounded;
+        }
+        let ml2_frames = (ml2_bytes * 103 / 100).div_ceil(PAGE_SIZE as u64) as u32;
+        let reserve = ((table_pages + data_pages) as u32 / 40).max(64);
+        table_pages as u32 + ml2_frames + reserve + 8
+    }
+
+    fn refresh_ptb_embedding(&mut self, block: BlockAddr, ptb: &PageTableBlock, g: PtbGeometry) {
+        let Ok(mut compressed) = CompressedPtb::compress(ptb, g) else {
+            self.ptb_embed.remove(&block.raw());
+            return;
+        };
+        let mut slots = [None; PTES_PER_PTB];
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let pte = ptb.entry(i);
+            if !pte.is_present() {
+                continue;
+            }
+            if let Some(info) = self.pages.get(&pte.ppn().raw()) {
+                let t = info.cte.truncated();
+                if compressed.embed_cte(i, t) {
+                    *slot = Some(t);
+                }
+            }
+        }
+        self.ptb_embed.insert(block.raw(), slots);
+    }
+
+    /// The authoritative DRAM byte address of a request's block.
+    fn data_addr(&self, req: &MemRequest) -> u64 {
+        let info = self.pages.get(&req.ppn.raw()).expect("resident page");
+        match info.place {
+            Placement::Ml1 { frame } => {
+                frame as u64 * PAGE_SIZE as u64 + (req.block.index_in_page() * 64) as u64
+            }
+            Placement::Ml2 { sub, .. } => self.ml2.addr_of(sub),
+        }
+    }
+
+    /// Physical→DRAM translation + data fetch for an LLC-miss read.
+    /// Returns `(completion_ns, served_from_ml2_subchunk_addr)`.
+    fn serve_translated_read(
+        &mut self,
+        req: &MemRequest,
+        now_ns: f64,
+        dram: &mut DramSim,
+        stats: &mut SimStats,
+        count_stats: bool,
+    ) -> f64 {
+        let key = req.ppn.raw();
+        let in_ml1 = matches!(
+            self.pages.get(&key).expect("resident page").place,
+            Placement::Ml1 { .. }
+        );
+        let addr = self.data_addr(req);
+        if self.cte_cache.access(req.ppn) {
+            if count_stats {
+                stats.cte_hits += 1;
+                if in_ml1 {
+                    stats.ml1_cte_hit += 1;
+                }
+            }
+            return dram.access(now_ns, DramAddr::new(addr), req.write);
+        }
+        if count_stats {
+            stats.cte_misses += 1;
+            if req.after_tlb_miss {
+                stats.cte_misses_after_tlb_miss += 1;
+            }
+        }
+        let cte_addr = DramAddr::new(cte_dram_addr(req.ppn));
+        let correct = self.pages.get(&key).expect("resident page").cte;
+        let done = if self.toggles.embedded_ctes {
+            match self.cte_buffer.lookup(req.ppn).and_then(|e| e.cte) {
+                Some(embedded) => {
+                    // Speculative parallel access (Fig. 8b): fetch the CTE
+                    // and the data (at the embedded CTE's frame) at once.
+                    let spec_addr = embedded.frame() as u64 * PAGE_SIZE as u64
+                        + (req.block.index_in_page() * 64) as u64;
+                    let cte_done = dram.access(now_ns, cte_addr, false);
+                    let spec_done = dram.access(now_ns, DramAddr::new(spec_addr), req.write);
+                    let both = cte_done.max(spec_done);
+                    if embedded.matches(&correct) {
+                        if count_stats && in_ml1 {
+                            stats.ml1_parallel_correct += 1;
+                        }
+                        both
+                    } else {
+                        // Stale embedding: re-access with the correct CTE
+                        // (Fig. 8c) and lazily repair the PTB (§V-A2).
+                        if count_stats && in_ml1 {
+                            stats.ml1_parallel_mismatch += 1;
+                        }
+                        self.repair_embedding(req.ppn, correct.truncated());
+                        dram.access(both, DramAddr::new(addr), req.write)
+                    }
+                }
+                None => {
+                    // No embedded CTE: serial, as in prior work (Fig. 8a).
+                    if count_stats && in_ml1 {
+                        stats.ml1_serial += 1;
+                    }
+                    self.repair_embedding(req.ppn, correct.truncated());
+                    let cte_done = dram.access(now_ns, cte_addr, false);
+                    dram.access(cte_done, DramAddr::new(addr), req.write)
+                }
+            }
+        } else {
+            if count_stats && in_ml1 {
+                stats.ml1_serial += 1;
+            }
+            let cte_done = dram.access(now_ns, cte_addr, false);
+            dram.access(cte_done, DramAddr::new(addr), req.write)
+        };
+        // The MC always caches the CTE it fetched (§VII).
+        self.cte_cache.fill(req.ppn);
+        done
+    }
+
+    /// Reconcile the CTE buffer and the stored PTB embedding with the
+    /// verified CTE (the lazy update of §V-A2/3).
+    fn repair_embedding(&mut self, ppn: Ppn, correct: TruncatedCte) {
+        if self.cte_buffer.reconcile(ppn, correct).is_some() {
+            if let Some(&(block, slot)) = self.ptb_slot_of.get(&ppn.raw()) {
+                if let Some(slots) = self.ptb_embed.get_mut(&block) {
+                    slots[slot] = Some(correct);
+                }
+            }
+        }
+    }
+
+    /// Serves an access to a page currently in ML2: decompress the needed
+    /// block, respond, and migrate the page to ML1 in the background.
+    fn serve_ml2(
+        &mut self,
+        req: &MemRequest,
+        now_ns: f64,
+        dram: &mut DramSim,
+        stats: &mut SimStats,
+        count_stats: bool,
+    ) -> f64 {
+        stats.ml2_reads += 1;
+        let key = req.ppn.raw();
+        let (sub, comp_bytes) = match self.pages.get(&key).expect("resident").place {
+            Placement::Ml2 { sub, comp_bytes } => (sub, comp_bytes as usize),
+            Placement::Ml1 { .. } => unreachable!("serve_ml2 requires an ML2 page"),
+        };
+        // Translation + first burst of the compressed page.
+        let first = self.serve_translated_read(req, now_ns, dram, stats, count_stats);
+        // Stream the remaining compressed bursts (they pipeline into the
+        // decompressor; their bus time matters, their latency does not).
+        let sub_addr = self.ml2.addr_of(sub);
+        for k in 1..comp_bytes.div_ceil(64) {
+            let _ = dram.access_background(first, DramAddr::new(sub_addr + (k * 64) as u64), false);
+        }
+        // Needed-block decompression latency: the ML2-codec difference
+        // between TMCC and the barebone design (Fig. 20's ML2 opt).
+        let dec_ns = if self.toggles.fast_deflate {
+            self.timing.half_page_latency(comp_bytes * 8, PAGE_SIZE).ns
+        } else {
+            self.ibm.half_page_decompress_ns(PAGE_SIZE)
+        };
+        let mut done = first + dec_ns;
+        // Migration buffer (§VI): stall when all eight entries are busy.
+        while let Some(&head) = self.migration_buffer.front() {
+            if head <= now_ns {
+                self.migration_buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.migration_buffer.len() >= MIGRATION_BUFFER_ENTRIES {
+            let head = self
+                .migration_buffer
+                .pop_front()
+                .expect("buffer known non-empty");
+            let stall = (head - now_ns).max(0.0);
+            stats.migration_stall_ns += stall;
+            done += stall;
+        }
+        // Under critical free-list pressure, evictions preempt ML2 reads
+        // (§VI: priorities flip below the lower threshold).
+        if self.ml1_free.len() < self.evict_crit {
+            stats.ml2_crit_penalties += 1;
+            let full_dec = if self.toggles.fast_deflate {
+                self.timing.decompress_latency(comp_bytes * 8, PAGE_SIZE).ns
+            } else {
+                self.ibm.decompress_latency_ns(PAGE_SIZE)
+            };
+            done += full_dec * 0.5;
+        }
+        // Background migration ML2 -> ML1.
+        if let Some(frame) = self.ml1_free.pop() {
+            stats.ml2_to_ml1_migrations += 1;
+            self.ml2.free(sub, &mut self.ml1_free);
+            let info = self.pages.get_mut(&key).expect("resident");
+            info.place = Placement::Ml1 { frame };
+            info.cte.set_frame(frame, MemoryLevel::Ml1);
+            self.recency.insert_hot(req.ppn);
+            // Write the decompressed page into its new frame (background,
+            // via the rank-scoped write mode of §VI).
+            let base = frame as u64 * PAGE_SIZE as u64;
+            let mut t = done;
+            for b in 0..(PAGE_SIZE / 64) {
+                t = dram.access_background(t, DramAddr::new(base + (b * 64) as u64), true);
+            }
+            self.migration_buffer.push_back(t);
+        }
+        done
+    }
+}
+
+impl Scheme for TwoLevelScheme {
+    fn kind(&self) -> SchemeKind {
+        if self.toggles.embedded_ctes && self.toggles.fast_deflate {
+            SchemeKind::Tmcc
+        } else {
+            SchemeKind::OsInspired
+        }
+    }
+
+    fn access(
+        &mut self,
+        req: &MemRequest,
+        now_ns: f64,
+        dram: &mut DramSim,
+        stats: &mut SimStats,
+    ) -> f64 {
+        let key = req.ppn.raw();
+        let info = *self.pages.get(&key).unwrap_or_else(|| {
+            panic!("access to unplaced page {:#x}", key);
+        });
+        let done = match info.place {
+            Placement::Ml1 { .. } => {
+                let done = self.serve_translated_read(req, now_ns, dram, stats, true);
+                if !info.pinned {
+                    self.recency.on_access(req.ppn);
+                }
+                stats.ml1_latency_sum_ns += done - now_ns;
+                done
+            }
+            Placement::Ml2 { .. } => {
+                let done = self.serve_ml2(req, now_ns, dram, stats, true);
+                stats.ml2_latency_sum_ns += done - now_ns;
+                done
+            }
+        };
+        done - now_ns
+    }
+
+    fn writeback(
+        &mut self,
+        req: &MemRequest,
+        now_ns: f64,
+        dram: &mut DramSim,
+        stats: &mut SimStats,
+    ) {
+        let key = req.ppn.raw();
+        let Some(info) = self.pages.get(&key).copied() else {
+            return;
+        };
+        match info.place {
+            Placement::Ml1 { .. } => {
+                // Lazy write drain: translate via the CTE cache (no stats)
+                // and write in the background.
+                let _ = self.cte_cache.access(req.ppn);
+                let addr = self.data_addr(req);
+                let _ = dram.access_background(now_ns, DramAddr::new(addr), true);
+                if info.cte.is_incompressible()
+                    && self.recency.on_incompressible_writeback(req.ppn)
+                {
+                    // Re-entered the recency list; it may be evicted again.
+                }
+                if self.rng.gen::<f64>() < DIRTY_REDRAW_PROBABILITY {
+                    self.pages
+                        .get_mut(&key)
+                        .expect("resident page")
+                        .dirty_epoch += 1;
+                }
+            }
+            Placement::Ml2 { .. } => {
+                // A store to a compressed page pulls it back to ML1.
+                let _ = self.serve_ml2(req, now_ns, dram, stats, false);
+            }
+        }
+    }
+
+    fn on_ptb_fetched(&mut self, block: BlockAddr, ptb: &PageTableBlock) {
+        if !self.toggles.embedded_ctes {
+            return;
+        }
+        let slots = self
+            .ptb_embed
+            .get(&block.raw())
+            .copied()
+            .unwrap_or([None; PTES_PER_PTB]);
+        for i in 0..PTES_PER_PTB {
+            let pte = ptb.entry(i);
+            if pte.is_present() {
+                self.cte_buffer.insert(pte.ppn(), slots[i], block);
+                self.ptb_slot_of.insert(pte.ppn().raw(), (block.raw(), i));
+            }
+        }
+    }
+
+    fn maintain(&mut self, now_ns: f64, dram: &mut DramSim, stats: &mut SimStats) {
+        if self.ml1_free.len() >= self.evict_lo {
+            return;
+        }
+        // Grow the free list by evicting cold pages towards the target, a
+        // few pages per maintenance slot so migrations never monopolize
+        // the memory system (they are lower priority than LLC accesses,
+        // §VI).
+        let mut evictions_left = 4;
+        while self.ml1_free.len() < self.evict_hi && evictions_left > 0 {
+            evictions_left -= 1;
+            let Some(victim) = self.recency.pop_coldest() else {
+                break;
+            };
+            let key = victim.raw();
+            let Some(info) = self.pages.get(&key).copied() else {
+                continue;
+            };
+            let Placement::Ml1 { frame } = info.place else {
+                continue; // already migrated by a racing path
+            };
+            if info.pinned {
+                continue;
+            }
+            let sizes = self.size_model.sizes_of(key, info.dirty_epoch);
+            let comp = sizes.deflate_bytes;
+            if sizes.ml2_incompressible() || self.ml2.class_for(comp).is_none() {
+                // Keep it in ML1, flag it, and stop retrying (§IV-B).
+                stats.incompressible_evictions += 1;
+                self.pages
+                    .get_mut(&key)
+                    .expect("resident page")
+                    .cte
+                    .set_incompressible(true);
+                continue;
+            }
+            let Some(sub) = self.ml2.allocate(comp, &mut self.ml1_free) else {
+                break; // no room to grow ML2 right now
+            };
+            stats.ml1_to_ml2_migrations += 1;
+            // Read the page, compress (background), write the sub-chunk.
+            let base = frame as u64 * PAGE_SIZE as u64;
+            let mut t = now_ns;
+            for b in 0..(PAGE_SIZE / 64) {
+                t = dram.access_background(t, DramAddr::new(base + (b * 64) as u64), false);
+            }
+            let sub_addr = self.ml2.addr_of(sub);
+            for k in 0..comp.div_ceil(64) {
+                t = dram.access_background(t, DramAddr::new(sub_addr + (k * 64) as u64), true);
+            }
+            let info = self.pages.get_mut(&key).expect("resident page");
+            info.place = Placement::Ml2 {
+                sub,
+                comp_bytes: comp as u32,
+            };
+            info.cte
+                .set_frame((sub_addr / PAGE_SIZE as u64) as u32, MemoryLevel::Ml2);
+            self.ml1_free.push(frame);
+            self.evicted_pages.push(victim);
+        }
+    }
+
+    fn drain_evicted_pages(&mut self) -> Vec<Ppn> {
+        std::mem::take(&mut self.evicted_pages)
+    }
+
+    fn dram_used_bytes(&self) -> u64 {
+        let frames_in_use = self.total_frames as u64 - self.ml1_free.len() as u64;
+        let cte_table = self.pages.len() as u64 * Cte::SIZE_IN_DRAM as u64;
+        let recency = RecencyList::dram_overhead_bytes(self.pages.len() as u64);
+        frames_in_use * PAGE_SIZE as u64 + cte_table + recency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size_model::PageSizes;
+    use tmcc_sim_dram::InterleavePolicy;
+    use tmcc_sim_mem::PageTableConfig;
+    use tmcc_types::addr::Vpn;
+
+    fn build(toggles: TmccToggles, data_pages: u64, budget_frames: u32) -> (TwoLevelScheme, PageTable) {
+        let mut pt = PageTable::new(PageTableConfig::default());
+        for i in 0..data_pages {
+            pt.map(Vpn::new(i), Ppn::new(i));
+        }
+        let model = SizeModel::from_samples(vec![PageSizes {
+            deflate_bytes: 1200,
+            block_bytes: 3000,
+        }]);
+        let s = TwoLevelScheme::new(
+            toggles,
+            CteCacheConfig::tmcc(),
+            model,
+            &pt,
+            data_pages,
+            budget_frames,
+            7,
+            0.15,
+        );
+        (s, pt)
+    }
+
+    fn dram() -> DramSim {
+        DramSim::new(Default::default(), InterleavePolicy::coarse_mc())
+    }
+
+    fn read_req(ppn: u64, after_tlb: bool) -> MemRequest {
+        MemRequest {
+            ppn: Ppn::new(ppn),
+            block: Ppn::new(ppn).block(0),
+            write: false,
+            is_ptb: false,
+            after_tlb_miss: after_tlb,
+        }
+    }
+
+    #[test]
+    fn placement_respects_budget() {
+        let (s, _pt) = build(TmccToggles::full(), 2000, 1200);
+        assert!(s.dram_used_bytes() <= 1200 * 4096 + 2100 * 24);
+        // Some pages must have landed in ML2.
+        let ml2_pages = s
+            .pages
+            .values()
+            .filter(|p| matches!(p.place, Placement::Ml2 { .. }))
+            .count();
+        assert!(ml2_pages > 0, "budget pressure must push pages to ML2");
+    }
+
+    #[test]
+    fn ml1_hit_after_cte_cached_is_single_dram_trip() {
+        let (mut s, _pt) = build(TmccToggles::full(), 100, 400);
+        let mut d = dram();
+        let mut stats = SimStats::default();
+        let cold = s.access(&read_req(0, true), 0.0, &mut d, &mut stats);
+        let warm = s.access(&read_req(0, false), 10_000.0, &mut d, &mut stats);
+        assert!(warm < cold || stats.cte_hits > 0);
+        assert_eq!(stats.cte_hits, 1);
+    }
+
+    #[test]
+    fn embedded_cte_enables_parallel_access() {
+        let (mut s, pt) = build(TmccToggles::full(), 3000, 2000);
+        let mut d = dram();
+        let mut stats = SimStats::default();
+        // Deliver the PTB for page 5 (as the walker would).
+        let step = *pt.walk_path(Vpn::new(5)).unwrap().last().unwrap();
+        let ptb = pt.ptb_at(step.ptb_block).unwrap();
+        s.on_ptb_fetched(step.ptb_block, &ptb);
+        let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats);
+        assert_eq!(stats.ml1_parallel_correct, 1, "{stats:?}");
+        assert_eq!(stats.ml1_serial, 0);
+    }
+
+    #[test]
+    fn barebone_never_goes_parallel() {
+        let (mut s, pt) = build(TmccToggles::none(), 3000, 2000);
+        let mut d = dram();
+        let mut stats = SimStats::default();
+        let step = *pt.walk_path(Vpn::new(5)).unwrap().last().unwrap();
+        let ptb = pt.ptb_at(step.ptb_block).unwrap();
+        s.on_ptb_fetched(step.ptb_block, &ptb);
+        let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats);
+        assert_eq!(stats.ml1_parallel_correct, 0);
+        assert_eq!(stats.ml1_serial, 1);
+    }
+
+    #[test]
+    fn stale_embedding_detected_and_repaired() {
+        let (mut s, pt) = build(TmccToggles::full(), 3000, 2000);
+        let mut d = dram();
+        let mut stats = SimStats::default();
+        let step = *pt.walk_path(Vpn::new(5)).unwrap().last().unwrap();
+        let ptb = pt.ptb_at(step.ptb_block).unwrap();
+        s.on_ptb_fetched(step.ptb_block, &ptb);
+        // Secretly migrate page 5 to a different frame.
+        let new_frame = s.ml1_free.pop().unwrap();
+        {
+            let info = s.pages.get_mut(&5).unwrap();
+            info.place = Placement::Ml1 { frame: new_frame };
+            info.cte.set_frame(new_frame, MemoryLevel::Ml1);
+        }
+        let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats);
+        assert_eq!(stats.ml1_parallel_mismatch, 1);
+        // The embedding has been lazily repaired: next fetch+access is
+        // parallel-correct.
+        let ptb = pt.ptb_at(step.ptb_block).unwrap();
+        s.cte_cache.invalidate(Ppn::new(5));
+        s.on_ptb_fetched(step.ptb_block, &ptb);
+        let _ = s.access(&read_req(5, true), 1_000_000.0, &mut d, &mut stats);
+        assert_eq!(stats.ml1_parallel_correct, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn ml2_access_migrates_page_up() {
+        let (mut s, _pt) = build(TmccToggles::full(), 2000, 1200);
+        let mut d = dram();
+        let mut stats = SimStats::default();
+        // The last page surely landed in ML2.
+        let victim = (0..2000)
+            .rev()
+            .find(|i| matches!(s.pages[&(*i as u64)].place, Placement::Ml2 { .. }))
+            .expect("an ML2 page exists") as u64;
+        let lat = s.access(&read_req(victim, true), 0.0, &mut d, &mut stats);
+        assert_eq!(stats.ml2_reads, 1);
+        assert_eq!(stats.ml2_to_ml1_migrations, 1);
+        assert!(
+            matches!(s.pages[&victim].place, Placement::Ml1 { .. }),
+            "page must now be in ML1"
+        );
+        // Fast-deflate latency: ~140 ns decompress + DRAM.
+        assert!(lat > 100.0 && lat < 1_000.0, "latency {lat}");
+    }
+
+    #[test]
+    fn slow_deflate_makes_ml2_access_slower() {
+        let mk = |toggles| {
+            let (mut s, _pt) = build(toggles, 2000, 1200);
+            let mut d = dram();
+            let mut stats = SimStats::default();
+            let victim = (0..2000)
+                .rev()
+                .find(|i| matches!(s.pages[&(*i as u64)].place, Placement::Ml2 { .. }))
+                .expect("ml2 page") as u64;
+            s.access(&read_req(victim, true), 0.0, &mut d, &mut stats)
+        };
+        let fast = mk(TmccToggles::full());
+        let slow = mk(TmccToggles::ml1_only());
+        assert!(slow > fast + 400.0, "IBM-speed ML2: {slow} vs fast {fast}");
+    }
+
+    #[test]
+    fn maintain_replenishes_free_list() {
+        let (mut s, _pt) = build(TmccToggles::full(), 2000, 1200);
+        let mut d = dram();
+        let mut stats = SimStats::default();
+        // Drain the free list below the low-water mark.
+        while s.ml1_free.len() >= s.evict_lo {
+            let _ = s.ml1_free.pop();
+        }
+        let drained = s.ml1_free.len();
+        s.maintain(0.0, &mut d, &mut stats);
+        assert!(s.ml1_free.len() > drained, "eviction must free frames");
+        assert!(stats.ml1_to_ml2_migrations > 0);
+    }
+
+    #[test]
+    fn incompressible_pages_stay_and_are_flagged() {
+        let mut pt = PageTable::new(PageTableConfig::default());
+        for i in 0..500u64 {
+            pt.map(Vpn::new(i), Ppn::new(i));
+        }
+        let model = SizeModel::from_samples(vec![PageSizes {
+            deflate_bytes: 4099, // cannot fit any ML2 class
+            block_bytes: 4096,
+        }]);
+        let mut s = TwoLevelScheme::new(
+            TmccToggles::full(),
+            CteCacheConfig::tmcc(),
+            model,
+            &pt,
+            500,
+            600,
+            7,
+            0.15,
+        );
+        let mut d = dram();
+        let mut stats = SimStats::default();
+        while s.ml1_free.len() >= s.evict_lo {
+            let _ = s.ml1_free.pop();
+        }
+        s.maintain(0.0, &mut d, &mut stats);
+        assert!(stats.incompressible_evictions > 0);
+        assert_eq!(stats.ml1_to_ml2_migrations, 0);
+        let flagged = s.pages.values().filter(|p| p.cte.is_incompressible()).count();
+        assert!(flagged > 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-page compressed-size model.
+//!
+//! Full-system runs touch tens of thousands of pages and migrate them
+//! repeatedly; running the real codecs on every page at simulation time
+//! would dominate runtime without changing outcomes. Instead the model
+//! **samples** a workload's real pages, compresses the samples with the
+//! *actual* codecs (the memory-specialized Deflate of `tmcc-deflate` and
+//! the best-of block composite of `tmcc-compression`), and assigns every
+//! page a size drawn deterministically from the resulting empirical
+//! distribution. Compression-ratio experiments (Fig. 15) bypass this model
+//! and run the codecs directly.
+//!
+//! Writebacks perturb a page's compressibility over time; `dirty_epoch`
+//! lets callers re-draw a page's size after heavy write activity, which is
+//! how Compresso-style page-overflow events arise.
+
+use tmcc_compression::{BestOfCodec, BlockCodec};
+use tmcc_deflate::MemDeflate;
+use tmcc_types::cte::BlockMetadata;
+use tmcc_workloads::PageContent;
+
+/// Compressed sizes of one page under the two compressor families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageSizes {
+    /// Bytes under page-level memory-specialized Deflate (ML2 storage).
+    pub deflate_bytes: usize,
+    /// Bytes under 64 B block-level best-of compression, summed across the
+    /// page (Compresso storage, before chunk rounding).
+    pub block_bytes: usize,
+}
+
+impl PageSizes {
+    /// Compresso chunks (512 B) this page occupies.
+    pub fn compresso_chunks(&self) -> usize {
+        self.block_bytes.div_ceil(BlockMetadata::CHUNK_SIZE).max(1)
+    }
+
+    /// Whether ML2 would refuse this page (incompressible: larger than the
+    /// biggest sub-chunk class).
+    pub fn ml2_incompressible(&self) -> bool {
+        self.deflate_bytes > 4096
+    }
+}
+
+/// The sampled empirical size model for one workload.
+///
+/// # Examples
+///
+/// ```
+/// use tmcc::SizeModel;
+/// use tmcc_workloads::WorkloadProfile;
+///
+/// let w = WorkloadProfile::by_name("canneal").expect("known");
+/// let model = SizeModel::sample(&w.page_content(42), 16);
+/// let s = model.sizes_of(1234, 0);
+/// assert!(s.deflate_bytes <= 4096 + 3);
+/// assert_eq!(s, model.sizes_of(1234, 0), "deterministic");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SizeModel {
+    samples: Vec<PageSizes>,
+}
+
+impl SizeModel {
+    /// Compresses `samples` representative pages with the real codecs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn sample(content: &PageContent, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        let deflate = MemDeflate::default();
+        let block = BestOfCodec::new();
+        let samples = (0..samples as u64)
+            .map(|i| {
+                // Spread sample indices to hit every template in the mix.
+                let page = content.page_bytes(i.wrapping_mul(0x9E37) + i);
+                let deflate_bytes = deflate.compressed_size(&page);
+                let block_bytes = page
+                    .chunks_exact(64)
+                    .map(|b| {
+                        let arr: &[u8; 64] = b.try_into().expect("64B chunk");
+                        block.compressed_size(arr)
+                    })
+                    .sum();
+                PageSizes {
+                    deflate_bytes,
+                    block_bytes,
+                }
+            })
+            .collect();
+        Self { samples }
+    }
+
+    /// Builds a model directly from known sizes (tests, ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: Vec<PageSizes>) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        Self { samples }
+    }
+
+    /// Sizes of page `index` at write-epoch `dirty_epoch` (bump the epoch
+    /// after heavy writes to re-draw the page's compressibility).
+    pub fn sizes_of(&self, index: u64, dirty_epoch: u32) -> PageSizes {
+        let h = index
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(dirty_epoch % 63)
+            .wrapping_add(dirty_epoch as u64);
+        self.samples[(h % self.samples.len() as u64) as usize]
+    }
+
+    /// Mean Deflate ratio across the sampled pages.
+    pub fn mean_deflate_ratio(&self) -> f64 {
+        let total: usize = self.samples.iter().map(|s| s.deflate_bytes).sum();
+        4096.0 * self.samples.len() as f64 / total as f64
+    }
+
+    /// Mean block-level ratio across the sampled pages (with Compresso's
+    /// 512 B chunk rounding).
+    pub fn mean_block_ratio(&self) -> f64 {
+        let total: usize = self
+            .samples
+            .iter()
+            .map(|s| s.compresso_chunks() * BlockMetadata::CHUNK_SIZE)
+            .sum();
+        4096.0 * self.samples.len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmcc_workloads::WorkloadProfile;
+
+    #[test]
+    fn sizes_are_deterministic_and_bounded() {
+        let w = WorkloadProfile::by_name("pageRank").expect("known");
+        let m = SizeModel::sample(&w.page_content(7), 12);
+        for i in 0..100u64 {
+            let s = m.sizes_of(i, 0);
+            assert_eq!(s, m.sizes_of(i, 0));
+            assert!(s.deflate_bytes <= 4096 + 3);
+            assert!(s.block_bytes <= 4096);
+            assert!(s.compresso_chunks() <= 8);
+        }
+    }
+
+    #[test]
+    fn dirty_epoch_changes_draws() {
+        let m = SizeModel::from_samples(vec![
+            PageSizes { deflate_bytes: 100, block_bytes: 1000 },
+            PageSizes { deflate_bytes: 2000, block_bytes: 3000 },
+        ]);
+        let changed = (0..64u64).any(|i| m.sizes_of(i, 0) != m.sizes_of(i, 1));
+        assert!(changed, "epoch must be able to re-draw sizes");
+    }
+
+    #[test]
+    fn graph_ratios_match_calibration() {
+        let w = WorkloadProfile::by_name("bfs").expect("known");
+        let m = SizeModel::sample(&w.page_content(3), 24);
+        let d = m.mean_deflate_ratio();
+        let b = m.mean_block_ratio();
+        assert!(d > b, "deflate {d} must beat block {b}");
+        assert!((2.0..4.5).contains(&d), "deflate ratio {d}");
+    }
+
+    #[test]
+    fn compresso_chunks_floor_at_one() {
+        let s = PageSizes { deflate_bytes: 1, block_bytes: 0 };
+        assert_eq!(s.compresso_chunks(), 1);
+    }
+}

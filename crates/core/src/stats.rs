@@ -1,0 +1,221 @@
+//! Simulation counters and the per-run report.
+//!
+//! Every figure in the paper's evaluation reads off one or more of these
+//! counters; the field docs say which.
+
+use crate::config::SchemeKind;
+use serde::Serialize;
+use tmcc_sim_dram::DramStats;
+
+/// How an LLC-miss read to an ML1 page was served under TMCC (Fig. 19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ml1ReadOutcome {
+    /// The CTE was in the CTE cache.
+    CteCacheHit,
+    /// Speculative parallel access with a correct embedded CTE.
+    ParallelCorrect,
+    /// Speculative parallel access whose embedded CTE was stale
+    /// (re-accessed serially, Fig. 8c).
+    ParallelMismatch,
+    /// No embedded CTE available: serial CTE fetch then data fetch.
+    SerialNoCte,
+}
+
+/// Raw counters accumulated during a run.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct SimStats {
+    /// Workload accesses executed (the performance work unit).
+    pub accesses: u64,
+    /// Core compute cycles between accesses.
+    pub work_cycles: u64,
+    /// Wall-clock simulated time, ns.
+    pub elapsed_ns: f64,
+
+    /// TLB hits.
+    pub tlb_hits: u64,
+    /// TLB misses (each triggers a page walk).
+    pub tlb_misses: u64,
+    /// PTB fetches issued by the page walker (post-PWC).
+    pub walker_fetches: u64,
+
+    /// LLC misses for data/instruction blocks (Fig. 1 denominator).
+    pub llc_miss_data: u64,
+    /// LLC misses for page-walker PTB blocks.
+    pub llc_miss_ptb: u64,
+    /// Dirty LLC writebacks sent to the MC.
+    pub llc_writebacks: u64,
+    /// Sum of L3-miss service latencies (NoC + MC + DRAM), ns (Fig. 18).
+    pub l3_miss_latency_sum_ns: f64,
+
+    /// CTE cache hits on LLC-miss requests.
+    pub cte_hits: u64,
+    /// CTE cache misses on LLC-miss requests (Fig. 1).
+    pub cte_misses: u64,
+    /// CTE misses on requests related to a TLB miss (walker fetches and
+    /// the data access right after a walk) — Fig. 5's numerator.
+    pub cte_misses_after_tlb_miss: u64,
+
+    /// Fig. 19: ML1 reads served with a CTE-cache hit.
+    pub ml1_cte_hit: u64,
+    /// Fig. 19: ML1 reads served by a correct speculative parallel access.
+    pub ml1_parallel_correct: u64,
+    /// Fig. 19: parallel accesses whose embedded CTE was stale.
+    pub ml1_parallel_mismatch: u64,
+    /// Fig. 19: ML1 reads with no embedded CTE (serial).
+    pub ml1_serial: u64,
+
+    /// LLC misses served from ML2 (Fig. 21 numerator).
+    pub ml2_reads: u64,
+    /// Sum of MC+DRAM service latencies for ML1-resident demand reads, ns.
+    pub ml1_latency_sum_ns: f64,
+    /// Sum of MC+DRAM service latencies for ML2-resident demand reads, ns.
+    pub ml2_latency_sum_ns: f64,
+    /// Pages migrated ML2 → ML1.
+    pub ml2_to_ml1_migrations: u64,
+    /// Pages migrated ML1 → ML2 (evictions).
+    pub ml1_to_ml2_migrations: u64,
+    /// Pages found incompressible at eviction.
+    pub incompressible_evictions: u64,
+    /// ns spent stalled on the full migration buffer.
+    pub migration_stall_ns: f64,
+    /// ML2 reads that had to yield to critical-pressure evictions (§VI's
+    /// priority flip below the lower free-list threshold).
+    pub ml2_crit_penalties: u64,
+
+    /// Compresso page-overflow events (block writeback grew the page).
+    pub page_overflows: u64,
+
+    /// Final DRAM bytes used by data + metadata.
+    pub dram_used_bytes: u64,
+    /// Uncompressed footprint bytes.
+    pub footprint_bytes: u64,
+}
+
+impl SimStats {
+    /// Total LLC misses (data + PTB) — the denominator of Figs. 1/2/5.
+    pub fn llc_misses(&self) -> u64 {
+        self.llc_miss_data + self.llc_miss_ptb
+    }
+
+    /// TLB misses per LLC miss (Fig. 1, left bars).
+    pub fn tlb_miss_per_llc_miss(&self) -> f64 {
+        ratio(self.tlb_misses, self.llc_misses())
+    }
+
+    /// CTE misses per LLC miss (Fig. 1, right bars).
+    pub fn cte_miss_per_llc_miss(&self) -> f64 {
+        ratio(self.cte_misses, self.llc_misses())
+    }
+
+    /// CTE cache hit rate over LLC-miss requests (Fig. 2 / Fig. 19).
+    pub fn cte_hit_rate(&self) -> f64 {
+        ratio(self.cte_hits, self.cte_hits + self.cte_misses)
+    }
+
+    /// Fraction of CTE misses that immediately follow TLB misses (Fig. 5).
+    pub fn cte_miss_after_tlb_fraction(&self) -> f64 {
+        ratio(self.cte_misses_after_tlb_miss, self.cte_misses)
+    }
+
+    /// Average L3-miss service latency, ns (Fig. 18).
+    pub fn avg_l3_miss_latency_ns(&self) -> f64 {
+        if self.llc_misses() == 0 {
+            0.0
+        } else {
+            self.l3_miss_latency_sum_ns / self.llc_misses() as f64
+        }
+    }
+
+    /// ML2 accesses per (LLC miss + writeback) — Fig. 21's metric.
+    pub fn ml2_access_rate(&self) -> f64 {
+        ratio(self.ml2_reads, self.llc_misses() + self.llc_writebacks)
+    }
+
+    /// Effective capacity ratio: footprint / DRAM used.
+    pub fn effective_ratio(&self) -> f64 {
+        if self.dram_used_bytes == 0 {
+            1.0
+        } else {
+            self.footprint_bytes as f64 / self.dram_used_bytes as f64
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Scheme simulated.
+    pub scheme: SchemeKind,
+    /// Simulation counters (post-warmup).
+    pub stats: SimStats,
+    /// DRAM-level counters (post-warmup).
+    pub dram: DramStats,
+    /// Peak DRAM bandwidth of the configuration, GB/s.
+    pub peak_bandwidth_gbps: f64,
+    /// Bus utilization between first and last DRAM access.
+    pub bandwidth_utilization: f64,
+}
+
+impl RunReport {
+    /// The performance proxy: workload accesses retired per microsecond.
+    /// The paper reports store instructions per cycle; both are linear in
+    /// retirement rate, so normalized comparisons are identical.
+    pub fn perf_accesses_per_us(&self) -> f64 {
+        if self.stats.elapsed_ns == 0.0 {
+            0.0
+        } else {
+            self.stats.accesses as f64 / (self.stats.elapsed_ns / 1000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            accesses: 100,
+            elapsed_ns: 50_000.0,
+            tlb_misses: 30,
+            llc_miss_data: 80,
+            llc_miss_ptb: 20,
+            cte_hits: 66,
+            cte_misses: 34,
+            cte_misses_after_tlb_miss: 30,
+            l3_miss_latency_sum_ns: 5_300.0,
+            ml2_reads: 4,
+            llc_writebacks: 0,
+            dram_used_bytes: 50,
+            footprint_bytes: 100,
+            ..Default::default()
+        };
+        assert!((s.tlb_miss_per_llc_miss() - 0.30).abs() < 1e-12);
+        assert!((s.cte_miss_per_llc_miss() - 0.34).abs() < 1e-12);
+        assert!((s.cte_hit_rate() - 0.66).abs() < 1e-12);
+        assert!((s.cte_miss_after_tlb_fraction() - 30.0 / 34.0).abs() < 1e-12);
+        assert!((s.avg_l3_miss_latency_ns() - 53.0).abs() < 1e-12);
+        assert!((s.ml2_access_rate() - 0.04).abs() < 1e-12);
+        assert!((s.effective_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.tlb_miss_per_llc_miss(), 0.0);
+        assert_eq!(s.cte_hit_rate(), 0.0);
+        assert_eq!(s.avg_l3_miss_latency_ns(), 0.0);
+        assert_eq!(s.effective_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! The full-system model: workload → TLB/walker → caches → scheme → DRAM.
+//!
+//! Timing is serial latency accounting: each workload access advances
+//! simulated time by its core work plus the latency of whatever the memory
+//! system did for it; background traffic (writebacks, migrations) consumes
+//! DRAM bus time — and therefore delays later accesses through bank/bus
+//! contention — without adding latency of its own. This reproduces the
+//! paper's *relative* performance effects (translation serialization,
+//! decompression latency, migration pressure) without an out-of-order
+//! core model; see DESIGN.md §7.
+
+use crate::config::{SchemeKind, SystemConfig};
+use crate::schemes::{
+    CompressoScheme, MemRequest, NoCompressionScheme, Scheme, TwoLevelScheme,
+};
+use crate::size_model::SizeModel;
+use crate::stats::{RunReport, SimStats};
+use tmcc_sim_dram::DramSim;
+use tmcc_sim_mem::hierarchy::NOC_LATENCY_NS;
+use tmcc_sim_mem::{CacheHierarchy, HitLevel, PageTable, PageTableConfig, PageWalker, Tlb};
+use tmcc_types::addr::{Ppn, Vpn};
+use tmcc_workloads::AccessStream;
+
+/// ns per core cycle at the Table III core clock (2.8 GHz).
+const CORE_NS_PER_CYCLE: f64 = 1.0 / 2.8;
+/// How often (in accesses) background maintenance runs.
+const MAINTENANCE_PERIOD: u64 = 32;
+
+/// A complete simulated system.
+pub struct System {
+    cfg: SystemConfig,
+    tlb: Tlb,
+    walker: PageWalker,
+    page_table: PageTable,
+    hierarchy: CacheHierarchy,
+    dram: DramSim,
+    scheme: Box<dyn Scheme>,
+    streams: Vec<AccessStream>,
+    next_stream: usize,
+    now_ns: f64,
+    stats: SimStats,
+    accesses_since_maintenance: u64,
+}
+
+impl System {
+    /// Builds the system: constructs the page table (identity VPN→PPN for
+    /// the workload's pages), samples the size model, places pages and
+    /// instantiates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured DRAM budget cannot hold the workload even
+    /// fully compressed (see [`System::min_budget_bytes`]).
+    pub fn new(cfg: SystemConfig) -> Self {
+        let mut page_table = PageTable::new(PageTableConfig {
+            huge_pages: cfg.huge_pages,
+            ..Default::default()
+        });
+        let pages = cfg.workload.sim_pages;
+        if cfg.huge_pages {
+            for region in 0..pages.div_ceil(512) {
+                page_table.map(Vpn::new(region * 512), Ppn::new(region * 512));
+            }
+        } else {
+            for i in 0..pages {
+                page_table.map(Vpn::new(i), Ppn::new(i));
+            }
+        }
+        let size_model = SizeModel::sample(&cfg.workload.page_content(cfg.seed), 128);
+        let table_pages = page_table.table_page_count() as u64;
+
+        let scheme: Box<dyn Scheme> = match cfg.scheme {
+            SchemeKind::NoCompression => {
+                Box::new(NoCompressionScheme::new((pages + table_pages) * 4096))
+            }
+            SchemeKind::Compresso => {
+                let mut ppns: Vec<Ppn> = (0..pages).map(Ppn::new).collect();
+                for level in 1..=4u8 {
+                    for (block, _) in page_table.ptbs_at_level(level) {
+                        ppns.push(block.ppn());
+                    }
+                }
+                ppns.sort_unstable_by_key(|p| p.raw());
+                ppns.dedup();
+                Box::new(CompressoScheme::new(
+                    cfg.cte_cache,
+                    size_model,
+                    ppns,
+                    cfg.seed,
+                ))
+            }
+            SchemeKind::OsInspired | SchemeKind::Tmcc => {
+                // CTE table (8 B/page) and recency list (16 B/page) also
+                // live in the budgeted DRAM.
+                let metadata = (pages + table_pages) * 24;
+                let budget_frames = match cfg.dram_budget_bytes {
+                    Some(b) => (b.saturating_sub(metadata) / 4096) as u32,
+                    // No pressure: room for everything plus the reserve.
+                    None => (pages + table_pages) as u32 + 512,
+                };
+                Box::new(TwoLevelScheme::new(
+                    cfg.toggles,
+                    cfg.cte_cache,
+                    size_model,
+                    &page_table,
+                    pages,
+                    budget_frames,
+                    cfg.seed,
+                    cfg.recency_sample,
+                ))
+            }
+        };
+
+        let streams = (0..cfg.cores.max(1))
+            .map(|i| cfg.workload.stream(cfg.seed.wrapping_add(i as u64 * 977)))
+            .collect();
+
+        Self {
+            tlb: Tlb::new(cfg.tlb_entries, 8),
+            walker: PageWalker::paper_default(),
+            hierarchy: CacheHierarchy::new(cfg.hierarchy),
+            dram: DramSim::new(cfg.dram, cfg.interleave),
+            scheme,
+            page_table,
+            streams,
+            next_stream: 0,
+            now_ns: 0.0,
+            stats: SimStats::default(),
+            accesses_since_maintenance: 0,
+            cfg,
+        }
+    }
+
+    /// Smallest feasible DRAM budget in bytes for a workload under the
+    /// two-level schemes.
+    pub fn min_budget_bytes(cfg: &SystemConfig) -> u64 {
+        let mut page_table = PageTable::new(PageTableConfig::default());
+        for i in 0..cfg.workload.sim_pages {
+            page_table.map(Vpn::new(i), Ppn::new(i));
+        }
+        let size_model = SizeModel::sample(&cfg.workload.page_content(cfg.seed), 128);
+        let frames = TwoLevelScheme::min_budget_frames(
+            &size_model,
+            page_table.table_page_count() as u64,
+            cfg.workload.sim_pages,
+        );
+        let metadata =
+            (cfg.workload.sim_pages + page_table.table_page_count() as u64) * 24;
+        frames as u64 * 4096 + metadata
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Executes one workload access end to end.
+    fn step(&mut self) {
+        let ev = self.streams[self.next_stream].next_access();
+        self.next_stream = (self.next_stream + 1) % self.streams.len();
+        self.now_ns += ev.work_cycles as f64 * CORE_NS_PER_CYCLE;
+        self.stats.work_cycles += ev.work_cycles as u64;
+
+        let vpn = ev.vaddr.vpn();
+        let is_tmcc_ptb = matches!(self.cfg.scheme, SchemeKind::Tmcc)
+            && self.cfg.toggles.embedded_ctes
+            && !self.cfg.huge_pages;
+
+        // 1. Address translation.
+        let mut walked = false;
+        let ppn = match self.tlb.lookup(vpn) {
+            Some(p) => {
+                self.stats.tlb_hits += 1;
+                p
+            }
+            None => {
+                walked = true;
+                self.stats.tlb_misses += 1;
+                let walk = self
+                    .walker
+                    .walk(&self.page_table, vpn)
+                    .expect("workload touches only mapped pages");
+                for step in &walk.fetched {
+                    self.stats.walker_fetches += 1;
+                    let acc = self
+                        .hierarchy
+                        .access(step.ptb_block, false, is_tmcc_ptb);
+                    let mut lat = acc.latency_ns;
+                    if acc.level == HitLevel::Memory {
+                        self.stats.llc_miss_ptb += 1;
+                        let req = MemRequest {
+                            ppn: step.ptb_block.ppn(),
+                            block: step.ptb_block,
+                            write: false,
+                            is_ptb: true,
+                            after_tlb_miss: true,
+                        };
+                        let mlat =
+                            self.scheme
+                                .access(&req, self.now_ns + lat, &mut self.dram, &mut self.stats);
+                        self.stats.l3_miss_latency_sum_ns += NOC_LATENCY_NS + mlat;
+                        lat += mlat;
+                    }
+                    if let Some(wb) = acc.writeback {
+                        self.handle_writeback(wb.ppn(), wb);
+                    }
+                    // The L2 receives the PTB: TMCC harvests its embedded
+                    // CTEs into the CTE buffer (§V-A3).
+                    if let Some(ptb) = self.page_table.ptb_at(step.ptb_block) {
+                        self.scheme.on_ptb_fetched(step.ptb_block, &ptb);
+                    }
+                    self.now_ns += lat;
+                }
+                self.tlb.fill(vpn, walk.ppn);
+                walk.ppn
+            }
+        };
+
+        // 2. The data access itself.
+        let block = ppn.block(ev.vaddr.page_offset() as usize / 64);
+        let acc = self.hierarchy.access(block, ev.write, false);
+        let mut lat = acc.latency_ns;
+        if acc.level == HitLevel::Memory {
+            self.stats.llc_miss_data += 1;
+            let req = MemRequest {
+                ppn,
+                block,
+                write: ev.write,
+                is_ptb: false,
+                after_tlb_miss: walked,
+            };
+            let mlat = self
+                .scheme
+                .access(&req, self.now_ns + lat, &mut self.dram, &mut self.stats);
+            self.stats.l3_miss_latency_sum_ns += NOC_LATENCY_NS + mlat;
+            lat += mlat;
+        }
+        if let Some(wb) = acc.writeback {
+            self.handle_writeback(wb.ppn(), wb);
+        }
+        self.now_ns += lat;
+        self.stats.accesses += 1;
+
+        // 3. Background maintenance.
+        self.accesses_since_maintenance += 1;
+        if self.accesses_since_maintenance >= MAINTENANCE_PERIOD {
+            self.accesses_since_maintenance = 0;
+            self.scheme
+                .maintain(self.now_ns, &mut self.dram, &mut self.stats);
+        }
+        // Flush the cache hierarchy of any pages just compressed into ML2
+        // (hardware collects a page's lines during the migration; stale
+        // dirty copies would otherwise ping-pong the page back to ML1).
+        for ppn in self.scheme.drain_evicted_pages() {
+            for b in 0..64 {
+                self.hierarchy.invalidate(ppn.block(b));
+            }
+        }
+    }
+
+    /// Handles a dirty LLC eviction.
+    fn handle_writeback(&mut self, ppn: Ppn, block: tmcc_types::addr::BlockAddr) {
+        self.stats.llc_writebacks += 1;
+        let req = MemRequest {
+            ppn,
+            block,
+            write: true,
+            is_ptb: false,
+            after_tlb_miss: false,
+        };
+        self.scheme
+            .writeback(&req, self.now_ns, &mut self.dram, &mut self.stats);
+    }
+
+    /// Runs `accesses` measured accesses (after the configured warmup) and
+    /// reports.
+    pub fn run(&mut self, accesses: u64) -> RunReport {
+        for _ in 0..self.cfg.warmup_accesses {
+            self.step();
+        }
+        // Reset counters; keep all cache/placement state (the paper warms
+        // up ML1, ML2 and embedded CTEs before measuring, §VI).
+        self.stats = SimStats::default();
+        self.hierarchy.reset_stats();
+        self.dram.reset_stats();
+        self.tlb.reset_stats();
+        let start_ns = self.now_ns;
+        for _ in 0..accesses {
+            self.step();
+        }
+        self.stats.elapsed_ns = self.now_ns - start_ns;
+        self.stats.dram_used_bytes = self.scheme.dram_used_bytes();
+        self.stats.footprint_bytes = self.cfg.workload.sim_pages * 4096;
+        RunReport {
+            workload: self.cfg.workload.name,
+            scheme: self.cfg.scheme,
+            stats: self.stats,
+            dram: self.dram.stats(),
+            peak_bandwidth_gbps: self.cfg.dram.peak_bandwidth_gbps(),
+            bandwidth_utilization: self.dram.bandwidth_utilization(),
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests on the core data structures' invariants: free-list
+//! conservation, recency-list linkage, size-model determinism.
+
+use proptest::prelude::*;
+use tmcc::free_list::{Ml1FreeList, Ml2FreeLists};
+use tmcc::size_model::{PageSizes, SizeModel};
+use tmcc::RecencyList;
+use tmcc_types::addr::Ppn;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No chunk is ever lost or duplicated across arbitrary interleavings
+    /// of ML2 allocations and frees.
+    #[test]
+    fn ml2_conserves_chunks(ops in prop::collection::vec((any::<bool>(), 1usize..4096), 1..200)) {
+        let total = 128u32;
+        let mut ml1 = Ml1FreeList::with_chunks(total);
+        let mut ml2 = Ml2FreeLists::paper_classes();
+        let mut live = Vec::new();
+        for (free, bytes) in ops {
+            if free && !live.is_empty() {
+                let sub = live.swap_remove(bytes % live.len());
+                ml2.free(sub, &mut ml1);
+            } else if let Some(sub) = ml2.allocate(bytes, &mut ml1) {
+                live.push(sub);
+            }
+            prop_assert_eq!(ml2.owned_chunks() + ml1.len(), total as usize);
+        }
+        for sub in live {
+            ml2.free(sub, &mut ml1);
+        }
+        prop_assert_eq!(ml1.len(), total as usize);
+        prop_assert_eq!(ml2.allocated_bytes(), 0);
+    }
+
+    /// Sub-chunk addresses of live allocations never overlap.
+    #[test]
+    fn ml2_addresses_disjoint(sizes in prop::collection::vec(1usize..4096, 1..60)) {
+        let mut ml1 = Ml1FreeList::with_chunks(256);
+        let mut ml2 = Ml2FreeLists::paper_classes();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for bytes in sizes {
+            if let Some(sub) = ml2.allocate(bytes, &mut ml1) {
+                let start = ml2.addr_of(sub);
+                let len = ml2.class_size(sub.class) as u64;
+                for &(s, l) in &spans {
+                    prop_assert!(start + len <= s || s + l <= start,
+                        "overlap: [{start}, {}) vs [{s}, {})", start + len, s + l);
+                }
+                spans.push((start, len));
+            }
+        }
+    }
+
+    /// The recency list stays a consistent doubly linked list under any
+    /// sequence of touches, removals and pops.
+    #[test]
+    fn recency_list_is_consistent(ops in prop::collection::vec((0u8..3, 0u64..40), 1..300)) {
+        let mut rl = RecencyList::new(5);
+        let mut reference: Vec<u64> = Vec::new(); // cold..hot order
+        for (op, page) in ops {
+            match op {
+                0 => {
+                    rl.insert_hot(Ppn::new(page));
+                    reference.retain(|&p| p != page);
+                    reference.push(page);
+                }
+                1 => {
+                    rl.remove(Ppn::new(page));
+                    reference.retain(|&p| p != page);
+                }
+                _ => {
+                    let got = rl.pop_coldest().map(|p| p.raw());
+                    let want = if reference.is_empty() { None } else { Some(reference.remove(0)) };
+                    prop_assert_eq!(got, want);
+                }
+            }
+            let listed: Vec<u64> = rl.cold_to_hot().iter().map(|p| p.raw()).collect();
+            prop_assert_eq!(&listed, &reference);
+            prop_assert_eq!(rl.len(), reference.len());
+        }
+    }
+
+    /// Size draws are pure functions of (page, epoch).
+    #[test]
+    fn size_model_is_deterministic(pages in prop::collection::vec(any::<u64>(), 1..50), epoch in 0u32..8) {
+        let model = SizeModel::from_samples(vec![
+            PageSizes { deflate_bytes: 500, block_bytes: 2000 },
+            PageSizes { deflate_bytes: 1500, block_bytes: 3500 },
+            PageSizes { deflate_bytes: 4096, block_bytes: 4096 },
+        ]);
+        for p in pages {
+            prop_assert_eq!(model.sizes_of(p, epoch), model.sizes_of(p, epoch));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Area/power model of the synthesized ASIC (paper Table I, §V-B2).
+//!
+//! The paper synthesizes on a 7 nm ASAP PDK at 0.7 V with Synopsys DC. We
+//! cannot run a synthesis flow, so Table I's numbers are **model constants**
+//! taken from the paper, with scaling rules the paper itself reports:
+//!
+//! * LZ area is dominated by the sliding-window CAM and scales linearly
+//!   with CAM size (§V-B2: a 4 KiB CAM costs 0.24 / 0.09 mm², the chosen
+//!   1 KiB CAM costs 0.060 / 0.022 mm² — exactly 4×);
+//! * Huffman area scales with the number of tree leaves (the reduced
+//!   16-leaf tree is what makes the Huffman modules small).
+//!
+//! This model exists so the design-space-exploration example can show the
+//! area side of the CAM-size / code-count trade-offs the paper explored.
+
+/// Area and power of one module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleArea {
+    /// Silicon area in mm² (7 nm ASAP, 0.7 V).
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// The Table I area/power model, parameterizable for the DSE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    cam_bytes: usize,
+    huffman_codes: usize,
+}
+
+/// Reference design point of Table I.
+const REF_CAM_BYTES: usize = 1024;
+const REF_HUFFMAN_CODES: usize = 16;
+/// Table I constants at the reference point.
+const LZ_DECOMP: ModuleArea = ModuleArea { area_mm2: 0.022, power_mw: 100.0 };
+const LZ_COMP: ModuleArea = ModuleArea { area_mm2: 0.060, power_mw: 160.0 };
+const HUFF_DECOMP: ModuleArea = ModuleArea { area_mm2: 0.014, power_mw: 27.0 };
+const HUFF_COMP: ModuleArea = ModuleArea { area_mm2: 0.034, power_mw: 160.0 };
+
+impl AreaModel {
+    /// The synthesized design point of Table I (1 KiB CAM, 16 codes).
+    pub fn paper_default() -> Self {
+        Self {
+            cam_bytes: REF_CAM_BYTES,
+            huffman_codes: REF_HUFFMAN_CODES,
+        }
+    }
+
+    /// A hypothetical design point for design-space exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn with_params(cam_bytes: usize, huffman_codes: usize) -> Self {
+        assert!(cam_bytes > 0 && huffman_codes > 0, "parameters must be nonzero");
+        Self {
+            cam_bytes,
+            huffman_codes,
+        }
+    }
+
+    fn scale_lz(&self, m: ModuleArea) -> ModuleArea {
+        let s = self.cam_bytes as f64 / REF_CAM_BYTES as f64;
+        ModuleArea {
+            area_mm2: m.area_mm2 * s,
+            power_mw: m.power_mw * s,
+        }
+    }
+
+    fn scale_huff(&self, m: ModuleArea) -> ModuleArea {
+        let s = self.huffman_codes as f64 / REF_HUFFMAN_CODES as f64;
+        ModuleArea {
+            area_mm2: m.area_mm2 * s,
+            power_mw: m.power_mw * s,
+        }
+    }
+
+    /// LZ decompressor area/power.
+    pub fn lz_decompressor(&self) -> ModuleArea {
+        self.scale_lz(LZ_DECOMP)
+    }
+
+    /// LZ compressor area/power.
+    pub fn lz_compressor(&self) -> ModuleArea {
+        self.scale_lz(LZ_COMP)
+    }
+
+    /// Huffman decompressor area/power.
+    pub fn huffman_decompressor(&self) -> ModuleArea {
+        self.scale_huff(HUFF_DECOMP)
+    }
+
+    /// Huffman compressor area/power.
+    pub fn huffman_compressor(&self) -> ModuleArea {
+        self.scale_huff(HUFF_COMP)
+    }
+
+    /// Complete unit totals (Table I bottom row).
+    pub fn complete_unit(&self) -> ModuleArea {
+        let parts = [
+            self.lz_decompressor(),
+            self.lz_compressor(),
+            self.huffman_decompressor(),
+            self.huffman_compressor(),
+        ];
+        ModuleArea {
+            area_mm2: parts.iter().map(|p| p.area_mm2).sum(),
+            power_mw: parts.iter().map(|p| p.power_mw).sum(),
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_total() {
+        let total = AreaModel::paper_default().complete_unit();
+        assert!((total.area_mm2 - 0.13).abs() < 0.005, "{}", total.area_mm2);
+        assert!((total.power_mw - 447.0).abs() < 1.0, "{}", total.power_mw);
+    }
+
+    #[test]
+    fn four_kib_cam_matches_section_vb2() {
+        // §V-B2: IBM-style 4 KiB CAM => 0.24 mm² compressor, 0.09 decompressor.
+        let m = AreaModel::with_params(4096, 16);
+        assert!((m.lz_compressor().area_mm2 - 0.24).abs() < 0.01);
+        assert!((m.lz_decompressor().area_mm2 - 0.088).abs() < 0.01);
+    }
+
+    #[test]
+    fn smaller_cam_is_smaller() {
+        let small = AreaModel::with_params(256, 16).complete_unit().area_mm2;
+        let big = AreaModel::with_params(4096, 16).complete_unit().area_mm2;
+        assert!(small < big);
+    }
+}

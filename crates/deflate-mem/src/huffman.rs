@@ -1,0 +1,543 @@
+//! Huffman coding: the memory-specialized *reduced* tree and a standard
+//! full tree.
+//!
+//! [`ReducedHuffman`] implements the paper's key Huffman specialization
+//! (§V-B1): instead of RFC 1951's two canonical trees plus a third tree
+//! compressing those trees, it uses a **single 16-leaf tree** — the 15
+//! hottest byte values of the page plus one *escape* leaf. Bytes outside the
+//! tree are coded as `escape-code + 8 raw bits`. The tree is written to the
+//! output **uncompressed** (16 × 12-bit entries), so the decompressor sets
+//! up in 16 cycles instead of the > 500 ns canonical-tree reconstruction of
+//! IBM's design.
+//!
+//! [`FullHuffman`] is a conventional 256-symbol length-limited canonical
+//! Huffman coder. It serves as this reproduction's *software Deflate*
+//! backend (the gzip stand-in of Fig. 15) and as the DSE reference for "what
+//! a bigger tree would buy".
+
+use crate::PAGE_SIZE;
+use tmcc_compression::{BitReader, BitWriter};
+
+/// Number of leaves in the reduced tree (15 hot symbols + escape).
+pub const REDUCED_LEAVES: usize = 16;
+/// Default depth threshold for the reduced tree (paper: tunable; must fit
+/// the 4-bit length field, and 15 also bounds a 16-leaf tree).
+pub const DEFAULT_MAX_DEPTH: u32 = 15;
+
+/// Builds Huffman code lengths for `freqs` (0-frequency symbols get no
+/// code). Returns per-symbol code lengths.
+fn huffman_lengths(freqs: &[u64]) -> Vec<u32> {
+    #[derive(Clone)]
+    struct Node {
+        freq: u64,
+        syms: Vec<usize>,
+    }
+    let mut lengths = vec![0u32; freqs.len()];
+    let mut nodes: Vec<Node> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, &f)| Node {
+            freq: f,
+            syms: vec![i],
+        })
+        .collect();
+    if nodes.is_empty() {
+        return lengths;
+    }
+    if nodes.len() == 1 {
+        lengths[nodes[0].syms[0]] = 1;
+        return lengths;
+    }
+    while nodes.len() > 1 {
+        // Pick the two lowest-frequency nodes (stable order for determinism).
+        nodes.sort_by_key(|n| std::cmp::Reverse(n.freq));
+        let a = nodes.pop().expect("two nodes remain");
+        let b = nodes.pop().expect("two nodes remain");
+        for &s in a.syms.iter().chain(b.syms.iter()) {
+            lengths[s] += 1;
+        }
+        let mut syms = a.syms;
+        syms.extend(b.syms);
+        nodes.push(Node {
+            freq: a.freq + b.freq,
+            syms,
+        });
+    }
+    lengths
+}
+
+/// Limits code lengths to `max_depth` by repeatedly flattening the
+/// frequency distribution and rebuilding — the standard zlib-style trick.
+fn limited_lengths(freqs: &[u64], max_depth: u32) -> Vec<u32> {
+    let mut f: Vec<u64> = freqs.to_vec();
+    loop {
+        let lengths = huffman_lengths(&f);
+        if lengths.iter().all(|&l| l <= max_depth) {
+            return lengths;
+        }
+        for v in f.iter_mut() {
+            if *v > 0 {
+                *v = (*v + 1) / 2 + 1;
+            }
+        }
+    }
+}
+
+/// Assigns canonical codes (shorter codes first; ties broken by symbol
+/// index). Returns `(code, length)` per symbol.
+fn canonical_codes(lengths: &[u32]) -> Vec<(u32, u32)> {
+    let mut order: Vec<usize> = (0..lengths.len()).filter(|&i| lengths[i] > 0).collect();
+    order.sort_by_key(|&i| (lengths[i], i));
+    let mut codes = vec![(0u32, 0u32); lengths.len()];
+    let mut code = 0u32;
+    let mut prev_len = 0u32;
+    for &i in &order {
+        let len = lengths[i];
+        code <<= len - prev_len;
+        codes[i] = (code, len);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// The reduced 16-leaf Huffman coder (paper §V-B1).
+///
+/// A `ReducedHuffman` value is the *tree*: build one per page with
+/// [`ReducedHuffman::build`], or recover it from a compressed stream with
+/// [`ReducedHuffman::read_tree`].
+///
+/// # Examples
+///
+/// ```
+/// use tmcc_deflate::ReducedHuffman;
+///
+/// let data = b"aaaaaabbbbccdde".repeat(20);
+/// let tree = ReducedHuffman::build(&data, 15);
+/// let encoded = tree.encode(&data);
+/// let (tree2, rest) = ReducedHuffman::read_tree(&encoded);
+/// assert_eq!(tree2.decode(rest, data.len()), data);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReducedHuffman {
+    /// The 15 in-tree symbols, hottest first. May be shorter if the page
+    /// has fewer distinct bytes.
+    hot: Vec<u8>,
+    /// Code lengths: `lengths[i]` for `hot[i]`, last entry for escape.
+    lengths: Vec<u32>,
+    /// Canonical codes matching `lengths`.
+    codes: Vec<(u32, u32)>,
+}
+
+impl ReducedHuffman {
+    /// Serialized tree size in bytes: 16 entries × (8-bit symbol + 4-bit
+    /// length) = 24 bytes, written uncompressed (§V-B1: "our compressor
+    /// outputs the tree in a plain format").
+    pub const TREE_BYTES: usize = 24;
+
+    /// Counts byte frequencies and builds the reduced tree: the 15 hottest
+    /// characters plus an escape leaf whose frequency is the sum of all
+    /// remaining characters. `max_depth` bounds the tree depth (the
+    /// `Build Reduced Tree` depth threshold of §V-B4); the escape leaf is
+    /// never discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth` is 0 or exceeds 15 (the 4-bit length field).
+    pub fn build(data: &[u8], max_depth: u32) -> Self {
+        assert!((1..=15).contains(&max_depth), "depth must be in 1..=15");
+        let mut freqs = [0u64; 256];
+        for &b in data {
+            freqs[b as usize] += 1;
+        }
+        let mut by_freq: Vec<usize> = (0..256).filter(|&i| freqs[i] > 0).collect();
+        by_freq.sort_by_key(|&i| (std::cmp::Reverse(freqs[i]), i));
+        let hot: Vec<u8> = by_freq
+            .iter()
+            .take(REDUCED_LEAVES - 1)
+            .map(|&i| i as u8)
+            .collect();
+        let escape_freq: u64 = by_freq
+            .iter()
+            .skip(REDUCED_LEAVES - 1)
+            .map(|&i| freqs[i])
+            .sum();
+        let mut tree_freqs: Vec<u64> = hot.iter().map(|&b| freqs[b as usize]).collect();
+        // The escape leaf always exists (paper: never discarded), even if
+        // the page currently has no cold characters.
+        tree_freqs.push(escape_freq.max(1));
+        let lengths = limited_lengths(&tree_freqs, max_depth);
+        let codes = canonical_codes(&lengths);
+        Self { hot, lengths, codes }
+    }
+
+    /// The in-tree symbols, hottest first.
+    pub fn hot_symbols(&self) -> &[u8] {
+        &self.hot
+    }
+
+    /// Index of the escape leaf in the length/code tables.
+    fn escape_idx(&self) -> usize {
+        self.lengths.len() - 1
+    }
+
+    /// Maximum code length in this tree.
+    pub fn depth(&self) -> u32 {
+        self.lengths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Encodes `data`, prefixing the uncompressed tree (24 bytes).
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        self.write_tree(&mut w);
+        self.encode_into(&mut w, data);
+        w.into_bytes()
+    }
+
+    /// Encodes `data` into an existing bit stream without the tree header.
+    pub fn encode_into(&self, w: &mut BitWriter, data: &[u8]) {
+        // Symbol -> tree slot lookup.
+        let mut slot = [usize::MAX; 256];
+        for (i, &b) in self.hot.iter().enumerate() {
+            slot[b as usize] = i;
+        }
+        let (esc_code, esc_len) = self.codes[self.escape_idx()];
+        for &b in data {
+            let s = slot[b as usize];
+            if s != usize::MAX {
+                let (code, len) = self.codes[s];
+                w.put(code as u64, len);
+            } else {
+                w.put(esc_code as u64, esc_len);
+                w.put(b as u64, 8);
+            }
+        }
+    }
+
+    /// Size in bits `data` would occupy under this tree, without header —
+    /// used by the dynamic-skip decision (§V-B1).
+    pub fn encoded_bits(&self, data: &[u8]) -> usize {
+        let mut slot_len = [0u32; 256];
+        let (_, esc_len) = self.codes[self.escape_idx()];
+        for l in slot_len.iter_mut() {
+            *l = esc_len + 8;
+        }
+        for (i, &b) in self.hot.iter().enumerate() {
+            slot_len[b as usize] = self.codes[i].1;
+        }
+        data.iter().map(|&b| slot_len[b as usize] as usize).sum()
+    }
+
+    /// Writes the plain-format tree: 16 × (symbol, 4-bit length). Unused
+    /// slots are written as zero-length entries.
+    pub fn write_tree(&self, w: &mut BitWriter) {
+        for i in 0..REDUCED_LEAVES - 1 {
+            if i < self.hot.len() {
+                w.put(self.hot[i] as u64, 8);
+                w.put(self.lengths[i] as u64, 4);
+            } else {
+                w.put(0, 12);
+            }
+        }
+        // Escape entry: symbol field unused, length meaningful.
+        w.put(0, 8);
+        w.put(self.lengths[self.escape_idx()] as u64, 4);
+    }
+
+    /// Reads a tree written by [`write_tree`](Self::write_tree) from the
+    /// head of `stream`; returns the tree and the remaining payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is shorter than [`Self::TREE_BYTES`].
+    pub fn read_tree(stream: &[u8]) -> (Self, &[u8]) {
+        assert!(stream.len() >= Self::TREE_BYTES, "stream too short for tree");
+        let mut r = BitReader::new(&stream[..Self::TREE_BYTES]);
+        let mut hot = Vec::new();
+        let mut lengths = Vec::new();
+        for _ in 0..REDUCED_LEAVES - 1 {
+            let sym = r.get(8) as u8;
+            let len = r.get(4) as u32;
+            if len > 0 {
+                hot.push(sym);
+                lengths.push(len);
+            }
+        }
+        let _ = r.get(8);
+        lengths.push(r.get(4) as u32); // escape
+        let codes = canonical_codes(&lengths);
+        (Self { hot, lengths, codes }, &stream[Self::TREE_BYTES..])
+    }
+
+    /// Decodes `n` original bytes from `payload` (no tree header).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is malformed or shorter than `n` symbols.
+    pub fn decode(&self, payload: &[u8], n: usize) -> Vec<u8> {
+        let mut r = BitReader::new(payload);
+        self.decode_from(&mut r, n)
+    }
+
+    /// Decodes `n` bytes from an open bit stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is malformed.
+    pub fn decode_from(&self, r: &mut BitReader<'_>, n: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n);
+        let escape = self.escape_idx();
+        // Decode bit-by-bit against the canonical table (hardware uses a
+        // pipelined multi-code decoder; functional result is identical).
+        while out.len() < n {
+            let mut code = 0u32;
+            let mut len = 0u32;
+            loop {
+                code = (code << 1) | r.get_bit() as u32;
+                len += 1;
+                assert!(len <= 15, "code longer than any in tree");
+                if let Some(i) = self
+                    .codes
+                    .iter()
+                    .position(|&(c, l)| l == len && c == code)
+                {
+                    if i == escape {
+                        out.push(r.get(8) as u8);
+                    } else {
+                        out.push(self.hot[i]);
+                    }
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A conventional 256-symbol length-limited canonical Huffman coder: the
+/// *software Deflate* / gzip stand-in.
+///
+/// The tree header is 256 × 4-bit code lengths = 128 bytes; large for one
+/// page, negligible for the multi-page dumps it is used on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FullHuffman {
+    lengths: Vec<u32>,
+    codes: Vec<(u32, u32)>,
+}
+
+impl FullHuffman {
+    /// Serialized tree size in bytes.
+    pub const TREE_BYTES: usize = 128;
+
+    /// Builds a length-limited (≤ 15) canonical tree over `data`'s bytes.
+    pub fn build(data: &[u8]) -> Self {
+        let mut freqs = vec![0u64; 256];
+        for &b in data {
+            freqs[b as usize] += 1;
+        }
+        let lengths = limited_lengths(&freqs, 15);
+        let codes = canonical_codes(&lengths);
+        Self { lengths, codes }
+    }
+
+    /// Encodes `data`, prefixing the 128-byte length table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` contains a byte whose frequency was zero at build
+    /// time (always use the tree built from the same data).
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        for &l in &self.lengths {
+            w.put(l as u64, 4);
+        }
+        for &b in data {
+            let (code, len) = self.codes[b as usize];
+            assert!(len > 0, "symbol {b} has no code");
+            w.put(code as u64, len);
+        }
+        w.into_bytes()
+    }
+
+    /// Reads the tree and decodes `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed streams.
+    pub fn decode(stream: &[u8], n: usize) -> Vec<u8> {
+        let mut r = BitReader::new(stream);
+        let mut lengths = vec![0u32; 256];
+        for l in lengths.iter_mut() {
+            *l = r.get(4) as u32;
+        }
+        let codes = canonical_codes(&lengths);
+        // Build (len, code) -> symbol lookup.
+        let mut dec: Vec<((u32, u32), usize)> = codes
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, l))| l > 0)
+            .map(|(i, &(c, l))| ((l, c), i))
+            .collect();
+        dec.sort_unstable();
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let mut code = 0u32;
+            let mut len = 0u32;
+            loop {
+                code = (code << 1) | r.get_bit() as u32;
+                len += 1;
+                assert!(len <= 15, "code longer than any in tree");
+                if let Ok(idx) = dec.binary_search_by_key(&(len, code), |&(k, _)| k) {
+                    out.push(dec[idx].1 as u8);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Encoded size in bits, excluding the tree header.
+    pub fn encoded_bits(&self, data: &[u8]) -> usize {
+        data.iter().map(|&b| self.codes[b as usize].1 as usize).sum()
+    }
+}
+
+/// Convenience: expected compressed size (bytes, with tree header) of a
+/// page under a freshly built reduced tree — the quantity the dynamic-skip
+/// logic compares against the raw LZ size.
+pub fn reduced_huffman_size(data: &[u8], max_depth: u32) -> usize {
+    let tree = ReducedHuffman::build(data, max_depth);
+    ReducedHuffman::TREE_BYTES + tree.encoded_bits(data).div_ceil(8)
+}
+
+/// Sanity guard used by tests: a page is never larger than this after
+/// escape-coding everything (tree + 17 bits/byte).
+pub fn worst_case_reduced_size() -> usize {
+    ReducedHuffman::TREE_BYTES + (PAGE_SIZE * 17).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_satisfy_kraft() {
+        let freqs: Vec<u64> = (1..=16u64).collect();
+        let lengths = huffman_lengths(&freqs);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-9, "kraft sum {kraft}");
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        // Exponential frequencies force deep trees without limiting.
+        let freqs: Vec<u64> = (0..16).map(|i| 1u64 << i).collect();
+        let unlimited = huffman_lengths(&freqs);
+        assert!(unlimited.iter().max().unwrap() > &8);
+        let limited = limited_lengths(&freqs, 8);
+        assert!(limited.iter().all(|&l| l <= 8));
+        let kraft: f64 = limited
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn reduced_round_trip_text() {
+        let data = b"hello huffman, hello reduced tree! ".repeat(30);
+        let tree = ReducedHuffman::build(&data, DEFAULT_MAX_DEPTH);
+        let enc = tree.encode(&data);
+        assert!(enc.len() < data.len());
+        let (tree2, rest) = ReducedHuffman::read_tree(&enc);
+        assert_eq!(tree2.decode(rest, data.len()), data.to_vec());
+    }
+
+    #[test]
+    fn reduced_round_trip_all_bytes() {
+        // More than 15 distinct symbols: escape path must work.
+        let data: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        let tree = ReducedHuffman::build(&data, DEFAULT_MAX_DEPTH);
+        let enc = tree.encode(&data);
+        let (tree2, rest) = ReducedHuffman::read_tree(&enc);
+        assert_eq!(tree2.decode(rest, data.len()), data);
+    }
+
+    #[test]
+    fn reduced_tree_has_at_most_16_leaves() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let tree = ReducedHuffman::build(&data, DEFAULT_MAX_DEPTH);
+        assert_eq!(tree.hot_symbols().len(), 15);
+        assert!(tree.depth() <= DEFAULT_MAX_DEPTH);
+    }
+
+    #[test]
+    fn reduced_respects_custom_depth() {
+        let mut data = Vec::new();
+        for i in 0..16u32 {
+            data.extend(std::iter::repeat(i as u8).take(1 << i));
+        }
+        let tree = ReducedHuffman::build(&data, 6);
+        assert!(tree.depth() <= 6);
+        let enc = tree.encode(&data);
+        let (t2, rest) = ReducedHuffman::read_tree(&enc);
+        assert_eq!(t2.decode(rest, data.len()), data);
+    }
+
+    #[test]
+    fn encoded_bits_matches_actual_encoding() {
+        let data = b"zxcvbnm,asdfghjkl;qwertyuiop".repeat(40);
+        let tree = ReducedHuffman::build(&data, DEFAULT_MAX_DEPTH);
+        let bits = tree.encoded_bits(&data);
+        let mut w = BitWriter::new();
+        tree.encode_into(&mut w, &data);
+        assert_eq!(w.len_bits(), bits);
+    }
+
+    #[test]
+    fn skewed_data_beats_eight_bits_per_byte() {
+        // 90% of bytes are one of four values.
+        let mut data = Vec::new();
+        for i in 0..4000usize {
+            let b = match i % 10 {
+                0 => 0x90u8.wrapping_add((i / 10) as u8),
+                k => [0x00, 0x41, 0x42, 0x43][k % 4],
+            };
+            data.push(b);
+        }
+        let size = reduced_huffman_size(&data, DEFAULT_MAX_DEPTH);
+        assert!(size < data.len() / 2, "got {size} for {}", data.len());
+    }
+
+    #[test]
+    fn full_huffman_round_trip() {
+        let data = b"The quick brown fox jumps over the lazy dog. 0123456789".repeat(20);
+        let tree = FullHuffman::build(&data);
+        let enc = tree.encode(&data);
+        assert!(enc.len() < data.len());
+        assert_eq!(FullHuffman::decode(&enc, data.len()), data.to_vec());
+    }
+
+    #[test]
+    fn full_huffman_single_symbol() {
+        let data = vec![7u8; 500];
+        let tree = FullHuffman::build(&data);
+        let enc = tree.encode(&data);
+        assert_eq!(FullHuffman::decode(&enc, data.len()), data);
+    }
+
+    #[test]
+    fn empty_input_round_trips() {
+        let tree = ReducedHuffman::build(&[], DEFAULT_MAX_DEPTH);
+        let enc = tree.encode(&[]);
+        assert_eq!(enc.len(), ReducedHuffman::TREE_BYTES);
+        let (t2, rest) = ReducedHuffman::read_tree(&enc);
+        assert!(t2.decode(rest, 0).is_empty());
+    }
+}

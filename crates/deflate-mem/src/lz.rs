@@ -1,0 +1,332 @@
+//! LZ77 with a sliding-window CAM and a 256-symbol output alphabet
+//! (paper §V-B2, §V-B4).
+//!
+//! Hardware performs match search with a content-addressable memory holding
+//! the most recent `window` bytes (1 KiB by default after the paper's design
+//! space exploration; 32 KiB in IBM's general-purpose design). Match
+//! *selection* is greedy, not RFC 1951 "lazy matching" — the paper
+//! simplifies this deliberately.
+//!
+//! ## Output format
+//!
+//! Because the reduced Huffman stage consumes **bytes**, the LZ output is a
+//! byte stream over a space-efficient 256-symbol alphabet (the paper's
+//! departure from RFC 1951's 286-symbol alphabet):
+//!
+//! * any byte other than `0xFF` — a literal;
+//! * `0xFF 0x00` — an escaped literal `0xFF`;
+//! * `0xFF` + packed match: a big-endian field of `6 + dist_bits` bits,
+//!   zero-padded to whole bytes, whose top 6 bits are `len - min_match + 1`
+//!   (never zero, which disambiguates from the escaped literal) and whose
+//!   low `dist_bits` bits are `distance - 1`.
+//!
+//! `dist_bits = log2(window)`, so a 1 KiB CAM yields 3-byte matches and the
+//! 32 KiB software-deflate window yields 4-byte matches.
+
+/// Maximum match length representable in the 6-bit length field.
+const MAX_LEN_CODE: u32 = 63;
+/// Escape marker byte.
+const MARKER: u8 = 0xFF;
+
+/// Token-level statistics from one compression pass, consumed by the cycle
+/// model (pipeline stalls depend on match structure, §V-B4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LzStats {
+    /// Number of literal tokens emitted.
+    pub literals: usize,
+    /// Number of match tokens emitted.
+    pub matches: usize,
+    /// Total input bytes covered by matches.
+    pub matched_bytes: usize,
+}
+
+/// An LZ77 codec with a configurable sliding window.
+///
+/// # Examples
+///
+/// ```
+/// use tmcc_deflate::LzCodec;
+///
+/// let lz = LzCodec::new(1024);
+/// let data = b"abcabcabcabcabcabcabcabc".repeat(8);
+/// let (out, stats) = lz.compress(&data);
+/// assert!(out.len() < data.len());
+/// assert!(stats.matches > 0);
+/// assert_eq!(lz.decompress(&out), data);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LzCodec {
+    window: usize,
+    dist_bits: u32,
+    min_match: usize,
+}
+
+impl LzCodec {
+    /// Creates a codec with the given sliding-window (CAM) size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window` is a power of two in `[256, 65536]`.
+    pub fn new(window: usize) -> Self {
+        assert!(
+            window.is_power_of_two() && (256..=65536).contains(&window),
+            "window must be a power of two in [256, 65536]"
+        );
+        let dist_bits = window.trailing_zeros();
+        let match_bytes = 1 + (6 + dist_bits).div_ceil(8) as usize;
+        // A match must beat its own encoding by at least one byte.
+        let min_match = match_bytes + 1;
+        Self {
+            window,
+            dist_bits,
+            min_match,
+        }
+    }
+
+    /// The paper's memory-specialized configuration: a 1 KiB CAM.
+    pub fn memory_specialized() -> Self {
+        Self::new(1024)
+    }
+
+    /// The sliding-window size in bytes.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Minimum length of an emitted match.
+    pub fn min_match(&self) -> usize {
+        self.min_match
+    }
+
+    /// Longest representable match.
+    pub fn max_match(&self) -> usize {
+        self.min_match + MAX_LEN_CODE as usize - 1
+    }
+
+    /// Compresses `data`, returning the LZ byte stream and token statistics.
+    pub fn compress(&self, data: &[u8]) -> (Vec<u8>, LzStats) {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        let mut stats = LzStats::default();
+        // Hash chains over 4-byte prefixes model the CAM search.
+        const HASH_BITS: u32 = 12;
+        let mut heads: Vec<i32> = vec![-1; 1 << HASH_BITS];
+        let mut chain_at: Vec<i32> = vec![-1; data.len()];
+
+        let hash = |d: &[u8]| -> usize {
+            let v = u32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+            (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+        };
+
+        let insert = |pos: usize,
+                          data: &[u8],
+                          heads: &mut Vec<i32>,
+                          chain_at: &mut Vec<i32>| {
+            if pos + 4 <= data.len() {
+                let h = hash(&data[pos..]);
+                chain_at[pos] = heads[h];
+                heads[h] = pos as i32;
+            }
+        };
+        let mut i = 0;
+        while i < data.len() {
+            let mut best_len = 0usize;
+            let mut best_dist = 0usize;
+            if i + 4 <= data.len() {
+                let h = hash(&data[i..]);
+                let mut cand = heads[h];
+                let floor = i.saturating_sub(self.window);
+                let mut probes = 0;
+                while cand >= 0 && (cand as usize) >= floor && probes < 64 {
+                    let c = cand as usize;
+                    let max = (data.len() - i).min(self.max_match());
+                    let mut l = 0;
+                    while l < max && data[c + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - c;
+                        if l == max {
+                            break;
+                        }
+                    }
+                    cand = chain_at[c];
+                    probes += 1;
+                }
+            }
+            if best_len >= self.min_match {
+                let len_code = (best_len - self.min_match + 1) as u64;
+                debug_assert!(len_code >= 1 && len_code <= MAX_LEN_CODE as u64);
+                let field_bits = 6 + self.dist_bits;
+                let field_bytes = field_bits.div_ceil(8);
+                let packed = (len_code << self.dist_bits) | (best_dist as u64 - 1);
+                let shifted = packed << (field_bytes * 8 - field_bits);
+                out.push(MARKER);
+                for b in (0..field_bytes).rev() {
+                    out.push((shifted >> (b * 8)) as u8);
+                }
+                stats.matches += 1;
+                stats.matched_bytes += best_len;
+                for p in i..i + best_len {
+                    insert(p, data, &mut heads, &mut chain_at);
+                }
+                i += best_len;
+            } else {
+                if data[i] == MARKER {
+                    out.push(MARKER);
+                    out.push(0x00);
+                } else {
+                    out.push(data[i]);
+                }
+                stats.literals += 1;
+                insert(i, data, &mut heads, &mut chain_at);
+                i += 1;
+            }
+        }
+        (out, stats)
+    }
+
+    /// Restores the original bytes from an LZ stream produced by
+    /// [`compress`](Self::compress).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed stream (truncated match fields, distances
+    /// reaching before the start of output).
+    pub fn decompress(&self, stream: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(stream.len() * 2);
+        let field_bits = 6 + self.dist_bits;
+        let field_bytes = field_bits.div_ceil(8) as usize;
+        let mut i = 0;
+        while i < stream.len() {
+            let b = stream[i];
+            i += 1;
+            if b != MARKER {
+                out.push(b);
+                continue;
+            }
+            assert!(i < stream.len(), "truncated escape sequence");
+            if stream[i] == 0 {
+                out.push(MARKER);
+                i += 1;
+                continue;
+            }
+            assert!(i + field_bytes <= stream.len(), "truncated match field");
+            let mut packed: u64 = 0;
+            for k in 0..field_bytes {
+                packed = (packed << 8) | stream[i + k] as u64;
+            }
+            i += field_bytes;
+            packed >>= field_bytes as u32 * 8 - field_bits;
+            let len_code = (packed >> self.dist_bits) as usize;
+            let dist = (packed & ((1 << self.dist_bits) - 1)) as usize + 1;
+            assert!(len_code >= 1, "invalid zero length code");
+            let len = len_code + self.min_match - 1;
+            assert!(dist <= out.len(), "match distance reaches before output");
+            let start = out.len() - dist;
+            for k in 0..len {
+                let byte = out[start + k];
+                out.push(byte);
+            }
+        }
+        out
+    }
+}
+
+impl Default for LzCodec {
+    fn default() -> Self {
+        Self::memory_specialized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_round_trip() {
+        let lz = LzCodec::memory_specialized();
+        let (out, stats) = lz.compress(&[]);
+        assert!(out.is_empty());
+        assert_eq!(stats, LzStats::default());
+        assert!(lz.decompress(&out).is_empty());
+    }
+
+    #[test]
+    fn literal_only_round_trip() {
+        let lz = LzCodec::memory_specialized();
+        let data: Vec<u8> = (0..200u8).collect();
+        let (out, stats) = lz.compress(&data);
+        assert_eq!(stats.matches, 0);
+        assert_eq!(lz.decompress(&out), data);
+    }
+
+    #[test]
+    fn marker_bytes_escape_correctly() {
+        let lz = LzCodec::memory_specialized();
+        let data = vec![0xFFu8, 1, 0xFF, 2, 0xFF, 3, 7, 8, 9, 10, 11, 12];
+        let (out, _) = lz.compress(&data);
+        assert_eq!(lz.decompress(&out), data);
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let lz = LzCodec::memory_specialized();
+        let data = b"the quick brown fox ".repeat(50);
+        let (out, stats) = lz.compress(&data);
+        assert!(out.len() < data.len() / 3, "len {} of {}", out.len(), data.len());
+        assert!(stats.matched_bytes > data.len() / 2);
+        assert_eq!(lz.decompress(&out), data);
+    }
+
+    #[test]
+    fn overlapping_match_round_trip() {
+        // RLE-style data forces dist < len copies.
+        let lz = LzCodec::memory_specialized();
+        let mut data = vec![7u8; 300];
+        data.extend_from_slice(&[1, 2, 3]);
+        let (out, _) = lz.compress(&data);
+        assert!(out.len() < 30);
+        assert_eq!(lz.decompress(&out), data);
+    }
+
+    #[test]
+    fn matches_respect_window() {
+        let lz = LzCodec::new(256);
+        // Repetition separated by more than the window: no match possible.
+        let mut data = b"0123456789abcdef".repeat(2);
+        data.extend(std::iter::repeat(0u8).take(512).enumerate().map(|(i, _)| (i % 251) as u8));
+        data.extend_from_slice(&b"0123456789abcdef".repeat(2));
+        let (out, _) = lz.compress(&data);
+        assert_eq!(lz.decompress(&out), data);
+    }
+
+    #[test]
+    fn window_sizes_produce_valid_streams() {
+        for w in [256, 512, 1024, 2048, 4096, 32768] {
+            let lz = LzCodec::new(w);
+            let data: Vec<u8> = (0..4096u32).map(|i| ((i * i) >> 3) as u8).collect();
+            let (out, _) = lz.compress(&data);
+            assert_eq!(lz.decompress(&out), data, "window {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be a power of two")]
+    fn rejects_bad_window() {
+        let _ = LzCodec::new(1000);
+    }
+
+    #[test]
+    fn bigger_window_wins_on_long_range_repetition() {
+        // Two copies of a 1.5 KiB chunk: only a window larger than the
+        // chunk can see the repetition.
+        let chunk: Vec<u8> =
+            (0..1536u64).map(|i| ((i.wrapping_mul(2654435761)) >> 13) as u8).collect();
+        let mut data = chunk.clone();
+        data.extend_from_slice(&chunk);
+        let small = LzCodec::new(256).compress(&data).0.len();
+        let large = LzCodec::new(4096).compress(&data).0.len();
+        assert!(large < small, "large {large} vs small {small}");
+    }
+}

@@ -1,0 +1,528 @@
+//! The complete memory-specialized Deflate codec (paper Fig. 14) and the
+//! software-Deflate reference.
+//!
+//! [`MemDeflate`] composes the LZ front end and the reduced Huffman back
+//! end, adds the paper's *dynamic Huffman skipping* (§V-B1: skip Huffman
+//! for pages it would expand — worth ~5 % geomean ratio) and the optional
+//! *1.1-Pass* approximate frequency counting (§V-B3: IBM's trick, supported
+//! as a tunable but disabled by default because it hurts 4 KiB pages), and
+//! produces self-describing [`CompressedPage`]s.
+//!
+//! [`SoftwareDeflate`] is the gzip stand-in used as the compression-ratio
+//! yardstick in Fig. 15: a 32 KiB-window LZ plus a full 256-symbol
+//! canonical Huffman coder, run over whole memory dumps so the window spans
+//! pages.
+
+use crate::huffman::{ReducedHuffman, DEFAULT_MAX_DEPTH};
+use crate::lz::{LzCodec, LzStats};
+use crate::timing::{DeflateTiming, TimingReport};
+use tmcc_compression::BitWriter;
+
+/// How a page is stored (first byte of the serialized form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageMode {
+    /// All-zero page: header only.
+    Zero = 0,
+    /// LZ + reduced Huffman (the common case).
+    LzHuffman = 1,
+    /// LZ only — Huffman dynamically skipped (§V-B1).
+    LzOnly = 2,
+    /// Stored raw — the page expanded under LZ too (incompressible).
+    Raw = 3,
+}
+
+/// A compressed page: mode header, original/LZ lengths and the payload.
+///
+/// `stored_len` is the size the page occupies in ML2 and what the capacity
+/// accounting uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedPage {
+    mode: PageMode,
+    original_len: usize,
+    lz_len: usize,
+    payload: Vec<u8>,
+    stats: LzStats,
+}
+
+impl CompressedPage {
+    /// Bytes this page occupies when stored: payload plus a 3-byte header
+    /// (mode + 16-bit LZ length).
+    pub fn stored_len(&self) -> usize {
+        match self.mode {
+            PageMode::Zero => 1,
+            _ => 3 + self.payload.len(),
+        }
+    }
+
+    /// The storage mode.
+    pub fn mode(&self) -> PageMode {
+        self.mode
+    }
+
+    /// Length of the original page.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Length of the intermediate LZ stream (0 for zero pages).
+    pub fn lz_len(&self) -> usize {
+        self.lz_len
+    }
+
+    /// LZ token statistics (for the cycle model).
+    pub fn lz_stats(&self) -> LzStats {
+        self.stats
+    }
+
+    /// Compression ratio achieved for this page.
+    pub fn ratio(&self) -> f64 {
+        self.original_len as f64 / self.stored_len() as f64
+    }
+
+    /// Payload bits excluding headers — what the decompressor's input side
+    /// must consume.
+    pub fn payload_bits(&self) -> usize {
+        self.payload.len() * 8
+    }
+}
+
+/// Configuration of the memory-specialized Deflate (the §V-B design space).
+///
+/// Use the builder-style setters; defaults are the paper's chosen design
+/// point (1 KiB CAM, 16-leaf tree, depth 15, dynamic skip on, 1.1-Pass
+/// off).
+///
+/// # Examples
+///
+/// ```
+/// use tmcc_deflate::DeflateParams;
+///
+/// let params = DeflateParams::new().cam_bytes(512).max_tree_depth(8);
+/// assert_eq!(params.cam(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeflateParams {
+    cam_bytes: usize,
+    max_tree_depth: u32,
+    dynamic_skip: bool,
+    one_one_pass: bool,
+    /// Sample bytes for 1.1-Pass frequency counting.
+    sample_bytes: usize,
+}
+
+impl DeflateParams {
+    /// The paper's design point.
+    pub fn new() -> Self {
+        Self {
+            cam_bytes: 1024,
+            max_tree_depth: DEFAULT_MAX_DEPTH,
+            dynamic_skip: true,
+            one_one_pass: false,
+            sample_bytes: 512,
+        }
+    }
+
+    /// Sets the LZ sliding-window (CAM) size in bytes.
+    pub fn cam_bytes(mut self, bytes: usize) -> Self {
+        self.cam_bytes = bytes;
+        self
+    }
+
+    /// Sets the reduced-tree depth threshold.
+    pub fn max_tree_depth(mut self, depth: u32) -> Self {
+        self.max_tree_depth = depth;
+        self
+    }
+
+    /// Enables or disables dynamic Huffman skipping.
+    pub fn dynamic_skip(mut self, on: bool) -> Self {
+        self.dynamic_skip = on;
+        self
+    }
+
+    /// Enables IBM-style 1.1-Pass approximate frequency counting with the
+    /// given sample size (hurts ratio on 4 KiB pages; off by default).
+    pub fn one_one_pass(mut self, on: bool, sample_bytes: usize) -> Self {
+        self.one_one_pass = on;
+        self.sample_bytes = sample_bytes;
+        self
+    }
+
+    /// The configured CAM size.
+    pub fn cam(&self) -> usize {
+        self.cam_bytes
+    }
+
+    /// The configured depth threshold.
+    pub fn depth(&self) -> u32 {
+        self.max_tree_depth
+    }
+
+    /// Whether dynamic Huffman skipping is enabled.
+    pub fn skip_enabled(&self) -> bool {
+        self.dynamic_skip
+    }
+}
+
+impl Default for DeflateParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The memory-specialized ASIC Deflate codec (functional model).
+///
+/// # Examples
+///
+/// ```
+/// use tmcc_deflate::MemDeflate;
+///
+/// let codec = MemDeflate::default();
+/// let mut page = vec![0u8; 4096];
+/// for (i, b) in page.iter_mut().enumerate() {
+///     *b = [0u8, 0, 7, 42][i % 4];
+/// }
+/// let c = codec.compress_page(&page);
+/// assert!(c.ratio() > 3.0);
+/// assert_eq!(codec.decompress_page(&c), page);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemDeflate {
+    params: DeflateParams,
+    lz: LzCodec,
+    timing: DeflateTiming,
+}
+
+impl MemDeflate {
+    /// Builds the codec from parameters.
+    pub fn new(params: DeflateParams) -> Self {
+        Self {
+            params,
+            lz: LzCodec::new(params.cam_bytes),
+            timing: DeflateTiming::default(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> DeflateParams {
+        self.params
+    }
+
+    /// The cycle model attached to this codec.
+    pub fn timing(&self) -> &DeflateTiming {
+        &self.timing
+    }
+
+    /// Compresses one page (any length up to 64 KiB; normally 4 KiB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is empty or longer than 65 535 bytes (the 16-bit
+    /// LZ-length header).
+    pub fn compress_page(&self, page: &[u8]) -> CompressedPage {
+        assert!(
+            !page.is_empty() && page.len() < 65536,
+            "page length must be in 1..65536"
+        );
+        if page.iter().all(|&b| b == 0) {
+            return CompressedPage {
+                mode: PageMode::Zero,
+                original_len: page.len(),
+                lz_len: 0,
+                payload: Vec::new(),
+                stats: LzStats::default(),
+            };
+        }
+        let (lz_stream, stats) = self.lz.compress(page);
+        // Build the reduced tree from the full LZ output, or from a prefix
+        // sample under 1.1-Pass.
+        let tree_input = if self.params.one_one_pass {
+            &lz_stream[..lz_stream.len().min(self.params.sample_bytes)]
+        } else {
+            &lz_stream[..]
+        };
+        let tree = ReducedHuffman::build(tree_input, self.params.max_tree_depth);
+        let huff_bits = tree.encoded_bits(&lz_stream);
+        let huff_bytes = ReducedHuffman::TREE_BYTES + huff_bits.div_ceil(8);
+
+        let (mode, payload) = if self.params.dynamic_skip && huff_bytes >= lz_stream.len() {
+            (PageMode::LzOnly, lz_stream.clone())
+        } else {
+            let mut w = BitWriter::new();
+            tree.write_tree(&mut w);
+            tree.encode_into(&mut w, &lz_stream);
+            (PageMode::LzHuffman, w.into_bytes())
+        };
+        if payload.len() + 3 >= page.len() {
+            return CompressedPage {
+                mode: PageMode::Raw,
+                original_len: page.len(),
+                lz_len: lz_stream.len(),
+                payload: page.to_vec(),
+                stats,
+            };
+        }
+        CompressedPage {
+            mode,
+            original_len: page.len(),
+            lz_len: lz_stream.len(),
+            payload,
+            stats,
+        }
+    }
+
+    /// Restores the original page.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pages not produced by this codec configuration.
+    pub fn decompress_page(&self, page: &CompressedPage) -> Vec<u8> {
+        match page.mode {
+            PageMode::Zero => vec![0u8; page.original_len],
+            PageMode::Raw => page.payload.clone(),
+            PageMode::LzOnly => self.lz.decompress(&page.payload),
+            PageMode::LzHuffman => {
+                let (tree, rest) = ReducedHuffman::read_tree(&page.payload);
+                let lz_stream = tree.decode(rest, page.lz_len);
+                self.lz.decompress(&lz_stream)
+            }
+        }
+    }
+
+    /// Compressed size of a page without materializing the payload —
+    /// convenience for capacity accounting.
+    pub fn compressed_size(&self, page: &[u8]) -> usize {
+        self.compress_page(page).stored_len()
+    }
+
+    /// Modelled latency to compress this page.
+    pub fn compress_latency(&self, page: &CompressedPage) -> TimingReport {
+        self.timing.compress_latency(
+            page.original_len,
+            page.stats,
+            page.lz_len,
+            page.payload_bits(),
+        )
+    }
+
+    /// Modelled latency to decompress the full page.
+    pub fn decompress_latency(&self, page: &CompressedPage) -> TimingReport {
+        self.timing
+            .decompress_latency(page.payload_bits(), page.original_len)
+    }
+
+    /// Modelled average latency until a needed block is available.
+    pub fn needed_block_latency(&self, page: &CompressedPage) -> TimingReport {
+        self.timing
+            .half_page_latency(page.payload_bits(), page.original_len)
+    }
+}
+
+impl Default for MemDeflate {
+    fn default() -> Self {
+        Self::new(DeflateParams::new())
+    }
+}
+
+/// The gzip stand-in: 32 KiB-window LZ + full canonical Huffman, applied to
+/// arbitrary-length streams (whole memory dumps).
+#[derive(Debug, Clone)]
+pub struct SoftwareDeflate {
+    lz: LzCodec,
+}
+
+impl SoftwareDeflate {
+    /// Creates the reference codec.
+    pub fn new() -> Self {
+        Self {
+            lz: LzCodec::new(32768),
+        }
+    }
+
+    /// Compresses a stream; returns the stored bytes
+    /// (`[u32 original_len][u32 lz_len][huffman stream]`).
+    pub fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let (lz_stream, _) = self.lz.compress(data);
+        let tree = crate::huffman::FullHuffman::build(&lz_stream);
+        let encoded = tree.encode(&lz_stream);
+        let mut out = Vec::with_capacity(encoded.len() + 8);
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(lz_stream.len() as u32).to_le_bytes());
+        // Keep whichever of (huffman, raw lz) is smaller, flagged by a byte.
+        if encoded.len() < lz_stream.len() {
+            out.push(1);
+            out.extend_from_slice(&encoded);
+        } else {
+            out.push(0);
+            out.extend_from_slice(&lz_stream);
+        }
+        out
+    }
+
+    /// Restores the original stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input.
+    pub fn decompress(&self, data: &[u8]) -> Vec<u8> {
+        let original_len = u32::from_le_bytes(data[..4].try_into().expect("len")) as usize;
+        let lz_len = u32::from_le_bytes(data[4..8].try_into().expect("len")) as usize;
+        let lz_stream = match data[8] {
+            1 => crate::huffman::FullHuffman::decode(&data[9..], lz_len),
+            _ => data[9..9 + lz_len].to_vec(),
+        };
+        let out = self.lz.decompress(&lz_stream);
+        assert_eq!(out.len(), original_len, "length mismatch");
+        out
+    }
+
+    /// Compressed size of `data` under the reference codec.
+    pub fn compressed_size(&self, data: &[u8]) -> usize {
+        self.compress(data).len()
+    }
+}
+
+impl Default for SoftwareDeflate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    fn textish_page() -> Vec<u8> {
+        b"key=value; next=0x7fffaa00; flags=rw-; count=0001732; "
+            .iter()
+            .copied()
+            .cycle()
+            .take(PAGE_SIZE)
+            .collect()
+    }
+
+    #[test]
+    fn zero_page_is_one_byte() {
+        let codec = MemDeflate::default();
+        let page = vec![0u8; PAGE_SIZE];
+        let c = codec.compress_page(&page);
+        assert_eq!(c.mode(), PageMode::Zero);
+        assert_eq!(c.stored_len(), 1);
+        assert_eq!(codec.decompress_page(&c), page);
+    }
+
+    #[test]
+    fn text_page_round_trips_with_good_ratio() {
+        let codec = MemDeflate::default();
+        let page = textish_page();
+        let c = codec.compress_page(&page);
+        assert_eq!(c.mode(), PageMode::LzHuffman);
+        assert!(c.ratio() > 4.0, "ratio {}", c.ratio());
+        assert_eq!(codec.decompress_page(&c), page);
+    }
+
+    #[test]
+    fn random_page_stored_raw() {
+        let codec = MemDeflate::default();
+        let mut page = vec![0u8; PAGE_SIZE];
+        let mut x = 0x12345678u64;
+        for b in page.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (x >> 33) as u8;
+        }
+        let c = codec.compress_page(&page);
+        assert_eq!(c.mode(), PageMode::Raw);
+        assert_eq!(c.stored_len(), PAGE_SIZE + 3);
+        assert_eq!(codec.decompress_page(&c), page);
+    }
+
+    #[test]
+    fn dynamic_skip_prefers_lz_only_when_huffman_expands() {
+        // LZ output with ~uniform byte distribution makes the reduced tree
+        // useless; with skipping on we must not pay for it.
+        let mut page = vec![0u8; PAGE_SIZE];
+        for (i, b) in page.iter_mut().enumerate() {
+            *b = ((i * 37) % 251) as u8;
+        }
+        // Duplicate the first half into the second so LZ itself wins.
+        let half: Vec<u8> = page[..PAGE_SIZE / 2].to_vec();
+        page[PAGE_SIZE / 2..].copy_from_slice(&half);
+        let with_skip = MemDeflate::new(DeflateParams::new().dynamic_skip(true));
+        let without = MemDeflate::new(DeflateParams::new().dynamic_skip(false));
+        let a = with_skip.compress_page(&page);
+        let b = without.compress_page(&page);
+        assert!(a.stored_len() <= b.stored_len());
+        assert_eq!(with_skip.decompress_page(&a), page);
+        assert_eq!(without.decompress_page(&b), page);
+    }
+
+    #[test]
+    fn one_one_pass_never_breaks_round_trip() {
+        let codec = MemDeflate::new(DeflateParams::new().one_one_pass(true, 512));
+        let page = textish_page();
+        let c = codec.compress_page(&page);
+        assert_eq!(codec.decompress_page(&c), page);
+    }
+
+    #[test]
+    fn small_cam_round_trips() {
+        for cam in [256, 512, 2048, 4096] {
+            let codec = MemDeflate::new(DeflateParams::new().cam_bytes(cam));
+            let page = textish_page();
+            let c = codec.compress_page(&page);
+            assert_eq!(codec.decompress_page(&c), page, "cam {cam}");
+        }
+    }
+
+    #[test]
+    fn latency_model_attached() {
+        let codec = MemDeflate::default();
+        let c = codec.compress_page(&textish_page());
+        let d = codec.decompress_latency(&c);
+        let h = codec.needed_block_latency(&c);
+        assert!(d.ns > 100.0 && d.ns < 400.0, "{d:?}");
+        assert!(h.ns < d.ns);
+    }
+
+    #[test]
+    fn software_deflate_round_trips_multi_page() {
+        let sw = SoftwareDeflate::new();
+        let mut dump = Vec::new();
+        for _ in 0..4 {
+            dump.extend_from_slice(&textish_page());
+        }
+        let c = sw.compress(&dump);
+        assert!(c.len() < dump.len() / 4);
+        assert_eq!(sw.decompress(&c), dump);
+    }
+
+    #[test]
+    fn software_beats_or_matches_mem_deflate_on_dumps() {
+        // The gzip stand-in (32 KiB window, full tree, cross-page) should
+        // compress a multi-page dump at least as well as per-page
+        // memory-specialized deflate — the Fig. 15 relationship.
+        let sw = SoftwareDeflate::new();
+        let mem = MemDeflate::default();
+        let mut dump = Vec::new();
+        for k in 0..8u8 {
+            let mut p = textish_page();
+            for b in p.iter_mut().step_by(97) {
+                *b = b.wrapping_add(k);
+            }
+            dump.extend_from_slice(&p);
+        }
+        let sw_size = sw.compressed_size(&dump);
+        let mem_size: usize = dump
+            .chunks_exact(PAGE_SIZE)
+            .map(|p| mem.compressed_size(p))
+            .sum();
+        assert!(sw_size <= mem_size, "sw {sw_size} vs mem {mem_size}");
+    }
+
+    #[test]
+    #[should_panic(expected = "page length must be in 1..65536")]
+    fn rejects_empty_page() {
+        let _ = MemDeflate::default().compress_page(&[]);
+    }
+}

@@ -1,0 +1,232 @@
+//! DRAM address mapping and interleaving policies (paper §VIII, Fig. 22).
+//!
+//! CPUs interleave adjacent physical ranges across channels and memory
+//! controllers to balance bandwidth. Because TMCC compresses at page
+//! granularity inside one MC, it "requires address mapping to only
+//! interleave memory across memory controllers at ≥ 4 KiB granularity"
+//! (§VIII). The three policies evaluated in Fig. 22:
+//!
+//! * **baseline** — 512 B interleaving across MCs, 256 B across the
+//!   channels within each MC (TMCC-*incompatible*; the comparison
+//!   yardstick);
+//! * **coarse-MC** — 4 KiB across MCs, 256 B across channels
+//!   (TMCC-compatible);
+//! * **page-channel** — 4 KiB across MCs *and* channels (no sub-page
+//!   interleaving at all; TMCC-compatible, worst bandwidth balance).
+//!
+//! Bank/row decoding applies an XOR-based hash "like Intel Skylake"
+//! (Table III) so that strided streams spread across banks.
+
+use crate::DramConfig;
+use tmcc_types::addr::DramAddr;
+
+/// Interleaving granularities for MCs and channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleavePolicy {
+    /// Bytes of consecutive address space per MC before switching.
+    pub mc_granularity: u64,
+    /// Bytes per channel within an MC before switching.
+    pub channel_granularity: u64,
+}
+
+impl InterleavePolicy {
+    /// The Fig. 22 baseline: 512 B across MCs, 256 B across channels.
+    pub fn baseline() -> Self {
+        Self {
+            mc_granularity: 512,
+            channel_granularity: 256,
+        }
+    }
+
+    /// TMCC-compatible: 4 KiB across MCs, 256 B across channels.
+    pub fn coarse_mc() -> Self {
+        Self {
+            mc_granularity: 4096,
+            channel_granularity: 256,
+        }
+    }
+
+    /// TMCC-compatible, fully page-granular: 4 KiB across MCs and channels.
+    pub fn page_channel() -> Self {
+        Self {
+            mc_granularity: 4096,
+            channel_granularity: 4096,
+        }
+    }
+
+    /// Whether TMCC's page-level compression can operate under this policy
+    /// (§VIII: MC interleaving must be at least page-granular).
+    pub fn tmcc_compatible(&self) -> bool {
+        self.mc_granularity >= 4096
+    }
+}
+
+/// A fully decoded DRAM location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Memory-controller index.
+    pub mc: usize,
+    /// Channel within the MC.
+    pub channel: usize,
+    /// Rank within the channel.
+    pub rank: usize,
+    /// Bank within the rank.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: u64,
+    /// Column byte offset within the row.
+    pub column: u64,
+}
+
+impl Location {
+    /// Flattened channel index across all MCs.
+    pub fn global_channel(&self, cfg: &DramConfig) -> usize {
+        self.mc * cfg.channels_per_mc + self.channel
+    }
+}
+
+/// Decodes DRAM byte addresses into device coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    cfg_mcs: usize,
+    cfg_channels: usize,
+    cfg_ranks: usize,
+    cfg_banks: usize,
+    row_bytes: u64,
+    policy: InterleavePolicy,
+}
+
+impl AddressMapping {
+    /// Builds the mapping for a configuration and policy.
+    pub fn new(cfg: DramConfig, policy: InterleavePolicy) -> Self {
+        Self {
+            cfg_mcs: cfg.mcs,
+            cfg_channels: cfg.channels_per_mc,
+            cfg_ranks: cfg.ranks,
+            cfg_banks: cfg.banks,
+            row_bytes: cfg.row_bytes,
+            policy,
+        }
+    }
+
+    /// The interleaving policy.
+    pub fn policy(&self) -> InterleavePolicy {
+        self.policy
+    }
+
+    /// Decodes `addr`.
+    pub fn locate(&self, addr: DramAddr) -> Location {
+        let a = addr.raw();
+        let mc = ((a / self.policy.mc_granularity) % self.cfg_mcs as u64) as usize;
+        // Strip the MC selector, keeping addresses within an MC dense.
+        let within_mc = collapse(a, self.policy.mc_granularity, self.cfg_mcs as u64);
+        let channel =
+            ((within_mc / self.policy.channel_granularity) % self.cfg_channels as u64) as usize;
+        let within_ch = collapse(
+            within_mc,
+            self.policy.channel_granularity,
+            self.cfg_channels as u64,
+        );
+        // Within a channel: column bits, then bank/rank with XOR hash.
+        let column = within_ch % self.row_bytes;
+        let row_seq = within_ch / self.row_bytes;
+        let banks = self.cfg_banks as u64;
+        let ranks = self.cfg_ranks as u64;
+        // XOR-based bank hash (Skylake-like): bank bits XOR row low bits.
+        let bank = (((row_seq) ^ (row_seq / (banks * ranks))) % banks) as usize;
+        let rank = ((row_seq / banks) % ranks) as usize;
+        let row = row_seq / (banks * ranks);
+        Location {
+            mc,
+            channel,
+            rank,
+            bank,
+            row,
+            column,
+        }
+    }
+}
+
+/// Removes the interleave-selector bits from `a`, producing a dense
+/// address within the selected unit.
+fn collapse(a: u64, granularity: u64, units: u64) -> u64 {
+    let block = a / granularity;
+    let offset = a % granularity;
+    (block / units) * granularity + offset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping(policy: InterleavePolicy) -> AddressMapping {
+        AddressMapping::new(DramConfig::two_mc_two_channel(), policy)
+    }
+
+    #[test]
+    fn baseline_interleaves_sub_page() {
+        let m = mapping(InterleavePolicy::baseline());
+        let a = m.locate(DramAddr::new(0));
+        let b = m.locate(DramAddr::new(512));
+        assert_ne!(a.mc, b.mc, "512 B apart lands on different MCs");
+        let c = m.locate(DramAddr::new(256));
+        assert_ne!(a.channel, c.channel, "256 B apart switches channel");
+    }
+
+    #[test]
+    fn coarse_mc_keeps_pages_on_one_mc() {
+        let m = mapping(InterleavePolicy::coarse_mc());
+        let base = 12345 * 4096u64;
+        let mc0 = m.locate(DramAddr::new(base)).mc;
+        for off in (0..4096).step_by(64) {
+            assert_eq!(m.locate(DramAddr::new(base + off)).mc, mc0);
+        }
+        assert_ne!(m.locate(DramAddr::new(base + 4096)).mc, mc0);
+    }
+
+    #[test]
+    fn page_channel_keeps_pages_on_one_channel() {
+        let m = mapping(InterleavePolicy::page_channel());
+        let base = 777 * 4096u64;
+        let first = m.locate(DramAddr::new(base));
+        for off in (0..4096).step_by(64) {
+            let l = m.locate(DramAddr::new(base + off));
+            assert_eq!((l.mc, l.channel), (first.mc, first.channel));
+        }
+    }
+
+    #[test]
+    fn compatibility_flags() {
+        assert!(!InterleavePolicy::baseline().tmcc_compatible());
+        assert!(InterleavePolicy::coarse_mc().tmcc_compatible());
+        assert!(InterleavePolicy::page_channel().tmcc_compatible());
+    }
+
+    #[test]
+    fn mapping_is_injective_over_a_region() {
+        use std::collections::HashSet;
+        let m = mapping(InterleavePolicy::baseline());
+        let mut seen = HashSet::new();
+        for i in 0..20000u64 {
+            let l = m.locate(DramAddr::new(i * 64));
+            assert!(
+                seen.insert((l.mc, l.channel, l.rank, l.bank, l.row, l.column)),
+                "collision at block {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_rows_spread_across_banks() {
+        // Within one channel, consecutive row-sized regions must land in
+        // different banks (bank bits sit above the column bits).
+        let m = AddressMapping::new(DramConfig::default(), InterleavePolicy::baseline());
+        let cfg = DramConfig::default();
+        let mut banks = std::collections::HashSet::new();
+        for r in 0..32u64 {
+            let l = m.locate(DramAddr::new(r * cfg.row_bytes));
+            banks.insert((l.rank, l.bank));
+        }
+        assert!(banks.len() > 8, "rows should spread across banks, got {}", banks.len());
+    }
+}

@@ -1,0 +1,210 @@
+//! The memory controller's CTE cache (paper §II/III, Table III).
+//!
+//! CTEs live in DRAM as a flat table; the MC caches recently used 64 B CTE
+//! blocks. The decisive parameter is *reach per line*:
+//!
+//! * Compresso's block-level CTEs: one 64 B metadata entry per 4 KiB page →
+//!   a 64 B line reaches **4 KiB** (Table III: "Compresso: 128KB, 4KB reach
+//!   per 64B CTE block");
+//! * TMCC's page-level CTEs: 8 B per page → a 64 B line holds eight CTEs
+//!   and reaches **32 KiB** (Table III: "TMCC: 64KB, 32KB reach per 64B CTE
+//!   block").
+//!
+//! This 8× reach difference is most of §IV's 40 % CTE-miss reduction.
+
+use crate::cache::SetAssocCache;
+use tmcc_types::addr::Ppn;
+
+/// Geometry of a CTE cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CteCacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Pages translated per 64 B line (1 for block-level CTEs, 8 for
+    /// page-level CTEs).
+    pub pages_per_line: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CteCacheConfig {
+    /// TMCC's configuration: 64 KiB, page-level (8 pages / 32 KiB reach).
+    pub fn tmcc() -> Self {
+        Self {
+            size_bytes: 64 * 1024,
+            pages_per_line: 8,
+            ways: 8,
+        }
+    }
+
+    /// Compresso's configuration: 128 KiB, block-level (4 KiB reach).
+    pub fn compresso() -> Self {
+        Self {
+            size_bytes: 128 * 1024,
+            pages_per_line: 1,
+            ways: 8,
+        }
+    }
+
+    /// The §III experiment: a 4× (256 KiB) block-level metadata cache.
+    pub fn compresso_4x() -> Self {
+        Self {
+            size_bytes: 256 * 1024,
+            pages_per_line: 1,
+            ways: 8,
+        }
+    }
+
+    /// Number of 64 B lines.
+    pub fn lines(&self) -> usize {
+        self.size_bytes / 64
+    }
+
+    /// Total pages reachable when fully resident.
+    pub fn page_reach(&self) -> usize {
+        self.lines() * self.pages_per_line
+    }
+}
+
+/// The CTE cache.
+///
+/// # Examples
+///
+/// ```
+/// use tmcc_sim_mem::{CteCache, CteCacheConfig};
+/// use tmcc_types::addr::Ppn;
+///
+/// let mut c = CteCache::new(CteCacheConfig::tmcc());
+/// assert!(!c.access(Ppn::new(16)));
+/// // Page-level lines cover eight adjacent pages.
+/// assert!(c.access(Ppn::new(17)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CteCache {
+    cfg: CteCacheConfig,
+    cache: SetAssocCache<()>,
+    /// Fills that must not count as demand misses (see [`CteCache::fill`]).
+    adjust: u64,
+}
+
+impl CteCache {
+    /// Builds a CTE cache from its geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry yields zero or a non-power-of-two set count.
+    pub fn new(cfg: CteCacheConfig) -> Self {
+        let sets = cfg.lines() / cfg.ways;
+        Self {
+            cfg,
+            cache: SetAssocCache::new(sets, cfg.ways),
+            adjust: 0,
+        }
+    }
+
+    fn line_key(&self, ppn: Ppn) -> u64 {
+        ppn.raw() / self.cfg.pages_per_line as u64
+    }
+
+    /// Looks up the CTE for `ppn`, filling the line on a miss. Returns
+    /// whether it hit.
+    pub fn access(&mut self, ppn: Ppn) -> bool {
+        self.cache.access(self.line_key(ppn), false, ()).0.is_hit()
+    }
+
+    /// Whether the CTE for `ppn` is resident, without LRU side effects.
+    pub fn contains(&self, ppn: Ppn) -> bool {
+        self.cache.contains(self.line_key(ppn))
+    }
+
+    /// Fills the line for `ppn` without counting an access (used when the
+    /// MC caches a CTE after fetching it from DRAM for verification,
+    /// §VII).
+    pub fn fill(&mut self, ppn: Ppn) {
+        if !self.cache.contains(self.line_key(ppn)) {
+            let _ = self.cache.access(self.line_key(ppn), false, ());
+            // Remove the implicit miss this fill recorded.
+            self.adjust = self.adjust.saturating_add(1);
+        }
+    }
+
+    /// Invalidates the line covering `ppn`.
+    pub fn invalidate(&mut self, ppn: Ppn) {
+        let _ = self.cache.invalidate(self.line_key(ppn));
+    }
+
+    /// `(hits, misses)` over [`access`](Self::access) calls only.
+    pub fn stats(&self) -> (u64, u64) {
+        let (h, m) = self.cache.stats();
+        (h, m - self.adjust)
+    }
+
+    /// Hit rate over `access` calls.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Clears counters (after warmup).
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+        self.adjust = 0;
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CteCacheConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_level_line_reaches_eight_pages() {
+        let mut c = CteCache::new(CteCacheConfig::tmcc());
+        assert!(!c.access(Ppn::new(0)));
+        for p in 1..8u64 {
+            assert!(c.access(Ppn::new(p)), "page {p} shares the line");
+        }
+        assert!(!c.access(Ppn::new(8)), "next line");
+    }
+
+    #[test]
+    fn block_level_line_reaches_one_page() {
+        let mut c = CteCache::new(CteCacheConfig::compresso());
+        assert!(!c.access(Ppn::new(0)));
+        assert!(!c.access(Ppn::new(1)));
+    }
+
+    #[test]
+    fn reach_matches_table3() {
+        // 64 KiB / 64 B = 1024 lines x 8 pages = 8192 pages = 32 MiB reach.
+        assert_eq!(CteCacheConfig::tmcc().page_reach() * 4096, 32 * 1024 * 1024);
+        assert_eq!(CteCacheConfig::tmcc().page_reach(), 8192);
+        // Compresso: 2048 lines x 1 page = 8 MiB reach.
+        assert_eq!(CteCacheConfig::compresso().page_reach(), 2048);
+    }
+
+    #[test]
+    fn fill_does_not_count_as_demand_miss() {
+        let mut c = CteCache::new(CteCacheConfig::tmcc());
+        c.fill(Ppn::new(40));
+        assert_eq!(c.stats(), (0, 0));
+        assert!(c.access(Ppn::new(40)));
+        assert_eq!(c.stats(), (1, 0));
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut c = CteCache::new(CteCacheConfig::tmcc());
+        c.access(Ppn::new(0));
+        c.invalidate(Ppn::new(3)); // same line
+        assert!(!c.access(Ppn::new(0)));
+    }
+}

@@ -1,0 +1,136 @@
+//! The translation lookaside buffer.
+//!
+//! The paper simulates a single-level TLB with 2048 entries (§VI: "we
+//! increase the number of entries in L1 TLB to 2048, which is similar to
+//! the total number of TLB entries in AMD's Zen 3"), because TMCC optimizes
+//! precisely the accesses that follow TLB misses.
+
+use crate::cache::SetAssocCache;
+use tmcc_types::addr::{Ppn, Vpn};
+
+/// A set-associative TLB mapping VPN → PPN.
+///
+/// # Examples
+///
+/// ```
+/// use tmcc_sim_mem::Tlb;
+/// use tmcc_types::addr::{Ppn, Vpn};
+///
+/// let mut tlb = Tlb::new(2048, 8);
+/// assert_eq!(tlb.lookup(Vpn::new(7)), None);
+/// tlb.fill(Vpn::new(7), Ppn::new(99));
+/// assert_eq!(tlb.lookup(Vpn::new(7)), Some(Ppn::new(99)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cache: SetAssocCache<Ppn>,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways` with a power-of-two
+    /// set count.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries % ways == 0, "entries must divide evenly into ways");
+        Self {
+            cache: SetAssocCache::new(entries / ways, ways),
+        }
+    }
+
+    /// The paper's configuration: 2048 entries, 8-way.
+    pub fn paper_default() -> Self {
+        Self::new(2048, 8)
+    }
+
+    /// Looks up a translation; updates recency on hit.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<Ppn> {
+        if self.cache.contains(vpn.raw()) {
+            let (_, _) = self.cache.access(vpn.raw(), false, Ppn::new(0));
+            self.cache.payload(vpn.raw()).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Installs a translation after a walk.
+    pub fn fill(&mut self, vpn: Vpn, ppn: Ppn) {
+        if self.cache.contains(vpn.raw()) {
+            *self.cache.payload_mut(vpn.raw()).expect("resident") = ppn;
+        } else {
+            let (_, _) = self.cache.access(vpn.raw(), false, ppn);
+        }
+    }
+
+    /// Removes a translation (OS shootdown).
+    pub fn invalidate(&mut self, vpn: Vpn) {
+        let _ = self.cache.invalidate(vpn.raw());
+    }
+
+    /// `(hits, misses)` counted by [`lookup`](Self::lookup) — a miss is a
+    /// lookup that returned `None`.
+    pub fn stats(&self) -> (u64, u64) {
+        // `lookup` misses never touch the inner cache, and fills after a
+        // miss record one inner miss each; inner hits are lookup hits.
+        self.cache.stats()
+    }
+
+    /// Clears hit/miss counters.
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = Tlb::new(16, 4);
+        assert_eq!(tlb.lookup(Vpn::new(1)), None);
+        tlb.fill(Vpn::new(1), Ppn::new(100));
+        assert_eq!(tlb.lookup(Vpn::new(1)), Some(Ppn::new(100)));
+    }
+
+    #[test]
+    fn refill_updates_mapping() {
+        let mut tlb = Tlb::new(16, 4);
+        tlb.fill(Vpn::new(1), Ppn::new(100));
+        tlb.fill(Vpn::new(1), Ppn::new(200));
+        assert_eq!(tlb.lookup(Vpn::new(1)), Some(Ppn::new(200)));
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut tlb = Tlb::new(16, 4);
+        tlb.fill(Vpn::new(3), Ppn::new(30));
+        tlb.invalidate(Vpn::new(3));
+        assert_eq!(tlb.lookup(Vpn::new(3)), None);
+    }
+
+    #[test]
+    fn capacity_limits_reach() {
+        let mut tlb = Tlb::new(8, 8); // fully associative, 8 entries
+        for i in 0..9u64 {
+            tlb.fill(Vpn::new(i), Ppn::new(i));
+        }
+        // One of the first entries must have been evicted.
+        let resident = (0..9u64)
+            .filter(|&i| tlb.lookup(Vpn::new(i)).is_some())
+            .count();
+        assert_eq!(resident, 8);
+    }
+
+    #[test]
+    fn paper_default_size() {
+        assert_eq!(Tlb::paper_default().capacity(), 2048);
+    }
+}

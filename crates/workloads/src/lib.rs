@@ -1,0 +1,29 @@
+//! Synthetic workload suite.
+//!
+//! The paper evaluates GraphBIG (datagen-8_5-fb), SPEC CPU2017 `mcf` /
+//! `omnetpp`, PARSEC `canneal` plus the remaining PARSEC programs and a
+//! RocksDB/Twitter setup. None of those binaries, datasets or gem5
+//! checkpoints are available here, so this crate substitutes **calibrated
+//! synthetic equivalents** along the two axes every paper result depends
+//! on:
+//!
+//! 1. the *access stream* — footprint, locality, irregularity and memory
+//!    intensity, which determine TLB/CTE/cache miss behaviour
+//!    ([`access`]);
+//! 2. the *resident bytes* — per-page content whose real compressibility
+//!    under block-level compression and Deflate matches the per-workload
+//!    numbers the paper reports (Fig. 15, Table IV cols D/E) ([`content`]).
+//!
+//! [`profiles`] holds one [`profiles::WorkloadProfile`] per paper workload
+//! with both calibrations, plus the scaled-down simulated footprints (the
+//! paper simulates ~105 GB graph footprints in gem5; we scale to ≤ a few
+//! hundred MiB while keeping TLB/LLC/CTE-reach *relationships* intact —
+//! footprints stay far larger than every cache's reach).
+
+pub mod access;
+pub mod content;
+pub mod profiles;
+
+pub use access::{AccessEvent, AccessPattern, AccessStream};
+pub use content::{ContentProfile, PageContent, PageTemplate};
+pub use profiles::{WorkloadClass, WorkloadProfile};
