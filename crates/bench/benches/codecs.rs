@@ -80,9 +80,7 @@ fn bench_deflate(c: &mut Criterion) {
     let mut g = c.benchmark_group("software-deflate");
     g.throughput(Throughput::Bytes(dump.len() as u64));
     g.sample_size(20);
-    g.bench_function("compress-32k", |b| {
-        b.iter(|| black_box(sw.compress(black_box(&dump))))
-    });
+    g.bench_function("compress-32k", |b| b.iter(|| black_box(sw.compress(black_box(&dump)))));
     g.finish();
 }
 

@@ -18,11 +18,7 @@ fn bench_schemes(c: &mut Criterion) {
     let mut g = c.benchmark_group("system-steps");
     g.sample_size(10);
     g.throughput(Throughput::Elements(20_000));
-    for scheme in [
-        SchemeKind::NoCompression,
-        SchemeKind::Compresso,
-        SchemeKind::Tmcc,
-    ] {
+    for scheme in [SchemeKind::NoCompression, SchemeKind::Compresso, SchemeKind::Tmcc] {
         g.bench_function(scheme.name(), |b| {
             b.iter_with_setup(
                 || System::new(small_cfg(scheme)),

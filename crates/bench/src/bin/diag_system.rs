@@ -35,10 +35,8 @@ fn main() {
 
     let min = System::min_budget_bytes(&SystemConfig::new(w.clone(), SchemeKind::Tmcc));
     let budget = rc.stats.dram_used_bytes.max(min);
-    let rt = System::new(
-        SystemConfig::new(w.clone(), SchemeKind::Tmcc).with_budget(budget),
-    )
-    .run(100_000);
+    let rt = System::new(SystemConfig::new(w.clone(), SchemeKind::Tmcc).with_budget(budget))
+        .run(100_000);
     let s = rt.stats;
     let ml1 = s.ml1_cte_hit + s.ml1_parallel_correct + s.ml1_parallel_mismatch + s.ml1_serial;
     println!(

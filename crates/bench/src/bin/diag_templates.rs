@@ -24,7 +24,10 @@ fn main() {
         ("text", PageTemplate::TextLike),
         ("random", PageTemplate::Random),
     ];
-    println!("{:<12} {:>9} {:>10} {:>9} {:>10}", "template", "deflate B", "(ratio)", "block B", "(ratio)");
+    println!(
+        "{:<12} {:>9} {:>10} {:>9} {:>10}",
+        "template", "deflate B", "(ratio)", "block B", "(ratio)"
+    );
     for (name, t) in templates {
         let content = PageContent::new(ContentProfile::new(vec![(t, 1.0)]), 77);
         let mut d = 0usize;
@@ -33,12 +36,15 @@ fn main() {
         for i in 0..N {
             let page = content.page_bytes(i);
             d += deflate.compressed_size(&page);
-            b += page.chunks_exact(64).map(|c| {
-                let arr: &[u8; 64] = c.try_into().unwrap();
-                block.compressed_size(arr)
-            }).sum::<usize>();
+            b += page
+                .chunks_exact(64)
+                .map(|c| {
+                    let arr: &[u8; 64] = c.try_into().unwrap();
+                    block.compressed_size(arr)
+                })
+                .sum::<usize>();
         }
         let (d, b) = (d as f64 / N as f64, b as f64 / N as f64);
-        println!("{:<12} {:>9.0} {:>9.2}x {:>9.0} {:>9.2}x", name, d, 4096.0/d, b, 4096.0/b);
+        println!("{:<12} {:>9.0} {:>9.2}x {:>9.0} {:>9.2}x", name, d, 4096.0 / d, b, 4096.0 / b);
     }
 }

@@ -7,8 +7,8 @@
 //! fetches — needs a CTE, while TLB misses only occur for data.
 
 use serde::Serialize;
-use tmcc_bench::{mean, print_table, run_scheme, write_json, DEFAULT_ACCESSES};
 use tmcc::SchemeKind;
+use tmcc_bench::{mean, print_table, run_scheme, write_json, DEFAULT_ACCESSES};
 use tmcc_workloads::WorkloadProfile;
 
 #[derive(Serialize)]

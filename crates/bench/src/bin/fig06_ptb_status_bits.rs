@@ -58,7 +58,7 @@ fn uniform_fraction(pt: &PageTable, level: u8, perturb: f64, rng: &mut SmallRng)
 }
 
 fn main() {
-    let mut rng = SmallRng::seed_from_u64(0xF16_06);
+    let mut rng = SmallRng::seed_from_u64(0xF1606);
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for w in WorkloadProfile::large_suite() {
@@ -80,20 +80,12 @@ fn main() {
     }
     let l1 = mean(&out.iter().map(|r| r.l1_uniform).collect::<Vec<_>>());
     let l2 = mean(&out.iter().map(|r| r.l2_uniform).collect::<Vec<_>>());
-    rows.push(vec![
-        "AVERAGE".into(),
-        format!("{:.2}%", l1 * 100.0),
-        format!("{:.2}%", l2 * 100.0),
-    ]);
+    rows.push(vec!["AVERAGE".into(), format!("{:.2}%", l1 * 100.0), format!("{:.2}%", l2 * 100.0)]);
     print_table(
         "Fig. 6 — PTBs with identical status bits across all 8 PTEs",
         &["workload", "L1 PTBs uniform", "L2 PTBs uniform"],
         &rows,
     );
-    println!(
-        "\nPaper: 99.94% (L1), 99.3% (L2). Measured: {:.2}% / {:.2}%",
-        l1 * 100.0,
-        l2 * 100.0
-    );
+    println!("\nPaper: 99.94% (L1), 99.3% (L2). Measured: {:.2}% / {:.2}%", l1 * 100.0, l2 * 100.0);
     write_json("fig06_ptb_status_bits", &out);
 }

@@ -35,12 +35,10 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut out: Vec<Row> = Vec::new();
-    let suite: Vec<WorkloadProfile> = WorkloadProfile::large_suite()
-        .into_iter()
-        .chain(WorkloadProfile::small_suite())
-        .collect();
+    let suite: Vec<WorkloadProfile> =
+        WorkloadProfile::large_suite().into_iter().chain(WorkloadProfile::small_suite()).collect();
     for w in &suite {
-        let content = w.page_content(0xF16_15);
+        let content = w.page_content(0xF1615);
         let mut raw = 0usize;
         let mut block_sz = 0usize;
         let mut noskip_sz = 0usize;

@@ -27,11 +27,7 @@ fn main() {
         let total = r.bandwidth_utilization;
         let reads = r.dram.reads as f64;
         let writes = r.dram.writes as f64;
-        let wf = if reads + writes > 0.0 {
-            writes / (reads + writes)
-        } else {
-            0.0
-        };
+        let wf = if reads + writes > 0.0 { writes / (reads + writes) } else { 0.0 };
         let row = Row {
             workload: w.name,
             read_utilization: total * (1.0 - wf),

@@ -9,8 +9,7 @@
 use serde::Serialize;
 use tmcc::SchemeKind;
 use tmcc_bench::{
-    compresso_anchor, feasible_budget, mean, print_table, run_scheme, write_json,
-    DEFAULT_ACCESSES,
+    compresso_anchor, feasible_budget, mean, print_table, run_scheme, write_json, DEFAULT_ACCESSES,
 };
 use tmcc_workloads::WorkloadProfile;
 

@@ -8,8 +8,7 @@
 use serde::Serialize;
 use tmcc::SchemeKind;
 use tmcc_bench::{
-    compresso_anchor, feasible_budget, mean, print_table, run_scheme, write_json,
-    DEFAULT_ACCESSES,
+    compresso_anchor, feasible_budget, mean, print_table, run_scheme, write_json, DEFAULT_ACCESSES,
 };
 use tmcc_workloads::WorkloadProfile;
 
@@ -46,12 +45,7 @@ fn main() {
     let a = mean(&out.iter().map(|r| r.no_compression_ns).collect::<Vec<_>>());
     let b = mean(&out.iter().map(|r| r.compresso_ns).collect::<Vec<_>>());
     let c = mean(&out.iter().map(|r| r.tmcc_ns).collect::<Vec<_>>());
-    rows.push(vec![
-        "AVERAGE".into(),
-        format!("{a:.1}"),
-        format!("{b:.1}"),
-        format!("{c:.1}"),
-    ]);
+    rows.push(vec!["AVERAGE".into(), format!("{a:.1}"), format!("{b:.1}"), format!("{c:.1}")]);
     print_table(
         "Fig. 18 — Average L3-miss latency (ns)",
         &["workload", "no compression", "compresso", "tmcc (iso-savings)"],

@@ -11,8 +11,7 @@
 use serde::Serialize;
 use tmcc::SchemeKind;
 use tmcc_bench::{
-    compresso_anchor, feasible_budget, mean, print_table, run_scheme, write_json,
-    DEFAULT_ACCESSES,
+    compresso_anchor, feasible_budget, mean, print_table, run_scheme, write_json, DEFAULT_ACCESSES,
 };
 use tmcc_workloads::WorkloadProfile;
 
@@ -33,7 +32,10 @@ fn main() {
         let budget = feasible_budget(&w, used);
         let r = run_scheme(&w, SchemeKind::Tmcc, Some(budget), DEFAULT_ACCESSES);
         let s = r.stats;
-        let total = (s.ml1_cte_hit + s.ml1_parallel_correct + s.ml1_parallel_mismatch + s.ml1_serial)
+        let total = (s.ml1_cte_hit
+            + s.ml1_parallel_correct
+            + s.ml1_parallel_mismatch
+            + s.ml1_serial)
             .max(1) as f64;
         let row = Row {
             workload: w.name,

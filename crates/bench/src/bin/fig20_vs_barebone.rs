@@ -10,8 +10,8 @@
 use serde::Serialize;
 use tmcc::config::TmccToggles;
 use tmcc_bench::{
-    compresso_anchor, feasible_budget, iso_perf_budget_search, mean, print_table,
-    run_two_level, write_json, DEFAULT_ACCESSES,
+    compresso_anchor, feasible_budget, iso_perf_budget_search, mean, print_table, run_two_level,
+    write_json, DEFAULT_ACCESSES,
 };
 use tmcc_workloads::WorkloadProfile;
 

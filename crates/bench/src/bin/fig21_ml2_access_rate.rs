@@ -46,11 +46,7 @@ fn main() {
     }
     let b = mean(&out.iter().map(|r| r.col_b_rate).collect::<Vec<_>>());
     let c = mean(&out.iter().map(|r| r.col_c_rate).collect::<Vec<_>>());
-    rows.push(vec![
-        "AVERAGE".into(),
-        format!("{:.2}%", b * 100.0),
-        format!("{:.2}%", c * 100.0),
-    ]);
+    rows.push(vec!["AVERAGE".into(), format!("{:.2}%", b * 100.0), format!("{:.2}%", c * 100.0)]);
     print_table(
         "Fig. 21 — ML2 accesses per (LLC miss + writeback)",
         &["workload", "Col B usage", "Col C usage"],

@@ -10,8 +10,7 @@ use serde::Serialize;
 use tmcc::config::TmccToggles;
 use tmcc::{SchemeKind, System, SystemConfig};
 use tmcc_bench::{
-    feasible_budget, iso_perf_budget_search_cfg, mean, print_table, write_json,
-    DEFAULT_ACCESSES,
+    feasible_budget, iso_perf_budget_search_cfg, mean, print_table, write_json, DEFAULT_ACCESSES,
 };
 use tmcc_workloads::WorkloadProfile;
 
@@ -50,8 +49,7 @@ fn main() {
         let row = Row {
             workload: w.name,
             perf_normalized: rt.perf_accesses_per_us() / rc.perf_accesses_per_us(),
-            iso_perf_capacity_ratio: (a / riso.stats.dram_used_bytes as f64)
-                / (a / used as f64),
+            iso_perf_capacity_ratio: (a / riso.stats.dram_used_bytes as f64) / (a / used as f64),
         };
         rows.push(vec![
             row.workload.to_string(),

@@ -38,8 +38,7 @@ fn main() {
         let row = Row {
             workload: w.name,
             perf_normalized: rt.perf_accesses_per_us() / rc.perf_accesses_per_us(),
-            iso_perf_ratio_normalized: (a / riso.stats.dram_used_bytes as f64)
-                / (a / used as f64),
+            iso_perf_ratio_normalized: (a / riso.stats.dram_used_bytes as f64) / (a / used as f64),
         };
         rows.push(vec![
             row.workload.to_string(),

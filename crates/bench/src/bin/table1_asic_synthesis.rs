@@ -35,11 +35,7 @@ fn main() {
             format!("{:.3} mm2", a.area_mm2),
             format!("{:.0} mW", a.power_mw),
         ]);
-        out.push(Row {
-            module: name,
-            area_mm2: a.area_mm2,
-            power_mw: a.power_mw,
-        });
+        out.push(Row { module: name, area_mm2: a.area_mm2, power_mw: a.power_mw });
     }
     print_table(
         "Table I — ASIC Deflate synthesis (7nm ASAP @0.7V model)",

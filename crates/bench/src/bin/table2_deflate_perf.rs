@@ -47,11 +47,7 @@ fn main() {
             dec.push(codec.decompress_latency(&c).ns);
             half.push(codec.needed_block_latency(&c).ns);
             comp.push(codec.compress_latency(&c).ns);
-            dec_tp.push(
-                codec
-                    .timing()
-                    .decompress_throughput_gbps(c.payload_bits(), page.len()),
-            );
+            dec_tp.push(codec.timing().decompress_throughput_gbps(c.payload_bits(), page.len()));
             comp_tp.push(codec.timing().compress_throughput_gbps(
                 page.len(),
                 c.lz_stats(),

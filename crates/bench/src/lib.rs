@@ -105,9 +105,7 @@ pub fn run_two_level(
     } else {
         SchemeKind::OsInspired
     };
-    let cfg = SystemConfig::new(workload.clone(), kind)
-        .with_budget(budget)
-        .with_toggles(toggles);
+    let cfg = SystemConfig::new(workload.clone(), kind).with_budget(budget).with_toggles(toggles);
     System::new(cfg).run(accesses)
 }
 

@@ -27,10 +27,7 @@ fn cam_size_trade_off_matches_paper() {
     let loss_1k = 1.0 - r1024 / r4096;
     let loss_256 = 1.0 - r256 / r4096;
     assert!(loss_1k < 0.08, "1 KiB CAM should lose little ratio: {loss_1k:.3}");
-    assert!(
-        loss_256 > loss_1k,
-        "256 B CAM must degrade more: {loss_256:.3} vs {loss_1k:.3}"
-    );
+    assert!(loss_256 > loss_1k, "256 B CAM must degrade more: {loss_256:.3} vs {loss_1k:.3}");
 }
 
 /// §V-B1: dynamic Huffman skipping never hurts and helps on

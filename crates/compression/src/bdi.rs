@@ -125,10 +125,7 @@ impl BdiCodec {
         }
     }
 
-    fn try_base_delta(
-        block: &[u8; BLOCK_SIZE],
-        enc: Encoding,
-    ) -> Option<Vec<u8>> {
+    fn try_base_delta(block: &[u8; BLOCK_SIZE], enc: Encoding) -> Option<Vec<u8>> {
         let (bs, ds) = enc.base_delta().expect("base-delta encoding");
         let values = Self::values(block, bs);
         let n = values.len();
@@ -188,7 +185,7 @@ impl BlockCodec for BdiCodec {
             Encoding::B8D4,
         ] {
             if let Some(out) = Self::try_base_delta(block, enc) {
-                if best.as_ref().map_or(true, |b| out.len() < b.len()) {
+                if best.as_ref().is_none_or(|b| out.len() < b.len()) {
                     best = Some(out);
                 }
             }

@@ -58,7 +58,7 @@ impl BestOfCodec {
         ];
         for (who, out) in candidates {
             if let Some(out) = out {
-                if best.as_ref().map_or(true, |(_, b)| out.len() < b.len()) {
+                if best.as_ref().is_none_or(|(_, b)| out.len() < b.len()) {
                     best = Some((who, out));
                 }
             }
@@ -114,12 +114,7 @@ mod tests {
     #[test]
     fn never_worse_than_any_member() {
         let codec = BestOfCodec::new();
-        let members: [&dyn BlockCodec; 4] = [
-            &codec.zero,
-            &codec.bdi,
-            &codec.bpc,
-            &codec.cpack,
-        ];
+        let members: [&dyn BlockCodec; 4] = [&codec.zero, &codec.bdi, &codec.bpc, &codec.cpack];
         for block in sample_blocks() {
             let composite = codec.compressed_size(&block);
             for m in &members {

@@ -76,10 +76,7 @@ impl<'a> BitReader<'a> {
     /// Panics if fewer than `n` bits remain or `n > 64`.
     pub fn get(&mut self, n: u32) -> u64 {
         assert!(n <= 64, "cannot read more than 64 bits at once");
-        assert!(
-            self.pos_bits + n as usize <= self.bytes.len() * 8,
-            "bit stream exhausted"
-        );
+        assert!(self.pos_bits + n as usize <= self.bytes.len() * 8, "bit stream exhausted");
         let mut out = 0u64;
         for _ in 0..n {
             let byte = self.bytes[self.pos_bits / 8];

@@ -135,10 +135,7 @@ impl BlockCodec for BpcCodec {
             if dbx == 0 {
                 // Count the zero-DBX run.
                 let mut run = 1;
-                while p + run < PLANES
-                    && (dbp[p + run] ^ dbp[p + run - 1]) == 0
-                    && run < 33
-                {
+                while p + run < PLANES && (dbp[p + run] ^ dbp[p + run - 1]) == 0 && run < 33 {
                     run += 1;
                 }
                 if run >= 2 {
@@ -157,9 +154,7 @@ impl BlockCodec for BpcCodec {
             } else if dbx.count_ones() == 1 {
                 w.put(0b00010, 5);
                 w.put(dbx.trailing_zeros() as u64, 4);
-            } else if dbx.count_ones() == 2
-                && ((dbx >> dbx.trailing_zeros()) & 0b11) == 0b11
-            {
+            } else if dbx.count_ones() == 2 && ((dbx >> dbx.trailing_zeros()) & 0b11) == 0b11 {
                 w.put(0b00011, 5);
                 w.put(dbx.trailing_zeros() as u64, 4);
             } else {
@@ -283,8 +278,22 @@ mod tests {
         let codec = BpcCodec::new();
         let mut block = [0u8; BLOCK_SIZE];
         let vals: [u32; 16] = [
-            u32::MAX, 0, u32::MAX, 1, 0x8000_0000, 0x7fff_ffff, 3, u32::MAX - 7,
-            0, 0, 1, 2, 0xffff_0000, 0x0000_ffff, 42, 41,
+            u32::MAX,
+            0,
+            u32::MAX,
+            1,
+            0x8000_0000,
+            0x7fff_ffff,
+            3,
+            u32::MAX - 7,
+            0,
+            0,
+            1,
+            2,
+            0xffff_0000,
+            0x0000_ffff,
+            42,
+            41,
         ];
         for (i, v) in vals.iter().enumerate() {
             block[i * 4..(i + 1) * 4].copy_from_slice(&v.to_le_bytes());
@@ -301,8 +310,8 @@ mod tests {
         let codec = BpcCodec::new();
         for bit in 0..15usize {
             let mut words = [100u32; 16];
-            for i in (bit + 1)..16 {
-                words[i] = 101; // one delta of +1 at position `bit`
+            for w in words.iter_mut().skip(bit + 1) {
+                *w = 101; // one delta of +1 at position `bit`
             }
             let mut block = [0u8; BLOCK_SIZE];
             for (i, v) in words.iter().enumerate() {

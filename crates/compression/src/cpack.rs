@@ -35,10 +35,7 @@ struct Dict {
 
 impl Dict {
     fn new() -> Self {
-        Self {
-            entries: vec![0; DICT_ENTRIES],
-            next: 0,
-        }
+        Self { entries: vec![0; DICT_ENTRIES], next: 0 }
     }
 
     fn push(&mut self, word: u32) {
@@ -60,7 +57,7 @@ impl Dict {
             } else {
                 continue;
             };
-            if best.map_or(true, |(_, m)| matched > m) {
+            if best.is_none_or(|(_, m)| matched > m) {
                 best = Some((i, matched));
             }
         }

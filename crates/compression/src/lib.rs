@@ -78,7 +78,7 @@ pub(crate) mod testutil {
         let mut blocks = Vec::new();
         blocks.push([0u8; BLOCK_SIZE]); // zero
         blocks.push([0xAB; BLOCK_SIZE]); // repeated byte
-        // Small 32-bit integers (BDI-friendly).
+                                         // Small 32-bit integers (BDI-friendly).
         let mut ints = [0u8; BLOCK_SIZE];
         for i in 0..16 {
             ints[i * 4..i * 4 + 4].copy_from_slice(&(1000u32 + i as u32).to_le_bytes());

@@ -39,11 +39,7 @@ fn arb_strided_block() -> impl Strategy<Value = [u8; BLOCK_SIZE]> {
 
 fn check_round_trip(codec: &dyn BlockCodec, block: &[u8; BLOCK_SIZE]) {
     if let Some(c) = codec.compress(block) {
-        assert!(
-            c.len() < BLOCK_SIZE,
-            "{}: compressed output not smaller",
-            codec.name()
-        );
+        assert!(c.len() < BLOCK_SIZE, "{}: compressed output not smaller", codec.name());
         assert_eq!(&codec.decompress(&c), block, "{}: round trip", codec.name());
     }
 }

@@ -46,34 +46,110 @@ pub struct TmccToggles {
 impl TmccToggles {
     /// Both optimizations on (full TMCC).
     pub fn full() -> Self {
-        Self {
-            embedded_ctes: true,
-            fast_deflate: true,
-        }
+        Self { embedded_ctes: true, fast_deflate: true }
     }
 
     /// Both off (barebone OS-inspired design).
     pub fn none() -> Self {
-        Self {
-            embedded_ctes: false,
-            fast_deflate: false,
-        }
+        Self { embedded_ctes: false, fast_deflate: false }
     }
 
     /// Only the ML1 optimization (Fig. 20's "ML1 opt").
     pub fn ml1_only() -> Self {
-        Self {
-            embedded_ctes: true,
-            fast_deflate: false,
-        }
+        Self { embedded_ctes: true, fast_deflate: false }
     }
 
     /// Only the ML2 optimization (Fig. 20's "ML2 opt").
     pub fn ml2_only() -> Self {
-        Self {
-            embedded_ctes: false,
-            fast_deflate: true,
-        }
+        Self { embedded_ctes: false, fast_deflate: true }
+    }
+}
+
+/// A runtime fault to inject, scheduled by access count.
+///
+/// Faults model operational shocks a deployed compressed-memory system
+/// must survive: ballooning (the hypervisor reclaiming or returning DRAM
+/// mid-run), metadata-cache flush storms (e.g. after a context-switch
+/// flood), stale-translation storms, a degraded migration engine, and
+/// content shifts that spike incompressibility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Balloon deflation: permanently remove `frames` 4 KiB frames from
+    /// the scheme's DRAM budget. Frames that are not free at injection
+    /// time become *reclaim debt* the scheme pays down through
+    /// (emergency) evictions.
+    ShrinkBudget {
+        /// Frames to remove.
+        frames: u32,
+    },
+    /// Balloon inflation: return `frames` fresh 4 KiB frames to the
+    /// budget (paying down any outstanding reclaim debt first).
+    GrowBudget {
+        /// Frames to add.
+        frames: u32,
+    },
+    /// Flush the CTE cache and CTE buffer (every cached translation is
+    /// lost at once).
+    CteFlushStorm,
+    /// Treat the next `count` embedded-CTE lookups as stale, forcing the
+    /// verify-and-reaccess path (Fig. 8c) regardless of actual state.
+    StaleEmbeddings {
+        /// Number of lookups to poison.
+        count: u64,
+    },
+    /// Shrink the migration buffer to `entries` in-flight migrations
+    /// (min 1); models a degraded migration engine.
+    ShrinkMigrationBuffer {
+        /// New capacity.
+        entries: usize,
+    },
+    /// Restore the migration buffer to its hardware capacity.
+    RestoreMigrationBuffer,
+    /// Content shift: inflate every future compressed-size estimate by
+    /// `percent` (0 restores the original profile). Spikes
+    /// incompressibility, starving ML2 of viable victims.
+    ContentShift {
+        /// Inflation percentage applied to compressed sizes.
+        percent: u32,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Access count (measured from system construction, warmup included)
+    /// at which the fault fires — it is injected just before this access
+    /// executes.
+    pub at_access: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seed-independent schedule of runtime faults.
+///
+/// The plan is part of [`SystemConfig`]; two runs with the same seed and
+/// the same plan are bit-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults, in any order (the system sorts internally).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event (builder style).
+    pub fn with(mut self, at_access: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at_access, kind });
+        self
+    }
+
+    /// Whether the plan schedules anything.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
     }
 }
 
@@ -114,6 +190,14 @@ pub struct SystemConfig {
     /// 15 % so the list accumulates a comparable number of samples per
     /// resident page within the simulated window.
     pub recency_sample: f64,
+    /// Runtime faults to inject, scheduled by access count. Empty by
+    /// default.
+    pub fault_plan: FaultPlan,
+    /// Run the invariant auditor ([`crate::System::validate`]) after
+    /// every maintenance interval, aborting the run with
+    /// [`crate::TmccError::InvariantViolation`] on the first
+    /// inconsistency. Off by default (it walks every resident page).
+    pub audit: bool,
 }
 
 impl SystemConfig {
@@ -149,6 +233,8 @@ impl SystemConfig {
             cores: 4,
             warmup_accesses: 60_000,
             recency_sample: 0.15,
+            fault_plan: FaultPlan::none(),
+            audit: false,
         }
     }
 
@@ -167,6 +253,19 @@ impl SystemConfig {
     /// Sets the seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the fault plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Enables the per-maintenance-interval invariant audit (builder
+    /// style).
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
         self
     }
 

@@ -1,0 +1,139 @@
+//! Typed errors for the capacity-pressure resilience layer.
+//!
+//! Library paths that used to `panic!`/`expect` on resource exhaustion or
+//! broken invariants now propagate [`TmccError`] so callers (the bench
+//! harness, fault-injection sweeps, downstream users of the crate) can
+//! distinguish "this configuration is infeasible" from "the simulator has
+//! a bug" and react — retry with a larger budget, record the failure, or
+//! abort with context. Construction-time convenience wrappers
+//! ([`crate::System::new`], `TwoLevelScheme::new`) still panic, but they
+//! are thin shims over the fallible `try_*` constructors.
+
+use std::fmt;
+
+/// Result alias for fallible TMCC operations.
+pub type Result<T> = std::result::Result<T, TmccError>;
+
+/// Everything that can go wrong inside the simulated memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TmccError {
+    /// The DRAM budget cannot hold the workload even fully compressed.
+    InfeasibleBudget {
+        /// 4 KiB frames the budget provides.
+        budget_frames: u64,
+        /// Frames the workload needs at minimum (page table pinned,
+        /// everything else compressed, plus the eviction reserve).
+        required_frames: u64,
+        /// Which stage of placement ran out of room.
+        stage: &'static str,
+    },
+    /// An allocation could not be satisfied because the free lists ran
+    /// dry (ML1 had no chunks left to donate to ML2).
+    FreeListExhausted {
+        /// Bytes the failed allocation asked for.
+        requested_bytes: usize,
+        /// Free 4 KiB chunks ML1 had at the time.
+        ml1_free_chunks: usize,
+    },
+    /// An allocation request exceeded the largest sub-chunk size class.
+    OversizedAllocation {
+        /// Bytes requested.
+        requested_bytes: usize,
+        /// The largest class available.
+        largest_class: usize,
+    },
+    /// The memory controller was asked about a page it never placed.
+    UnplacedPage {
+        /// The physical page number.
+        ppn: u64,
+    },
+    /// The workload touched a virtual page the page table does not map.
+    UnmappedVpn {
+        /// The virtual page number.
+        vpn: u64,
+    },
+    /// A sub-chunk was freed twice.
+    DoubleFree {
+        /// Super-chunk id of the offending free.
+        super_id: u32,
+        /// Slot within the super-chunk.
+        slot: u8,
+    },
+    /// An operation named a sub-chunk whose super-chunk is not live.
+    UnknownSubChunk {
+        /// The super-chunk id that was not found.
+        super_id: u32,
+    },
+    /// The invariant auditor ([`crate::System::validate`]) found the
+    /// system in an inconsistent state.
+    InvariantViolation {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TmccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmccError::InfeasibleBudget { budget_frames, required_frames, stage } => write!(
+                f,
+                "DRAM budget infeasible during {stage}: {budget_frames} frames available, \
+                 at least {required_frames} required even fully compressed"
+            ),
+            TmccError::FreeListExhausted { requested_bytes, ml1_free_chunks } => write!(
+                f,
+                "free lists exhausted: cannot allocate {requested_bytes} bytes \
+                 ({ml1_free_chunks} free ML1 chunks)"
+            ),
+            TmccError::OversizedAllocation { requested_bytes, largest_class } => write!(
+                f,
+                "allocation of {requested_bytes} bytes exceeds the largest \
+                 sub-chunk class ({largest_class} bytes)"
+            ),
+            TmccError::UnplacedPage { ppn } => {
+                write!(f, "access to unplaced physical page {ppn:#x}")
+            }
+            TmccError::UnmappedVpn { vpn } => {
+                write!(f, "workload touched unmapped virtual page {vpn:#x}")
+            }
+            TmccError::DoubleFree { super_id, slot } => {
+                write!(f, "sub-chunk slot {slot} of super-chunk {super_id} double-freed")
+            }
+            TmccError::UnknownSubChunk { super_id } => {
+                write!(f, "super-chunk {super_id} is not live")
+            }
+            TmccError::InvariantViolation { detail } => {
+                write!(f, "invariant violation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TmccError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = TmccError::InfeasibleBudget {
+            budget_frames: 10,
+            required_frames: 100,
+            stage: "page-table pinning",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10 frames"));
+        assert!(msg.contains("100"));
+        assert!(msg.contains("page-table pinning"));
+
+        let e = TmccError::UnmappedVpn { vpn: 0xabc };
+        assert!(e.to_string().contains("0xabc"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&TmccError::UnplacedPage { ppn: 1 });
+    }
+}

@@ -17,6 +17,7 @@
 //! All three enforce the conservation invariant — a chunk is never in two
 //! places at once — which the property tests exercise.
 
+use crate::error::TmccError;
 use std::collections::{HashMap, VecDeque};
 
 /// A simple LIFO free list of uniform chunks, used for Compresso's 512 B
@@ -33,9 +34,7 @@ pub struct ChunkFreeList {
 impl ChunkFreeList {
     /// Creates a list owning chunks `0..chunks`.
     pub fn with_chunks(chunks: u32) -> Self {
-        Self {
-            free: (0..chunks).rev().collect(),
-        }
+        Self { free: (0..chunks).rev().collect() }
     }
 
     /// Creates an empty list.
@@ -142,10 +141,7 @@ impl Ml2FreeLists {
     /// larger than 4 KiB.
     pub fn new(class_sizes: Vec<usize>) -> Self {
         assert!(!class_sizes.is_empty(), "need at least one class");
-        assert!(
-            class_sizes.windows(2).all(|w| w[0] < w[1]),
-            "classes must be ascending"
-        );
+        assert!(class_sizes.windows(2).all(|w| w[0] < w[1]), "classes must be ascending");
         assert!(
             *class_sizes.last().expect("non-empty") <= 4096,
             "sub-chunks cannot exceed a 4 KiB chunk"
@@ -206,24 +202,49 @@ impl Ml2FreeLists {
     /// Allocates a sub-chunk for a `bytes`-long compressed page, carving a
     /// new super-chunk from `ml1`'s free chunks when the class is empty.
     /// Returns `None` when `bytes` exceeds the largest class or ML1 has no
-    /// chunks to donate.
+    /// chunks to donate (see [`try_allocate`](Self::try_allocate) for the
+    /// typed distinction between the two).
     pub fn allocate(&mut self, bytes: usize, ml1: &mut Ml1FreeList) -> Option<SubChunk> {
-        let class = self.class_for(bytes)?;
-        if self.avail[class].is_empty() {
-            self.carve_super(class, ml1)?;
+        self.try_allocate(bytes, ml1).ok()
+    }
+
+    /// Allocates a sub-chunk for a `bytes`-long compressed page, reporting
+    /// *why* an allocation cannot be satisfied:
+    /// [`TmccError::OversizedAllocation`] when no class fits `bytes`, and
+    /// [`TmccError::FreeListExhausted`] when ML1 cannot donate enough
+    /// chunks to carve a fresh super-chunk.
+    pub fn try_allocate(
+        &mut self,
+        bytes: usize,
+        ml1: &mut Ml1FreeList,
+    ) -> Result<SubChunk, TmccError> {
+        let class = self.class_for(bytes).ok_or(TmccError::OversizedAllocation {
+            requested_bytes: bytes,
+            largest_class: *self.class_sizes.last().unwrap_or(&0),
+        })?;
+        if self.avail[class].is_empty() && self.carve_super(class, ml1).is_none() {
+            return Err(TmccError::FreeListExhausted {
+                requested_bytes: bytes,
+                ml1_free_chunks: ml1.len(),
+            });
         }
-        let super_id = *self.avail[class].last().expect("non-empty avail");
-        let sc = self.supers.get_mut(&super_id).expect("live super");
-        let slot = sc.free_slots.pop_front().expect("has a free slot");
+        // `avail[class]` is non-empty by construction above; both lookups
+        // below are guarded rather than asserted so a corrupted state
+        // surfaces as a typed error instead of a panic.
+        let super_id = *self.avail[class].last().ok_or(TmccError::FreeListExhausted {
+            requested_bytes: bytes,
+            ml1_free_chunks: ml1.len(),
+        })?;
+        let sc = self.supers.get_mut(&super_id).ok_or(TmccError::UnknownSubChunk { super_id })?;
+        let slot = sc.free_slots.pop_front().ok_or(TmccError::FreeListExhausted {
+            requested_bytes: bytes,
+            ml1_free_chunks: ml1.len(),
+        })?;
         if sc.free_slots.is_empty() {
             self.avail[class].pop();
         }
         self.allocated_bytes += self.class_sizes[class];
-        Some(SubChunk {
-            class,
-            super_id,
-            slot,
-        })
+        Ok(SubChunk { class, super_id, slot })
     }
 
     fn carve_super(&mut self, class: usize, ml1: &mut Ml1FreeList) -> Option<()> {
@@ -244,14 +265,8 @@ impl Ml2FreeLists {
         }
         let id = self.next_super;
         self.next_super += 1;
-        self.supers.insert(
-            id,
-            SuperChunk {
-                chunks,
-                free_slots: (0..n as u8).collect(),
-                n: n as u8,
-            },
-        );
+        self.supers
+            .insert(id, SuperChunk { chunks, free_slots: (0..n as u8).collect(), n: n as u8 });
         self.avail[class].push(id);
         self.owned_chunks += m;
         Some(())
@@ -262,14 +277,26 @@ impl Ml2FreeLists {
     ///
     /// # Panics
     ///
-    /// Panics on double-free or unknown sub-chunks.
+    /// Panics on double-free or unknown sub-chunks. Library code should
+    /// use [`try_free`](Self::try_free) instead.
     pub fn free(&mut self, sub: SubChunk, ml1: &mut Ml1FreeList) {
-        let sc = self.supers.get_mut(&sub.super_id).expect("live super-chunk");
-        assert!(
-            !sc.free_slots.contains(&sub.slot),
-            "sub-chunk slot {} double-freed",
-            sub.slot
-        );
+        if let Err(e) = self.try_free(sub, ml1) {
+            panic!("{e}");
+        }
+    }
+
+    /// Frees a sub-chunk, returning [`TmccError::DoubleFree`] /
+    /// [`TmccError::UnknownSubChunk`] instead of panicking when the
+    /// sub-chunk is not a live allocation. If its super-chunk becomes
+    /// entirely free, the backing chunks return to ML1 (§IV-B).
+    pub fn try_free(&mut self, sub: SubChunk, ml1: &mut Ml1FreeList) -> Result<(), TmccError> {
+        let sc = self
+            .supers
+            .get_mut(&sub.super_id)
+            .ok_or(TmccError::UnknownSubChunk { super_id: sub.super_id })?;
+        if sc.free_slots.contains(&sub.slot) {
+            return Err(TmccError::DoubleFree { super_id: sub.super_id, slot: sub.slot });
+        }
         // Newly-freed super-chunks go to the *top* of the list (§IV-B).
         sc.free_slots.push_front(sub.slot);
         self.allocated_bytes -= self.class_sizes[sub.class];
@@ -278,13 +305,17 @@ impl Ml2FreeLists {
         }
         if sc.free_slots.len() == sc.n as usize {
             // Fully free: dissolve and return chunks to ML1.
-            let sc = self.supers.remove(&sub.super_id).expect("live super-chunk");
+            let sc = self
+                .supers
+                .remove(&sub.super_id)
+                .ok_or(TmccError::UnknownSubChunk { super_id: sub.super_id })?;
             self.owned_chunks -= sc.chunks.len();
             for c in sc.chunks {
                 ml1.push(c);
             }
             self.avail[sub.class].retain(|&id| id != sub.super_id);
         }
+        Ok(())
     }
 
     /// Bytes currently allocated to compressed pages.
@@ -308,12 +339,28 @@ impl Ml2FreeLists {
     ///
     /// # Panics
     ///
-    /// Panics if `sub` does not name a live allocation.
+    /// Panics if `sub` does not name a live allocation. Library code
+    /// should use [`try_addr_of`](Self::try_addr_of) instead.
     pub fn addr_of(&self, sub: SubChunk) -> u64 {
-        let sc = self.supers.get(&sub.super_id).expect("live super-chunk");
+        match self.try_addr_of(sub) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// DRAM byte address where sub-chunk `sub` starts, or
+    /// [`TmccError::UnknownSubChunk`] when its super-chunk is not live.
+    pub fn try_addr_of(&self, sub: SubChunk) -> Result<u64, TmccError> {
+        let sc = self
+            .supers
+            .get(&sub.super_id)
+            .ok_or(TmccError::UnknownSubChunk { super_id: sub.super_id })?;
         let offset = sub.slot as usize * self.class_sizes[sub.class];
-        let chunk = sc.chunks[offset / 4096];
-        chunk as u64 * 4096 + (offset % 4096) as u64
+        let chunk = *sc
+            .chunks
+            .get(offset / 4096)
+            .ok_or(TmccError::UnknownSubChunk { super_id: sub.super_id })?;
+        Ok(chunk as u64 * 4096 + (offset % 4096) as u64)
     }
 }
 
@@ -427,14 +474,9 @@ mod tests {
         let mut k = 0usize;
         // Allocate until ML1 runs dry, then free half and repeat.
         for round in 0..6 {
-            loop {
-                match ml2.allocate(300 + (k * 97) % 3500, &mut ml1) {
-                    Some(s) => {
-                        live.push(s);
-                        k += 1;
-                    }
-                    None => break,
-                }
+            while let Some(s) = ml2.allocate(300 + (k * 97) % 3500, &mut ml1) {
+                live.push(s);
+                k += 1;
             }
             let half = live.len() / 2;
             for s in live.drain(..half) {

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod free_list;
 pub mod recency;
 pub mod schemes;
@@ -41,7 +42,8 @@ pub mod size_model;
 pub mod stats;
 pub mod system;
 
-pub use config::{SchemeKind, SystemConfig};
+pub use config::{FaultEvent, FaultKind, FaultPlan, SchemeKind, SystemConfig};
+pub use error::TmccError;
 pub use free_list::{CompressoFreeList, Ml1FreeList, Ml2FreeLists};
 pub use recency::RecencyList;
 pub use size_model::{PageSizes, SizeModel};

@@ -65,15 +65,12 @@ impl RecencyList {
     ///
     /// Panics unless `0 < sample_prob <= 1`.
     pub fn with_probability(seed: u64, sample_prob: f64) -> Self {
-        assert!(
-            sample_prob > 0.0 && sample_prob <= 1.0,
-            "sampling probability must be in (0, 1]"
-        );
+        assert!(sample_prob > 0.0 && sample_prob <= 1.0, "sampling probability must be in (0, 1]");
         Self {
             nodes: HashMap::new(),
             head: None,
             tail: None,
-            rng: SmallRng::seed_from_u64(seed ^ 0xDEC_AF),
+            rng: SmallRng::seed_from_u64(seed ^ 0xDECAF),
             sample_prob,
         }
     }
@@ -100,13 +97,7 @@ impl RecencyList {
             self.unlink(key);
         }
         let old_head = self.head;
-        self.nodes.insert(
-            key,
-            Node {
-                prev: None,
-                next: old_head,
-            },
-        );
+        self.nodes.insert(key, Node { prev: None, next: old_head });
         if let Some(h) = old_head {
             self.nodes.get_mut(&h).expect("head exists").prev = Some(key);
         }
@@ -207,10 +198,7 @@ mod tests {
         for p in 1..=4u64 {
             rl.insert_hot(Ppn::new(p));
         }
-        assert_eq!(
-            rl.cold_to_hot(),
-            vec![Ppn::new(1), Ppn::new(2), Ppn::new(3), Ppn::new(4)]
-        );
+        assert_eq!(rl.cold_to_hot(), vec![Ppn::new(1), Ppn::new(2), Ppn::new(3), Ppn::new(4)]);
         rl.insert_hot(Ppn::new(1)); // re-touch the coldest
         assert_eq!(rl.coldest(), Some(Ppn::new(2)));
     }

@@ -9,6 +9,7 @@
 
 use super::{metadata_dram_addr, MemRequest, Scheme};
 use crate::config::SchemeKind;
+use crate::error::TmccError;
 use crate::free_list::CompressoFreeList;
 use crate::size_model::SizeModel;
 use crate::stats::SimStats;
@@ -79,15 +80,18 @@ impl CompressoScheme {
         self.meta_cache.hit_rate()
     }
 
-    fn data_addr(&self, req: &MemRequest) -> DramAddr {
-        let page = self.pages.get(&req.ppn.raw()).expect("resident page");
+    fn data_addr(&self, req: &MemRequest) -> Result<DramAddr, TmccError> {
+        let page =
+            self.pages.get(&req.ppn.raw()).ok_or(TmccError::UnplacedPage { ppn: req.ppn.raw() })?;
         let bi = req.block.index_in_page();
         // Blocks are packed in order: place block i proportionally into
         // the page's chunk list (the exact packing is in the metadata
         // entry; timing only needs a deterministic in-page location).
         let idx = (bi * page.chunks.len()) / 64;
         let within = (bi * 64) % BlockMetadata::CHUNK_SIZE;
-        DramAddr::new(page.chunks[idx] as u64 * BlockMetadata::CHUNK_SIZE as u64 + within as u64)
+        Ok(DramAddr::new(
+            page.chunks[idx] as u64 * BlockMetadata::CHUNK_SIZE as u64 + within as u64,
+        ))
     }
 
     /// CTE translation for one request: returns added latency and whether
@@ -130,11 +134,11 @@ impl Scheme for CompressoScheme {
         now_ns: f64,
         dram: &mut DramSim,
         stats: &mut SimStats,
-    ) -> f64 {
+    ) -> Result<f64, TmccError> {
+        let addr = self.data_addr(req)?;
         let (ready_ns, _missed) = self.translate(req, now_ns, dram, stats, true);
-        let addr = self.data_addr(req);
         let done = dram.access(ready_ns, addr, req.write);
-        done - now_ns
+        Ok(done - now_ns)
     }
 
     fn writeback(
@@ -143,20 +147,20 @@ impl Scheme for CompressoScheme {
         now_ns: f64,
         dram: &mut DramSim,
         stats: &mut SimStats,
-    ) {
+    ) -> Result<(), TmccError> {
+        let addr = self.data_addr(req)?;
         let (ready_ns, _) = self.translate(req, now_ns, dram, stats, false);
-        let addr = self.data_addr(req);
         let done = dram.access_background(ready_ns, addr, true);
         // Occasionally the new value no longer fits: repack the page
         // (metadata update + data movement), the churn [6] manages.
         if self.rng.gen::<f64>() < OVERFLOW_PROBABILITY {
             stats.page_overflows += 1;
-            let page = self.pages.get_mut(&req.ppn.raw()).expect("resident page");
+            let page = self
+                .pages
+                .get_mut(&req.ppn.raw())
+                .ok_or(TmccError::UnplacedPage { ppn: req.ppn.raw() })?;
             page.dirty_epoch += 1;
-            let need = self
-                .size_model
-                .sizes_of(req.ppn.raw(), page.dirty_epoch)
-                .compresso_chunks();
+            let need = self.size_model.sizes_of(req.ppn.raw(), page.dirty_epoch).compresso_chunks();
             while page.chunks.len() < need {
                 match self.free.pop() {
                     Some(c) => page.chunks.push(c),
@@ -164,21 +168,21 @@ impl Scheme for CompressoScheme {
                 }
             }
             while page.chunks.len() > need {
-                self.free
-                    .push(page.chunks.pop().expect("non-empty chunk list"));
+                match page.chunks.pop() {
+                    Some(c) => self.free.push(c),
+                    None => break,
+                }
             }
             // Metadata rewrite + one chunk's worth of data movement.
             let t = dram.access_background(done, DramAddr::new(metadata_dram_addr(req.ppn)), true);
             let _ = dram.access_background(t, addr, true);
         }
+        Ok(())
     }
 
     fn dram_used_bytes(&self) -> u64 {
-        let data: u64 = self
-            .pages
-            .values()
-            .map(|p| (p.chunks.len() * BlockMetadata::CHUNK_SIZE) as u64)
-            .sum();
+        let data: u64 =
+            self.pages.values().map(|p| (p.chunks.len() * BlockMetadata::CHUNK_SIZE) as u64).sum();
         let metadata = self.pages.len() as u64 * BlockMetadata::SIZE_IN_DRAM as u64;
         data + metadata
     }
@@ -191,16 +195,8 @@ mod tests {
     use tmcc_sim_dram::InterleavePolicy;
 
     fn scheme_with(pages: u64, block_bytes: usize) -> CompressoScheme {
-        let model = SizeModel::from_samples(vec![PageSizes {
-            deflate_bytes: 800,
-            block_bytes,
-        }]);
-        CompressoScheme::new(
-            CteCacheConfig::compresso(),
-            model,
-            (0..pages).map(Ppn::new),
-            1,
-        )
+        let model = SizeModel::from_samples(vec![PageSizes { deflate_bytes: 800, block_bytes }]);
+        CompressoScheme::new(CteCacheConfig::compresso(), model, (0..pages).map(Ppn::new), 1)
     }
 
     fn req(ppn: u64, block: usize) -> MemRequest {
@@ -218,8 +214,8 @@ mod tests {
         let mut dram = DramSim::new(Default::default(), InterleavePolicy::baseline());
         let mut s = scheme_with(16, 2000);
         let mut stats = SimStats::default();
-        let cold = s.access(&req(3, 0), 0.0, &mut dram, &mut stats);
-        let warm = s.access(&req(3, 1), 10_000.0, &mut dram, &mut stats);
+        let cold = s.access(&req(3, 0), 0.0, &mut dram, &mut stats).unwrap();
+        let warm = s.access(&req(3, 1), 10_000.0, &mut dram, &mut stats).unwrap();
         assert!(cold > warm, "serial metadata fetch must cost extra: {cold} vs {warm}");
         assert_eq!(stats.cte_misses, 1);
         assert_eq!(stats.cte_hits, 1);
@@ -242,11 +238,8 @@ mod tests {
         let mut stats = SimStats::default();
         let mut t = 0.0;
         for i in 0..2000 {
-            let r = MemRequest {
-                write: true,
-                ..req(i % 8, (i % 64) as usize)
-            };
-            s.writeback(&r, t, &mut dram, &mut stats);
+            let r = MemRequest { write: true, ..req(i % 8, (i % 64) as usize) };
+            s.writeback(&r, t, &mut dram, &mut stats).unwrap();
             t += 100.0;
         }
         let rate = stats.page_overflows as f64 / 2000.0;

@@ -14,7 +14,8 @@ pub use compresso::CompressoScheme;
 pub use nocomp::NoCompressionScheme;
 pub use two_level::TwoLevelScheme;
 
-use crate::config::SchemeKind;
+use crate::config::{FaultKind, SchemeKind};
+use crate::error::TmccError;
 use crate::stats::SimStats;
 use tmcc_sim_dram::DramSim;
 use tmcc_types::addr::{BlockAddr, Ppn};
@@ -42,6 +43,12 @@ pub struct MemRequest {
 }
 
 /// A memory-controller scheme.
+///
+/// The runtime methods are fallible: requests naming pages the scheme
+/// never placed, exhausted free lists mid-maintenance, and corrupted
+/// internal state surface as [`TmccError`] instead of panicking, so the
+/// system model can abort a run with context (or a harness can record
+/// the failure and move on).
 pub trait Scheme {
     /// Which scheme this is.
     fn kind(&self) -> SchemeKind;
@@ -49,8 +56,13 @@ pub trait Scheme {
     /// Services an LLC-miss read (or write-allocate). Returns the MC+DRAM
     /// service latency in ns (excluding the on-chip/NoC part, which the
     /// caller accounts).
-    fn access(&mut self, req: &MemRequest, now_ns: f64, dram: &mut DramSim, stats: &mut SimStats)
-        -> f64;
+    fn access(
+        &mut self,
+        req: &MemRequest,
+        now_ns: f64,
+        dram: &mut DramSim,
+        stats: &mut SimStats,
+    ) -> Result<f64, TmccError>;
 
     /// Handles a dirty LLC writeback (background: consumes DRAM bandwidth
     /// but adds no latency to the instruction stream).
@@ -60,15 +72,40 @@ pub trait Scheme {
         now_ns: f64,
         dram: &mut DramSim,
         stats: &mut SimStats,
-    );
+    ) -> Result<(), TmccError>;
 
     /// Notifies the scheme that the page walker fetched a PTB — TMCC
     /// harvests embedded CTEs into the CTE buffer here (§V-A3).
     fn on_ptb_fetched(&mut self, _block: BlockAddr, _ptb: &PageTableBlock) {}
 
     /// Periodic background maintenance (ML1 free-list replenishment via
-    /// cold-page eviction, §VI).
-    fn maintain(&mut self, _now_ns: f64, _dram: &mut DramSim, _stats: &mut SimStats) {}
+    /// cold-page eviction, §VI; emergency bursts under critical pressure).
+    fn maintain(
+        &mut self,
+        _now_ns: f64,
+        _dram: &mut DramSim,
+        _stats: &mut SimStats,
+    ) -> Result<(), TmccError> {
+        Ok(())
+    }
+
+    /// Injects a runtime fault. Schemes without the relevant machinery
+    /// treat faults as no-ops (a budget shock means nothing to the
+    /// uncompressed baseline).
+    fn apply_fault(
+        &mut self,
+        _fault: FaultKind,
+        _now_ns: f64,
+        _stats: &mut SimStats,
+    ) -> Result<(), TmccError> {
+        Ok(())
+    }
+
+    /// Audits internal invariants (frame conservation, placement/CTE
+    /// consistency). Cheap schemes with no internal state just return Ok.
+    fn validate(&self) -> Result<(), TmccError> {
+        Ok(())
+    }
 
     /// DRAM bytes currently occupied by data + translation metadata.
     fn dram_used_bytes(&self) -> u64;

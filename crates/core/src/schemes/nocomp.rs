@@ -5,6 +5,7 @@
 
 use super::{MemRequest, Scheme};
 use crate::config::SchemeKind;
+use crate::error::TmccError;
 use crate::stats::SimStats;
 use tmcc_sim_dram::DramSim;
 use tmcc_types::addr::DramAddr;
@@ -33,8 +34,8 @@ impl Scheme for NoCompressionScheme {
         now_ns: f64,
         dram: &mut DramSim,
         _stats: &mut SimStats,
-    ) -> f64 {
-        dram.access_latency(now_ns, DramAddr::new(req.block.base().raw()), req.write)
+    ) -> Result<f64, TmccError> {
+        Ok(dram.access_latency(now_ns, DramAddr::new(req.block.base().raw()), req.write))
     }
 
     fn writeback(
@@ -43,8 +44,9 @@ impl Scheme for NoCompressionScheme {
         now_ns: f64,
         dram: &mut DramSim,
         _stats: &mut SimStats,
-    ) {
+    ) -> Result<(), TmccError> {
         let _ = dram.access_background(now_ns, DramAddr::new(req.block.base().raw()), true);
+        Ok(())
     }
 
     fn dram_used_bytes(&self) -> u64 {
@@ -70,7 +72,7 @@ mod tests {
             is_ptb: false,
             after_tlb_miss: false,
         };
-        let lat = scheme.access(&req, 0.0, &mut dram, &mut stats);
+        let lat = scheme.access(&req, 0.0, &mut dram, &mut stats).unwrap();
         // One activate + CAS + burst: 30 ns.
         assert!((lat - 30.0).abs() < 0.5, "{lat}");
         assert_eq!(stats.cte_misses, 0, "no CTEs in this scheme");

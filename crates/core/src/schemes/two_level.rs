@@ -14,23 +14,35 @@
 //! Both share the ML1 free list, the ML2 super-chunk free lists, the
 //! sampled recency list, the migration machinery with its 8-page buffer,
 //! and the eviction thresholds of §VI.
+//!
+//! # Capacity-pressure resilience
+//!
+//! The scheme also carries the runtime fault machinery: a budget shock
+//! ([`FaultKind::ShrinkBudget`]) retires free frames immediately and books
+//! the shortfall as *reclaim debt* that maintenance pays off by retiring
+//! the frames eviction frees; while debt is outstanding or the free list
+//! sits below the critical watermark the scheme runs in *degraded mode*
+//! (emergency eviction bursts, raw-storage fallback when a page's exact
+//! size class cannot be carved). [`Scheme::validate`] audits frame
+//! conservation and CTE/placement consistency at any point.
 
 use super::{cte_dram_addr, MemRequest, Scheme};
-use crate::config::{SchemeKind, TmccToggles};
+use crate::config::{FaultKind, SchemeKind, TmccToggles};
+use crate::error::TmccError;
 use crate::free_list::{Ml1FreeList, Ml2FreeLists, SubChunk};
 use crate::recency::RecencyList;
 use crate::size_model::SizeModel;
 use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use tmcc_deflate::{DeflateTiming, IbmDeflateModel};
 use tmcc_sim_dram::DramSim;
 use tmcc_sim_mem::{CteBuffer, CteCache, CteCacheConfig, PageTable};
 use tmcc_types::addr::{BlockAddr, DramAddr, Ppn, PAGE_SIZE};
 use tmcc_types::cte::{Cte, MemoryLevel, TruncatedCte};
-use tmcc_types::pte::{PageTableBlock, PTES_PER_PTB};
 use tmcc_types::ptb::{CompressedPtb, PtbGeometry};
+use tmcc_types::pte::{PageTableBlock, PTES_PER_PTB};
 
 /// Entries in the MC's page-migration buffer (§VI: "a 32KB buffer (i.e.,
 /// eight 4KB entries)").
@@ -38,6 +50,20 @@ const MIGRATION_BUFFER_ENTRIES: usize = 8;
 
 /// Probability a writeback re-draws a page's compressibility.
 const DIRTY_REDRAW_PROBABILITY: f64 = 0.02;
+
+/// Evictions per maintenance slot in normal operation (§VI: migrations
+/// are lower priority than LLC accesses and must not monopolize DRAM).
+const NORMAL_EVICTION_BURST: u32 = 4;
+
+/// Evictions per maintenance slot in degraded mode: free-frame production
+/// outweighs bandwidth fairness when the free list is critically low or
+/// reclaim debt is outstanding.
+const EMERGENCY_EVICTION_BURST: u32 = 32;
+
+/// Free frames a budget shrink always leaves behind: carving any ML2
+/// super-chunk needs at most 8 contiguous chunks, so draining below this
+/// floor would leave eviction unable to grow ML2 and the debt unpayable.
+const CARVE_RESERVE: usize = 8;
 
 /// Where a page's bytes currently live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,11 +107,29 @@ pub struct TwoLevelScheme {
     /// Critical mark: ML2 reads yield to evictions (paper's 3000-chunk
     /// flip).
     evict_crit: usize,
-    /// Completion times of in-flight page migrations (≤ 8).
+    /// Completion times of in-flight page migrations (≤ `migration_cap`).
     migration_buffer: VecDeque<f64>,
+    /// Live migration-buffer capacity (a fault can shrink it below
+    /// [`MIGRATION_BUFFER_ENTRIES`]).
+    migration_cap: usize,
     /// Pages evicted to ML2 awaiting cache-hierarchy flush by the system.
     evicted_pages: Vec<Ppn>,
     total_frames: u32,
+    /// Frames the budget no longer covers but eviction has not yet
+    /// reclaimed (a ballooning shrink larger than the free list).
+    reclaim_debt: u64,
+    /// First frame id never handed out, so budget growth can mint fresh
+    /// frames without colliding with live ones.
+    next_frame_id: u32,
+    /// Whether the scheme is in degraded mode (see module docs).
+    degraded: bool,
+    /// Last simulated instant degraded time was accounted up to.
+    degraded_mark_ns: f64,
+    /// Percent inflation applied to compressed sizes at eviction (a
+    /// content-profile shift fault).
+    size_inflation_pct: u32,
+    /// Embedded-CTE lookups left to forcibly treat as stale (fault).
+    force_stale: u64,
     rng: SmallRng,
 }
 
@@ -101,8 +145,10 @@ impl TwoLevelScheme {
     ///
     /// Panics if the budget cannot hold the workload even with every
     /// overflow page compressed into ML2 (use
+    /// [`try_new`](Self::try_new) for a fallible build, or
     /// [`min_budget_frames`](Self::min_budget_frames) to pick feasible
     /// budgets).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         toggles: TmccToggles,
         cte_cfg: CteCacheConfig,
@@ -113,6 +159,35 @@ impl TwoLevelScheme {
         seed: u64,
         recency_sample: f64,
     ) -> Self {
+        match Self::try_new(
+            toggles,
+            cte_cfg,
+            size_model,
+            page_table,
+            data_pages,
+            budget_frames,
+            seed,
+            recency_sample,
+        ) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the scheme and performs initial placement, returning
+    /// [`TmccError::InfeasibleBudget`] when the budget cannot hold the
+    /// workload even with every overflow page compressed into ML2.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_new(
+        toggles: TmccToggles,
+        cte_cfg: CteCacheConfig,
+        size_model: SizeModel,
+        page_table: &PageTable,
+        data_pages: u64,
+        budget_frames: u32,
+        seed: u64,
+        recency_sample: f64,
+    ) -> Result<Self, TmccError> {
         let evict_lo = ((budget_frames as usize) / 64).max(24);
         let mut s = Self {
             toggles,
@@ -131,8 +206,15 @@ impl TwoLevelScheme {
             evict_hi: evict_lo + evict_lo / 2,
             evict_crit: (evict_lo * 3) / 4,
             migration_buffer: VecDeque::new(),
+            migration_cap: MIGRATION_BUFFER_ENTRIES,
             evicted_pages: Vec::new(),
             total_frames: budget_frames,
+            reclaim_debt: 0,
+            next_frame_id: budget_frames,
+            degraded: false,
+            degraded_mark_ns: 0.0,
+            size_inflation_pct: 0,
+            force_stale: 0,
             rng: SmallRng::seed_from_u64(seed ^ 0x2_1E5E1),
         };
         // Pin page-table pages in ML1.
@@ -144,11 +226,13 @@ impl TwoLevelScheme {
         }
         table_ppns.sort_unstable();
         table_ppns.dedup();
+        let table_pages = table_ppns.len() as u64;
         for ppn in table_ppns {
-            let frame = s
-                .ml1_free
-                .pop()
-                .expect("budget cannot even hold the page table");
+            let frame = s.ml1_free.pop().ok_or(TmccError::InfeasibleBudget {
+                budget_frames: budget_frames as u64,
+                required_frames: table_pages,
+                stage: "page-table pinning",
+            })?;
             s.pages.insert(
                 ppn,
                 PageInfo {
@@ -178,27 +262,32 @@ impl TwoLevelScheme {
         }
         let avail = s.ml1_free.len() as u64;
         let reserve = s.evict_hi as u64 + 8;
-        let mut split = 0u64;
+        let mut split = None;
         for k in (0..=data_pages).rev() {
             // ML2 frames with ~3% carving slack.
             let ml2_frames = (suffix[k as usize] * 103 / 100).div_ceil(PAGE_SIZE as u64);
             if k + ml2_frames + reserve <= avail {
-                split = k;
+                split = Some(k);
                 break;
             }
-            assert!(
-                k > 0,
-                "DRAM budget infeasible: {avail} frames cannot hold the workload \
-                 even fully compressed ({} ML2 bytes needed)",
-                suffix[0]
-            );
         }
+        let split = split.ok_or_else(|| TmccError::InfeasibleBudget {
+            budget_frames: budget_frames as u64,
+            required_frames: table_pages
+                + (suffix[0] * 103 / 100).div_ceil(PAGE_SIZE as u64)
+                + reserve,
+            stage: "ML1/ML2 data placement",
+        })?;
         // Walk pages coldest-first so the recency list ends up ordered
         // with the hottest (lowest-index) pages at the hot end.
         for idx in (0..data_pages).rev() {
             let ppn = Ppn::new(idx);
             if idx < split {
-                let frame = s.ml1_free.pop().expect("split point guarantees a frame");
+                let frame = s.ml1_free.pop().ok_or(TmccError::InfeasibleBudget {
+                    budget_frames: budget_frames as u64,
+                    required_frames: table_pages + split + reserve,
+                    stage: "ML1 fill",
+                })?;
                 s.pages.insert(
                     idx,
                     PageInfo {
@@ -212,19 +301,21 @@ impl TwoLevelScheme {
             } else {
                 let sizes = s.size_model.sizes_of(idx, 0);
                 let comp = sizes.deflate_bytes.min(PAGE_SIZE);
-                let sub = s
-                    .ml2
-                    .allocate(comp, &mut s.ml1_free)
-                    .expect("DRAM budget infeasible: ML2 allocation failed during placement");
-                let frame = (s.ml2.addr_of(sub) / PAGE_SIZE as u64) as u32;
+                let sub = s.ml2.try_allocate(comp, &mut s.ml1_free).map_err(|_| {
+                    TmccError::InfeasibleBudget {
+                        budget_frames: budget_frames as u64,
+                        required_frames: table_pages
+                            + (suffix[0] * 103 / 100).div_ceil(PAGE_SIZE as u64)
+                            + reserve,
+                        stage: "ML2 placement",
+                    }
+                })?;
+                let frame = (s.ml2.try_addr_of(sub)? / PAGE_SIZE as u64) as u32;
                 s.pages.insert(
                     idx,
                     PageInfo {
                         cte: Cte::new(frame, MemoryLevel::Ml2),
-                        place: Placement::Ml2 {
-                            sub,
-                            comp_bytes: comp as u32,
-                        },
+                        place: Placement::Ml2 { sub, comp_bytes: comp as u32 },
                         dirty_epoch: 0,
                         pinned: false,
                     },
@@ -241,17 +332,13 @@ impl TwoLevelScheme {
                 }
             }
         }
-        s
+        Ok(s)
     }
 
     /// Smallest feasible budget (in frames) for a workload: the page
     /// table pinned uncompressed, every data page in ML2, plus the
     /// eviction reserve.
-    pub fn min_budget_frames(
-        size_model: &SizeModel,
-        table_pages: u64,
-        data_pages: u64,
-    ) -> u32 {
+    pub fn min_budget_frames(size_model: &SizeModel, table_pages: u64, data_pages: u64) -> u32 {
         // Mirror the placement logic: class-rounded ML2 sizes plus ~3%
         // carving slack.
         let classes = Ml2FreeLists::paper_classes();
@@ -267,6 +354,18 @@ impl TwoLevelScheme {
         let ml2_frames = (ml2_bytes * 103 / 100).div_ceil(PAGE_SIZE as u64) as u32;
         let reserve = ((table_pages + data_pages) as u32 / 40).max(64);
         table_pages as u32 + ml2_frames + reserve + 8
+    }
+
+    /// Whether the scheme is currently in degraded mode (free list below
+    /// the critical watermark, or reclaim debt outstanding).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Outstanding reclaim debt in frames (non-zero only after a budget
+    /// shrink larger than the free list).
+    pub fn reclaim_debt(&self) -> u64 {
+        self.reclaim_debt
     }
 
     fn refresh_ptb_embedding(&mut self, block: BlockAddr, ptb: &PageTableBlock, g: PtbGeometry) {
@@ -290,19 +389,50 @@ impl TwoLevelScheme {
         self.ptb_embed.insert(block.raw(), slots);
     }
 
+    /// Re-derives the eviction watermarks after the budget changed.
+    fn rescale_watermarks(&mut self) {
+        let lo = ((self.total_frames as usize) / 64).max(24);
+        self.evict_lo = lo;
+        self.evict_hi = lo + lo / 2;
+        self.evict_crit = (lo * 3) / 4;
+    }
+
+    /// Accounts degraded time and flips the degraded flag on pressure
+    /// changes. Entry: free list below the emergency watermark (half the
+    /// critical mark — ordinary pressure transients stay in normal
+    /// operation) or unpaid reclaim debt. Exit (with hysteresis): debt
+    /// paid *and* free list back above the low watermark.
+    fn update_degradation(&mut self, now_ns: f64, stats: &mut SimStats) {
+        if self.degraded {
+            stats.degraded_ns += (now_ns - self.degraded_mark_ns).max(0.0);
+            self.degraded_mark_ns = now_ns;
+            if self.reclaim_debt == 0 && self.ml1_free.len() >= self.evict_lo {
+                self.degraded = false;
+                stats.recoveries += 1;
+            }
+        } else if self.reclaim_debt > 0 || self.ml1_free.len() < self.evict_crit / 2 {
+            self.degraded = true;
+            self.degraded_mark_ns = now_ns;
+        }
+    }
+
+    /// Compressed size of a page at eviction time, after any
+    /// content-profile-shift inflation.
+    fn eviction_comp_bytes(&self, deflate_bytes: usize) -> usize {
+        deflate_bytes + deflate_bytes * self.size_inflation_pct as usize / 100
+    }
+
     /// The authoritative DRAM byte address of a request's block.
-    fn data_addr(&self, req: &MemRequest) -> u64 {
-        let info = self.pages.get(&req.ppn.raw()).expect("resident page");
+    fn data_addr(&self, info: &PageInfo, req: &MemRequest) -> Result<u64, TmccError> {
         match info.place {
             Placement::Ml1 { frame } => {
-                frame as u64 * PAGE_SIZE as u64 + (req.block.index_in_page() * 64) as u64
+                Ok(frame as u64 * PAGE_SIZE as u64 + (req.block.index_in_page() * 64) as u64)
             }
-            Placement::Ml2 { sub, .. } => self.ml2.addr_of(sub),
+            Placement::Ml2 { sub, .. } => self.ml2.try_addr_of(sub),
         }
     }
 
     /// Physical→DRAM translation + data fetch for an LLC-miss read.
-    /// Returns `(completion_ns, served_from_ml2_subchunk_addr)`.
     fn serve_translated_read(
         &mut self,
         req: &MemRequest,
@@ -310,13 +440,11 @@ impl TwoLevelScheme {
         dram: &mut DramSim,
         stats: &mut SimStats,
         count_stats: bool,
-    ) -> f64 {
+    ) -> Result<f64, TmccError> {
         let key = req.ppn.raw();
-        let in_ml1 = matches!(
-            self.pages.get(&key).expect("resident page").place,
-            Placement::Ml1 { .. }
-        );
-        let addr = self.data_addr(req);
+        let info = *self.pages.get(&key).ok_or(TmccError::UnplacedPage { ppn: key })?;
+        let in_ml1 = matches!(info.place, Placement::Ml1 { .. });
+        let addr = self.data_addr(&info, req)?;
         if self.cte_cache.access(req.ppn) {
             if count_stats {
                 stats.cte_hits += 1;
@@ -324,7 +452,7 @@ impl TwoLevelScheme {
                     stats.ml1_cte_hit += 1;
                 }
             }
-            return dram.access(now_ns, DramAddr::new(addr), req.write);
+            return Ok(dram.access(now_ns, DramAddr::new(addr), req.write));
         }
         if count_stats {
             stats.cte_misses += 1;
@@ -333,7 +461,7 @@ impl TwoLevelScheme {
             }
         }
         let cte_addr = DramAddr::new(cte_dram_addr(req.ppn));
-        let correct = self.pages.get(&key).expect("resident page").cte;
+        let correct = info.cte;
         let done = if self.toggles.embedded_ctes {
             match self.cte_buffer.lookup(req.ppn).and_then(|e| e.cte) {
                 Some(embedded) => {
@@ -344,7 +472,13 @@ impl TwoLevelScheme {
                     let cte_done = dram.access(now_ns, cte_addr, false);
                     let spec_done = dram.access(now_ns, DramAddr::new(spec_addr), req.write);
                     let both = cte_done.max(spec_done);
-                    if embedded.matches(&correct) {
+                    let forced_stale = if self.force_stale > 0 {
+                        self.force_stale -= 1;
+                        true
+                    } else {
+                        false
+                    };
+                    if embedded.matches(&correct) && !forced_stale {
                         if count_stats && in_ml1 {
                             stats.ml1_parallel_correct += 1;
                         }
@@ -378,7 +512,7 @@ impl TwoLevelScheme {
         };
         // The MC always caches the CTE it fetched (§VII).
         self.cte_cache.fill(req.ppn);
-        done
+        Ok(done)
     }
 
     /// Reconcile the CTE buffer and the stored PTB embedding with the
@@ -402,18 +536,23 @@ impl TwoLevelScheme {
         dram: &mut DramSim,
         stats: &mut SimStats,
         count_stats: bool,
-    ) -> f64 {
+    ) -> Result<f64, TmccError> {
         stats.ml2_reads += 1;
         let key = req.ppn.raw();
-        let (sub, comp_bytes) = match self.pages.get(&key).expect("resident").place {
+        let info = self.pages.get(&key).ok_or(TmccError::UnplacedPage { ppn: key })?;
+        let (sub, comp_bytes) = match info.place {
             Placement::Ml2 { sub, comp_bytes } => (sub, comp_bytes as usize),
-            Placement::Ml1 { .. } => unreachable!("serve_ml2 requires an ML2 page"),
+            Placement::Ml1 { .. } => {
+                return Err(TmccError::InvariantViolation {
+                    detail: format!("serve_ml2 called for ML1-resident page {key:#x}"),
+                })
+            }
         };
         // Translation + first burst of the compressed page.
-        let first = self.serve_translated_read(req, now_ns, dram, stats, count_stats);
+        let first = self.serve_translated_read(req, now_ns, dram, stats, count_stats)?;
         // Stream the remaining compressed bursts (they pipeline into the
         // decompressor; their bus time matters, their latency does not).
-        let sub_addr = self.ml2.addr_of(sub);
+        let sub_addr = self.ml2.try_addr_of(sub)?;
         for k in 1..comp_bytes.div_ceil(64) {
             let _ = dram.access_background(first, DramAddr::new(sub_addr + (k * 64) as u64), false);
         }
@@ -425,7 +564,9 @@ impl TwoLevelScheme {
             self.ibm.half_page_decompress_ns(PAGE_SIZE)
         };
         let mut done = first + dec_ns;
-        // Migration buffer (§VI): stall when all eight entries are busy.
+        // Migration buffer (§VI): stall when all entries are busy. A
+        // fault can shrink the live capacity mid-run, in which case the
+        // drain below is a bounded retry — one stall per excess entry.
         while let Some(&head) = self.migration_buffer.front() {
             if head <= now_ns {
                 self.migration_buffer.pop_front();
@@ -433,11 +574,10 @@ impl TwoLevelScheme {
                 break;
             }
         }
-        if self.migration_buffer.len() >= MIGRATION_BUFFER_ENTRIES {
-            let head = self
-                .migration_buffer
-                .pop_front()
-                .expect("buffer known non-empty");
+        while self.migration_buffer.len() >= self.migration_cap {
+            let Some(head) = self.migration_buffer.pop_front() else {
+                break;
+            };
             let stall = (head - now_ns).max(0.0);
             stats.migration_stall_ns += stall;
             done += stall;
@@ -456,8 +596,8 @@ impl TwoLevelScheme {
         // Background migration ML2 -> ML1.
         if let Some(frame) = self.ml1_free.pop() {
             stats.ml2_to_ml1_migrations += 1;
-            self.ml2.free(sub, &mut self.ml1_free);
-            let info = self.pages.get_mut(&key).expect("resident");
+            self.ml2.try_free(sub, &mut self.ml1_free)?;
+            let info = self.pages.get_mut(&key).ok_or(TmccError::UnplacedPage { ppn: key })?;
             info.place = Placement::Ml1 { frame };
             info.cte.set_frame(frame, MemoryLevel::Ml1);
             self.recency.insert_hot(req.ppn);
@@ -470,7 +610,7 @@ impl TwoLevelScheme {
             }
             self.migration_buffer.push_back(t);
         }
-        done
+        Ok(done)
     }
 }
 
@@ -489,14 +629,12 @@ impl Scheme for TwoLevelScheme {
         now_ns: f64,
         dram: &mut DramSim,
         stats: &mut SimStats,
-    ) -> f64 {
+    ) -> Result<f64, TmccError> {
         let key = req.ppn.raw();
-        let info = *self.pages.get(&key).unwrap_or_else(|| {
-            panic!("access to unplaced page {:#x}", key);
-        });
+        let info = *self.pages.get(&key).ok_or(TmccError::UnplacedPage { ppn: key })?;
         let done = match info.place {
             Placement::Ml1 { .. } => {
-                let done = self.serve_translated_read(req, now_ns, dram, stats, true);
+                let done = self.serve_translated_read(req, now_ns, dram, stats, true)?;
                 if !info.pinned {
                     self.recency.on_access(req.ppn);
                 }
@@ -504,12 +642,12 @@ impl Scheme for TwoLevelScheme {
                 done
             }
             Placement::Ml2 { .. } => {
-                let done = self.serve_ml2(req, now_ns, dram, stats, true);
+                let done = self.serve_ml2(req, now_ns, dram, stats, true)?;
                 stats.ml2_latency_sum_ns += done - now_ns;
                 done
             }
         };
-        done - now_ns
+        Ok(done - now_ns)
     }
 
     fn writeback(
@@ -518,65 +656,70 @@ impl Scheme for TwoLevelScheme {
         now_ns: f64,
         dram: &mut DramSim,
         stats: &mut SimStats,
-    ) {
+    ) -> Result<(), TmccError> {
         let key = req.ppn.raw();
         let Some(info) = self.pages.get(&key).copied() else {
-            return;
+            return Ok(());
         };
         match info.place {
             Placement::Ml1 { .. } => {
                 // Lazy write drain: translate via the CTE cache (no stats)
                 // and write in the background.
                 let _ = self.cte_cache.access(req.ppn);
-                let addr = self.data_addr(req);
+                let addr = self.data_addr(&info, req)?;
                 let _ = dram.access_background(now_ns, DramAddr::new(addr), true);
-                if info.cte.is_incompressible()
-                    && self.recency.on_incompressible_writeback(req.ppn)
+                if info.cte.is_incompressible() && self.recency.on_incompressible_writeback(req.ppn)
                 {
                     // Re-entered the recency list; it may be evicted again.
                 }
                 if self.rng.gen::<f64>() < DIRTY_REDRAW_PROBABILITY {
                     self.pages
                         .get_mut(&key)
-                        .expect("resident page")
+                        .ok_or(TmccError::UnplacedPage { ppn: key })?
                         .dirty_epoch += 1;
                 }
             }
             Placement::Ml2 { .. } => {
                 // A store to a compressed page pulls it back to ML1.
-                let _ = self.serve_ml2(req, now_ns, dram, stats, false);
+                let _ = self.serve_ml2(req, now_ns, dram, stats, false)?;
             }
         }
+        Ok(())
     }
 
     fn on_ptb_fetched(&mut self, block: BlockAddr, ptb: &PageTableBlock) {
         if !self.toggles.embedded_ctes {
             return;
         }
-        let slots = self
-            .ptb_embed
-            .get(&block.raw())
-            .copied()
-            .unwrap_or([None; PTES_PER_PTB]);
-        for i in 0..PTES_PER_PTB {
+        let slots = self.ptb_embed.get(&block.raw()).copied().unwrap_or([None; PTES_PER_PTB]);
+        for (i, slot) in slots.iter().enumerate() {
             let pte = ptb.entry(i);
             if pte.is_present() {
-                self.cte_buffer.insert(pte.ppn(), slots[i], block);
+                self.cte_buffer.insert(pte.ppn(), *slot, block);
                 self.ptb_slot_of.insert(pte.ppn().raw(), (block.raw(), i));
             }
         }
     }
 
-    fn maintain(&mut self, now_ns: f64, dram: &mut DramSim, stats: &mut SimStats) {
-        if self.ml1_free.len() >= self.evict_lo {
-            return;
+    fn maintain(
+        &mut self,
+        now_ns: f64,
+        dram: &mut DramSim,
+        stats: &mut SimStats,
+    ) -> Result<(), TmccError> {
+        self.update_degradation(now_ns, stats);
+        if self.ml1_free.len() >= self.evict_lo && self.reclaim_debt == 0 {
+            return Ok(());
         }
         // Grow the free list by evicting cold pages towards the target, a
         // few pages per maintenance slot so migrations never monopolize
         // the memory system (they are lower priority than LLC accesses,
-        // §VI).
-        let mut evictions_left = 4;
-        while self.ml1_free.len() < self.evict_hi && evictions_left > 0 {
+        // §VI). Degraded mode lifts the per-slot budget: producing free
+        // frames (and paying reclaim debt) beats bandwidth fairness.
+        let burst = if self.degraded { EMERGENCY_EVICTION_BURST } else { NORMAL_EVICTION_BURST };
+        let mut evictions_left = burst;
+        let mut performed = 0u32;
+        while (self.ml1_free.len() < self.evict_hi || self.reclaim_debt > 0) && evictions_left > 0 {
             evictions_left -= 1;
             let Some(victim) = self.recency.pop_coldest() else {
                 break;
@@ -592,20 +735,60 @@ impl Scheme for TwoLevelScheme {
                 continue;
             }
             let sizes = self.size_model.sizes_of(key, info.dirty_epoch);
-            let comp = sizes.deflate_bytes;
+            let comp = self.eviction_comp_bytes(sizes.deflate_bytes);
             if sizes.ml2_incompressible() || self.ml2.class_for(comp).is_none() {
                 // Keep it in ML1, flag it, and stop retrying (§IV-B).
                 stats.incompressible_evictions += 1;
                 self.pages
                     .get_mut(&key)
-                    .expect("resident page")
+                    .ok_or(TmccError::UnplacedPage { ppn: key })?
                     .cte
                     .set_incompressible(true);
                 continue;
             }
-            let Some(sub) = self.ml2.allocate(comp, &mut self.ml1_free) else {
-                break; // no room to grow ML2 right now
+            let mut donated = false;
+            let (sub, stored_bytes) = match self.ml2.try_allocate(comp, &mut self.ml1_free) {
+                Ok(sub) => (sub, comp),
+                Err(TmccError::FreeListExhausted { .. }) if !self.degraded => {
+                    break; // no room to grow ML2 right now; retry next slot
+                }
+                Err(TmccError::FreeListExhausted { .. }) => {
+                    // Graceful degradation, step 1: donate the victim's
+                    // own frame (the page is staged in the migration
+                    // buffer while compression runs) and retry once.
+                    self.ml1_free.push(frame);
+                    donated = true;
+                    match self.ml2.try_allocate(comp, &mut self.ml1_free) {
+                        Ok(sub) => (sub, comp),
+                        // Step 2: the exact class still cannot be carved,
+                        // so store the page raw (4 KiB class, one chunk)
+                        // to keep evictions making forward progress.
+                        Err(_) => match self.ml2.try_allocate(PAGE_SIZE, &mut self.ml1_free) {
+                            Ok(sub) => {
+                                stats.raw_fallbacks += 1;
+                                (sub, PAGE_SIZE)
+                            }
+                            Err(_) => {
+                                // Unreachable by construction (the donated
+                                // frame satisfies the one-chunk carve);
+                                // reaching it means the free list lost
+                                // frames mid-eviction.
+                                return Err(TmccError::InvariantViolation {
+                                    detail: format!(
+                                        "donated frame {frame} vanished during the \
+                                         raw-fallback carve for page {key:#x}"
+                                    ),
+                                });
+                            }
+                        },
+                    }
+                }
+                Err(e) => return Err(e),
             };
+            performed += 1;
+            if performed > NORMAL_EVICTION_BURST {
+                stats.emergency_evictions += 1;
+            }
             stats.ml1_to_ml2_migrations += 1;
             // Read the page, compress (background), write the sub-chunk.
             let base = frame as u64 * PAGE_SIZE as u64;
@@ -613,20 +796,160 @@ impl Scheme for TwoLevelScheme {
             for b in 0..(PAGE_SIZE / 64) {
                 t = dram.access_background(t, DramAddr::new(base + (b * 64) as u64), false);
             }
-            let sub_addr = self.ml2.addr_of(sub);
-            for k in 0..comp.div_ceil(64) {
+            let sub_addr = self.ml2.try_addr_of(sub)?;
+            for k in 0..stored_bytes.div_ceil(64) {
                 t = dram.access_background(t, DramAddr::new(sub_addr + (k * 64) as u64), true);
             }
-            let info = self.pages.get_mut(&key).expect("resident page");
-            info.place = Placement::Ml2 {
-                sub,
-                comp_bytes: comp as u32,
-            };
-            info.cte
-                .set_frame((sub_addr / PAGE_SIZE as u64) as u32, MemoryLevel::Ml2);
-            self.ml1_free.push(frame);
+            let info = self.pages.get_mut(&key).ok_or(TmccError::UnplacedPage { ppn: key })?;
+            info.place = Placement::Ml2 { sub, comp_bytes: stored_bytes as u32 };
+            info.cte.set_frame((sub_addr / PAGE_SIZE as u64) as u32, MemoryLevel::Ml2);
+            if !donated {
+                self.ml1_free.push(frame);
+            }
+            // Pay reclaim debt from free-list surplus: retire frames down
+            // to the carve reserve so a ballooning shrink converges while
+            // ML2 can still grow.
+            while self.reclaim_debt > 0 && self.ml1_free.len() > CARVE_RESERVE {
+                if self.ml1_free.pop().is_some() {
+                    self.reclaim_debt -= 1;
+                } else {
+                    break;
+                }
+            }
             self.evicted_pages.push(victim);
         }
+        self.update_degradation(now_ns, stats);
+        Ok(())
+    }
+
+    fn apply_fault(
+        &mut self,
+        fault: FaultKind,
+        now_ns: f64,
+        stats: &mut SimStats,
+    ) -> Result<(), TmccError> {
+        match fault {
+            FaultKind::ShrinkBudget { frames } => {
+                let frames = frames.min(self.total_frames);
+                let mut removed = 0u32;
+                while removed < frames && self.ml1_free.len() > CARVE_RESERVE {
+                    if self.ml1_free.pop().is_some() {
+                        removed += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // Whatever the free list could not cover becomes reclaim
+                // debt: maintenance retires frames eviction frees until
+                // the books balance again.
+                self.reclaim_debt += (frames - removed) as u64;
+                self.total_frames -= frames;
+                self.rescale_watermarks();
+            }
+            FaultKind::GrowBudget { frames } => {
+                let pay = (frames as u64).min(self.reclaim_debt) as u32;
+                self.reclaim_debt -= pay as u64;
+                for _ in 0..frames - pay {
+                    self.ml1_free.push(self.next_frame_id);
+                    self.next_frame_id += 1;
+                }
+                self.total_frames += frames;
+                self.rescale_watermarks();
+            }
+            FaultKind::CteFlushStorm => {
+                self.cte_cache.flush();
+                self.cte_buffer.clear();
+            }
+            FaultKind::StaleEmbeddings { count } => {
+                self.force_stale += count;
+            }
+            FaultKind::ShrinkMigrationBuffer { entries } => {
+                self.migration_cap = entries.max(1);
+            }
+            FaultKind::RestoreMigrationBuffer => {
+                self.migration_cap = MIGRATION_BUFFER_ENTRIES;
+            }
+            FaultKind::ContentShift { percent } => {
+                self.size_inflation_pct = percent;
+            }
+        }
+        stats.faults_injected += 1;
+        self.update_degradation(now_ns, stats);
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), TmccError> {
+        let mut ml1_resident = 0usize;
+        let mut frames_seen = HashSet::new();
+        for (&ppn, info) in &self.pages {
+            match info.place {
+                Placement::Ml1 { frame } => {
+                    ml1_resident += 1;
+                    if info.cte.level() != MemoryLevel::Ml1 || info.cte.frame() != frame {
+                        return Err(TmccError::InvariantViolation {
+                            detail: format!(
+                                "page {ppn:#x}: CTE ({:?}, frame {}) disagrees with ML1 \
+                                 placement in frame {frame}",
+                                info.cte.level(),
+                                info.cte.frame()
+                            ),
+                        });
+                    }
+                    if !frames_seen.insert(frame) {
+                        return Err(TmccError::InvariantViolation {
+                            detail: format!("frame {frame} backs more than one ML1 page"),
+                        });
+                    }
+                }
+                Placement::Ml2 { sub, comp_bytes } => {
+                    if info.cte.level() != MemoryLevel::Ml2 {
+                        return Err(TmccError::InvariantViolation {
+                            detail: format!(
+                                "page {ppn:#x}: CTE level {:?} disagrees with ML2 placement",
+                                info.cte.level()
+                            ),
+                        });
+                    }
+                    let addr = self.ml2.try_addr_of(sub)?;
+                    if info.cte.frame() as u64 != addr / PAGE_SIZE as u64 {
+                        return Err(TmccError::InvariantViolation {
+                            detail: format!(
+                                "page {ppn:#x}: CTE frame {} disagrees with sub-chunk \
+                                 address {addr:#x}",
+                                info.cte.frame()
+                            ),
+                        });
+                    }
+                    if comp_bytes as usize > self.ml2.class_size(sub.class) {
+                        return Err(TmccError::InvariantViolation {
+                            detail: format!(
+                                "page {ppn:#x}: {comp_bytes} compressed bytes overflow \
+                                 its {}-byte class",
+                                self.ml2.class_size(sub.class)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        // Frame conservation: every frame the budget covers (plus the
+        // ones a shrink has yet to reclaim) is free, owned by ML2, or
+        // backing exactly one resident ML1 page.
+        let held = self.ml1_free.len() + self.ml2.owned_chunks() + ml1_resident;
+        let budgeted = self.total_frames as usize + self.reclaim_debt as usize;
+        if held != budgeted {
+            return Err(TmccError::InvariantViolation {
+                detail: format!(
+                    "frame conservation broken: {} free + {} ML2-owned + {ml1_resident} \
+                     ML1-resident = {held}, budget covers {budgeted} ({} total + {} debt)",
+                    self.ml1_free.len(),
+                    self.ml2.owned_chunks(),
+                    self.total_frames,
+                    self.reclaim_debt
+                ),
+            });
+        }
+        Ok(())
     }
 
     fn drain_evicted_pages(&mut self) -> Vec<Ppn> {
@@ -634,7 +957,10 @@ impl Scheme for TwoLevelScheme {
     }
 
     fn dram_used_bytes(&self) -> u64 {
-        let frames_in_use = self.total_frames as u64 - self.ml1_free.len() as u64;
+        // Frames awaiting reclaim are still physically occupied, so they
+        // count towards use until eviction retires them.
+        let frames_in_use =
+            self.total_frames as u64 + self.reclaim_debt - self.ml1_free.len() as u64;
         let cte_table = self.pages.len() as u64 * Cte::SIZE_IN_DRAM as u64;
         let recency = RecencyList::dram_overhead_bytes(self.pages.len() as u64);
         frames_in_use * PAGE_SIZE as u64 + cte_table + recency
@@ -649,15 +975,17 @@ mod tests {
     use tmcc_sim_mem::PageTableConfig;
     use tmcc_types::addr::Vpn;
 
-    fn build(toggles: TmccToggles, data_pages: u64, budget_frames: u32) -> (TwoLevelScheme, PageTable) {
+    fn build(
+        toggles: TmccToggles,
+        data_pages: u64,
+        budget_frames: u32,
+    ) -> (TwoLevelScheme, PageTable) {
         let mut pt = PageTable::new(PageTableConfig::default());
         for i in 0..data_pages {
             pt.map(Vpn::new(i), Ppn::new(i));
         }
-        let model = SizeModel::from_samples(vec![PageSizes {
-            deflate_bytes: 1200,
-            block_bytes: 3000,
-        }]);
+        let model =
+            SizeModel::from_samples(vec![PageSizes { deflate_bytes: 1200, block_bytes: 3000 }]);
         let s = TwoLevelScheme::new(
             toggles,
             CteCacheConfig::tmcc(),
@@ -690,12 +1018,38 @@ mod tests {
         let (s, _pt) = build(TmccToggles::full(), 2000, 1200);
         assert!(s.dram_used_bytes() <= 1200 * 4096 + 2100 * 24);
         // Some pages must have landed in ML2.
-        let ml2_pages = s
-            .pages
-            .values()
-            .filter(|p| matches!(p.place, Placement::Ml2 { .. }))
-            .count();
+        let ml2_pages =
+            s.pages.values().filter(|p| matches!(p.place, Placement::Ml2 { .. })).count();
         assert!(ml2_pages > 0, "budget pressure must push pages to ML2");
+    }
+
+    #[test]
+    fn infeasible_budget_is_a_typed_error() {
+        let mut pt = PageTable::new(PageTableConfig::default());
+        for i in 0..2000u64 {
+            pt.map(Vpn::new(i), Ppn::new(i));
+        }
+        let model =
+            SizeModel::from_samples(vec![PageSizes { deflate_bytes: 1200, block_bytes: 3000 }]);
+        let err = TwoLevelScheme::try_new(
+            TmccToggles::full(),
+            CteCacheConfig::tmcc(),
+            model,
+            &pt,
+            2000,
+            100, // far below min_budget_frames
+            7,
+            0.15,
+        )
+        .map(|_| ())
+        .expect_err("budget must be rejected");
+        assert!(matches!(err, TmccError::InfeasibleBudget { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn fresh_scheme_passes_validation() {
+        let (s, _pt) = build(TmccToggles::full(), 2000, 1200);
+        s.validate().expect("fresh placement is consistent");
     }
 
     #[test]
@@ -703,8 +1057,8 @@ mod tests {
         let (mut s, _pt) = build(TmccToggles::full(), 100, 400);
         let mut d = dram();
         let mut stats = SimStats::default();
-        let cold = s.access(&read_req(0, true), 0.0, &mut d, &mut stats);
-        let warm = s.access(&read_req(0, false), 10_000.0, &mut d, &mut stats);
+        let cold = s.access(&read_req(0, true), 0.0, &mut d, &mut stats).unwrap();
+        let warm = s.access(&read_req(0, false), 10_000.0, &mut d, &mut stats).unwrap();
         assert!(warm < cold || stats.cte_hits > 0);
         assert_eq!(stats.cte_hits, 1);
     }
@@ -718,7 +1072,7 @@ mod tests {
         let step = *pt.walk_path(Vpn::new(5)).unwrap().last().unwrap();
         let ptb = pt.ptb_at(step.ptb_block).unwrap();
         s.on_ptb_fetched(step.ptb_block, &ptb);
-        let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats);
+        let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats).unwrap();
         assert_eq!(stats.ml1_parallel_correct, 1, "{stats:?}");
         assert_eq!(stats.ml1_serial, 0);
     }
@@ -731,7 +1085,7 @@ mod tests {
         let step = *pt.walk_path(Vpn::new(5)).unwrap().last().unwrap();
         let ptb = pt.ptb_at(step.ptb_block).unwrap();
         s.on_ptb_fetched(step.ptb_block, &ptb);
-        let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats);
+        let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats).unwrap();
         assert_eq!(stats.ml1_parallel_correct, 0);
         assert_eq!(stats.ml1_serial, 1);
     }
@@ -751,15 +1105,50 @@ mod tests {
             info.place = Placement::Ml1 { frame: new_frame };
             info.cte.set_frame(new_frame, MemoryLevel::Ml1);
         }
-        let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats);
+        let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats).unwrap();
         assert_eq!(stats.ml1_parallel_mismatch, 1);
         // The embedding has been lazily repaired: next fetch+access is
         // parallel-correct.
         let ptb = pt.ptb_at(step.ptb_block).unwrap();
         s.cte_cache.invalidate(Ppn::new(5));
         s.on_ptb_fetched(step.ptb_block, &ptb);
-        let _ = s.access(&read_req(5, true), 1_000_000.0, &mut d, &mut stats);
+        let _ = s.access(&read_req(5, true), 1_000_000.0, &mut d, &mut stats).unwrap();
         assert_eq!(stats.ml1_parallel_correct, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn forced_stale_fault_degrades_parallel_access() {
+        let (mut s, pt) = build(TmccToggles::full(), 3000, 2000);
+        let mut d = dram();
+        let mut stats = SimStats::default();
+        let step = *pt.walk_path(Vpn::new(5)).unwrap().last().unwrap();
+        let ptb = pt.ptb_at(step.ptb_block).unwrap();
+        s.on_ptb_fetched(step.ptb_block, &ptb);
+        s.apply_fault(FaultKind::StaleEmbeddings { count: 1 }, 0.0, &mut stats).unwrap();
+        let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats).unwrap();
+        assert_eq!(stats.ml1_parallel_mismatch, 1, "{stats:?}");
+        assert_eq!(stats.faults_injected, 1);
+        // The forced staleness is consumed; the repaired embedding then
+        // goes parallel-correct again.
+        let ptb = pt.ptb_at(step.ptb_block).unwrap();
+        s.cte_cache.invalidate(Ppn::new(5));
+        s.on_ptb_fetched(step.ptb_block, &ptb);
+        let _ = s.access(&read_req(5, true), 1_000_000.0, &mut d, &mut stats).unwrap();
+        assert_eq!(stats.ml1_parallel_correct, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn cte_flush_storm_forces_misses() {
+        let (mut s, _pt) = build(TmccToggles::full(), 100, 400);
+        let mut d = dram();
+        let mut stats = SimStats::default();
+        let _ = s.access(&read_req(0, true), 0.0, &mut d, &mut stats).unwrap();
+        let _ = s.access(&read_req(0, false), 10_000.0, &mut d, &mut stats).unwrap();
+        assert_eq!(stats.cte_hits, 1);
+        s.apply_fault(FaultKind::CteFlushStorm, 20_000.0, &mut stats).unwrap();
+        let _ = s.access(&read_req(0, false), 30_000.0, &mut d, &mut stats).unwrap();
+        assert_eq!(stats.cte_hits, 1, "flushed line must miss again");
+        assert_eq!(stats.cte_misses, 2);
     }
 
     #[test]
@@ -772,13 +1161,10 @@ mod tests {
             .rev()
             .find(|i| matches!(s.pages[&(*i as u64)].place, Placement::Ml2 { .. }))
             .expect("an ML2 page exists") as u64;
-        let lat = s.access(&read_req(victim, true), 0.0, &mut d, &mut stats);
+        let lat = s.access(&read_req(victim, true), 0.0, &mut d, &mut stats).unwrap();
         assert_eq!(stats.ml2_reads, 1);
         assert_eq!(stats.ml2_to_ml1_migrations, 1);
-        assert!(
-            matches!(s.pages[&victim].place, Placement::Ml1 { .. }),
-            "page must now be in ML1"
-        );
+        assert!(matches!(s.pages[&victim].place, Placement::Ml1 { .. }), "page must now be in ML1");
         // Fast-deflate latency: ~140 ns decompress + DRAM.
         assert!(lat > 100.0 && lat < 1_000.0, "latency {lat}");
     }
@@ -793,7 +1179,7 @@ mod tests {
                 .rev()
                 .find(|i| matches!(s.pages[&(*i as u64)].place, Placement::Ml2 { .. }))
                 .expect("ml2 page") as u64;
-            s.access(&read_req(victim, true), 0.0, &mut d, &mut stats)
+            s.access(&read_req(victim, true), 0.0, &mut d, &mut stats).unwrap()
         };
         let fast = mk(TmccToggles::full());
         let slow = mk(TmccToggles::ml1_only());
@@ -807,12 +1193,56 @@ mod tests {
         let mut stats = SimStats::default();
         // Drain the free list below the low-water mark.
         while s.ml1_free.len() >= s.evict_lo {
-            let _ = s.ml1_free.pop();
+            let frame = s.ml1_free.pop().unwrap();
+            s.total_frames -= 1; // keep the books balanced for validate()
+            let _ = frame;
         }
         let drained = s.ml1_free.len();
-        s.maintain(0.0, &mut d, &mut stats);
+        s.maintain(0.0, &mut d, &mut stats).unwrap();
         assert!(s.ml1_free.len() > drained, "eviction must free frames");
         assert!(stats.ml1_to_ml2_migrations > 0);
+    }
+
+    #[test]
+    fn budget_shock_enters_degraded_and_recovers() {
+        let (mut s, _pt) = build(TmccToggles::full(), 2000, 1400);
+        let mut d = dram();
+        let mut stats = SimStats::default();
+        s.validate().unwrap();
+        // Shrink the budget far past what the free list can cover, so
+        // debt is booked and degraded mode engages.
+        s.apply_fault(FaultKind::ShrinkBudget { frames: 500 }, 0.0, &mut stats).unwrap();
+        s.validate().unwrap();
+        assert!(s.is_degraded(), "shock must enter degraded mode");
+        assert!(s.reclaim_debt() > 0, "free list cannot cover the shrink");
+        let mut now = 1_000.0;
+        for _ in 0..400 {
+            s.maintain(now, &mut d, &mut stats).unwrap();
+            s.validate().unwrap();
+            now += 1_000.0;
+            if !s.is_degraded() {
+                break;
+            }
+        }
+        assert!(!s.is_degraded(), "pressure must eventually pass: {stats:?}");
+        assert_eq!(s.reclaim_debt(), 0);
+        assert!(stats.emergency_evictions > 0, "{stats:?}");
+        assert_eq!(stats.recoveries, 1, "{stats:?}");
+        assert!(stats.degraded_ns > 0.0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn budget_grow_mints_fresh_frames_and_pays_debt() {
+        let (mut s, _pt) = build(TmccToggles::full(), 2000, 1400);
+        let mut stats = SimStats::default();
+        s.apply_fault(FaultKind::ShrinkBudget { frames: 500 }, 0.0, &mut stats).unwrap();
+        let debt = s.reclaim_debt();
+        assert!(debt > 0);
+        s.apply_fault(FaultKind::GrowBudget { frames: 500 }, 10.0, &mut stats).unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.reclaim_debt(), 0, "growth pays debt first");
+        assert_eq!(s.total_frames, 1400);
     }
 
     #[test]
@@ -839,11 +1269,31 @@ mod tests {
         let mut stats = SimStats::default();
         while s.ml1_free.len() >= s.evict_lo {
             let _ = s.ml1_free.pop();
+            s.total_frames -= 1;
         }
-        s.maintain(0.0, &mut d, &mut stats);
+        s.maintain(0.0, &mut d, &mut stats).unwrap();
         assert!(stats.incompressible_evictions > 0);
         assert_eq!(stats.ml1_to_ml2_migrations, 0);
         let flagged = s.pages.values().filter(|p| p.cte.is_incompressible()).count();
         assert!(flagged > 0);
+    }
+
+    #[test]
+    fn content_shift_inflates_eviction_sizes() {
+        let (mut s, _pt) = build(TmccToggles::full(), 2000, 1200);
+        let mut stats = SimStats::default();
+        // 1200-byte pages inflated 300% exceed the 4096-byte class.
+        s.apply_fault(FaultKind::ContentShift { percent: 300 }, 0.0, &mut stats).unwrap();
+        let mut d = dram();
+        while s.ml1_free.len() >= s.evict_lo {
+            let _ = s.ml1_free.pop();
+            s.total_frames -= 1;
+        }
+        s.maintain(0.0, &mut d, &mut stats).unwrap();
+        assert!(
+            stats.incompressible_evictions > 0,
+            "inflated pages must be flagged incompressible: {stats:?}"
+        );
+        assert_eq!(stats.ml1_to_ml2_migrations, 0);
     }
 }

@@ -83,10 +83,7 @@ impl SizeModel {
                         block.compressed_size(arr)
                     })
                     .sum();
-                PageSizes {
-                    deflate_bytes,
-                    block_bytes,
-                }
+                PageSizes { deflate_bytes, block_bytes }
             })
             .collect();
         Self { samples }
@@ -121,11 +118,8 @@ impl SizeModel {
     /// Mean block-level ratio across the sampled pages (with Compresso's
     /// 512 B chunk rounding).
     pub fn mean_block_ratio(&self) -> f64 {
-        let total: usize = self
-            .samples
-            .iter()
-            .map(|s| s.compresso_chunks() * BlockMetadata::CHUNK_SIZE)
-            .sum();
+        let total: usize =
+            self.samples.iter().map(|s| s.compresso_chunks() * BlockMetadata::CHUNK_SIZE).sum();
         4096.0 * self.samples.len() as f64 / total as f64
     }
 }

@@ -85,6 +85,22 @@ pub struct SimStats {
     /// Compresso page-overflow events (block writeback grew the page).
     pub page_overflows: u64,
 
+    /// Runtime faults injected from the configured [`FaultPlan`]
+    /// (crate::config::FaultPlan).
+    pub faults_injected: u64,
+    /// Evictions performed above the normal per-slot budget while the
+    /// free list sat below the critical watermark or reclaim debt was
+    /// outstanding.
+    pub emergency_evictions: u64,
+    /// Evictions that fell back to storing the page raw (uncompressed
+    /// 4 KiB class) because its exact size class could not be carved.
+    pub raw_fallbacks: u64,
+    /// Simulated ns spent in degraded mode (free list below the critical
+    /// watermark or unpaid reclaim debt).
+    pub degraded_ns: f64,
+    /// Times the scheme exited degraded mode (pressure fully relieved).
+    pub recoveries: u64,
+
     /// Final DRAM bytes used by data + metadata.
     pub dram_used_bytes: u64,
     /// Uncompressed footprint bytes.
@@ -150,7 +166,11 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// Everything a finished run reports.
-#[derive(Debug, Clone)]
+///
+/// Serializes deterministically: two runs with the same seed and fault
+/// plan produce byte-identical JSON (the determinism regression tests
+/// rely on this).
+#[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
     /// Workload name.
     pub workload: &'static str,

@@ -8,11 +8,19 @@
 //! paper's *relative* performance effects (translation serialization,
 //! decompression latency, migration pressure) without an out-of-order
 //! core model; see DESIGN.md §7.
+//!
+//! # Fault injection and auditing
+//!
+//! A [`FaultPlan`](crate::config::FaultPlan) on the configuration
+//! schedules runtime shocks at absolute access counts (warmup included);
+//! the system applies each event just before executing that access.
+//! `SystemConfig::with_audit` additionally runs the scheme's invariant
+//! auditor after every maintenance interval, turning silent state
+//! corruption into a typed [`TmccError::InvariantViolation`].
 
-use crate::config::{SchemeKind, SystemConfig};
-use crate::schemes::{
-    CompressoScheme, MemRequest, NoCompressionScheme, Scheme, TwoLevelScheme,
-};
+use crate::config::{FaultEvent, SchemeKind, SystemConfig};
+use crate::error::TmccError;
+use crate::schemes::{CompressoScheme, MemRequest, NoCompressionScheme, Scheme, TwoLevelScheme};
 use crate::size_model::SizeModel;
 use crate::stats::{RunReport, SimStats};
 use tmcc_sim_dram::DramSim;
@@ -40,6 +48,12 @@ pub struct System {
     now_ns: f64,
     stats: SimStats,
     accesses_since_maintenance: u64,
+    /// Fault events sorted by `at_access`, applied in order.
+    fault_events: Vec<FaultEvent>,
+    next_fault: usize,
+    /// Accesses executed since construction, warmup included — the clock
+    /// fault events are scheduled against.
+    total_accesses: u64,
 }
 
 impl System {
@@ -50,12 +64,21 @@ impl System {
     /// # Panics
     ///
     /// Panics if the configured DRAM budget cannot hold the workload even
-    /// fully compressed (see [`System::min_budget_bytes`]).
+    /// fully compressed (see [`System::min_budget_bytes`]; use
+    /// [`System::try_new`] to get a typed error instead).
     pub fn new(cfg: SystemConfig) -> Self {
-        let mut page_table = PageTable::new(PageTableConfig {
-            huge_pages: cfg.huge_pages,
-            ..Default::default()
-        });
+        match Self::try_new(cfg) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the system, returning [`TmccError::InfeasibleBudget`] when
+    /// the configured DRAM budget cannot hold the workload even fully
+    /// compressed.
+    pub fn try_new(cfg: SystemConfig) -> Result<Self, TmccError> {
+        let mut page_table =
+            PageTable::new(PageTableConfig { huge_pages: cfg.huge_pages, ..Default::default() });
         let pages = cfg.workload.sim_pages;
         if cfg.huge_pages {
             for region in 0..pages.div_ceil(512) {
@@ -82,12 +105,7 @@ impl System {
                 }
                 ppns.sort_unstable_by_key(|p| p.raw());
                 ppns.dedup();
-                Box::new(CompressoScheme::new(
-                    cfg.cte_cache,
-                    size_model,
-                    ppns,
-                    cfg.seed,
-                ))
+                Box::new(CompressoScheme::new(cfg.cte_cache, size_model, ppns, cfg.seed))
             }
             SchemeKind::OsInspired | SchemeKind::Tmcc => {
                 // CTE table (8 B/page) and recency list (16 B/page) also
@@ -98,7 +116,7 @@ impl System {
                     // No pressure: room for everything plus the reserve.
                     None => (pages + table_pages) as u32 + 512,
                 };
-                Box::new(TwoLevelScheme::new(
+                Box::new(TwoLevelScheme::try_new(
                     cfg.toggles,
                     cfg.cte_cache,
                     size_model,
@@ -107,7 +125,7 @@ impl System {
                     budget_frames,
                     cfg.seed,
                     cfg.recency_sample,
-                ))
+                )?)
             }
         };
 
@@ -115,7 +133,10 @@ impl System {
             .map(|i| cfg.workload.stream(cfg.seed.wrapping_add(i as u64 * 977)))
             .collect();
 
-        Self {
+        let mut fault_events = cfg.fault_plan.events.clone();
+        fault_events.sort_by_key(|e| e.at_access);
+
+        Ok(Self {
             tlb: Tlb::new(cfg.tlb_entries, 8),
             walker: PageWalker::paper_default(),
             hierarchy: CacheHierarchy::new(cfg.hierarchy),
@@ -127,8 +148,11 @@ impl System {
             now_ns: 0.0,
             stats: SimStats::default(),
             accesses_since_maintenance: 0,
+            fault_events,
+            next_fault: 0,
+            total_accesses: 0,
             cfg,
-        }
+        })
     }
 
     /// Smallest feasible DRAM budget in bytes for a workload under the
@@ -144,8 +168,7 @@ impl System {
             page_table.table_page_count() as u64,
             cfg.workload.sim_pages,
         );
-        let metadata =
-            (cfg.workload.sim_pages + page_table.table_page_count() as u64) * 24;
+        let metadata = (cfg.workload.sim_pages + page_table.table_page_count() as u64) * 24;
         frames as u64 * 4096 + metadata
     }
 
@@ -154,8 +177,32 @@ impl System {
         &self.cfg
     }
 
+    /// Audits the scheme's internal invariants (frame conservation,
+    /// CTE/placement consistency). Cheap enough to call between
+    /// maintenance intervals; `SystemConfig::with_audit` does so
+    /// automatically.
+    pub fn validate(&self) -> Result<(), TmccError> {
+        self.scheme.validate()
+    }
+
+    /// Applies every fault event scheduled at or before the current
+    /// access count.
+    fn apply_due_faults(&mut self) -> Result<(), TmccError> {
+        while let Some(ev) = self.fault_events.get(self.next_fault) {
+            if ev.at_access > self.total_accesses {
+                break;
+            }
+            let kind = ev.kind;
+            self.next_fault += 1;
+            self.scheme.apply_fault(kind, self.now_ns, &mut self.stats)?;
+        }
+        Ok(())
+    }
+
     /// Executes one workload access end to end.
-    fn step(&mut self) {
+    fn try_step(&mut self) -> Result<(), TmccError> {
+        self.apply_due_faults()?;
+        self.total_accesses += 1;
         let ev = self.streams[self.next_stream].next_access();
         self.next_stream = (self.next_stream + 1) % self.streams.len();
         self.now_ns += ev.work_cycles as f64 * CORE_NS_PER_CYCLE;
@@ -179,12 +226,10 @@ impl System {
                 let walk = self
                     .walker
                     .walk(&self.page_table, vpn)
-                    .expect("workload touches only mapped pages");
+                    .ok_or(TmccError::UnmappedVpn { vpn: vpn.raw() })?;
                 for step in &walk.fetched {
                     self.stats.walker_fetches += 1;
-                    let acc = self
-                        .hierarchy
-                        .access(step.ptb_block, false, is_tmcc_ptb);
+                    let acc = self.hierarchy.access(step.ptb_block, false, is_tmcc_ptb);
                     let mut lat = acc.latency_ns;
                     if acc.level == HitLevel::Memory {
                         self.stats.llc_miss_ptb += 1;
@@ -195,14 +240,17 @@ impl System {
                             is_ptb: true,
                             after_tlb_miss: true,
                         };
-                        let mlat =
-                            self.scheme
-                                .access(&req, self.now_ns + lat, &mut self.dram, &mut self.stats);
+                        let mlat = self.scheme.access(
+                            &req,
+                            self.now_ns + lat,
+                            &mut self.dram,
+                            &mut self.stats,
+                        )?;
                         self.stats.l3_miss_latency_sum_ns += NOC_LATENCY_NS + mlat;
                         lat += mlat;
                     }
                     if let Some(wb) = acc.writeback {
-                        self.handle_writeback(wb.ppn(), wb);
+                        self.handle_writeback(wb.ppn(), wb)?;
                     }
                     // The L2 receives the PTB: TMCC harvests its embedded
                     // CTEs into the CTE buffer (§V-A3).
@@ -222,21 +270,15 @@ impl System {
         let mut lat = acc.latency_ns;
         if acc.level == HitLevel::Memory {
             self.stats.llc_miss_data += 1;
-            let req = MemRequest {
-                ppn,
-                block,
-                write: ev.write,
-                is_ptb: false,
-                after_tlb_miss: walked,
-            };
-            let mlat = self
-                .scheme
-                .access(&req, self.now_ns + lat, &mut self.dram, &mut self.stats);
+            let req =
+                MemRequest { ppn, block, write: ev.write, is_ptb: false, after_tlb_miss: walked };
+            let mlat =
+                self.scheme.access(&req, self.now_ns + lat, &mut self.dram, &mut self.stats)?;
             self.stats.l3_miss_latency_sum_ns += NOC_LATENCY_NS + mlat;
             lat += mlat;
         }
         if let Some(wb) = acc.writeback {
-            self.handle_writeback(wb.ppn(), wb);
+            self.handle_writeback(wb.ppn(), wb)?;
         }
         self.now_ns += lat;
         self.stats.accesses += 1;
@@ -245,8 +287,10 @@ impl System {
         self.accesses_since_maintenance += 1;
         if self.accesses_since_maintenance >= MAINTENANCE_PERIOD {
             self.accesses_since_maintenance = 0;
-            self.scheme
-                .maintain(self.now_ns, &mut self.dram, &mut self.stats);
+            self.scheme.maintain(self.now_ns, &mut self.dram, &mut self.stats)?;
+            if self.cfg.audit {
+                self.scheme.validate()?;
+            }
         }
         // Flush the cache hierarchy of any pages just compressed into ML2
         // (hardware collects a page's lines during the migration; stale
@@ -256,27 +300,40 @@ impl System {
                 self.hierarchy.invalidate(ppn.block(b));
             }
         }
+        Ok(())
     }
 
     /// Handles a dirty LLC eviction.
-    fn handle_writeback(&mut self, ppn: Ppn, block: tmcc_types::addr::BlockAddr) {
+    fn handle_writeback(
+        &mut self,
+        ppn: Ppn,
+        block: tmcc_types::addr::BlockAddr,
+    ) -> Result<(), TmccError> {
         self.stats.llc_writebacks += 1;
-        let req = MemRequest {
-            ppn,
-            block,
-            write: true,
-            is_ptb: false,
-            after_tlb_miss: false,
-        };
-        self.scheme
-            .writeback(&req, self.now_ns, &mut self.dram, &mut self.stats);
+        let req = MemRequest { ppn, block, write: true, is_ptb: false, after_tlb_miss: false };
+        self.scheme.writeback(&req, self.now_ns, &mut self.dram, &mut self.stats)
     }
 
     /// Runs `accesses` measured accesses (after the configured warmup) and
     /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation surfaces a [`TmccError`] (an unmapped
+    /// page, a broken invariant under auditing); use
+    /// [`System::try_run`] to handle those as values.
     pub fn run(&mut self, accesses: u64) -> RunReport {
+        match self.try_run(accesses) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs `accesses` measured accesses (after the configured warmup) and
+    /// reports, propagating any simulation error.
+    pub fn try_run(&mut self, accesses: u64) -> Result<RunReport, TmccError> {
         for _ in 0..self.cfg.warmup_accesses {
-            self.step();
+            self.try_step()?;
         }
         // Reset counters; keep all cache/placement state (the paper warms
         // up ML1, ML2 and embedded CTEs before measuring, §VI).
@@ -286,18 +343,18 @@ impl System {
         self.tlb.reset_stats();
         let start_ns = self.now_ns;
         for _ in 0..accesses {
-            self.step();
+            self.try_step()?;
         }
         self.stats.elapsed_ns = self.now_ns - start_ns;
         self.stats.dram_used_bytes = self.scheme.dram_used_bytes();
         self.stats.footprint_bytes = self.cfg.workload.sim_pages * 4096;
-        RunReport {
+        Ok(RunReport {
             workload: self.cfg.workload.name,
             scheme: self.cfg.scheme,
             stats: self.stats,
             dram: self.dram.stats(),
             peak_bandwidth_gbps: self.cfg.dram.peak_bandwidth_gbps(),
             bandwidth_utilization: self.dram.bandwidth_utilization(),
-        }
+        })
     }
 }

@@ -3,7 +3,7 @@
 //! buffers, exhausted free lists, stale embeddings en masse.
 
 use tmcc::config::TmccToggles;
-use tmcc::{SchemeKind, System, SystemConfig};
+use tmcc::{SchemeKind, System, SystemConfig, TmccError};
 use tmcc_workloads::{ContentProfile, PageTemplate, WorkloadProfile};
 
 fn incompressible_workload() -> WorkloadProfile {
@@ -72,11 +72,15 @@ fn barebone_with_slow_deflate_is_much_slower_under_ml2_pressure() {
 }
 
 #[test]
-fn zero_budget_headroom_panics_with_clear_message() {
+fn zero_budget_headroom_is_a_typed_error() {
     let w = incompressible_workload();
     let cfg = SystemConfig::new(w, SchemeKind::Tmcc).with_budget(1 << 22); // 4 MiB: absurd
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = System::new(cfg);
-    }));
-    assert!(result.is_err(), "infeasible budgets must fail loudly, not silently");
+    let err = System::try_new(cfg).map(|_| ()).expect_err("infeasible budgets must be rejected");
+    assert!(
+        matches!(err, TmccError::InfeasibleBudget { .. }),
+        "expected InfeasibleBudget, got: {err}"
+    );
+    // The message must name the numbers an operator needs.
+    let msg = err.to_string();
+    assert!(msg.contains("budget"), "unhelpful message: {msg}");
 }

@@ -2,9 +2,9 @@
 //! conservation, recency-list linkage, size-model determinism.
 
 use proptest::prelude::*;
-use tmcc::free_list::{Ml1FreeList, Ml2FreeLists};
+use tmcc::free_list::{Ml1FreeList, Ml2FreeLists, SubChunk};
 use tmcc::size_model::{PageSizes, SizeModel};
-use tmcc::RecencyList;
+use tmcc::{RecencyList, TmccError};
 use tmcc_types::addr::Ppn;
 
 proptest! {
@@ -29,6 +29,52 @@ proptest! {
         }
         for sub in live {
             ml2.free(sub, &mut ml1);
+        }
+        prop_assert_eq!(ml1.len(), total as usize);
+        prop_assert_eq!(ml2.allocated_bytes(), 0);
+    }
+
+    /// With a deliberately starved ML1 (injected exhaustion), random
+    /// alloc/free interleavings surface typed errors — never panics — and
+    /// the allocator's byte and chunk books stay exact through every
+    /// failed allocation.
+    #[test]
+    fn ml2_exhaustion_is_typed_never_a_panic(
+        total in 0u32..24,
+        ops in prop::collection::vec((any::<bool>(), 1usize..5000), 1..250),
+    ) {
+        let mut ml1 = Ml1FreeList::with_chunks(total);
+        let mut ml2 = Ml2FreeLists::paper_classes();
+        let mut live: Vec<(SubChunk, usize)> = Vec::new();
+        let mut live_bytes = 0usize;
+        for (free, bytes) in ops {
+            if free && !live.is_empty() {
+                let (sub, sz) = live.swap_remove(bytes % live.len());
+                prop_assert!(ml2.try_free(sub, &mut ml1).is_ok(), "live free must succeed");
+                live_bytes -= sz;
+            } else {
+                match ml2.try_allocate(bytes, &mut ml1) {
+                    Ok(sub) => {
+                        let sz = ml2.class_size(sub.class);
+                        live_bytes += sz;
+                        live.push((sub, sz));
+                    }
+                    Err(TmccError::FreeListExhausted { requested_bytes, .. }) => {
+                        prop_assert_eq!(requested_bytes, bytes);
+                    }
+                    Err(TmccError::OversizedAllocation { requested_bytes, largest_class }) => {
+                        prop_assert!(requested_bytes > largest_class);
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error: {e}"),
+                }
+            }
+            // Failed allocations must not leak: the books balance after
+            // every single operation.
+            prop_assert_eq!(ml2.allocated_bytes(), live_bytes);
+            prop_assert_eq!(ml2.owned_chunks() + ml1.len(), total as usize);
+        }
+        for (sub, _) in live {
+            prop_assert!(ml2.try_free(sub, &mut ml1).is_ok());
         }
         prop_assert_eq!(ml1.len(), total as usize);
         prop_assert_eq!(ml2.allocated_bytes(), 0);

@@ -53,10 +53,8 @@ fn tmcc_beats_compresso_latency_at_same_savings() {
     let rc = cp.run(60_000);
     // Run TMCC at the same DRAM usage Compresso achieved (Fig. 17's
     // iso-savings comparison), clamped to TMCC's feasibility floor.
-    let budget = rc
-        .stats
-        .dram_used_bytes
-        .max(System::min_budget_bytes(&test_config(SchemeKind::Tmcc)));
+    let budget =
+        rc.stats.dram_used_bytes.max(System::min_budget_bytes(&test_config(SchemeKind::Tmcc)));
     let cfg = test_config(SchemeKind::Tmcc).with_budget(budget);
     let mut tm = System::new(cfg);
     let rt = tm.run(60_000);
@@ -86,9 +84,7 @@ fn tmcc_beats_barebone_at_same_budget() {
     let budget = min + (footprint.saturating_sub(min)) / 3;
     let mut tmcc = System::new(test_config(SchemeKind::Tmcc).with_budget(budget));
     let mut bare = System::new(
-        test_config(SchemeKind::OsInspired)
-            .with_budget(budget)
-            .with_toggles(TmccToggles::none()),
+        test_config(SchemeKind::OsInspired).with_budget(budget).with_toggles(TmccToggles::none()),
     );
     let rt = tmcc.run(60_000);
     let rb = bare.run(60_000);

@@ -41,10 +41,7 @@ const HUFF_COMP: ModuleArea = ModuleArea { area_mm2: 0.034, power_mw: 160.0 };
 impl AreaModel {
     /// The synthesized design point of Table I (1 KiB CAM, 16 codes).
     pub fn paper_default() -> Self {
-        Self {
-            cam_bytes: REF_CAM_BYTES,
-            huffman_codes: REF_HUFFMAN_CODES,
-        }
+        Self { cam_bytes: REF_CAM_BYTES, huffman_codes: REF_HUFFMAN_CODES }
     }
 
     /// A hypothetical design point for design-space exploration.
@@ -54,26 +51,17 @@ impl AreaModel {
     /// Panics if either parameter is zero.
     pub fn with_params(cam_bytes: usize, huffman_codes: usize) -> Self {
         assert!(cam_bytes > 0 && huffman_codes > 0, "parameters must be nonzero");
-        Self {
-            cam_bytes,
-            huffman_codes,
-        }
+        Self { cam_bytes, huffman_codes }
     }
 
     fn scale_lz(&self, m: ModuleArea) -> ModuleArea {
         let s = self.cam_bytes as f64 / REF_CAM_BYTES as f64;
-        ModuleArea {
-            area_mm2: m.area_mm2 * s,
-            power_mw: m.power_mw * s,
-        }
+        ModuleArea { area_mm2: m.area_mm2 * s, power_mw: m.power_mw * s }
     }
 
     fn scale_huff(&self, m: ModuleArea) -> ModuleArea {
         let s = self.huffman_codes as f64 / REF_HUFFMAN_CODES as f64;
-        ModuleArea {
-            area_mm2: m.area_mm2 * s,
-            power_mw: m.power_mw * s,
-        }
+        ModuleArea { area_mm2: m.area_mm2 * s, power_mw: m.power_mw * s }
     }
 
     /// LZ decompressor area/power.

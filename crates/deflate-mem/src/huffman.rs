@@ -37,10 +37,7 @@ fn huffman_lengths(freqs: &[u64]) -> Vec<u32> {
         .iter()
         .enumerate()
         .filter(|(_, &f)| f > 0)
-        .map(|(i, &f)| Node {
-            freq: f,
-            syms: vec![i],
-        })
+        .map(|(i, &f)| Node { freq: f, syms: vec![i] })
         .collect();
     if nodes.is_empty() {
         return lengths;
@@ -59,10 +56,7 @@ fn huffman_lengths(freqs: &[u64]) -> Vec<u32> {
         }
         let mut syms = a.syms;
         syms.extend(b.syms);
-        nodes.push(Node {
-            freq: a.freq + b.freq,
-            syms,
-        });
+        nodes.push(Node { freq: a.freq + b.freq, syms });
     }
     lengths
 }
@@ -78,7 +72,7 @@ fn limited_lengths(freqs: &[u64], max_depth: u32) -> Vec<u32> {
         }
         for v in f.iter_mut() {
             if *v > 0 {
-                *v = (*v + 1) / 2 + 1;
+                *v = v.div_ceil(2) + 1;
             }
         }
     }
@@ -153,16 +147,8 @@ impl ReducedHuffman {
         }
         let mut by_freq: Vec<usize> = (0..256).filter(|&i| freqs[i] > 0).collect();
         by_freq.sort_by_key(|&i| (std::cmp::Reverse(freqs[i]), i));
-        let hot: Vec<u8> = by_freq
-            .iter()
-            .take(REDUCED_LEAVES - 1)
-            .map(|&i| i as u8)
-            .collect();
-        let escape_freq: u64 = by_freq
-            .iter()
-            .skip(REDUCED_LEAVES - 1)
-            .map(|&i| freqs[i])
-            .sum();
+        let hot: Vec<u8> = by_freq.iter().take(REDUCED_LEAVES - 1).map(|&i| i as u8).collect();
+        let escape_freq: u64 = by_freq.iter().skip(REDUCED_LEAVES - 1).map(|&i| freqs[i]).sum();
         let mut tree_freqs: Vec<u64> = hot.iter().map(|&b| freqs[b as usize]).collect();
         // The escape leaf always exists (paper: never discarded), even if
         // the page currently has no cold characters.
@@ -297,11 +283,7 @@ impl ReducedHuffman {
                 code = (code << 1) | r.get_bit() as u32;
                 len += 1;
                 assert!(len <= 15, "code longer than any in tree");
-                if let Some(i) = self
-                    .codes
-                    .iter()
-                    .position(|&(c, l)| l == len && c == code)
-                {
+                if let Some(i) = self.codes.iter().position(|&(c, l)| l == len && c == code) {
                     if i == escape {
                         out.push(r.get(8) as u8);
                     } else {
@@ -425,11 +407,7 @@ mod tests {
     fn lengths_satisfy_kraft() {
         let freqs: Vec<u64> = (1..=16u64).collect();
         let lengths = huffman_lengths(&freqs);
-        let kraft: f64 = lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| 2f64.powi(-(l as i32)))
-            .sum();
+        let kraft: f64 = lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
         assert!((kraft - 1.0).abs() < 1e-9, "kraft sum {kraft}");
     }
 
@@ -441,11 +419,7 @@ mod tests {
         assert!(unlimited.iter().max().unwrap() > &8);
         let limited = limited_lengths(&freqs, 8);
         assert!(limited.iter().all(|&l| l <= 8));
-        let kraft: f64 = limited
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| 2f64.powi(-(l as i32)))
-            .sum();
+        let kraft: f64 = limited.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
         assert!(kraft <= 1.0 + 1e-9);
     }
 
@@ -481,7 +455,7 @@ mod tests {
     fn reduced_respects_custom_depth() {
         let mut data = Vec::new();
         for i in 0..16u32 {
-            data.extend(std::iter::repeat(i as u8).take(1 << i));
+            data.extend(std::iter::repeat_n(i as u8, 1 << i));
         }
         let tree = ReducedHuffman::build(&data, 6);
         assert!(tree.depth() <= 6);

@@ -38,11 +38,7 @@ pub struct IbmDeflateModel {
 
 impl Default for IbmDeflateModel {
     fn default() -> Self {
-        Self {
-            t0_decompress_ns: 827.0,
-            t0_compress_ns: 777.0,
-            stream_gbps: IBM_STREAM_GBPS,
-        }
+        Self { t0_decompress_ns: 827.0, t0_compress_ns: 777.0, stream_gbps: IBM_STREAM_GBPS }
     }
 }
 

@@ -76,11 +76,7 @@ impl LzCodec {
         let match_bytes = 1 + (6 + dist_bits).div_ceil(8) as usize;
         // A match must beat its own encoding by at least one byte.
         let min_match = match_bytes + 1;
-        Self {
-            window,
-            dist_bits,
-            min_match,
-        }
+        Self { window, dist_bits, min_match }
     }
 
     /// The paper's memory-specialized configuration: a 1 KiB CAM.
@@ -117,10 +113,7 @@ impl LzCodec {
             (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
         };
 
-        let insert = |pos: usize,
-                          data: &[u8],
-                          heads: &mut Vec<i32>,
-                          chain_at: &mut Vec<i32>| {
+        let insert = |pos: usize, data: &[u8], heads: &mut Vec<i32>, chain_at: &mut Vec<i32>| {
             if pos + 4 <= data.len() {
                 let h = hash(&data[pos..]);
                 chain_at[pos] = heads[h];
@@ -295,7 +288,7 @@ mod tests {
         let lz = LzCodec::new(256);
         // Repetition separated by more than the window: no match possible.
         let mut data = b"0123456789abcdef".repeat(2);
-        data.extend(std::iter::repeat(0u8).take(512).enumerate().map(|(i, _)| (i % 251) as u8));
+        data.extend((0..512usize).map(|i| (i % 251) as u8));
         data.extend_from_slice(&b"0123456789abcdef".repeat(2));
         let (out, _) = lz.compress(&data);
         assert_eq!(lz.decompress(&out), data);

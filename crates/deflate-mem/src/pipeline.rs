@@ -196,11 +196,7 @@ pub struct MemDeflate {
 impl MemDeflate {
     /// Builds the codec from parameters.
     pub fn new(params: DeflateParams) -> Self {
-        Self {
-            params,
-            lz: LzCodec::new(params.cam_bytes),
-            timing: DeflateTiming::default(),
-        }
+        Self { params, lz: LzCodec::new(params.cam_bytes), timing: DeflateTiming::default() }
     }
 
     /// The configured parameters.
@@ -220,10 +216,7 @@ impl MemDeflate {
     /// Panics if `page` is empty or longer than 65 535 bytes (the 16-bit
     /// LZ-length header).
     pub fn compress_page(&self, page: &[u8]) -> CompressedPage {
-        assert!(
-            !page.is_empty() && page.len() < 65536,
-            "page length must be in 1..65536"
-        );
+        assert!(!page.is_empty() && page.len() < 65536, "page length must be in 1..65536");
         if page.iter().all(|&b| b == 0) {
             return CompressedPage {
                 mode: PageMode::Zero,
@@ -262,13 +255,7 @@ impl MemDeflate {
                 stats,
             };
         }
-        CompressedPage {
-            mode,
-            original_len: page.len(),
-            lz_len: lz_stream.len(),
-            payload,
-            stats,
-        }
+        CompressedPage { mode, original_len: page.len(), lz_len: lz_stream.len(), payload, stats }
     }
 
     /// Restores the original page.
@@ -307,14 +294,12 @@ impl MemDeflate {
 
     /// Modelled latency to decompress the full page.
     pub fn decompress_latency(&self, page: &CompressedPage) -> TimingReport {
-        self.timing
-            .decompress_latency(page.payload_bits(), page.original_len)
+        self.timing.decompress_latency(page.payload_bits(), page.original_len)
     }
 
     /// Modelled average latency until a needed block is available.
     pub fn needed_block_latency(&self, page: &CompressedPage) -> TimingReport {
-        self.timing
-            .half_page_latency(page.payload_bits(), page.original_len)
+        self.timing.half_page_latency(page.payload_bits(), page.original_len)
     }
 }
 
@@ -334,9 +319,7 @@ pub struct SoftwareDeflate {
 impl SoftwareDeflate {
     /// Creates the reference codec.
     pub fn new() -> Self {
-        Self {
-            lz: LzCodec::new(32768),
-        }
+        Self { lz: LzCodec::new(32768) }
     }
 
     /// Compresses a stream; returns the stored bytes
@@ -513,10 +496,7 @@ mod tests {
             dump.extend_from_slice(&p);
         }
         let sw_size = sw.compressed_size(&dump);
-        let mem_size: usize = dump
-            .chunks_exact(PAGE_SIZE)
-            .map(|p| mem.compressed_size(p))
-            .sum();
+        let mem_size: usize = dump.chunks_exact(PAGE_SIZE).map(|p| mem.compressed_size(p)).sum();
         assert!(sw_size <= mem_size, "sw {sw_size} vs mem {mem_size}");
     }
 

@@ -43,10 +43,7 @@ pub struct TimingReport {
 
 impl TimingReport {
     fn from_cycles(cycles: u64) -> Self {
-        Self {
-            cycles,
-            ns: cycles as f64 * NS_PER_CYCLE,
-        }
+        Self { cycles, ns: cycles as f64 * NS_PER_CYCLE }
     }
 }
 
@@ -103,8 +100,7 @@ impl DeflateTiming {
     /// Cycles the LZ compression stage occupies for an `n`-byte input with
     /// the given match structure.
     pub fn lz_stage_cycles(&self, n: usize, stats: LzStats) -> u64 {
-        (n as u64).div_ceil(self.lz_bytes_per_cycle)
-            + stats.matches as u64 / self.match_stall_div
+        (n as u64).div_ceil(self.lz_bytes_per_cycle) + stats.matches as u64 / self.match_stall_div
     }
 
     /// Cycles the Huffman half occupies for an LZ stream of `lz_len` bytes
@@ -118,7 +114,13 @@ impl DeflateTiming {
     /// End-to-end compression latency for one page: LZ pass, one
     /// accumulate/replay handoff period, then the Huffman half (Fig. 14's
     /// two-page pipeline seen from a single page).
-    pub fn compress_latency(&self, n: usize, stats: LzStats, lz_len: usize, huff_bits: usize) -> TimingReport {
+    pub fn compress_latency(
+        &self,
+        n: usize,
+        stats: LzStats,
+        lz_len: usize,
+        huff_bits: usize,
+    ) -> TimingReport {
         let lz = self.lz_stage_cycles(n, stats);
         let huff = self.huffman_stage_cycles(lz_len, huff_bits);
         TimingReport::from_cycles(lz + lz.max(huff) + huff)
@@ -126,10 +128,15 @@ impl DeflateTiming {
 
     /// Steady-state compressor throughput in GB/s: the two-page pipeline's
     /// period is the slower half.
-    pub fn compress_throughput_gbps(&self, n: usize, stats: LzStats, lz_len: usize, huff_bits: usize) -> f64 {
-        let period = self
-            .lz_stage_cycles(n, stats)
-            .max(self.huffman_stage_cycles(lz_len, huff_bits));
+    pub fn compress_throughput_gbps(
+        &self,
+        n: usize,
+        stats: LzStats,
+        lz_len: usize,
+        huff_bits: usize,
+    ) -> f64 {
+        let period =
+            self.lz_stage_cycles(n, stats).max(self.huffman_stage_cycles(lz_len, huff_bits));
         n as f64 / (period as f64 * NS_PER_CYCLE)
     }
 
@@ -163,11 +170,7 @@ impl DeflateTiming {
     /// used for Table II and as fixed service latencies in the system
     /// simulator.
     pub fn table2_reference(&self) -> ReferenceTimings {
-        let stats = LzStats {
-            literals: 1200,
-            matches: 350,
-            matched_bytes: PAGE_SIZE - 1200,
-        };
+        let stats = LzStats { literals: 1200, matches: 350, matched_bytes: PAGE_SIZE - 1200 };
         let lz_len = 1700usize;
         let huff_bits = PAGE_SIZE * 8 * 10 / 34; // 3.4x overall
         ReferenceTimings {

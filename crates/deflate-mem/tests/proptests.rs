@@ -9,12 +9,8 @@ use tmcc_deflate::{DeflateParams, LzCodec, MemDeflate, ReducedHuffman, SoftwareD
 /// Pages drawn from a mixture of regimes: runs, strided records, random
 /// tails — the kinds of content real memory dumps contain.
 fn arb_page() -> impl Strategy<Value = Vec<u8>> {
-    (
-        any::<u64>(),
-        0u8..4,
-        prop::collection::vec(any::<u8>(), 8..64),
-    )
-        .prop_map(|(seed, kind, motif)| {
+    (any::<u64>(), 0u8..4, prop::collection::vec(any::<u8>(), 8..64)).prop_map(
+        |(seed, kind, motif)| {
             let mut page = vec![0u8; 4096];
             let mut x = seed | 1;
             let mut rng = move || {
@@ -57,7 +53,8 @@ fn arb_page() -> impl Strategy<Value = Vec<u8>> {
                 }
             }
             page
-        })
+        },
+    )
 }
 
 proptest! {

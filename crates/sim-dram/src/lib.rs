@@ -73,11 +73,7 @@ impl Default for DramConfig {
 impl DramConfig {
     /// The §VIII interleaving study system: 2 MCs × 2 channels.
     pub fn two_mc_two_channel() -> Self {
-        Self {
-            mcs: 2,
-            channels_per_mc: 2,
-            ..Default::default()
-        }
+        Self { mcs: 2, channels_per_mc: 2, ..Default::default() }
     }
 
     /// Total channels.
@@ -107,7 +103,7 @@ struct RankState {
 }
 
 /// Aggregate counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
 pub struct DramStats {
     /// Read bursts served.
     pub reads: u64,
@@ -277,9 +273,7 @@ impl DramSim {
         // contention queues bursts back to back (25.6 GB/s per channel).
         let data_ready = start + access_ns;
         let bus_start = if background {
-            data_ready
-                .max(self.channel_free_ns[ch])
-                .max(self.background_free_ns[ch])
+            data_ready.max(self.channel_free_ns[ch]).max(self.background_free_ns[ch])
         } else {
             data_ready.max(self.channel_free_ns[ch])
         };

@@ -32,26 +32,17 @@ pub struct InterleavePolicy {
 impl InterleavePolicy {
     /// The Fig. 22 baseline: 512 B across MCs, 256 B across channels.
     pub fn baseline() -> Self {
-        Self {
-            mc_granularity: 512,
-            channel_granularity: 256,
-        }
+        Self { mc_granularity: 512, channel_granularity: 256 }
     }
 
     /// TMCC-compatible: 4 KiB across MCs, 256 B across channels.
     pub fn coarse_mc() -> Self {
-        Self {
-            mc_granularity: 4096,
-            channel_granularity: 256,
-        }
+        Self { mc_granularity: 4096, channel_granularity: 256 }
     }
 
     /// TMCC-compatible, fully page-granular: 4 KiB across MCs and channels.
     pub fn page_channel() -> Self {
-        Self {
-            mc_granularity: 4096,
-            channel_granularity: 4096,
-        }
+        Self { mc_granularity: 4096, channel_granularity: 4096 }
     }
 
     /// Whether TMCC's page-level compression can operate under this policy
@@ -122,11 +113,8 @@ impl AddressMapping {
         let within_mc = collapse(a, self.policy.mc_granularity, self.cfg_mcs as u64);
         let channel =
             ((within_mc / self.policy.channel_granularity) % self.cfg_channels as u64) as usize;
-        let within_ch = collapse(
-            within_mc,
-            self.policy.channel_granularity,
-            self.cfg_channels as u64,
-        );
+        let within_ch =
+            collapse(within_mc, self.policy.channel_granularity, self.cfg_channels as u64);
         // Within a channel: column bits, then bank/rank with XOR hash.
         let column = within_ch % self.row_bytes;
         let row_seq = within_ch / self.row_bytes;
@@ -136,14 +124,7 @@ impl AddressMapping {
         let bank = (((row_seq) ^ (row_seq / (banks * ranks))) % banks) as usize;
         let rank = ((row_seq / banks) % ranks) as usize;
         let row = row_seq / (banks * ranks);
-        Location {
-            mc,
-            channel,
-            rank,
-            bank,
-            row,
-            column,
-        }
+        Location { mc, channel, rank, bank, row, column }
     }
 }
 

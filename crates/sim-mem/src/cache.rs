@@ -63,13 +63,7 @@ impl<P: Clone> SetAssocCache<P> {
     pub fn new(num_sets: usize, ways: usize) -> Self {
         assert!(num_sets > 0 && ways > 0, "cache dimensions must be nonzero");
         assert!(num_sets.is_power_of_two(), "set count must be a power of two");
-        Self {
-            sets: vec![Vec::with_capacity(ways); num_sets],
-            ways,
-            tick: 0,
-            hits: 0,
-            misses: 0,
-        }
+        Self { sets: vec![Vec::with_capacity(ways); num_sets], ways, tick: 0, hits: 0, misses: 0 }
     }
 
     /// A fully-associative cache with `entries` lines.
@@ -90,7 +84,12 @@ impl<P: Clone> SetAssocCache<P> {
     /// Accesses `key`; fills it with `payload` on miss. Returns the outcome
     /// and, on miss, the evicted line's `(key, dirty, payload)` if the set
     /// was full.
-    pub fn access(&mut self, key: u64, write: bool, payload: P) -> (CacheOutcome, Option<(u64, bool, P)>) {
+    pub fn access(
+        &mut self,
+        key: u64,
+        write: bool,
+        payload: P,
+    ) -> (CacheOutcome, Option<(u64, bool, P)>) {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(key);
@@ -113,12 +112,7 @@ impl<P: Clone> SetAssocCache<P> {
             let v = lines.swap_remove(idx);
             victim = Some((v.key, v.dirty, v.payload));
         }
-        lines.push(Line {
-            key,
-            dirty: write,
-            payload,
-            stamp: tick,
-        });
+        lines.push(Line { key, dirty: write, payload, stamp: tick });
         (CacheOutcome::Miss, victim)
     }
 
@@ -129,19 +123,13 @@ impl<P: Clone> SetAssocCache<P> {
 
     /// The payload of a resident line.
     pub fn payload(&self, key: u64) -> Option<&P> {
-        self.sets[self.set_of(key)]
-            .iter()
-            .find(|l| l.key == key)
-            .map(|l| &l.payload)
+        self.sets[self.set_of(key)].iter().find(|l| l.key == key).map(|l| &l.payload)
     }
 
     /// Mutable payload of a resident line.
     pub fn payload_mut(&mut self, key: u64) -> Option<&mut P> {
         let set = self.set_of(key);
-        self.sets[set]
-            .iter_mut()
-            .find(|l| l.key == key)
-            .map(|l| &mut l.payload)
+        self.sets[set].iter_mut().find(|l| l.key == key).map(|l| &mut l.payload)
     }
 
     /// Removes `key` if resident, returning its payload.

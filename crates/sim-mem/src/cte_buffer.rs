@@ -46,9 +46,7 @@ pub struct CteBuffer {
 impl CteBuffer {
     /// Creates a buffer with `entries` slots.
     pub fn new(entries: usize) -> Self {
-        Self {
-            entries: SetAssocCache::fully_associative(entries),
-        }
+        Self { entries: SetAssocCache::fully_associative(entries) }
     }
 
     /// The paper's 64-entry buffer.
@@ -93,6 +91,11 @@ impl CteBuffer {
         let _ = self.entries.invalidate(ppn.raw());
     }
 
+    /// Drops every entry (a flush storm).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Number of resident entries.
     pub fn len(&self) -> usize {
         self.entries.iter().count()
@@ -132,10 +135,7 @@ mod tests {
         let mut buf = CteBuffer::new(4);
         buf.insert(Ppn::new(7), Some(TruncatedCte::new(1)), BlockAddr::new(70));
         // Correct CTE disagrees: PTB needs repair.
-        assert_eq!(
-            buf.reconcile(Ppn::new(7), TruncatedCte::new(2)),
-            Some(BlockAddr::new(70))
-        );
+        assert_eq!(buf.reconcile(Ppn::new(7), TruncatedCte::new(2)), Some(BlockAddr::new(70)));
         // Now it agrees: no repair.
         assert_eq!(buf.reconcile(Ppn::new(7), TruncatedCte::new(2)), None);
         assert_eq!(buf.lookup(Ppn::new(7)).unwrap().cte, Some(TruncatedCte::new(2)));
@@ -153,9 +153,6 @@ mod tests {
         // CTE into the entry and ... updates the PTB" (§V-A3).
         let mut buf = CteBuffer::new(4);
         buf.insert(Ppn::new(3), None, BlockAddr::new(30));
-        assert_eq!(
-            buf.reconcile(Ppn::new(3), TruncatedCte::new(5)),
-            Some(BlockAddr::new(30))
-        );
+        assert_eq!(buf.reconcile(Ppn::new(3), TruncatedCte::new(5)), Some(BlockAddr::new(30)));
     }
 }

@@ -30,29 +30,17 @@ pub struct CteCacheConfig {
 impl CteCacheConfig {
     /// TMCC's configuration: 64 KiB, page-level (8 pages / 32 KiB reach).
     pub fn tmcc() -> Self {
-        Self {
-            size_bytes: 64 * 1024,
-            pages_per_line: 8,
-            ways: 8,
-        }
+        Self { size_bytes: 64 * 1024, pages_per_line: 8, ways: 8 }
     }
 
     /// Compresso's configuration: 128 KiB, block-level (4 KiB reach).
     pub fn compresso() -> Self {
-        Self {
-            size_bytes: 128 * 1024,
-            pages_per_line: 1,
-            ways: 8,
-        }
+        Self { size_bytes: 128 * 1024, pages_per_line: 1, ways: 8 }
     }
 
     /// The §III experiment: a 4× (256 KiB) block-level metadata cache.
     pub fn compresso_4x() -> Self {
-        Self {
-            size_bytes: 256 * 1024,
-            pages_per_line: 1,
-            ways: 8,
-        }
+        Self { size_bytes: 256 * 1024, pages_per_line: 1, ways: 8 }
     }
 
     /// Number of 64 B lines.
@@ -95,11 +83,7 @@ impl CteCache {
     /// Panics if the geometry yields zero or a non-power-of-two set count.
     pub fn new(cfg: CteCacheConfig) -> Self {
         let sets = cfg.lines() / cfg.ways;
-        Self {
-            cfg,
-            cache: SetAssocCache::new(sets, cfg.ways),
-            adjust: 0,
-        }
+        Self { cfg, cache: SetAssocCache::new(sets, cfg.ways), adjust: 0 }
     }
 
     fn line_key(&self, ppn: Ppn) -> u64 {
@@ -131,6 +115,12 @@ impl CteCache {
     /// Invalidates the line covering `ppn`.
     pub fn invalidate(&mut self, ppn: Ppn) {
         let _ = self.cache.invalidate(self.line_key(ppn));
+    }
+
+    /// Drops every resident line (a flush storm); hit/miss counters are
+    /// preserved.
+    pub fn flush(&mut self) {
+        self.cache.clear();
     }
 
     /// `(hits, misses)` over [`access`](Self::access) calls only.

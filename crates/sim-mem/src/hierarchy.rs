@@ -132,29 +132,17 @@ impl CacheHierarchy {
             self.counts[0] += 1;
             // L2 is inclusive of L1; keep its copy warm for recency.
             let _ = self.l2.access(key, write, compressed_ptb);
-            return MemAccess {
-                level: HitLevel::L1,
-                latency_ns: l1_ns,
-                writeback: None,
-            };
+            return MemAccess { level: HitLevel::L1, latency_ns: l1_ns, writeback: None };
         }
         let mut writeback = None;
         if self.l2.access(key, write, compressed_ptb).0.is_hit() {
             self.counts[1] += 1;
-            return MemAccess {
-                level: HitLevel::L2,
-                latency_ns: l2_ns,
-                writeback: None,
-            };
+            return MemAccess { level: HitLevel::L2, latency_ns: l2_ns, writeback: None };
         }
         let (l3_outcome, l3_victim) = self.l3.access(key, write, compressed_ptb);
         if l3_outcome.is_hit() {
             self.counts[2] += 1;
-            return MemAccess {
-                level: HitLevel::L3,
-                latency_ns: l3_ns,
-                writeback: None,
-            };
+            return MemAccess { level: HitLevel::L3, latency_ns: l3_ns, writeback: None };
         }
         self.counts[3] += 1;
         // The miss installed the line; a dirty victim becomes a writeback.
@@ -163,11 +151,7 @@ impl CacheHierarchy {
                 writeback = Some(BlockAddr::new(victim));
             }
         }
-        MemAccess {
-            level: HitLevel::Memory,
-            latency_ns: l3_ns + NOC_LATENCY_NS,
-            writeback,
-        }
+        MemAccess { level: HitLevel::Memory, latency_ns: l3_ns + NOC_LATENCY_NS, writeback }
     }
 
     /// Whether the L2 copy of `block` carries the compressed-PTB bit.

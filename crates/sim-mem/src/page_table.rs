@@ -92,8 +92,7 @@ impl PageTable {
     fn alloc_table(&mut self) -> Ppn {
         let ppn = self.next_table_ppn;
         self.next_table_ppn += 1;
-        self.tables
-            .insert(ppn, vec![Pte::NOT_PRESENT; ENTRIES_PER_TABLE as usize]);
+        self.tables.insert(ppn, vec![Pte::NOT_PRESENT; ENTRIES_PER_TABLE as usize]);
         Ppn::new(ppn)
     }
 
@@ -207,10 +206,7 @@ impl PageTable {
     ///
     /// Panics if `block` is not within a table page.
     pub fn write_ptb(&mut self, block: BlockAddr, ptb: &PageTableBlock) {
-        let table = self
-            .tables
-            .get_mut(&block.ppn().raw())
-            .expect("block belongs to a table page");
+        let table = self.tables.get_mut(&block.ppn().raw()).expect("block belongs to a table page");
         let base = block.index_in_page() * PTES_PER_PTB;
         table[base..base + PTES_PER_PTB].copy_from_slice(ptb.entries());
     }
@@ -223,7 +219,13 @@ impl PageTable {
         out
     }
 
-    fn collect_ptbs(&self, table: Ppn, cur: u8, want: u8, out: &mut Vec<(BlockAddr, PageTableBlock)>) {
+    fn collect_ptbs(
+        &self,
+        table: Ppn,
+        cur: u8,
+        want: u8,
+        out: &mut Vec<(BlockAddr, PageTableBlock)>,
+    ) {
         let Some(entries) = self.tables.get(&table.raw()) else {
             return;
         };
@@ -312,19 +314,13 @@ mod tests {
 
     #[test]
     fn huge_pages_walk_three_levels() {
-        let mut pt = PageTable::new(PageTableConfig {
-            huge_pages: true,
-            ..Default::default()
-        });
+        let mut pt = PageTable::new(PageTableConfig { huge_pages: true, ..Default::default() });
         // Map the 2 MiB region containing VPN 0x12345.
         pt.map(Vpn::new(0x12345), Ppn::new(0x4000));
         let path = pt.walk_path(Vpn::new(0x12345)).unwrap();
         assert_eq!(path.iter().map(|s| s.level).collect::<Vec<_>>(), [4, 3, 2]);
         // Translation adds the low 9 VPN bits onto the 2 MiB frame.
-        assert_eq!(
-            pt.translate(Vpn::new(0x12345)),
-            Some(Ppn::new(0x4000 + (0x12345 & 0x1ff)))
-        );
+        assert_eq!(pt.translate(Vpn::new(0x12345)), Some(Ppn::new(0x4000 + (0x12345 & 0x1ff))));
         // The leaf PTE carries the page-size bit.
         let leaf = path.last().unwrap();
         let ptb = pt.ptb_at(leaf.ptb_block).unwrap();

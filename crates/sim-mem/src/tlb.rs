@@ -34,10 +34,8 @@ impl Tlb {
     /// Panics if `entries` is not a multiple of `ways` with a power-of-two
     /// set count.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(entries % ways == 0, "entries must divide evenly into ways");
-        Self {
-            cache: SetAssocCache::new(entries / ways, ways),
-        }
+        assert!(entries.is_multiple_of(ways), "entries must divide evenly into ways");
+        Self { cache: SetAssocCache::new(entries / ways, ways) }
     }
 
     /// The paper's configuration: 2048 entries, 8-way.
@@ -123,9 +121,7 @@ mod tests {
             tlb.fill(Vpn::new(i), Ppn::new(i));
         }
         // One of the first entries must have been evicted.
-        let resident = (0..9u64)
-            .filter(|&i| tlb.lookup(Vpn::new(i)).is_some())
-            .count();
+        let resident = (0..9u64).filter(|&i| tlb.lookup(Vpn::new(i)).is_some()).count();
         assert_eq!(resident, 8);
     }
 

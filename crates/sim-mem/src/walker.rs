@@ -52,9 +52,7 @@ pub struct PageWalker {
 impl PageWalker {
     /// Creates a walker whose PWC holds `pwc_entries` upper-level entries.
     pub fn new(pwc_entries: usize) -> Self {
-        Self {
-            pwc: SetAssocCache::fully_associative(pwc_entries),
-        }
+        Self { pwc: SetAssocCache::fully_associative(pwc_entries) }
     }
 
     /// The paper's 1 KiB PWC: 64 entries of 16 B.
@@ -76,7 +74,8 @@ impl PageWalker {
     /// root-to-leaf order for the caller to issue to the cache hierarchy.
     pub fn walk(&mut self, table: &PageTable, vpn: Vpn) -> Option<WalkResult> {
         let path = table.walk_path(vpn)?;
-        let leaf_level = path.last().expect("non-empty").level;
+        // A degenerate (empty) path is an unmapped address, not a crash.
+        let leaf_level = path.last()?.level;
         // Find the deepest level whose *table pointer* the PWC knows: we
         // can start fetching below it.
         let mut start_idx = 0;
@@ -100,12 +99,8 @@ impl PageWalker {
                 let _ = self.pwc.access(Self::pwc_key(vpn, step.level), false, ());
             }
         }
-        let ppn = path.last().expect("non-empty").next_ppn;
-        Some(WalkResult {
-            fetched: path[start_idx..].to_vec(),
-            pwc_hits,
-            ppn,
-        })
+        let ppn = path.last()?.next_ppn;
+        Some(WalkResult { fetched: path[start_idx..].to_vec(), pwc_hits, ppn })
     }
 
     /// Clears the PWC (context switch).

@@ -58,12 +58,7 @@ impl Cte {
     /// Panics if `frame` does not fit in [`Cte::FRAME_BITS`] bits.
     pub fn new(frame: u32, level: MemoryLevel) -> Self {
         assert!(frame < (1 << Self::FRAME_BITS), "frame exceeds 28 bits");
-        Self {
-            frame,
-            pair_vector: 0,
-            level,
-            incompressible: false,
-        }
+        Self { frame, pair_vector: 0, level, incompressible: false }
     }
 
     /// The DRAM frame this page starts at.
@@ -230,11 +225,7 @@ impl BlockMetadata {
             cursor += sz;
         }
         let needed = Self::chunks_needed(block_sizes);
-        assert!(
-            chunks.len() >= needed,
-            "layout needs {needed} chunks, got {}",
-            chunks.len()
-        );
+        assert!(chunks.len() >= needed, "layout needs {needed} chunks, got {}", chunks.len());
         Self {
             chunks: chunks[..needed].to_vec(),
             block_sizes: block_sizes.to_vec(),

@@ -30,12 +30,12 @@
 
 pub mod addr;
 pub mod cte;
-pub mod pte;
 pub mod ptb;
+pub mod pte;
 
 pub use addr::{
     BlockAddr, DramAddr, PhysAddr, Ppn, VirtAddr, Vpn, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
 };
 pub use cte::{BlockMetadata, Cte, MemoryLevel, TruncatedCte};
-pub use pte::{PageTableBlock, Pte, PteFlags};
 pub use ptb::{CompressedPtb, PtbCompressError};
+pub use pte::{PageTableBlock, Pte, PteFlags};

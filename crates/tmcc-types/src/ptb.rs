@@ -93,10 +93,8 @@ impl PtbGeometry {
     /// How many truncated CTEs fit alongside the compressed PTEs
     /// (paper §V-A5: 8 / 7 / 6 for 1 / 4 / 16 TiB per MC).
     pub fn embeddable_ctes(self) -> usize {
-        let fixed = HEADER_BITS
-            + STATUS_BITS
-            + self.prefix_bits()
-            + PTES_PER_PTB as u32 * self.ppn_bits;
+        let fixed =
+            HEADER_BITS + STATUS_BITS + self.prefix_bits() + PTES_PER_PTB as u32 * self.ppn_bits;
         if fixed >= PTB_BITS {
             return 0;
         }
@@ -130,13 +128,9 @@ impl fmt::Display for PtbCompressError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::NonUniformStatus => write!(f, "PTB status bits differ across entries"),
-            Self::PpnPrefixDiverges {
-                common_bits,
-                required_bits,
-            } => write!(
-                f,
-                "PPNs share only {common_bits} leading bits, need {required_bits}"
-            ),
+            Self::PpnPrefixDiverges { common_bits, required_bits } => {
+                write!(f, "PPNs share only {common_bits} leading bits, need {required_bits}")
+            }
         }
     }
 }
@@ -183,11 +177,8 @@ impl CompressedPtb {
                 required_bits: required,
             });
         }
-        let suffix_mask = if geometry.ppn_bits() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << geometry.ppn_bits()) - 1
-        };
+        let suffix_mask =
+            if geometry.ppn_bits() == 64 { u64::MAX } else { (1u64 << geometry.ppn_bits()) - 1 };
         let first = ptb.entry(0).ppn().raw();
         let mut suffixes = [0u64; PTES_PER_PTB];
         for (i, s) in suffixes.iter_mut().enumerate() {

@@ -93,10 +93,7 @@ impl PteFlags {
 
     /// Extracts the 24 status bits from a raw 64-bit PTE.
     pub fn from_raw(raw: u64) -> Self {
-        Self {
-            low: (raw & 0xfff) as u16,
-            high: ((raw >> 52) & 0xfff) as u16,
-        }
+        Self { low: (raw & 0xfff) as u16, high: ((raw >> 52) & 0xfff) as u16 }
     }
 }
 
@@ -162,12 +159,7 @@ impl Pte {
 
 impl fmt::Debug for Pte {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Pte(ppn={:#x}, present={})",
-            self.ppn().raw(),
-            self.is_present()
-        )
+        write!(f, "Pte(ppn={:#x}, present={})", self.ppn().raw(), self.is_present())
     }
 }
 

@@ -158,8 +158,7 @@ impl AccessStream {
                 page * 64 + self.rng.gen_range(0..64u64)
             } else {
                 // Ordinary cold access within the warm region.
-                let warm = ((self.footprint_pages as f64 * self.pattern.warm_fraction)
-                    as u64)
+                let warm = ((self.footprint_pages as f64 * self.pattern.warm_fraction) as u64)
                     .clamp(1, self.footprint_pages);
                 let page = self.rng.gen_range(0..warm);
                 page * 64 + self.rng.gen_range(0..64u64)
@@ -168,11 +167,7 @@ impl AccessStream {
         let write = self.rng.gen::<f64>() < self.pattern.write_fraction;
         let jitter = self.pattern.mean_work_cycles.max(1);
         let work_cycles = self.rng.gen_range(0..=jitter * 2);
-        AccessEvent {
-            vaddr: VirtAddr::new(block * 64),
-            write,
-            work_cycles,
-        }
+        AccessEvent { vaddr: VirtAddr::new(block * 64), write, work_cycles }
     }
 
     /// Produces `n` accesses (convenience for tests and warmup).
@@ -212,11 +207,8 @@ mod tests {
     #[test]
     fn irregular_touches_many_pages() {
         let mut s = AccessStream::new(AccessPattern::irregular(), 50_000, 3);
-        let pages: HashSet<u64> = s
-            .take_accesses(20_000)
-            .iter()
-            .map(|a| a.vaddr.vpn().raw())
-            .collect();
+        let pages: HashSet<u64> =
+            s.take_accesses(20_000).iter().map(|a| a.vaddr.vpn().raw()).collect();
         assert!(pages.len() > 5_000, "only {} pages touched", pages.len());
     }
 
@@ -239,10 +231,7 @@ mod tests {
         let accesses = s.take_accesses(200_000);
         // Pages beyond the warm region are reached only by tail draws and
         // the occasional sequential wrap.
-        let tail = accesses
-            .iter()
-            .filter(|a| a.vaddr.vpn().raw() >= 50_000)
-            .count();
+        let tail = accesses.iter().filter(|a| a.vaddr.vpn().raw() >= 50_000).count();
         let frac = tail as f64 / accesses.len() as f64;
         assert!(frac < 0.05, "cold-tail fraction {frac}");
         assert!(frac > 0.0005, "tail must still be touched sometimes: {frac}");

@@ -64,9 +64,8 @@ impl PageTemplate {
             PageTemplate::RecordPack { vocab, record_len } => {
                 let rl = record_len.max(8) as usize;
                 let v = vocab.max(1) as usize;
-                let records: Vec<Vec<u8>> = (0..v)
-                    .map(|_| (0..rl).map(|_| rng.gen()).collect())
-                    .collect();
+                let records: Vec<Vec<u8>> =
+                    (0..v).map(|_| (0..rl).map(|_| rng.gen()).collect()).collect();
                 let mut pos = 0;
                 while pos < page.len() {
                     let r = &records[rng.gen_range(0..v)];
@@ -90,7 +89,7 @@ impl PageTemplate {
                 }
             }
             PageTemplate::FloatLike => {
-                let exps: Vec<u16> = (0..4).map(|_| 0x3ff0 | rng.gen_range(0..16)).collect();
+                let exps: Vec<u16> = (0..4).map(|_| 0x3ff0 | rng.gen_range(0u16..16)).collect();
                 for chunk in page.chunks_exact_mut(8) {
                     let mantissa: u64 = rng.gen::<u64>() & 0x000f_ffff_ffff_ffff;
                     let exp = exps[rng.gen_range(0..exps.len())] as u64;
@@ -100,8 +99,16 @@ impl PageTemplate {
             }
             PageTemplate::TextLike => {
                 const WORDS: &[&[u8]] = &[
-                    b"vertex ", b"edge ", b"weight=", b"0.125 ", b"node_", b"visited ",
-                    b"queue ", b"status=ok ", b"[info] ", b"update ",
+                    b"vertex ",
+                    b"edge ",
+                    b"weight=",
+                    b"0.125 ",
+                    b"node_",
+                    b"visited ",
+                    b"queue ",
+                    b"status=ok ",
+                    b"[info] ",
+                    b"update ",
                 ];
                 let mut pos = 0;
                 while pos < page.len() {
@@ -219,11 +226,7 @@ impl PageContent {
     /// Binds a profile to a workload seed.
     pub fn new(profile: ContentProfile, seed: u64) -> Self {
         let total_weight = profile.templates.iter().map(|&(_, w)| w).sum();
-        Self {
-            profile,
-            seed,
-            total_weight,
-        }
+        Self { profile, seed, total_weight }
     }
 
     /// The template used for page `index`.
@@ -320,10 +323,7 @@ mod tests {
             ContentProfile::highly_compressible(),
         ] {
             let (deflate, block) = ratios(profile, 40);
-            assert!(
-                deflate > block * 0.95,
-                "deflate {deflate} vs block {block}"
-            );
+            assert!(deflate > block * 0.95, "deflate {deflate} vs block {block}");
         }
     }
 

@@ -150,38 +150,26 @@ impl WorkloadProfile {
 
     /// The §VII small-workload suite (remaining PARSEC + RocksDB).
     pub fn small_suite() -> Vec<Self> {
-        let small = |name: &'static str,
-                     content: ContentProfile,
-                     pattern: AccessPattern| WorkloadProfile {
-            name,
-            class: WorkloadClass::Small,
-            paper_footprint_gb: 0.3,
-            sim_pages: 6_144, // 24 MiB: "small and regular"
-            pattern,
-            content,
-        };
-        let regular = AccessPattern {
-            warm_fraction: 0.28,
-            ..AccessPattern::streaming()
-        };
+        let small =
+            |name: &'static str, content: ContentProfile, pattern: AccessPattern| WorkloadProfile {
+                name,
+                class: WorkloadClass::Small,
+                paper_footprint_gb: 0.3,
+                sim_pages: 6_144, // 24 MiB: "small and regular"
+                pattern,
+                content,
+            };
+        let regular = AccessPattern { warm_fraction: 0.28, ..AccessPattern::streaming() };
         vec![
             small("blackscholes", ContentProfile::highly_compressible(), regular),
-            small(
-                "bodytrack",
-                ContentProfile::omnetpp(),
-                AccessPattern { p_seq: 0.7, ..regular },
-            ),
+            small("bodytrack", ContentProfile::omnetpp(), AccessPattern { p_seq: 0.7, ..regular }),
             small(
                 "freqmine",
                 ContentProfile::graph_analytics(),
                 AccessPattern { p_hot: 0.4, hot_fraction: 0.08, ..regular },
             ),
             small("swaptions", ContentProfile::highly_compressible(), regular),
-            small(
-                "streamcluster",
-                ContentProfile::mcf(),
-                AccessPattern { p_seq: 0.85, ..regular },
-            ),
+            small("streamcluster", ContentProfile::mcf(), AccessPattern { p_seq: 0.85, ..regular }),
             small(
                 "rocksdb",
                 ContentProfile::mcf(),
@@ -259,8 +247,18 @@ mod tests {
         assert_eq!(
             names,
             [
-                "pageRank", "graphColoring", "connComp", "degCentr", "shortestPath",
-                "bfs", "dfs", "kcore", "triangleCount", "mcf", "omnetpp", "canneal"
+                "pageRank",
+                "graphColoring",
+                "connComp",
+                "degCentr",
+                "shortestPath",
+                "bfs",
+                "dfs",
+                "kcore",
+                "triangleCount",
+                "mcf",
+                "omnetpp",
+                "canneal"
             ]
         );
     }
@@ -273,11 +271,7 @@ mod tests {
         // must exceed TMCC's CTE reach.
         for w in WorkloadProfile::large_suite() {
             let warm = (w.sim_pages as f64 * w.pattern.warm_fraction) as u64;
-            assert!(
-                warm > 2048,
-                "{} warm set {warm} within TLB/CTE reach",
-                w.name
-            );
+            assert!(warm > 2048, "{} warm set {warm} within TLB/CTE reach", w.name);
             assert!(
                 w.sim_pages > 8192,
                 "{} footprint {} within TMCC CTE$ reach",

@@ -63,7 +63,10 @@ fn main() {
     let one_pass = MemDeflate::new(DeflateParams::new().one_one_pass(true, 512));
     println!("no dynamic skip:   {:.3}", ratio(&base, &corpus));
     println!("dynamic skip:      {:.3}", ratio(&skip, &corpus));
-    println!("1.1-Pass sampling: {:.3}  (paper: hurts 4 KiB pages; off by default)", ratio(&one_pass, &corpus));
+    println!(
+        "1.1-Pass sampling: {:.3}  (paper: hurts 4 KiB pages; off by default)",
+        ratio(&one_pass, &corpus)
+    );
 
     let unit = AreaModel::paper_default().complete_unit();
     println!(

@@ -28,16 +28,15 @@ fn main() {
     let budget = rc
         .stats
         .dram_used_bytes
-        .max(System::min_budget_bytes(&SystemConfig::new(
-            workload.clone(),
-            SchemeKind::Tmcc,
-        )));
-    let mut tmcc = System::new(
-        SystemConfig::new(workload.clone(), SchemeKind::Tmcc).with_budget(budget),
-    );
+        .max(System::min_budget_bytes(&SystemConfig::new(workload.clone(), SchemeKind::Tmcc)));
+    let mut tmcc =
+        System::new(SystemConfig::new(workload.clone(), SchemeKind::Tmcc).with_budget(budget));
     let rt = tmcc.run(ACCESSES);
 
-    println!("{:<16} {:>12} {:>14} {:>12} {:>10}", "scheme", "perf acc/us", "L3 miss (ns)", "CTE miss", "DRAM used");
+    println!(
+        "{:<16} {:>12} {:>14} {:>12} {:>10}",
+        "scheme", "perf acc/us", "L3 miss (ns)", "CTE miss", "DRAM used"
+    );
     for r in [&rn, &rc, &rt] {
         println!(
             "{:<16} {:>12.2} {:>14.1} {:>11.1}% {:>8} MB",

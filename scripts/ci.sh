@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in the order CI runs it.
+# Usage: scripts/ci.sh  (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "CI gate passed."

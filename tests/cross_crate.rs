@@ -89,10 +89,7 @@ fn cte_misses_rival_tlb_misses_under_compresso() {
     let cte = r.stats.cte_miss_per_llc_miss();
     assert!(tlb > 0.02, "TLB misses too rare: {tlb}");
     assert!(cte > 0.02, "CTE misses too rare: {cte}");
-    assert!(
-        cte > tlb * 0.6,
-        "CTE misses ({cte:.3}) should rival TLB misses ({tlb:.3})"
-    );
+    assert!(cte > tlb * 0.6, "CTE misses ({cte:.3}) should rival TLB misses ({tlb:.3})");
 }
 
 /// The §IV claim: switching from block-level to page-level CTEs removes a

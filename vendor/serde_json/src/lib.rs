@@ -1,0 +1,160 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Emits deterministic JSON text from the vendored `serde` crate's
+//! [`serde::Value`] tree. Object keys keep declaration order (the derive
+//! emits fields in struct order), so the same value always produces
+//! byte-identical output — a property the simulator's reproducibility
+//! tests rely on.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (this stand-in never fails; the type exists for
+/// call-site compatibility).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(*x, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => write_seq(items, indent, depth, out),
+        Value::Map(entries) => write_map(entries, indent, depth, out),
+    }
+}
+
+/// JSON numbers must be finite; non-finite floats become `null` (matching
+/// serde_json's lossy behaviour for formats without NaN).
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // `{}` on f64 is the shortest representation that round-trips,
+        // which is stable for a given bit pattern — determinism preserved.
+        let s = format!("{x}");
+        out.push_str(&s);
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(items: &[Value], indent: Option<usize>, depth: usize, out: &mut String) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(indent, depth + 1, out);
+        write_value(item, indent, depth + 1, out);
+    }
+    newline_indent(indent, depth, out);
+    out.push(']');
+}
+
+fn write_map(entries: &[(String, Value)], indent: Option<usize>, depth: usize, out: &mut String) {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(indent, depth + 1, out);
+        write_string(k, out);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(v, indent, depth + 1, out);
+    }
+    newline_indent(indent, depth, out);
+    out.push('}');
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn floats_always_carry_a_decimal_or_exponent() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::Map(vec![("k".into(), Value::U64(7))]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"k\": 7\n}");
+    }
+}
