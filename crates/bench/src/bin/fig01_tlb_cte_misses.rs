@@ -1,58 +1,7 @@
-//! Figure 1: TLB misses and CTE misses normalized to LLC misses, under
-//! block-level (Compresso-style) hardware memory compression.
-//!
-//! Paper result: across the twelve large/irregular workloads, CTE misses
-//! per LLC miss (avg 34 %) exceed TLB misses per LLC miss (avg 30 %),
-//! because *every* memory request — including the page walker's own PTB
-//! fetches — needs a CTE, while TLB misses only occur for data.
-
-use serde::Serialize;
-use tmcc::SchemeKind;
-use tmcc_bench::{mean, print_table, run_scheme, write_json, DEFAULT_ACCESSES};
-use tmcc_workloads::WorkloadProfile;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    tlb_miss_per_llc_miss: f64,
-    cte_miss_per_llc_miss: f64,
-}
+//! Standalone shim for the Figure 1 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for w in WorkloadProfile::large_suite() {
-        let r = run_scheme(&w, SchemeKind::Compresso, None, DEFAULT_ACCESSES);
-        let row = Row {
-            workload: w.name,
-            tlb_miss_per_llc_miss: r.stats.tlb_miss_per_llc_miss(),
-            cte_miss_per_llc_miss: r.stats.cte_miss_per_llc_miss(),
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.1}%", row.tlb_miss_per_llc_miss * 100.0),
-            format!("{:.1}%", row.cte_miss_per_llc_miss * 100.0),
-        ]);
-        out.push(row);
-    }
-    let tlb_avg = mean(&out.iter().map(|r| r.tlb_miss_per_llc_miss).collect::<Vec<_>>());
-    let cte_avg = mean(&out.iter().map(|r| r.cte_miss_per_llc_miss).collect::<Vec<_>>());
-    rows.push(vec![
-        "AVERAGE".into(),
-        format!("{:.1}%", tlb_avg * 100.0),
-        format!("{:.1}%", cte_avg * 100.0),
-    ]);
-    print_table(
-        "Fig. 1 — TLB and CTE misses per LLC miss (Compresso CTEs)",
-        &["workload", "TLB miss/LLC miss", "CTE miss/LLC miss"],
-        &rows,
-    );
-    println!(
-        "\nPaper: avg TLB 30%, avg CTE 34% (CTE misses exceed TLB misses).\n\
-         Measured: avg TLB {:.1}%, avg CTE {:.1}% — CTE > TLB: {}",
-        tlb_avg * 100.0,
-        cte_avg * 100.0,
-        cte_avg > tlb_avg
-    );
-    write_json("fig01_tlb_cte_misses", &out);
+    tmcc_bench::registry::run_standalone("fig01_tlb_cte_misses");
 }

@@ -1,89 +1,7 @@
-//! Figure 2: CTE hits per LLC miss with a 4× (256 KiB) block-level CTE
-//! cache, and with the LLC additionally used as a victim cache for CTEs.
-//!
-//! Paper result: the 4× metadata cache still only reaches ~70.5 % hit
-//! rate; adding the LLC as a victim cache leaves 21 % of CTE accesses
-//! going to DRAM, and hit-in-LLC vs miss-in-LLC are roughly equal — which
-//! is why the paper does *not* cache CTEs in the LLC.
-
-use serde::Serialize;
-use tmcc::{SchemeKind, System, SystemConfig};
-use tmcc_bench::{mean, print_table, write_json, DEFAULT_ACCESSES};
-use tmcc_sim_mem::CteCacheConfig;
-use tmcc_workloads::WorkloadProfile;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    /// Hits in the 4x CTE cache, per CTE access.
-    hit_in_cte_cache: f64,
-    /// Extra hits provided by an LLC-sized victim store.
-    hit_in_llc_victim: f64,
-    /// CTE accesses that still go to DRAM.
-    miss_everywhere: f64,
-}
-
-fn hit_rate_with(workload: &WorkloadProfile, cache: CteCacheConfig) -> f64 {
-    let mut cfg = SystemConfig::new(workload.clone(), SchemeKind::Compresso);
-    cfg.cte_cache = cache;
-    let r = System::new(cfg).run(DEFAULT_ACCESSES);
-    r.stats.cte_hit_rate()
-}
+//! Standalone shim for the Figure 2 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for w in WorkloadProfile::large_suite() {
-        // 4x metadata cache (256 KiB, block-level).
-        let h_cache = hit_rate_with(&w, CteCacheConfig::compresso_4x());
-        // Victim path: model the LLC as an additional 8 MiB of CTE
-        // residency behind the 256 KiB cache.
-        let h_total = hit_rate_with(
-            &w,
-            CteCacheConfig {
-                // 8 MiB of LLC acting as the victim store (the dedicated
-                // 256 KiB cache is inside this reach).
-                size_bytes: 8 * 1024 * 1024,
-                pages_per_line: 1,
-                ways: 16,
-            },
-        );
-        let row = Row {
-            workload: w.name,
-            hit_in_cte_cache: h_cache,
-            hit_in_llc_victim: (h_total - h_cache).max(0.0),
-            miss_everywhere: (1.0 - h_total).max(0.0),
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.1}%", row.hit_in_cte_cache * 100.0),
-            format!("{:.1}%", row.hit_in_llc_victim * 100.0),
-            format!("{:.1}%", row.miss_everywhere * 100.0),
-        ]);
-        out.push(row);
-    }
-    let avg_cache = mean(&out.iter().map(|r| r.hit_in_cte_cache).collect::<Vec<_>>());
-    let avg_llc = mean(&out.iter().map(|r| r.hit_in_llc_victim).collect::<Vec<_>>());
-    let avg_miss = mean(&out.iter().map(|r| r.miss_everywhere).collect::<Vec<_>>());
-    rows.push(vec![
-        "AVERAGE".into(),
-        format!("{:.1}%", avg_cache * 100.0),
-        format!("{:.1}%", avg_llc * 100.0),
-        format!("{:.1}%", avg_miss * 100.0),
-    ]);
-    print_table(
-        "Fig. 2 — CTE hits under a 4x CTE cache + LLC victim caching",
-        &["workload", "hit in 4x CTE$", "hit in LLC", "miss (to DRAM)"],
-        &rows,
-    );
-    println!(
-        "\nPaper: 4x cache hits 70.5%; 21% of CTE accesses still reach DRAM even with\n\
-         LLC victim caching; LLC hits and misses are comparable, so caching CTEs in\n\
-         the LLC is not worthwhile.\n\
-         Measured: 4x {:.1}%, +LLC {:.1}%, to-DRAM {:.1}%",
-        avg_cache * 100.0,
-        avg_llc * 100.0,
-        avg_miss * 100.0
-    );
-    write_json("fig02_cte_hit_rates", &out);
+    tmcc_bench::registry::run_standalone("fig02_cte_hit_rates");
 }

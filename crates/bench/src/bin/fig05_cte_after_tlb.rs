@@ -1,49 +1,7 @@
-//! Figure 5: fraction of CTE misses caused by LLC misses related to a TLB
-//! miss (the walker's own fetches and the data/instruction access right
-//! after the walk), under page-level 8 B CTEs.
-//!
-//! Paper result: 89 % on average — which is what makes prefetching CTEs
-//! *during the page walk* (embedding them in PTBs) so effective.
-
-use serde::Serialize;
-use tmcc::{SchemeKind, System, SystemConfig};
-use tmcc_bench::{mean, print_table, write_json, DEFAULT_ACCESSES};
-use tmcc_workloads::WorkloadProfile;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    cte_misses_after_tlb_miss: f64,
-}
+//! Standalone shim for the Figure 5 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for w in WorkloadProfile::large_suite() {
-        // Page-level CTEs without the TMCC optimizations: the OS-inspired
-        // configuration of §IV, under mild capacity pressure.
-        let cfg = SystemConfig::new(w.clone(), SchemeKind::OsInspired);
-        let min = System::min_budget_bytes(&cfg);
-        let fp = cfg.footprint_bytes();
-        let budget = min + fp.saturating_sub(min) / 2;
-        let r = System::new(cfg.with_budget(budget)).run(DEFAULT_ACCESSES);
-        let row = Row {
-            workload: w.name,
-            cte_misses_after_tlb_miss: r.stats.cte_miss_after_tlb_fraction(),
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.1}%", row.cte_misses_after_tlb_miss * 100.0),
-        ]);
-        out.push(row);
-    }
-    let avg = mean(&out.iter().map(|r| r.cte_misses_after_tlb_miss).collect::<Vec<_>>());
-    rows.push(vec!["AVERAGE".into(), format!("{:.1}%", avg * 100.0)]);
-    print_table(
-        "Fig. 5 — CTE misses that follow TLB misses (8B page-level CTEs)",
-        &["workload", "fraction of CTE misses"],
-        &rows,
-    );
-    println!("\nPaper: 89% on average. Measured: {:.1}%", avg * 100.0);
-    write_json("fig05_cte_after_tlb", &out);
+    tmcc_bench::registry::run_standalone("fig05_cte_after_tlb");
 }

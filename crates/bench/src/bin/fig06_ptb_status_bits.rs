@@ -1,91 +1,7 @@
-//! Figure 6: fraction of page-table blocks whose eight PTEs carry
-//! identical status bits — the precondition for the compressed-PTB
-//! encoding.
-//!
-//! Paper result (from real page-table dumps): 99.94 % of L1 PTBs and
-//! 99.3 % of L2 PTBs are uniform.
-//!
-//! We build each workload's page table the way the simulator does, then
-//! perturb individual PTEs' accessed/dirty bits at the small per-entry
-//! rates real OS activity produces (reclaim scans clear A bits, stores set
-//! D bits at different times), and measure uniformity.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::Serialize;
-use tmcc_bench::{mean, print_table, write_json};
-use tmcc_sim_mem::{PageTable, PageTableConfig};
-use tmcc_types::addr::{Ppn, Vpn};
-use tmcc_types::pte::{Pte, PteFlags};
-use tmcc_workloads::WorkloadProfile;
-
-/// Per-PTE probability that an L1 entry's A/D bits currently differ from
-/// its neighbours' (real dumps: ~0.06 % of PTBs non-uniform → ~7.5e-5 per
-/// entry).
-const L1_PERTURB: f64 = 7.5e-5;
-/// L2 entries are touched more unevenly (~0.7 % of PTBs non-uniform).
-const L2_PERTURB: f64 = 5.5e-4;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    l1_uniform: f64,
-    l2_uniform: f64,
-}
-
-fn uniform_fraction(pt: &PageTable, level: u8, perturb: f64, rng: &mut SmallRng) -> f64 {
-    let ptbs = pt.ptbs_at_level(level);
-    if ptbs.is_empty() {
-        return 1.0;
-    }
-    let mut uniform = 0usize;
-    for (_, mut ptb) in ptbs.clone() {
-        for slot in 0..8 {
-            let e = ptb.entry(slot);
-            if e.is_present() && rng.gen::<f64>() < perturb {
-                let f = e.flags();
-                ptb.set_entry(
-                    slot,
-                    Pte::new(e.ppn(), PteFlags::new(f.low() ^ PteFlags::DIRTY, f.high())),
-                );
-            }
-        }
-        if ptb.uniform_status() {
-            uniform += 1;
-        }
-    }
-    uniform as f64 / ptbs.len() as f64
-}
+//! Standalone shim for the Figure 6 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rng = SmallRng::seed_from_u64(0xF1606);
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for w in WorkloadProfile::large_suite() {
-        let mut pt = PageTable::new(PageTableConfig::default());
-        for i in 0..w.sim_pages {
-            pt.map(Vpn::new(i), Ppn::new(i));
-        }
-        let row = Row {
-            workload: w.name,
-            l1_uniform: uniform_fraction(&pt, 1, L1_PERTURB, &mut rng),
-            l2_uniform: uniform_fraction(&pt, 2, L2_PERTURB, &mut rng),
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.2}%", row.l1_uniform * 100.0),
-            format!("{:.2}%", row.l2_uniform * 100.0),
-        ]);
-        out.push(row);
-    }
-    let l1 = mean(&out.iter().map(|r| r.l1_uniform).collect::<Vec<_>>());
-    let l2 = mean(&out.iter().map(|r| r.l2_uniform).collect::<Vec<_>>());
-    rows.push(vec!["AVERAGE".into(), format!("{:.2}%", l1 * 100.0), format!("{:.2}%", l2 * 100.0)]);
-    print_table(
-        "Fig. 6 — PTBs with identical status bits across all 8 PTEs",
-        &["workload", "L1 PTBs uniform", "L2 PTBs uniform"],
-        &rows,
-    );
-    println!("\nPaper: 99.94% (L1), 99.3% (L2). Measured: {:.2}% / {:.2}%", l1 * 100.0, l2 * 100.0);
-    write_json("fig06_ptb_status_bits", &out);
+    tmcc_bench::registry::run_standalone("fig06_ptb_status_bits");
 }

@@ -1,107 +1,7 @@
-//! Figure 15: compression ratio of per-workload memory images under
-//! (a) aggressive 64 B block-level compression (best of BDI/BPC/CPack/
-//! zero-block), (b) the memory-specialized ASIC Deflate (with and without
-//! dynamic Huffman skipping), and (c) software Deflate (the gzip stand-in,
-//! 32 KiB window across pages).
-//!
-//! Paper result: geomean block-level 1.51×; our ASIC Deflate 3.4× (3.6×
-//! with dynamic skipping), within 12 % of gzip.
-//!
-//! All-zero pages are excluded, exactly as the paper excludes them from
-//! its memory dumps.
-
-use serde::Serialize;
-use tmcc_bench::{geomean, print_table, write_json};
-use tmcc_compression::{BestOfCodec, BlockCodec};
-use tmcc_deflate::{DeflateParams, MemDeflate, SoftwareDeflate};
-use tmcc_workloads::WorkloadProfile;
-
-const PAGES_PER_WORKLOAD: u64 = 384;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    block_level: f64,
-    asic_deflate: f64,
-    asic_deflate_with_skip: f64,
-    software_deflate: f64,
-}
+//! Standalone shim for the Figure 15 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let block = BestOfCodec::new();
-    let deflate_noskip = MemDeflate::new(DeflateParams::new().dynamic_skip(false));
-    let deflate_skip = MemDeflate::new(DeflateParams::new().dynamic_skip(true));
-    let software = SoftwareDeflate::new();
-
-    let mut rows = Vec::new();
-    let mut out: Vec<Row> = Vec::new();
-    let suite: Vec<WorkloadProfile> =
-        WorkloadProfile::large_suite().into_iter().chain(WorkloadProfile::small_suite()).collect();
-    for w in &suite {
-        let content = w.page_content(0xF1615);
-        let mut raw = 0usize;
-        let mut block_sz = 0usize;
-        let mut noskip_sz = 0usize;
-        let mut skip_sz = 0usize;
-        let mut dump = Vec::new();
-        for i in 0..PAGES_PER_WORKLOAD {
-            let page = content.page_bytes(i);
-            if page.iter().all(|&b| b == 0) {
-                continue; // paper: all-zero pages deleted from dumps
-            }
-            raw += page.len();
-            block_sz += page
-                .chunks_exact(64)
-                .map(|b| {
-                    let arr: &[u8; 64] = b.try_into().expect("64B");
-                    block.compressed_size(arr)
-                })
-                .sum::<usize>();
-            noskip_sz += deflate_noskip.compressed_size(&page);
-            skip_sz += deflate_skip.compressed_size(&page);
-            dump.extend_from_slice(&page);
-        }
-        let sw_sz = software.compressed_size(&dump);
-        let row = Row {
-            workload: w.name,
-            block_level: raw as f64 / block_sz as f64,
-            asic_deflate: raw as f64 / noskip_sz as f64,
-            asic_deflate_with_skip: raw as f64 / skip_sz as f64,
-            software_deflate: raw as f64 / sw_sz as f64,
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.2}x", row.block_level),
-            format!("{:.2}x", row.asic_deflate),
-            format!("{:.2}x", row.asic_deflate_with_skip),
-            format!("{:.2}x", row.software_deflate),
-        ]);
-        out.push(row);
-    }
-    let g = |f: fn(&Row) -> f64| geomean(&out.iter().map(f).collect::<Vec<_>>());
-    let (gb, ga, gs, gw) = (
-        g(|r| r.block_level),
-        g(|r| r.asic_deflate),
-        g(|r| r.asic_deflate_with_skip),
-        g(|r| r.software_deflate),
-    );
-    rows.push(vec![
-        "GEOMEAN".into(),
-        format!("{gb:.2}x"),
-        format!("{ga:.2}x"),
-        format!("{gs:.2}x"),
-        format!("{gw:.2}x"),
-    ]);
-    print_table(
-        "Fig. 15 — Compression ratio per workload image",
-        &["workload", "block-level", "ASIC Deflate", "+dyn skip", "software Deflate"],
-        &rows,
-    );
-    println!(
-        "\nPaper: block 1.51x, ASIC Deflate 3.4x (3.6x w/ skip), within 12% of gzip.\n\
-         Measured geomeans: block {gb:.2}x, ASIC {ga:.2}x ({gs:.2}x w/ skip), software {gw:.2}x;\n\
-         ASIC-vs-software gap: {:.0}%",
-        (1.0 - gs / gw) * 100.0
-    );
-    write_json("fig15_compression_ratio", &out);
+    tmcc_bench::registry::run_standalone("fig15_compression_ratio");
 }

@@ -1,64 +1,7 @@
-//! Figure 16: memory-access characterization of the evaluated benchmarks
-//! under no hardware memory compression — DRAM bandwidth utilization,
-//! split into reads and writes.
-//!
-//! Paper shape: shortestPath and canneal are the most bandwidth-intensive;
-//! kcore and triangleCount the least (which is why they respectively gain
-//! the most / least from TMCC, Fig. 17).
-
-use serde::Serialize;
-use tmcc::SchemeKind;
-use tmcc_bench::{print_table, run_scheme, write_json, DEFAULT_ACCESSES};
-use tmcc_workloads::WorkloadProfile;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    read_utilization: f64,
-    write_utilization: f64,
-    llc_misses_per_kilo_access: f64,
-}
+//! Standalone shim for the Figure 16 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for w in WorkloadProfile::large_suite() {
-        let r = run_scheme(&w, SchemeKind::NoCompression, None, DEFAULT_ACCESSES);
-        let total = r.bandwidth_utilization;
-        let reads = r.dram.reads as f64;
-        let writes = r.dram.writes as f64;
-        let wf = if reads + writes > 0.0 { writes / (reads + writes) } else { 0.0 };
-        let row = Row {
-            workload: w.name,
-            read_utilization: total * (1.0 - wf),
-            write_utilization: total * wf,
-            llc_misses_per_kilo_access: r.stats.llc_misses() as f64 * 1000.0
-                / r.stats.accesses as f64,
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.1}%", row.read_utilization * 100.0),
-            format!("{:.1}%", row.write_utilization * 100.0),
-            format!("{:.0}", row.llc_misses_per_kilo_access),
-        ]);
-        out.push(row);
-    }
-    print_table(
-        "Fig. 16 — Memory characterization (no compression)",
-        &["workload", "read BW util", "write BW util", "LLC misses/1K accesses"],
-        &rows,
-    );
-    let max = out
-        .iter()
-        .max_by(|a, b| {
-            (a.read_utilization + a.write_utilization)
-                .total_cmp(&(b.read_utilization + b.write_utilization))
-        })
-        .expect("non-empty suite");
-    println!(
-        "\nPaper shape: shortestPath/canneal most intensive, kcore/triangleCount least.\n\
-         Measured most intensive: {}",
-        max.workload
-    );
-    write_json("fig16_mem_characterization", &out);
+    tmcc_bench::registry::run_standalone("fig16_mem_characterization");
 }

@@ -1,61 +1,7 @@
-//! Figure 18: average L3-miss service latency under (i) no compression,
-//! (ii) Compresso, (iii) TMCC at iso-compression with Compresso.
-//!
-//! Paper result: 53 ns / 73.9 ns / 56.4 ns — Compresso pays ~20 ns of
-//! serial CTE fetching per CTE-cache miss; TMCC hides it by fetching data
-//! and CTE from DRAM in parallel.
-
-use serde::Serialize;
-use tmcc::SchemeKind;
-use tmcc_bench::{
-    compresso_anchor, feasible_budget, mean, print_table, run_scheme, write_json, DEFAULT_ACCESSES,
-};
-use tmcc_workloads::WorkloadProfile;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    no_compression_ns: f64,
-    compresso_ns: f64,
-    tmcc_ns: f64,
-}
+//! Standalone shim for the Figure 18 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for w in WorkloadProfile::large_suite() {
-        let rn = run_scheme(&w, SchemeKind::NoCompression, None, DEFAULT_ACCESSES);
-        let (rc, used) = compresso_anchor(&w, DEFAULT_ACCESSES);
-        let budget = feasible_budget(&w, used);
-        let rt = run_scheme(&w, SchemeKind::Tmcc, Some(budget), DEFAULT_ACCESSES);
-        let row = Row {
-            workload: w.name,
-            no_compression_ns: rn.stats.avg_l3_miss_latency_ns(),
-            compresso_ns: rc.stats.avg_l3_miss_latency_ns(),
-            tmcc_ns: rt.stats.avg_l3_miss_latency_ns(),
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.1}", row.no_compression_ns),
-            format!("{:.1}", row.compresso_ns),
-            format!("{:.1}", row.tmcc_ns),
-        ]);
-        out.push(row);
-    }
-    let a = mean(&out.iter().map(|r| r.no_compression_ns).collect::<Vec<_>>());
-    let b = mean(&out.iter().map(|r| r.compresso_ns).collect::<Vec<_>>());
-    let c = mean(&out.iter().map(|r| r.tmcc_ns).collect::<Vec<_>>());
-    rows.push(vec!["AVERAGE".into(), format!("{a:.1}"), format!("{b:.1}"), format!("{c:.1}")]);
-    print_table(
-        "Fig. 18 — Average L3-miss latency (ns)",
-        &["workload", "no compression", "compresso", "tmcc (iso-savings)"],
-        &rows,
-    );
-    println!(
-        "\nPaper: 53 / 73.9 / 56.4 ns. Measured: {a:.1} / {b:.1} / {c:.1} ns.\n\
-         Shape check — TMCC within {:.0}% of no-compression while Compresso pays {:.0}%:",
-        (c / a - 1.0) * 100.0,
-        (b / a - 1.0) * 100.0
-    );
-    write_json("fig18_l3_miss_latency", &out);
+    tmcc_bench::registry::run_standalone("fig18_l3_miss_latency");
 }

@@ -1,85 +1,7 @@
-//! Figure 19: distribution of ML1 read accesses under TMCC —
-//! CTE-cache hits, speculative parallel accesses (correct embedded CTE),
-//! incorrect embedded CTEs, and serialized accesses without an embedded
-//! CTE.
-//!
-//! Paper result: 76 % CTE-cache hits, 22 % parallel accesses, with
-//! incorrect-CTE and no-CTE cases in the small remainder; the implied
-//! DRAM access rate for CTEs (the miss rate, 24 %) is well below
-//! Compresso's 34 %.
-
-use serde::Serialize;
-use tmcc::SchemeKind;
-use tmcc_bench::{
-    compresso_anchor, feasible_budget, mean, print_table, run_scheme, write_json, DEFAULT_ACCESSES,
-};
-use tmcc_workloads::WorkloadProfile;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    cte_cache_hit: f64,
-    parallel_correct: f64,
-    parallel_mismatch: f64,
-    serial_no_cte: f64,
-}
+//! Standalone shim for the Figure 19 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for w in WorkloadProfile::large_suite() {
-        let (_, used) = compresso_anchor(&w, DEFAULT_ACCESSES / 2);
-        let budget = feasible_budget(&w, used);
-        let r = run_scheme(&w, SchemeKind::Tmcc, Some(budget), DEFAULT_ACCESSES);
-        let s = r.stats;
-        let total = (s.ml1_cte_hit
-            + s.ml1_parallel_correct
-            + s.ml1_parallel_mismatch
-            + s.ml1_serial)
-            .max(1) as f64;
-        let row = Row {
-            workload: w.name,
-            cte_cache_hit: s.ml1_cte_hit as f64 / total,
-            parallel_correct: s.ml1_parallel_correct as f64 / total,
-            parallel_mismatch: s.ml1_parallel_mismatch as f64 / total,
-            serial_no_cte: s.ml1_serial as f64 / total,
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.1}%", row.cte_cache_hit * 100.0),
-            format!("{:.1}%", row.parallel_correct * 100.0),
-            format!("{:.1}%", row.parallel_mismatch * 100.0),
-            format!("{:.1}%", row.serial_no_cte * 100.0),
-        ]);
-        out.push(row);
-    }
-    let avg = |f: fn(&Row) -> f64| mean(&out.iter().map(f).collect::<Vec<_>>());
-    let (h, p, m, s) = (
-        avg(|r| r.cte_cache_hit),
-        avg(|r| r.parallel_correct),
-        avg(|r| r.parallel_mismatch),
-        avg(|r| r.serial_no_cte),
-    );
-    rows.push(vec![
-        "AVERAGE".into(),
-        format!("{:.1}%", h * 100.0),
-        format!("{:.1}%", p * 100.0),
-        format!("{:.1}%", m * 100.0),
-        format!("{:.1}%", s * 100.0),
-    ]);
-    print_table(
-        "Fig. 19 — Distribution of ML1 read accesses (TMCC)",
-        &["workload", "CTE$ hit", "parallel ok", "wrong embedded CTE", "serial (no CTE)"],
-        &rows,
-    );
-    println!(
-        "\nPaper: 76% CTE$ hit, 22% parallel; DRAM CTE access rate 24% vs Compresso 34%.\n\
-         Measured: {:.0}% hit, {:.0}% parallel, {:.1}% mismatch, {:.0}% serial; CTE DRAM rate {:.0}%",
-        h * 100.0,
-        p * 100.0,
-        m * 100.0,
-        s * 100.0,
-        (1.0 - h) * 100.0
-    );
-    write_json("fig19_ml1_access_split", &out);
+    tmcc_bench::registry::run_standalone("fig19_ml1_access_split");
 }

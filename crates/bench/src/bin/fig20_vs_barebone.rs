@@ -1,89 +1,7 @@
-//! Figure 20: TMCC's improvement over the barebone OS-inspired hardware
-//! compression of §IV, split into the ML1 optimization (embedded CTEs)
-//! and the ML2 optimization (memory-specialized Deflate), under the two
-//! DRAM-usage scenarios of Table IV columns B and C.
-//!
-//! Paper result: +12.5 % total at Col B usage (8.25 % from ML1 opt,
-//! 4.25 % from ML2 opt); +15.4 % at Col C usage, where the ML2
-//! optimization dominates because ML2 accesses become frequent.
-
-use serde::Serialize;
-use tmcc::config::TmccToggles;
-use tmcc_bench::{
-    compresso_anchor, feasible_budget, iso_perf_budget_search, mean, print_table, run_two_level,
-    write_json, DEFAULT_ACCESSES,
-};
-use tmcc_workloads::WorkloadProfile;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    scenario: &'static str,
-    ml1_only_speedup: f64,
-    ml2_only_speedup: f64,
-    full_speedup: f64,
-}
+//! Standalone shim for the Figure 20 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    // Per workload: Col B = Compresso's DRAM usage; Col C = TMCC's usage
-    // at Compresso-equivalent performance (Table IV's operating point).
-    let mut budgets: Vec<(WorkloadProfile, [u64; 2])> = Vec::new();
-    for w in WorkloadProfile::large_suite() {
-        let (anchor, used) = compresso_anchor(&w, DEFAULT_ACCESSES / 2);
-        let col_b = feasible_budget(&w, used);
-        let floor = anchor.perf_accesses_per_us() * 0.99;
-        let (col_c, _) =
-            iso_perf_budget_search(&w, TmccToggles::full(), floor, DEFAULT_ACCESSES / 2);
-        budgets.push((w, [col_b, col_c]));
-    }
-    for (idx, scenario) in [(0usize, "Col B"), (1, "Col C")] {
-        for (w, b) in &budgets {
-            let w = w.clone();
-            let budget = b[idx];
-            let base = run_two_level(&w, TmccToggles::none(), budget, DEFAULT_ACCESSES)
-                .perf_accesses_per_us();
-            let ml1 = run_two_level(&w, TmccToggles::ml1_only(), budget, DEFAULT_ACCESSES)
-                .perf_accesses_per_us();
-            let ml2 = run_two_level(&w, TmccToggles::ml2_only(), budget, DEFAULT_ACCESSES)
-                .perf_accesses_per_us();
-            let full = run_two_level(&w, TmccToggles::full(), budget, DEFAULT_ACCESSES)
-                .perf_accesses_per_us();
-            let row = Row {
-                workload: w.name,
-                scenario,
-                ml1_only_speedup: ml1 / base,
-                ml2_only_speedup: ml2 / base,
-                full_speedup: full / base,
-            };
-            rows.push(vec![
-                format!("{} [{}]", row.workload, scenario),
-                format!("{:.3}", row.ml1_only_speedup),
-                format!("{:.3}", row.ml2_only_speedup),
-                format!("{:.3}", row.full_speedup),
-            ]);
-            out.push(row);
-        }
-    }
-    for scenario in ["Col B", "Col C"] {
-        let sel: Vec<&Row> = out.iter().filter(|r| r.scenario == scenario).collect();
-        let m = |f: fn(&Row) -> f64| mean(&sel.iter().map(|r| f(r)).collect::<Vec<_>>());
-        rows.push(vec![
-            format!("AVERAGE [{scenario}]"),
-            format!("{:.3}", m(|r| r.ml1_only_speedup)),
-            format!("{:.3}", m(|r| r.ml2_only_speedup)),
-            format!("{:.3}", m(|r| r.full_speedup)),
-        ]);
-    }
-    print_table(
-        "Fig. 20 — Speedup over barebone OS-inspired compression",
-        &["workload [scenario]", "ML1 opt only", "ML2 opt only", "full TMCC"],
-        &rows,
-    );
-    println!(
-        "\nPaper: Col B +12.5% total (ML1 8.25%, ML2 4.25%); Col C +15.4% with the\n\
-         ML2 optimization's share growing as ML2 accesses become frequent."
-    );
-    write_json("fig20_vs_barebone", &out);
+    tmcc_bench::registry::run_standalone("fig20_vs_barebone");
 }

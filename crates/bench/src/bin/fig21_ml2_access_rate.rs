@@ -1,63 +1,7 @@
-//! Figure 21: ML2 accesses normalized to total LLC misses + writebacks,
-//! under the two DRAM usages of Table IV columns B and C.
-//!
-//! Paper shape: a few percent at Col B usage, rising towards ~10 % at the
-//! aggressive Col C usage — which is why the ML2 (decompression-latency)
-//! optimization matters more as more DRAM is saved.
-
-use serde::Serialize;
-use tmcc::config::TmccToggles;
-use tmcc::SchemeKind;
-use tmcc_bench::{
-    compresso_anchor, feasible_budget, iso_perf_budget_search, mean, print_table, run_scheme,
-    write_json, DEFAULT_ACCESSES,
-};
-use tmcc_workloads::WorkloadProfile;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    col_b_rate: f64,
-    col_c_rate: f64,
-}
+//! Standalone shim for the Figure 21 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for w in WorkloadProfile::large_suite() {
-        let (anchor, used) = compresso_anchor(&w, DEFAULT_ACCESSES / 2);
-        let col_b = feasible_budget(&w, used);
-        let rb = run_scheme(&w, SchemeKind::Tmcc, Some(col_b), DEFAULT_ACCESSES);
-        // Col C: TMCC's DRAM usage when constrained to Compresso's
-        // performance (Table IV's operating point).
-        let floor = anchor.perf_accesses_per_us() * 0.99;
-        let (_, rc) = iso_perf_budget_search(&w, TmccToggles::full(), floor, DEFAULT_ACCESSES / 2);
-        let row = Row {
-            workload: w.name,
-            col_b_rate: rb.stats.ml2_access_rate(),
-            col_c_rate: rc.stats.ml2_access_rate(),
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.2}%", row.col_b_rate * 100.0),
-            format!("{:.2}%", row.col_c_rate * 100.0),
-        ]);
-        out.push(row);
-    }
-    let b = mean(&out.iter().map(|r| r.col_b_rate).collect::<Vec<_>>());
-    let c = mean(&out.iter().map(|r| r.col_c_rate).collect::<Vec<_>>());
-    rows.push(vec!["AVERAGE".into(), format!("{:.2}%", b * 100.0), format!("{:.2}%", c * 100.0)]);
-    print_table(
-        "Fig. 21 — ML2 accesses per (LLC miss + writeback)",
-        &["workload", "Col B usage", "Col C usage"],
-        &rows,
-    );
-    println!(
-        "\nPaper shape: low single digits at Col B, up to ~10% at Col C; Col C > Col B.\n\
-         Measured averages: {:.2}% vs {:.2}% — aggressive saving raises ML2 traffic: {}",
-        b * 100.0,
-        c * 100.0,
-        c > b
-    );
-    write_json("fig21_ml2_access_rate", &out);
+    tmcc_bench::registry::run_standalone("fig21_ml2_access_rate");
 }

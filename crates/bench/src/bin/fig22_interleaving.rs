@@ -1,63 +1,7 @@
-//! Figure 22: performance of the two TMCC-compatible interleaving
-//! policies, normalized to sub-page interleaving across MCs.
-//!
-//! Paper result (16 cores, 2 MCs × 2 channels, bandwidth-intensive
-//! workloads): 4 KiB-across-MC interleaving stays within 1 % on average
-//! (≤ 5 % worst, up to +10 % from better row locality); interleaving pages
-//! across *channels* too degrades more (5–11 % for sp_D and hpcg).
-
-use serde::Serialize;
-use tmcc::{SchemeKind, System, SystemConfig};
-use tmcc_bench::{mean, print_table, write_json, DEFAULT_ACCESSES};
-use tmcc_sim_dram::{DramConfig, InterleavePolicy};
-use tmcc_workloads::WorkloadProfile;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    coarse_mc_normalized: f64,
-    page_channel_normalized: f64,
-}
-
-fn run_policy(w: &WorkloadProfile, policy: InterleavePolicy) -> f64 {
-    let mut cfg = SystemConfig::new(w.clone(), SchemeKind::NoCompression);
-    cfg.dram = DramConfig::two_mc_two_channel();
-    cfg.interleave = policy;
-    cfg.cores = 16;
-    System::new(cfg).run(DEFAULT_ACCESSES).perf_accesses_per_us()
-}
+//! Standalone shim for the Figure 22 experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for w in WorkloadProfile::bandwidth_suite() {
-        let base = run_policy(&w, InterleavePolicy::baseline());
-        let coarse = run_policy(&w, InterleavePolicy::coarse_mc());
-        let page = run_policy(&w, InterleavePolicy::page_channel());
-        let row = Row {
-            workload: w.name,
-            coarse_mc_normalized: coarse / base,
-            page_channel_normalized: page / base,
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.3}", row.coarse_mc_normalized),
-            format!("{:.3}", row.page_channel_normalized),
-        ]);
-        out.push(row);
-    }
-    let c = mean(&out.iter().map(|r| r.coarse_mc_normalized).collect::<Vec<_>>());
-    let p = mean(&out.iter().map(|r| r.page_channel_normalized).collect::<Vec<_>>());
-    rows.push(vec!["AVERAGE".into(), format!("{c:.3}"), format!("{p:.3}")]);
-    print_table(
-        "Fig. 22 — TMCC-compatible interleaving vs sub-page baseline",
-        &["workload", "4KiB across MCs", "4KiB across MCs+channels"],
-        &rows,
-    );
-    println!(
-        "\nPaper: coarse-MC within 1% average; page-across-channels degrades up to 11%.\n\
-         Measured averages: coarse-MC {c:.3}, page-channel {p:.3} (page-channel worse: {})",
-        p <= c
-    );
-    write_json("fig22_interleaving", &out);
+    tmcc_bench::registry::run_standalone("fig22_interleaving");
 }

@@ -1,76 +1,7 @@
-//! §VIII huge-page sensitivity: with 2 MiB pages, a PTB covers 16 MiB so
-//! TMCC cannot embed CTEs (4 K CTEs would be needed per PTB); only the
-//! page-level-translation and fast-ML2 benefits remain.
-//!
-//! Paper result: TMCC still improves performance by 6 % over Compresso at
-//! iso-savings, or provides 1.8× the capacity at iso-performance (vs 14 %
-//! and 2.2× with 4 KiB pages).
-
-use serde::Serialize;
-use tmcc::config::TmccToggles;
-use tmcc::{SchemeKind, System, SystemConfig};
-use tmcc_bench::{
-    feasible_budget, iso_perf_budget_search_cfg, mean, print_table, write_json, DEFAULT_ACCESSES,
-};
-use tmcc_workloads::WorkloadProfile;
-
-#[derive(Serialize)]
-struct Row {
-    workload: &'static str,
-    perf_normalized: f64,
-    iso_perf_capacity_ratio: f64,
-}
+//! Standalone shim for the huge-page sensitivity (§VIII) experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for w in WorkloadProfile::large_suite() {
-        // Both systems run with 2 MiB pages.
-        let mut ccfg = SystemConfig::new(w.clone(), SchemeKind::Compresso);
-        ccfg.huge_pages = true;
-        let rc = System::new(ccfg).run(DEFAULT_ACCESSES);
-        let used = rc.stats.dram_used_bytes;
-        let budget = feasible_budget(&w, used);
-        // TMCC with huge pages at iso-savings.
-        let mut cfg = SystemConfig::new(w.clone(), SchemeKind::Tmcc).with_budget(budget);
-        cfg.huge_pages = true;
-        let rt = System::new(cfg).run(DEFAULT_ACCESSES);
-        // Iso-performance capacity search, huge pages on.
-        let perf_floor = rc.perf_accesses_per_us() * 0.99;
-        let mk_cfg = |b: u64| {
-            let mut c = SystemConfig::new(w.clone(), SchemeKind::Tmcc)
-                .with_budget(b)
-                .with_toggles(TmccToggles::full());
-            c.huge_pages = true;
-            c
-        };
-        let (_, riso) = iso_perf_budget_search_cfg(&w, mk_cfg, perf_floor, DEFAULT_ACCESSES);
-        let a = (w.sim_pages * 4096) as f64;
-        let row = Row {
-            workload: w.name,
-            perf_normalized: rt.perf_accesses_per_us() / rc.perf_accesses_per_us(),
-            iso_perf_capacity_ratio: (a / riso.stats.dram_used_bytes as f64) / (a / used as f64),
-        };
-        rows.push(vec![
-            row.workload.to_string(),
-            format!("{:.3}", row.perf_normalized),
-            format!("{:.2}", row.iso_perf_capacity_ratio),
-        ]);
-        out.push(row);
-    }
-    let p = mean(&out.iter().map(|r| r.perf_normalized).collect::<Vec<_>>());
-    let c = mean(&out.iter().map(|r| r.iso_perf_capacity_ratio).collect::<Vec<_>>());
-    rows.push(vec!["AVERAGE".into(), format!("{p:.3}"), format!("{c:.2}")]);
-    print_table(
-        "§VIII — Huge pages: TMCC vs Compresso",
-        &["workload", "perf @iso-savings", "capacity @iso-perf"],
-        &rows,
-    );
-    println!(
-        "\nPaper: +6% performance or 1.8x capacity under huge pages (less than the\n\
-         +14% / 2.2x with 4 KiB pages, because PTB embedding is ineffective).\n\
-         Measured: {:+.1}% / {c:.2}x",
-        (p - 1.0) * 100.0
-    );
-    write_json("sens_huge_pages", &out);
+    tmcc_bench::registry::run_standalone("sens_huge_pages");
 }

@@ -1,53 +1,7 @@
-//! Table I: synthesis results (area/power) for the memory-specialized
-//! ASIC Deflate.
-//!
-//! This reproduction cannot run a 7 nm synthesis flow; Table I's values
-//! are **model constants** from the paper, exposed through the
-//! [`tmcc_deflate::AreaModel`] so the design-space-exploration example can
-//! scale them with CAM size and Huffman code count (§V-B2's scaling data
-//! points validate the model).
-
-use serde::Serialize;
-use tmcc_bench::{print_table, write_json};
-use tmcc_deflate::AreaModel;
-
-#[derive(Serialize)]
-struct Row {
-    module: &'static str,
-    area_mm2: f64,
-    power_mw: f64,
-}
+//! Standalone shim for the Table I experiment: runs it at full scale
+//! through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
 
 fn main() {
-    let m = AreaModel::paper_default();
-    let rows_data = [
-        ("LZ Decompressor", m.lz_decompressor()),
-        ("LZ Compressor", m.lz_compressor()),
-        ("Huffman Decompressor", m.huffman_decompressor()),
-        ("Huffman Compressor", m.huffman_compressor()),
-        ("Complete Unit", m.complete_unit()),
-    ];
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for (name, a) in rows_data {
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.3} mm2", a.area_mm2),
-            format!("{:.0} mW", a.power_mw),
-        ]);
-        out.push(Row { module: name, area_mm2: a.area_mm2, power_mw: a.power_mw });
-    }
-    print_table(
-        "Table I — ASIC Deflate synthesis (7nm ASAP @0.7V model)",
-        &["module", "area", "power"],
-        &rows,
-    );
-    println!(
-        "\nPaper: complete unit 0.13 mm2 / 447 mW at 2.5 GHz.\n\
-         Cross-check (§V-B2): a 4 KiB CAM would cost {:.2} mm2 for the LZ compressor\n\
-         (paper: 0.24 mm2) and {:.3} mm2 for the LZ decompressor (paper: 0.09 mm2).",
-        AreaModel::with_params(4096, 16).lz_compressor().area_mm2,
-        AreaModel::with_params(4096, 16).lz_decompressor().area_mm2,
-    );
-    write_json("table1_asic_synthesis", &out);
+    tmcc_bench::registry::run_standalone("table1_asic_synthesis");
 }

@@ -1,0 +1,68 @@
+//! Figure 16: memory-access characterization of the evaluated benchmarks
+//! under no hardware memory compression — DRAM bandwidth utilization,
+//! split into reads and writes.
+//!
+//! Paper shape: shortestPath and canneal are the most bandwidth-intensive;
+//! kcore and triangleCount the least (which is why they respectively gain
+//! the most / least from TMCC, Fig. 17).
+
+use crate::print_table;
+use crate::sweep::SweepCtx;
+use serde::Serialize;
+use tmcc::SchemeKind;
+use tmcc_workloads::WorkloadProfile;
+
+#[derive(Serialize)]
+struct Row {
+    workload: &'static str,
+    read_utilization: f64,
+    write_utilization: f64,
+    llc_misses_per_kilo_access: f64,
+}
+
+pub fn run(ctx: &SweepCtx) {
+    let accesses = ctx.accesses();
+    let out: Vec<Row> = ctx.par_map(WorkloadProfile::large_suite(), |w| {
+        let r = ctx.run_scheme(&w, SchemeKind::NoCompression, None, accesses);
+        let total = r.bandwidth_utilization;
+        let reads = r.dram.reads as f64;
+        let writes = r.dram.writes as f64;
+        let wf = if reads + writes > 0.0 { writes / (reads + writes) } else { 0.0 };
+        Row {
+            workload: w.name,
+            read_utilization: total * (1.0 - wf),
+            write_utilization: total * wf,
+            llc_misses_per_kilo_access: r.stats.llc_misses() as f64 * 1000.0
+                / r.stats.accesses as f64,
+        }
+    });
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|row| {
+            vec![
+                row.workload.to_string(),
+                format!("{:.1}%", row.read_utilization * 100.0),
+                format!("{:.1}%", row.write_utilization * 100.0),
+                format!("{:.0}", row.llc_misses_per_kilo_access),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 16 — Memory characterization (no compression)",
+        &["workload", "read BW util", "write BW util", "LLC misses/1K accesses"],
+        &rows,
+    );
+    let max = out
+        .iter()
+        .max_by(|a, b| {
+            (a.read_utilization + a.write_utilization)
+                .total_cmp(&(b.read_utilization + b.write_utilization))
+        })
+        .expect("non-empty suite");
+    println!(
+        "\nPaper shape: shortestPath/canneal most intensive, kcore/triangleCount least.\n\
+         Measured most intensive: {}",
+        max.workload
+    );
+    ctx.emit("fig16_mem_characterization", &out);
+}

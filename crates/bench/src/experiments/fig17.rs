@@ -1,0 +1,68 @@
+//! Figure 17: TMCC performance normalized to Compresso when saving the
+//! same amount of DRAM.
+//!
+//! Paper result: +14 % on average across the twelve large/irregular
+//! workloads; highest for shortestPath and canneal (high memory access
+//! rate + high CTE miss rate), lowest for kcore and triangleCount (low
+//! CTE miss rate).
+
+use crate::sweep::SweepCtx;
+use crate::{feasible_budget, mean, print_table};
+use serde::Serialize;
+use tmcc::SchemeKind;
+use tmcc_workloads::WorkloadProfile;
+
+#[derive(Serialize)]
+struct Row {
+    workload: &'static str,
+    compresso_perf: f64,
+    tmcc_perf: f64,
+    normalized: f64,
+    budget_bytes: u64,
+}
+
+pub fn run(ctx: &SweepCtx) {
+    let accesses = ctx.accesses();
+    let out: Vec<Row> = ctx.par_map(WorkloadProfile::large_suite(), |w| {
+        let (rc, used) = ctx.compresso_anchor(&w, accesses);
+        let budget = feasible_budget(&w, used);
+        let rt = ctx.run_scheme(&w, SchemeKind::Tmcc, Some(budget), accesses);
+        Row {
+            workload: w.name,
+            compresso_perf: rc.perf_accesses_per_us(),
+            tmcc_perf: rt.perf_accesses_per_us(),
+            normalized: rt.perf_accesses_per_us() / rc.perf_accesses_per_us(),
+            budget_bytes: budget,
+        }
+    });
+    let mut rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|row| {
+            vec![
+                row.workload.to_string(),
+                format!("{:.2}", row.compresso_perf),
+                format!("{:.2}", row.tmcc_perf),
+                format!("{:.3}", row.normalized),
+            ]
+        })
+        .collect();
+    let avg = mean(&out.iter().map(|r| r.normalized).collect::<Vec<_>>());
+    rows.push(vec!["AVERAGE".into(), "".into(), "".into(), format!("{avg:.3}")]);
+    print_table(
+        "Fig. 17 — TMCC performance normalized to Compresso (iso-savings)",
+        &["workload", "compresso acc/us", "tmcc acc/us", "normalized"],
+        &rows,
+    );
+    let best = out.iter().max_by(|a, b| a.normalized.total_cmp(&b.normalized)).expect("rows");
+    let worst = out.iter().min_by(|a, b| a.normalized.total_cmp(&b.normalized)).expect("rows");
+    println!(
+        "\nPaper: +14% average; best shortestPath/canneal, worst kcore/triangleCount.\n\
+         Measured: {:+.1}% average; best {} ({:+.1}%), worst {} ({:+.1}%)",
+        (avg - 1.0) * 100.0,
+        best.workload,
+        (best.normalized - 1.0) * 100.0,
+        worst.workload,
+        (worst.normalized - 1.0) * 100.0,
+    );
+    ctx.emit("fig17_perf_vs_compresso", &out);
+}

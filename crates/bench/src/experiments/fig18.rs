@@ -1,0 +1,63 @@
+//! Figure 18: average L3-miss service latency under (i) no compression,
+//! (ii) Compresso, (iii) TMCC at iso-compression with Compresso.
+//!
+//! Paper result: 53 ns / 73.9 ns / 56.4 ns — Compresso pays ~20 ns of
+//! serial CTE fetching per CTE-cache miss; TMCC hides it by fetching data
+//! and CTE from DRAM in parallel.
+
+use crate::sweep::SweepCtx;
+use crate::{feasible_budget, mean, print_table};
+use serde::Serialize;
+use tmcc::SchemeKind;
+use tmcc_workloads::WorkloadProfile;
+
+#[derive(Serialize)]
+struct Row {
+    workload: &'static str,
+    no_compression_ns: f64,
+    compresso_ns: f64,
+    tmcc_ns: f64,
+}
+
+pub fn run(ctx: &SweepCtx) {
+    let accesses = ctx.accesses();
+    let out: Vec<Row> = ctx.par_map(WorkloadProfile::large_suite(), |w| {
+        let rn = ctx.run_scheme(&w, SchemeKind::NoCompression, None, accesses);
+        let (rc, used) = ctx.compresso_anchor(&w, accesses);
+        let budget = feasible_budget(&w, used);
+        let rt = ctx.run_scheme(&w, SchemeKind::Tmcc, Some(budget), accesses);
+        Row {
+            workload: w.name,
+            no_compression_ns: rn.stats.avg_l3_miss_latency_ns(),
+            compresso_ns: rc.stats.avg_l3_miss_latency_ns(),
+            tmcc_ns: rt.stats.avg_l3_miss_latency_ns(),
+        }
+    });
+    let mut rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|row| {
+            vec![
+                row.workload.to_string(),
+                format!("{:.1}", row.no_compression_ns),
+                format!("{:.1}", row.compresso_ns),
+                format!("{:.1}", row.tmcc_ns),
+            ]
+        })
+        .collect();
+    let a = mean(&out.iter().map(|r| r.no_compression_ns).collect::<Vec<_>>());
+    let b = mean(&out.iter().map(|r| r.compresso_ns).collect::<Vec<_>>());
+    let c = mean(&out.iter().map(|r| r.tmcc_ns).collect::<Vec<_>>());
+    rows.push(vec!["AVERAGE".into(), format!("{a:.1}"), format!("{b:.1}"), format!("{c:.1}")]);
+    print_table(
+        "Fig. 18 — Average L3-miss latency (ns)",
+        &["workload", "no compression", "compresso", "tmcc (iso-savings)"],
+        &rows,
+    );
+    println!(
+        "\nPaper: 53 / 73.9 / 56.4 ns. Measured: {a:.1} / {b:.1} / {c:.1} ns.\n\
+         Shape check — TMCC within {:.0}% of no-compression while Compresso pays {:.0}%:",
+        (c / a - 1.0) * 100.0,
+        (b / a - 1.0) * 100.0
+    );
+    ctx.emit("fig18_l3_miss_latency", &out);
+}

@@ -1,0 +1,67 @@
+//! Figure 22: performance of the two TMCC-compatible interleaving
+//! policies, normalized to sub-page interleaving across MCs.
+//!
+//! Paper result (16 cores, 2 MCs × 2 channels, bandwidth-intensive
+//! workloads): 4 KiB-across-MC interleaving stays within 1 % on average
+//! (≤ 5 % worst, up to +10 % from better row locality); interleaving pages
+//! across *channels* too degrades more (5–11 % for sp_D and hpcg).
+
+use crate::mean;
+use crate::print_table;
+use crate::sweep::SweepCtx;
+use serde::Serialize;
+use tmcc::{SchemeKind, SystemConfig};
+use tmcc_sim_dram::{DramConfig, InterleavePolicy};
+use tmcc_workloads::WorkloadProfile;
+
+#[derive(Serialize)]
+struct Row {
+    workload: &'static str,
+    coarse_mc_normalized: f64,
+    page_channel_normalized: f64,
+}
+
+fn run_policy(ctx: &SweepCtx, w: &WorkloadProfile, policy: InterleavePolicy) -> f64 {
+    let mut cfg = SystemConfig::new(w.clone(), SchemeKind::NoCompression);
+    cfg.dram = DramConfig::two_mc_two_channel();
+    cfg.interleave = policy;
+    cfg.cores = 16;
+    ctx.run(cfg, ctx.accesses()).perf_accesses_per_us()
+}
+
+pub fn run(ctx: &SweepCtx) {
+    let out: Vec<Row> = ctx.par_map(WorkloadProfile::bandwidth_suite(), |w| {
+        let base = run_policy(ctx, &w, InterleavePolicy::baseline());
+        let coarse = run_policy(ctx, &w, InterleavePolicy::coarse_mc());
+        let page = run_policy(ctx, &w, InterleavePolicy::page_channel());
+        Row {
+            workload: w.name,
+            coarse_mc_normalized: coarse / base,
+            page_channel_normalized: page / base,
+        }
+    });
+    let mut rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|row| {
+            vec![
+                row.workload.to_string(),
+                format!("{:.3}", row.coarse_mc_normalized),
+                format!("{:.3}", row.page_channel_normalized),
+            ]
+        })
+        .collect();
+    let c = mean(&out.iter().map(|r| r.coarse_mc_normalized).collect::<Vec<_>>());
+    let p = mean(&out.iter().map(|r| r.page_channel_normalized).collect::<Vec<_>>());
+    rows.push(vec!["AVERAGE".into(), format!("{c:.3}"), format!("{p:.3}")]);
+    print_table(
+        "Fig. 22 — TMCC-compatible interleaving vs sub-page baseline",
+        &["workload", "4KiB across MCs", "4KiB across MCs+channels"],
+        &rows,
+    );
+    println!(
+        "\nPaper: coarse-MC within 1% average; page-across-channels degrades up to 11%.\n\
+         Measured averages: coarse-MC {c:.3}, page-channel {p:.3} (page-channel worse: {})",
+        p <= c
+    );
+    ctx.emit("fig22_interleaving", &out);
+}

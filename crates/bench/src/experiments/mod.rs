@@ -1,0 +1,28 @@
+//! The experiment suite: each module ports one figure/table binary onto
+//! the sweep harness. A module exposes `run(&SweepCtx)`, which executes
+//! its config grid through [`crate::sweep::SweepCtx::par_map`], prints
+//! the human-readable table, and emits `results/<name>.json`.
+//!
+//! Determinism contract: every config point derives its seed from the
+//! point itself (workload defaults or an index-salted constant), never
+//! from shared mutable state, so the emitted JSON is identical at any
+//! `--jobs` count.
+
+pub mod fig01;
+pub mod fig02;
+pub mod fig05;
+pub mod fig06;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod robustness;
+pub mod sens_huge_pages;
+pub mod sens_small_workloads;
+pub mod table1;
+pub mod table2;
+pub mod table4;

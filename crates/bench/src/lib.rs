@@ -6,6 +6,10 @@
 //! run helpers (iso-savings budgets, normalized comparisons, iso-perf
 //! search).
 
+mod experiments;
+pub mod registry;
+pub mod sweep;
+
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
@@ -43,9 +47,14 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The repo-level `results/` directory (the default sweep output).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env_root()).join("results")
+}
+
 /// Writes a JSON result document under `results/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from(env_root()).join("results");
+    let dir = results_dir();
     let _ = fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {

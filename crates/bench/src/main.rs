@@ -1,0 +1,191 @@
+//! `tmcc-bench` — the parallel sweep driver for the whole figure suite.
+//!
+//! ```text
+//! tmcc-bench list
+//! tmcc-bench run <name>... [--jobs N] [--quick|--test] [--profile] [--out DIR]
+//! tmcc-bench run-all       [--jobs N] [--quick|--test] [--profile] [--out DIR]
+//! ```
+//!
+//! `run-all` executes every registered experiment and writes the same
+//! per-figure `results/*.json` files the standalone binaries write —
+//! byte-identically at any `--jobs` count — plus a consolidated
+//! `results/BENCH_sweep.json` with wall-clock, accesses simulated and
+//! accesses/sec per experiment. `--profile` additionally collects the
+//! simulator's host-time phase split (workload / translation / data /
+//! maintenance).
+
+use std::path::PathBuf;
+use std::time::Instant;
+use tmcc_bench::registry::{self, Experiment};
+use tmcc_bench::sweep::{ExperimentTiming, Scale, SweepCtx, SweepSummary};
+
+struct Options {
+    jobs: usize,
+    scale: Scale,
+    profile: bool,
+    out: PathBuf,
+    names: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tmcc-bench <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 list                 list registered experiments\n\
+         \x20 run <name>...        run the named experiments\n\
+         \x20 run-all              run every registered experiment\n\
+         \n\
+         options:\n\
+         \x20 --jobs N             worker threads (default: one per CPU)\n\
+         \x20 --quick              ~5x smaller runs (CI smoke scale)\n\
+         \x20 --test               tiny runs (golden determinism scale)\n\
+         \x20 --profile            collect host-time per-phase timing\n\
+         \x20 --out DIR            output directory (default: repo results/)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        jobs: 0,
+        scale: Scale::Full,
+        profile: false,
+        out: tmcc_bench::results_dir(),
+        names: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.jobs = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--quick" => opts.scale = Scale::Quick,
+            "--test" => opts.scale = Scale::Test,
+            "--profile" => opts.profile = true,
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.out = PathBuf::from(v);
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}\n");
+                usage();
+            }
+            name => opts.names.push(name.to_string()),
+        }
+    }
+    opts
+}
+
+/// Runs `experiments` through one context, timing each; returns the
+/// consolidated summary.
+fn run_suite(experiments: &[Experiment], opts: &Options) -> SweepSummary {
+    let ctx = SweepCtx::new(opts.scale, opts.jobs, opts.out.clone(), opts.profile);
+    let suite_start = Instant::now();
+    let mut timings = Vec::new();
+    for e in experiments {
+        println!("\n━━━ {} ━━━", e.name);
+        let before = ctx.accesses_simulated();
+        let start = Instant::now();
+        (e.run)(&ctx);
+        let wall = start.elapsed();
+        let accesses = ctx.accesses_simulated() - before;
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        timings.push(ExperimentTiming {
+            name: e.name,
+            wall_ms,
+            accesses_simulated: accesses,
+            accesses_per_sec: accesses as f64 / wall.as_secs_f64().max(1e-9),
+        });
+    }
+    let total_wall = suite_start.elapsed();
+    let total_accesses: u64 = timings.iter().map(|t| t.accesses_simulated).sum();
+    SweepSummary {
+        scale: opts.scale.name(),
+        jobs: ctx.jobs(),
+        experiments: timings,
+        total_wall_ms: total_wall.as_secs_f64() * 1e3,
+        total_accesses_simulated: total_accesses,
+        accesses_per_sec: total_accesses as f64 / total_wall.as_secs_f64().max(1e-9),
+        profile: ctx.profile().unwrap_or_default(),
+    }
+}
+
+fn print_summary(summary: &SweepSummary) {
+    println!("\n━━━ sweep summary ({} scale, {} jobs) ━━━", summary.scale, summary.jobs);
+    for t in &summary.experiments {
+        println!(
+            "  {:<28} {:>9.0} ms  {:>12} accesses  {:>12.0} acc/s",
+            t.name, t.wall_ms, t.accesses_simulated, t.accesses_per_sec
+        );
+    }
+    println!(
+        "  {:<28} {:>9.0} ms  {:>12} accesses  {:>12.0} acc/s",
+        "TOTAL", summary.total_wall_ms, summary.total_accesses_simulated, summary.accesses_per_sec
+    );
+    let p = &summary.profile;
+    if p.steps > 0 {
+        let (w, t, d, m) = p.shares();
+        println!(
+            "  phase profile over {} steps: workload {:.1}% / translation {:.1}% / \
+             data {:.1}% / maintenance {:.1}%",
+            p.steps,
+            w * 100.0,
+            t * 100.0,
+            d * 100.0,
+            m * 100.0
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    match command.as_str() {
+        "list" => {
+            for e in registry::all() {
+                println!("{:<28} {}", e.name, e.title);
+            }
+        }
+        "run" => {
+            let opts = parse_options(&args[1..]);
+            if opts.names.is_empty() {
+                eprintln!("run: at least one experiment name required\n");
+                usage();
+            }
+            let mut experiments = Vec::new();
+            for name in &opts.names {
+                match registry::find(name) {
+                    Ok(e) => experiments.push(e),
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            let summary = run_suite(&experiments, &opts);
+            print_summary(&summary);
+        }
+        "run-all" => {
+            let opts = parse_options(&args[1..]);
+            if !opts.names.is_empty() {
+                eprintln!("run-all takes no experiment names\n");
+                usage();
+            }
+            let summary = run_suite(&registry::all(), &opts);
+            print_summary(&summary);
+            let _ = std::fs::create_dir_all(&opts.out);
+            let path = opts.out.join("BENCH_sweep.json");
+            match serde_json::to_string_pretty(&summary) {
+                Ok(s) => {
+                    if std::fs::write(&path, s).is_ok() {
+                        println!("\n[sweep summary written to {}]", path.display());
+                    }
+                }
+                Err(e) => eprintln!("could not serialize sweep summary: {e}"),
+            }
+        }
+        _ => usage(),
+    }
+}

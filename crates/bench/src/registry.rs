@@ -1,0 +1,150 @@
+//! The experiment registry: every figure/table of the evaluation,
+//! registered by name so `tmcc-bench` (and the golden determinism test)
+//! can enumerate and run them uniformly.
+//!
+//! Names double as the `results/<name>.json` file stems. The per-figure
+//! binaries in `src/bin/` are thin shims over [`run_standalone`].
+
+use crate::experiments;
+use crate::sweep::SweepCtx;
+
+/// One registered experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Registry name == `results/<name>.json` stem.
+    pub name: &'static str,
+    /// One-line description shown by `tmcc-bench list`.
+    pub title: &'static str,
+    /// Executes the config grid through the context and emits the JSON.
+    pub run: fn(&SweepCtx),
+}
+
+/// Every registered experiment, in suite order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "fig01_tlb_cte_misses",
+            title: "Fig. 1 — TLB and CTE misses per LLC miss (Compresso CTEs)",
+            run: experiments::fig01::run,
+        },
+        Experiment {
+            name: "fig02_cte_hit_rates",
+            title: "Fig. 2 — CTE hits under a 4x CTE cache + LLC victim caching",
+            run: experiments::fig02::run,
+        },
+        Experiment {
+            name: "fig05_cte_after_tlb",
+            title: "Fig. 5 — CTE misses that follow TLB misses (8B page-level CTEs)",
+            run: experiments::fig05::run,
+        },
+        Experiment {
+            name: "fig06_ptb_status_bits",
+            title: "Fig. 6 — PTBs with identical status bits across all 8 PTEs",
+            run: experiments::fig06::run,
+        },
+        Experiment {
+            name: "fig15_compression_ratio",
+            title: "Fig. 15 — Compression ratio per workload image",
+            run: experiments::fig15::run,
+        },
+        Experiment {
+            name: "fig16_mem_characterization",
+            title: "Fig. 16 — Memory characterization (no compression)",
+            run: experiments::fig16::run,
+        },
+        Experiment {
+            name: "fig17_perf_vs_compresso",
+            title: "Fig. 17 — TMCC performance normalized to Compresso (iso-savings)",
+            run: experiments::fig17::run,
+        },
+        Experiment {
+            name: "fig18_l3_miss_latency",
+            title: "Fig. 18 — Average L3-miss latency",
+            run: experiments::fig18::run,
+        },
+        Experiment {
+            name: "fig19_ml1_access_split",
+            title: "Fig. 19 — Distribution of ML1 read accesses (TMCC)",
+            run: experiments::fig19::run,
+        },
+        Experiment {
+            name: "fig20_vs_barebone",
+            title: "Fig. 20 — Speedup over barebone OS-inspired compression",
+            run: experiments::fig20::run,
+        },
+        Experiment {
+            name: "fig21_ml2_access_rate",
+            title: "Fig. 21 — ML2 accesses per (LLC miss + writeback)",
+            run: experiments::fig21::run,
+        },
+        Experiment {
+            name: "fig22_interleaving",
+            title: "Fig. 22 — TMCC-compatible interleaving vs sub-page baseline",
+            run: experiments::fig22::run,
+        },
+        Experiment {
+            name: "table1_asic_synthesis",
+            title: "Table I — ASIC Deflate synthesis (7nm model)",
+            run: experiments::table1::run,
+        },
+        Experiment {
+            name: "table2_deflate_perf",
+            title: "Table II — Deflate performance for 4 KiB memory pages",
+            run: experiments::table2::run,
+        },
+        Experiment {
+            name: "table4_iso_perf_ratio",
+            title: "Table IV — Iso-performance compression ratio vs Compresso",
+            run: experiments::table4::run,
+        },
+        Experiment {
+            name: "sens_huge_pages",
+            title: "§VIII — Huge pages: TMCC vs Compresso",
+            run: experiments::sens_huge_pages::run,
+        },
+        Experiment {
+            name: "sens_small_workloads",
+            title: "§VII — Small/regular workloads: TMCC vs Compresso",
+            run: experiments::sens_small_workloads::run,
+        },
+        Experiment {
+            name: "robustness_sweep",
+            title: "Robustness sweep — balloon shocks of increasing severity",
+            run: experiments::robustness::run,
+        },
+    ]
+}
+
+/// Looks an experiment up by exact name, or by unique prefix (so
+/// `tmcc-bench run fig17` works).
+pub fn find(name: &str) -> Result<Experiment, String> {
+    let everything = all();
+    if let Some(e) = everything.iter().find(|e| e.name == name) {
+        return Ok(*e);
+    }
+    let matches: Vec<&Experiment> =
+        everything.iter().filter(|e| e.name.starts_with(name)).collect();
+    match matches.len() {
+        1 => Ok(*matches[0]),
+        0 => Err(format!("no experiment named '{name}' (see `tmcc-bench list`)")),
+        _ => Err(format!(
+            "'{name}' is ambiguous: {}",
+            matches.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
+        )),
+    }
+}
+
+/// Entry point for the per-figure shim binaries: full scale, one worker
+/// per CPU, repo `results/` output.
+pub fn run_standalone(name: &str) {
+    match find(name) {
+        Ok(e) => {
+            let ctx = SweepCtx::standalone();
+            (e.run)(&ctx);
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

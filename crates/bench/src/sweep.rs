@@ -1,0 +1,377 @@
+//! The shared sweep harness behind `tmcc-bench` and the per-figure
+//! binaries.
+//!
+//! Every experiment runs through a [`SweepCtx`]: it supplies the run
+//! [`Scale`], a worker pool for [`SweepCtx::par_map`] grids, the JSON
+//! output directory, and global counters (accesses simulated, optional
+//! host-time phase profile). Determinism is by construction — each config
+//! point carries its own seed, `par_map` returns results in input order
+//! regardless of scheduling, and the JSON emitters consume those ordered
+//! results — so `--jobs 1` and `--jobs N` produce byte-identical
+//! per-figure files.
+
+use crate::DEFAULT_ACCESSES;
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tmcc::config::TmccToggles;
+use tmcc::{PhaseProfile, RunReport, SchemeKind, System, SystemConfig, TmccError};
+use tmcc_workloads::WorkloadProfile;
+
+/// How much work each config point simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-fidelity runs (the published `results/` files).
+    Full,
+    /// ~5× smaller: CI smoke runs that still exercise every phase.
+    Quick,
+    /// Tiny: the golden determinism test (seconds for the whole suite).
+    Test,
+}
+
+impl Scale {
+    /// Display name (recorded in `BENCH_sweep.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Quick => "quick",
+            Scale::Test => "test",
+        }
+    }
+
+    /// Measured accesses per simulation run.
+    pub fn accesses(self) -> u64 {
+        match self {
+            Scale::Full => DEFAULT_ACCESSES,
+            Scale::Quick => 10_000,
+            Scale::Test => 1_000,
+        }
+    }
+
+    /// Warmup override (`None` keeps each config's paper default).
+    pub fn warmup(self) -> Option<u64> {
+        match self {
+            Scale::Full => None,
+            Scale::Quick => Some(5_000),
+            Scale::Test => Some(500),
+        }
+    }
+
+    /// Pages per workload image for the compression-ratio study (Fig. 15).
+    pub fn content_pages(self) -> u64 {
+        match self {
+            Scale::Full => 384,
+            Scale::Quick => 96,
+            Scale::Test => 16,
+        }
+    }
+
+    /// Pages per workload feeding the Deflate cycle model (Table II).
+    pub fn corpus_pages(self) -> u64 {
+        match self {
+            Scale::Full => 24,
+            Scale::Quick => 8,
+            Scale::Test => 4,
+        }
+    }
+
+    /// Cap on each workload's simulated footprint (`None` keeps the
+    /// paper-scale page counts). Only the test scale shrinks footprints:
+    /// system construction (page table, size-model sampling) is linear in
+    /// pages and would otherwise dominate tiny runs.
+    pub fn pages_cap(self) -> Option<u64> {
+        match self {
+            Scale::Full | Scale::Quick => None,
+            Scale::Test => Some(2_048),
+        }
+    }
+
+    /// Size-model codec samples per system ([`SystemConfig::size_samples`]).
+    /// Sampling compresses real pages with the real codecs, a fixed
+    /// ~100 ms per constructed system at the paper default of 128 — fine
+    /// for paper-scale runs, dominant at the test scale.
+    pub fn size_samples(self) -> usize {
+        match self {
+            Scale::Full | Scale::Quick => 128,
+            Scale::Test => 16,
+        }
+    }
+}
+
+/// Shared context for one sweep invocation.
+pub struct SweepCtx {
+    scale: Scale,
+    jobs: usize,
+    pool: ThreadPool,
+    out_dir: PathBuf,
+    profile_enabled: bool,
+    accesses: AtomicU64,
+    prof_steps: AtomicU64,
+    prof_workload_ns: AtomicU64,
+    prof_translation_ns: AtomicU64,
+    prof_data_ns: AtomicU64,
+    prof_maintenance_ns: AtomicU64,
+}
+
+impl SweepCtx {
+    /// Builds a context. `jobs == 0` means one worker per available CPU.
+    pub fn new(scale: Scale, jobs: usize, out_dir: PathBuf, profile: bool) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            jobs
+        };
+        let pool = ThreadPoolBuilder::new().num_threads(jobs).build().expect("pool");
+        Self {
+            scale,
+            jobs,
+            pool,
+            out_dir,
+            profile_enabled: profile,
+            accesses: AtomicU64::new(0),
+            prof_steps: AtomicU64::new(0),
+            prof_workload_ns: AtomicU64::new(0),
+            prof_translation_ns: AtomicU64::new(0),
+            prof_data_ns: AtomicU64::new(0),
+            prof_maintenance_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Context for a standalone figure binary: full scale, auto jobs,
+    /// the repo `results/` directory.
+    pub fn standalone() -> Self {
+        Self::new(Scale::Full, 0, crate::results_dir(), false)
+    }
+
+    /// The run scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Measured accesses per simulation run at this scale.
+    pub fn accesses(&self) -> u64 {
+        self.scale.accesses()
+    }
+
+    /// Total accesses (warmup included) simulated through this context.
+    pub fn accesses_simulated(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated host-time phase profile, if profiling was requested.
+    pub fn profile(&self) -> Option<PhaseProfile> {
+        if !self.profile_enabled {
+            return None;
+        }
+        Some(PhaseProfile {
+            steps: self.prof_steps.load(Ordering::Relaxed),
+            workload_ns: self.prof_workload_ns.load(Ordering::Relaxed),
+            translation_ns: self.prof_translation_ns.load(Ordering::Relaxed),
+            data_ns: self.prof_data_ns.load(Ordering::Relaxed),
+            maintenance_ns: self.prof_maintenance_ns.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Maps `f` over `items` on the worker pool; results come back in
+    /// input order no matter how the workers are scheduled.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        if self.jobs <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        self.pool.install(|| items.into_par_iter().map(f).collect())
+    }
+
+    /// Writes `results/<name>.json` under the context's output directory
+    /// (same bytes as the legacy per-binary `write_json`).
+    pub fn emit<T: Serialize>(&self, name: &str, value: &T) {
+        let _ = fs::create_dir_all(&self.out_dir);
+        let path = self.out_dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(s) => {
+                if fs::write(&path, s).is_ok() {
+                    println!("\n[results written to {}]", path.display());
+                }
+            }
+            Err(e) => eprintln!("could not serialize results: {e}"),
+        }
+    }
+
+    /// Applies the scale's warmup/footprint overrides and the profile
+    /// flag to a config.
+    pub fn tune(&self, mut cfg: SystemConfig) -> SystemConfig {
+        if let Some(w) = self.scale.warmup() {
+            cfg.warmup_accesses = w;
+        }
+        if let Some(cap) = self.scale.pages_cap() {
+            cfg.workload.sim_pages = cfg.workload.sim_pages.min(cap);
+        }
+        cfg.size_samples = self.scale.size_samples();
+        if self.profile_enabled {
+            cfg.profile = true;
+        }
+        cfg
+    }
+
+    /// Runs one tuned config for `accesses` measured accesses, counting
+    /// the simulated work and (if enabled) the phase profile.
+    pub fn run(&self, cfg: SystemConfig, accesses: u64) -> RunReport {
+        match self.try_run(cfg, accesses) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`SweepCtx::run`] (robustness sweeps record
+    /// the error instead of aborting).
+    pub fn try_run(&self, cfg: SystemConfig, accesses: u64) -> Result<RunReport, TmccError> {
+        let cfg = self.tune(cfg);
+        let warmup = cfg.warmup_accesses;
+        let mut sys = System::try_new(cfg)?;
+        let result = sys.try_run(accesses);
+        // Count even failed runs: the work up to the failure was simulated.
+        self.accesses.fetch_add(warmup + accesses, Ordering::Relaxed);
+        let p = sys.phase_profile();
+        if p.steps > 0 {
+            self.prof_steps.fetch_add(p.steps, Ordering::Relaxed);
+            self.prof_workload_ns.fetch_add(p.workload_ns, Ordering::Relaxed);
+            self.prof_translation_ns.fetch_add(p.translation_ns, Ordering::Relaxed);
+            self.prof_data_ns.fetch_add(p.data_ns, Ordering::Relaxed);
+            self.prof_maintenance_ns.fetch_add(p.maintenance_ns, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// [`crate::run_scheme`] through the context.
+    pub fn run_scheme(
+        &self,
+        workload: &WorkloadProfile,
+        scheme: SchemeKind,
+        budget: Option<u64>,
+        accesses: u64,
+    ) -> RunReport {
+        let mut cfg = SystemConfig::new(workload.clone(), scheme);
+        cfg.dram_budget_bytes = budget;
+        self.run(cfg, accesses)
+    }
+
+    /// [`crate::run_two_level`] through the context.
+    pub fn run_two_level(
+        &self,
+        workload: &WorkloadProfile,
+        toggles: TmccToggles,
+        budget: u64,
+        accesses: u64,
+    ) -> RunReport {
+        let kind = if toggles.embedded_ctes && toggles.fast_deflate {
+            SchemeKind::Tmcc
+        } else {
+            SchemeKind::OsInspired
+        };
+        let cfg =
+            SystemConfig::new(workload.clone(), kind).with_budget(budget).with_toggles(toggles);
+        self.run(cfg, accesses)
+    }
+
+    /// [`crate::compresso_anchor`] through the context.
+    pub fn compresso_anchor(&self, workload: &WorkloadProfile, accesses: u64) -> (RunReport, u64) {
+        let r = self.run_scheme(workload, SchemeKind::Compresso, None, accesses);
+        let used = r.stats.dram_used_bytes;
+        (r, used)
+    }
+
+    /// [`crate::iso_perf_budget_search`] through the context.
+    pub fn iso_perf_budget_search(
+        &self,
+        workload: &WorkloadProfile,
+        toggles: TmccToggles,
+        perf_floor: f64,
+        accesses: u64,
+    ) -> (u64, RunReport) {
+        let kind = if toggles.embedded_ctes && toggles.fast_deflate {
+            SchemeKind::Tmcc
+        } else {
+            SchemeKind::OsInspired
+        };
+        self.iso_perf_budget_search_cfg(
+            workload,
+            |b| SystemConfig::new(workload.clone(), kind).with_budget(b).with_toggles(toggles),
+            perf_floor,
+            accesses,
+        )
+    }
+
+    /// [`crate::iso_perf_budget_search_cfg`] through the context.
+    pub fn iso_perf_budget_search_cfg(
+        &self,
+        workload: &WorkloadProfile,
+        make_cfg: impl Fn(u64) -> SystemConfig,
+        perf_floor: f64,
+        accesses: u64,
+    ) -> (u64, RunReport) {
+        let probe = SystemConfig::new(workload.clone(), SchemeKind::Tmcc);
+        let min = System::min_budget_bytes(&probe);
+        let max = workload.sim_pages * 4096 + (1 << 22);
+        let mut lo = min;
+        let mut hi = max;
+        let mut best: Option<(u64, RunReport)> = None;
+        for _ in 0..5 {
+            let mid = lo + (hi - lo) / 2;
+            let r = self.run(make_cfg(mid), accesses);
+            if r.perf_accesses_per_us() >= perf_floor {
+                best = Some((mid, r));
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        best.unwrap_or_else(|| {
+            let r = self.run(make_cfg(max), accesses);
+            (max, r)
+        })
+    }
+}
+
+/// One experiment's entry in `BENCH_sweep.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentTiming {
+    /// Registry name (also the `results/<name>.json` file stem).
+    pub name: &'static str,
+    /// Wall-clock milliseconds the experiment took.
+    pub wall_ms: f64,
+    /// Total accesses (warmup included) the experiment simulated.
+    pub accesses_simulated: u64,
+    /// Simulation throughput over the experiment's wall time.
+    pub accesses_per_sec: f64,
+}
+
+/// The consolidated `BENCH_sweep.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepSummary {
+    /// Scale the sweep ran at.
+    pub scale: &'static str,
+    /// Worker count.
+    pub jobs: usize,
+    /// Per-experiment wall clock and throughput.
+    pub experiments: Vec<ExperimentTiming>,
+    /// Wall-clock milliseconds for the whole sweep.
+    pub total_wall_ms: f64,
+    /// Total accesses simulated across every experiment.
+    pub total_accesses_simulated: u64,
+    /// Aggregate simulation throughput.
+    pub accesses_per_sec: f64,
+    /// Host-time phase profile (all zeros unless `--profile` was given).
+    pub profile: PhaseProfile,
+}

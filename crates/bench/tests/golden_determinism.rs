@@ -1,0 +1,73 @@
+//! Golden determinism test for the sweep harness: `run-all --jobs 8` and
+//! `--jobs 1` must produce byte-identical per-figure JSON for a small-N
+//! config of every registered experiment.
+//!
+//! The suite is simulation-heavy, so the test drives the *release*
+//! `tmcc-bench` binary (tier 1 builds it first; a cold tree pays one
+//! release build of the bench crate) rather than re-running the sims
+//! unoptimized in-process.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> crates -> workspace
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace root").to_path_buf()
+}
+
+/// Builds (a no-op when tier 1 already did) and locates the release binary.
+fn release_binary() -> PathBuf {
+    let root = workspace_root();
+    let status = Command::new(env!("CARGO"))
+        .args(["build", "--release", "-p", "tmcc-bench", "--bin", "tmcc-bench"])
+        .current_dir(&root)
+        .status()
+        .expect("spawn cargo build");
+    assert!(status.success(), "release build of tmcc-bench failed");
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("target"));
+    let bin = target.join("release").join(format!("tmcc-bench{}", std::env::consts::EXE_SUFFIX));
+    assert!(bin.exists(), "built binary not found at {}", bin.display());
+    bin
+}
+
+fn run_all(bin: &Path, jobs: u32, out: &Path) {
+    let status = Command::new(bin)
+        .args(["run-all", "--test", "--jobs", &jobs.to_string(), "--out"])
+        .arg(out)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("spawn tmcc-bench");
+    assert!(status.success(), "tmcc-bench run-all --jobs {jobs} failed");
+}
+
+#[test]
+fn run_all_is_byte_identical_across_job_counts() {
+    let bin = release_binary();
+    let tmp = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("golden_determinism");
+    let (d1, d8) = (tmp.join("jobs1"), tmp.join("jobs8"));
+    for d in [&d1, &d8] {
+        let _ = std::fs::remove_dir_all(d);
+        std::fs::create_dir_all(d).expect("create out dir");
+    }
+    run_all(&bin, 1, &d1);
+    run_all(&bin, 8, &d8);
+
+    let experiments = tmcc_bench::registry::all();
+    assert!(experiments.len() >= 18, "registry lost experiments");
+    for e in &experiments {
+        let file = format!("{}.json", e.name);
+        let a = std::fs::read(d1.join(&file))
+            .unwrap_or_else(|_| panic!("{file} missing from jobs=1 run"));
+        let b = std::fs::read(d8.join(&file))
+            .unwrap_or_else(|_| panic!("{file} missing from jobs=8 run"));
+        assert!(!a.is_empty(), "{file} is empty");
+        assert_eq!(a, b, "{file} differs between --jobs 1 and --jobs 8");
+    }
+    // The consolidated summary exists in both runs (its wall-clock numbers
+    // legitimately differ, so no byte comparison).
+    for d in [&d1, &d8] {
+        assert!(d.join("BENCH_sweep.json").exists(), "BENCH_sweep.json missing");
+    }
+}

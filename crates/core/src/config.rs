@@ -198,6 +198,15 @@ pub struct SystemConfig {
     /// [`crate::TmccError::InvariantViolation`] on the first
     /// inconsistency. Off by default (it walks every resident page).
     pub audit: bool,
+    /// Collect host-time per-phase timing ([`crate::PhaseProfile`]) for
+    /// every simulated access. Off by default; never affects simulated
+    /// results, only the profile readout.
+    pub profile: bool,
+    /// Pages compressed with the real codecs to build the empirical
+    /// [`crate::SizeModel`] at construction. The paper-scale default is
+    /// 128; tiny harness scales shrink it because the codec sampling
+    /// otherwise dominates short runs.
+    pub size_samples: usize,
 }
 
 impl SystemConfig {
@@ -235,6 +244,8 @@ impl SystemConfig {
             recency_sample: 0.15,
             fault_plan: FaultPlan::none(),
             audit: false,
+            profile: false,
+            size_samples: 128,
         }
     }
 
@@ -266,6 +277,18 @@ impl SystemConfig {
     /// style).
     pub fn with_audit(mut self) -> Self {
         self.audit = true;
+        self
+    }
+
+    /// Enables host-time per-phase profiling (builder style).
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
+    /// Sets the size-model sample count (builder style).
+    pub fn with_size_samples(mut self, samples: usize) -> Self {
+        self.size_samples = samples;
         self
     }
 

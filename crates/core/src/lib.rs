@@ -48,4 +48,4 @@ pub use free_list::{CompressoFreeList, Ml1FreeList, Ml2FreeLists};
 pub use recency::RecencyList;
 pub use size_model::{PageSizes, SizeModel};
 pub use stats::{Ml1ReadOutcome, RunReport, SimStats};
-pub use system::System;
+pub use system::{PhaseProfile, System};

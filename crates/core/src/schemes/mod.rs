@@ -110,13 +110,13 @@ pub trait Scheme {
     /// DRAM bytes currently occupied by data + translation metadata.
     fn dram_used_bytes(&self) -> u64;
 
-    /// Pages evicted to ML2 since the last call. The system model flushes
-    /// their blocks from the cache hierarchy (hardware collects a page's
-    /// dirty lines when compressing it into ML2; leaving stale dirty lines
-    /// behind would ping-pong the page straight back to ML1).
-    fn drain_evicted_pages(&mut self) -> Vec<Ppn> {
-        Vec::new()
-    }
+    /// Appends the pages evicted to ML2 since the last call to `out`
+    /// (caller-owned scratch, so the per-step poll allocates nothing). The
+    /// system model flushes their blocks from the cache hierarchy
+    /// (hardware collects a page's dirty lines when compressing it into
+    /// ML2; leaving stale dirty lines behind would ping-pong the page
+    /// straight back to ML1).
+    fn drain_evicted_pages(&mut self, _out: &mut Vec<Ppn>) {}
 }
 
 /// Row-sized stride separating successive pages' translation entries in

@@ -952,8 +952,8 @@ impl Scheme for TwoLevelScheme {
         Ok(())
     }
 
-    fn drain_evicted_pages(&mut self) -> Vec<Ppn> {
-        std::mem::take(&mut self.evicted_pages)
+    fn drain_evicted_pages(&mut self, out: &mut Vec<Ppn>) {
+        out.append(&mut self.evicted_pages);
     }
 
     fn dram_used_bytes(&self) -> u64 {

@@ -23,16 +23,59 @@ use crate::error::TmccError;
 use crate::schemes::{CompressoScheme, MemRequest, NoCompressionScheme, Scheme, TwoLevelScheme};
 use crate::size_model::SizeModel;
 use crate::stats::{RunReport, SimStats};
+use serde::Serialize;
+use std::time::Instant;
 use tmcc_sim_dram::DramSim;
 use tmcc_sim_mem::hierarchy::NOC_LATENCY_NS;
+use tmcc_sim_mem::page_table::WalkStep;
 use tmcc_sim_mem::{CacheHierarchy, HitLevel, PageTable, PageTableConfig, PageWalker, Tlb};
 use tmcc_types::addr::{Ppn, Vpn};
+use tmcc_types::pte::PageTableBlock;
 use tmcc_workloads::AccessStream;
 
 /// ns per core cycle at the Table III core clock (2.8 GHz).
 const CORE_NS_PER_CYCLE: f64 = 1.0 / 2.8;
 /// How often (in accesses) background maintenance runs.
 const MAINTENANCE_PERIOD: u64 = 32;
+
+/// Host-time breakdown of the simulation loop, collected when
+/// `SystemConfig::profile` is set (the `tmcc-bench --profile` flag).
+///
+/// These are *wall-clock nanoseconds the simulator itself spends* per
+/// phase — the data that identifies which part of `System::run` to
+/// optimize — not simulated time.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PhaseProfile {
+    /// Steps measured.
+    pub steps: u64,
+    /// Stream generation + fault injection.
+    pub workload_ns: u64,
+    /// TLB lookup, page walk, PTB fetches through the hierarchy/scheme.
+    pub translation_ns: u64,
+    /// The data access itself (hierarchy, scheme, writebacks).
+    pub data_ns: u64,
+    /// Scheme maintenance, audits, evicted-page cache flushes.
+    pub maintenance_ns: u64,
+}
+
+impl PhaseProfile {
+    /// Total profiled host time, ns.
+    pub fn total_ns(&self) -> u64 {
+        self.workload_ns + self.translation_ns + self.data_ns + self.maintenance_ns
+    }
+
+    /// `(workload, translation, data, maintenance)` shares of the total,
+    /// each in [0, 1].
+    pub fn shares(&self) -> (f64, f64, f64, f64) {
+        let total = self.total_ns().max(1) as f64;
+        (
+            self.workload_ns as f64 / total,
+            self.translation_ns as f64 / total,
+            self.data_ns as f64 / total,
+            self.maintenance_ns as f64 / total,
+        )
+    }
+}
 
 /// A complete simulated system.
 pub struct System {
@@ -54,6 +97,14 @@ pub struct System {
     /// Accesses executed since construction, warmup included — the clock
     /// fault events are scheduled against.
     total_accesses: u64,
+    /// Reused per-walk scratch: fetched steps with their PTBs. Keeping it
+    /// on the system takes the page-walk path out of the per-access
+    /// allocation profile.
+    walk_buf: Vec<(WalkStep, PageTableBlock)>,
+    /// Reused scratch for pages drained from the scheme's eviction queue.
+    evict_buf: Vec<Ppn>,
+    /// Host-time phase breakdown, populated when `cfg.profile` is set.
+    profile: PhaseProfile,
 }
 
 impl System {
@@ -89,7 +140,7 @@ impl System {
                 page_table.map(Vpn::new(i), Ppn::new(i));
             }
         }
-        let size_model = SizeModel::sample(&cfg.workload.page_content(cfg.seed), 128);
+        let size_model = SizeModel::sample(&cfg.workload.page_content(cfg.seed), cfg.size_samples);
         let table_pages = page_table.table_page_count() as u64;
 
         let scheme: Box<dyn Scheme> = match cfg.scheme {
@@ -151,6 +202,9 @@ impl System {
             fault_events,
             next_fault: 0,
             total_accesses: 0,
+            walk_buf: Vec::with_capacity(4),
+            evict_buf: Vec::new(),
+            profile: PhaseProfile::default(),
             cfg,
         })
     }
@@ -162,7 +216,7 @@ impl System {
         for i in 0..cfg.workload.sim_pages {
             page_table.map(Vpn::new(i), Ppn::new(i));
         }
-        let size_model = SizeModel::sample(&cfg.workload.page_content(cfg.seed), 128);
+        let size_model = SizeModel::sample(&cfg.workload.page_content(cfg.seed), cfg.size_samples);
         let frames = TwoLevelScheme::min_budget_frames(
             &size_model,
             page_table.table_page_count() as u64,
@@ -175,6 +229,12 @@ impl System {
     /// The configuration in use.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Host-time per-phase profile accumulated so far. All-zero unless the
+    /// configuration enabled [`SystemConfig::profile`].
+    pub fn phase_profile(&self) -> &PhaseProfile {
+        &self.profile
     }
 
     /// Audits the scheme's internal invariants (frame conservation,
@@ -201,6 +261,9 @@ impl System {
 
     /// Executes one workload access end to end.
     fn try_step(&mut self) -> Result<(), TmccError> {
+        // Host-time phase stamps, only taken under `cfg.profile`.
+        let t0 = self.cfg.profile.then(Instant::now);
+
         self.apply_due_faults()?;
         self.total_accesses += 1;
         let ev = self.streams[self.next_stream].next_access();
@@ -213,6 +276,8 @@ impl System {
             && self.cfg.toggles.embedded_ctes
             && !self.cfg.huge_pages;
 
+        let t1 = t0.map(|_| Instant::now());
+
         // 1. Address translation.
         let mut walked = false;
         let ppn = match self.tlb.lookup(vpn) {
@@ -223,11 +288,15 @@ impl System {
             None => {
                 walked = true;
                 self.stats.tlb_misses += 1;
-                let walk = self
-                    .walker
-                    .walk(&self.page_table, vpn)
-                    .ok_or(TmccError::UnmappedVpn { vpn: vpn.raw() })?;
-                for step in &walk.fetched {
+                // The scratch buffer keeps the walk allocation-free; the
+                // walker hands back each fetched step *with* its PTB, so
+                // no per-step page-table lookup is needed below.
+                let mut walk_buf = std::mem::take(&mut self.walk_buf);
+                let walk = self.walker.walk_into(&self.page_table, vpn, &mut walk_buf);
+                let Some((walk_ppn, _pwc_hits)) = walk else {
+                    return Err(TmccError::UnmappedVpn { vpn: vpn.raw() });
+                };
+                for &(step, ptb) in walk_buf.iter() {
                     self.stats.walker_fetches += 1;
                     let acc = self.hierarchy.access(step.ptb_block, false, is_tmcc_ptb);
                     let mut lat = acc.latency_ns;
@@ -254,15 +323,16 @@ impl System {
                     }
                     // The L2 receives the PTB: TMCC harvests its embedded
                     // CTEs into the CTE buffer (§V-A3).
-                    if let Some(ptb) = self.page_table.ptb_at(step.ptb_block) {
-                        self.scheme.on_ptb_fetched(step.ptb_block, &ptb);
-                    }
+                    self.scheme.on_ptb_fetched(step.ptb_block, &ptb);
                     self.now_ns += lat;
                 }
-                self.tlb.fill(vpn, walk.ppn);
-                walk.ppn
+                self.walk_buf = walk_buf;
+                self.tlb.fill(vpn, walk_ppn);
+                walk_ppn
             }
         };
+
+        let t2 = t0.map(|_| Instant::now());
 
         // 2. The data access itself.
         let block = ppn.block(ev.vaddr.page_offset() as usize / 64);
@@ -283,6 +353,8 @@ impl System {
         self.now_ns += lat;
         self.stats.accesses += 1;
 
+        let t3 = t0.map(|_| Instant::now());
+
         // 3. Background maintenance.
         self.accesses_since_maintenance += 1;
         if self.accesses_since_maintenance >= MAINTENANCE_PERIOD {
@@ -295,10 +367,21 @@ impl System {
         // Flush the cache hierarchy of any pages just compressed into ML2
         // (hardware collects a page's lines during the migration; stale
         // dirty copies would otherwise ping-pong the page back to ML1).
-        for ppn in self.scheme.drain_evicted_pages() {
+        let mut evict_buf = std::mem::take(&mut self.evict_buf);
+        self.scheme.drain_evicted_pages(&mut evict_buf);
+        for ppn in evict_buf.drain(..) {
             for b in 0..64 {
                 self.hierarchy.invalidate(ppn.block(b));
             }
+        }
+        self.evict_buf = evict_buf;
+
+        if let (Some(t0), Some(t1), Some(t2), Some(t3)) = (t0, t1, t2, t3) {
+            self.profile.steps += 1;
+            self.profile.workload_ns += (t1 - t0).as_nanos() as u64;
+            self.profile.translation_ns += (t2 - t1).as_nanos() as u64;
+            self.profile.data_ns += (t3 - t2).as_nanos() as u64;
+            self.profile.maintenance_ns += t3.elapsed().as_nanos() as u64;
         }
         Ok(())
     }

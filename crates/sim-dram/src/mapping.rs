@@ -89,7 +89,26 @@ pub struct AddressMapping {
 
 impl AddressMapping {
     /// Builds the mapping for a configuration and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `banks` and `ranks` are powers of two. The XOR bank
+    /// hash folds row bits into the bank selector bitwise; with a
+    /// non-power-of-two device count the fold both skews the bank
+    /// distribution and breaks decode injectivity (two columns of one row
+    /// can alias onto the same bank), so such geometries are rejected
+    /// outright — no real DDR4/DDR5 part ships them either.
     pub fn new(cfg: DramConfig, policy: InterleavePolicy) -> Self {
+        assert!(
+            cfg.banks.is_power_of_two(),
+            "banks per rank must be a power of two (got {})",
+            cfg.banks
+        );
+        assert!(
+            cfg.ranks.is_power_of_two(),
+            "ranks per channel must be a power of two (got {})",
+            cfg.ranks
+        );
         Self {
             cfg_mcs: cfg.mcs,
             cfg_channels: cfg.channels_per_mc,
@@ -121,9 +140,12 @@ impl AddressMapping {
         let banks = self.cfg_banks as u64;
         let ranks = self.cfg_ranks as u64;
         // XOR-based bank hash (Skylake-like): bank bits XOR row low bits.
-        let bank = (((row_seq) ^ (row_seq / (banks * ranks))) % banks) as usize;
-        let rank = ((row_seq / banks) % ranks) as usize;
+        // Both counts are powers of two (checked at construction), so the
+        // fold is an exact bitwise XOR of the row index into the bank
+        // selector — unbiased and invertible for fixed (rank, row).
         let row = row_seq / (banks * ranks);
+        let bank = ((row_seq ^ row) & (banks - 1)) as usize;
+        let rank = ((row_seq / banks) & (ranks - 1)) as usize;
         Location { mc, channel, rank, bank, row, column }
     }
 }
@@ -195,6 +217,50 @@ mod tests {
                 "collision at block {i}"
             );
         }
+    }
+
+    #[test]
+    fn bank_hash_uniform_over_sequential_rows() {
+        // Chi-square-style check: a row-sequential sweep (the worst case
+        // the XOR hash exists to spread) must hit every (rank, bank) pair
+        // uniformly. The old `(row_seq ^ (row_seq / (banks*ranks))) %
+        // banks` formula happened to be unbiased only because banks*ranks
+        // was a power of two; this pins the property down explicitly.
+        for (banks, ranks) in [(16usize, 8usize), (8, 2), (4, 1), (32, 4)] {
+            let cfg = DramConfig { banks, ranks, ..DramConfig::default() };
+            let m = AddressMapping::new(cfg, InterleavePolicy::coarse_mc());
+            let sweeps = 16u64; // full periods of the bank/rank pattern
+            let rows = sweeps * (banks * ranks) as u64;
+            let mut counts = vec![0u64; banks * ranks];
+            for r in 0..rows {
+                let l = m.locate(DramAddr::new(r * cfg.row_bytes));
+                counts[l.rank * banks + l.bank] += 1;
+            }
+            let expect = sweeps as f64;
+            let chi2: f64 = counts.iter().map(|&c| (c as f64 - expect).powi(2) / expect).sum();
+            // The XOR hash permutes banks within each period, so a
+            // sequential sweep is *exactly* uniform; any skew at all is a
+            // regression (threshold far below the p=0.001 critical value
+            // for banks*ranks-1 degrees of freedom).
+            assert!(
+                chi2 < 1e-9,
+                "bank distribution skewed: chi2={chi2} for {banks}x{ranks}, counts={counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "banks per rank must be a power of two")]
+    fn rejects_non_pow2_banks() {
+        let cfg = DramConfig { banks: 12, ..DramConfig::default() };
+        let _ = AddressMapping::new(cfg, InterleavePolicy::baseline());
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks per channel must be a power of two")]
+    fn rejects_non_pow2_ranks() {
+        let cfg = DramConfig { ranks: 3, ..DramConfig::default() };
+        let _ = AddressMapping::new(cfg, InterleavePolicy::baseline());
     }
 
     #[test]

@@ -162,25 +162,53 @@ impl PageTable {
     /// The full walk path for `vpn`: one [`WalkStep`] per level from the
     /// root down to the leaf. `None` if `vpn` is unmapped.
     pub fn walk_path(&self, vpn: Vpn) -> Option<Vec<WalkStep>> {
+        let mut buf = Vec::with_capacity(4);
+        if self.walk_path_into(vpn, &mut buf) {
+            Some(buf.into_iter().map(|(step, _)| step).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Allocation-free walk path: clears `out` and fills it with one
+    /// `(step, ptb)` pair per level, root to leaf. Returns `false` (with
+    /// `out` empty) if `vpn` is unmapped.
+    ///
+    /// Capturing the PTB while the walk already holds the table page saves
+    /// the per-step [`ptb_at`](Self::ptb_at) table lookup the system model
+    /// would otherwise do for every fetched step — together with the
+    /// reused buffer, this takes the page-walk path out of the simulator's
+    /// per-access allocation profile entirely.
+    pub fn walk_path_into(&self, vpn: Vpn, out: &mut Vec<(WalkStep, PageTableBlock)>) -> bool {
+        out.clear();
         let leaf = self.leaf_level();
         let mut table = self.root;
-        let mut path = Vec::with_capacity(4);
         for level in (leaf..=4).rev() {
             let idx = Self::index(vpn, level);
-            let entry = self.tables.get(&table.raw())?[idx];
+            let Some(entries) = self.tables.get(&table.raw()) else {
+                out.clear();
+                return false;
+            };
+            let entry = entries[idx];
             if !entry.is_present() {
-                return None;
+                out.clear();
+                return false;
             }
-            let ptb_block = Self::ptb_block_of(table, idx);
-            path.push(WalkStep {
-                level,
-                ptb_block,
-                slot: idx % PTES_PER_PTB,
-                next_ppn: entry.ppn(),
-            });
+            let base = (idx / PTES_PER_PTB) * PTES_PER_PTB;
+            let mut ptes = [Pte::NOT_PRESENT; PTES_PER_PTB];
+            ptes.copy_from_slice(&entries[base..base + PTES_PER_PTB]);
+            out.push((
+                WalkStep {
+                    level,
+                    ptb_block: Self::ptb_block_of(table, idx),
+                    slot: idx % PTES_PER_PTB,
+                    next_ppn: entry.ppn(),
+                },
+                PageTableBlock::new(ptes),
+            ));
             table = entry.ppn();
         }
-        Some(path)
+        true
     }
 
     /// Physical block address of the PTB holding entry `idx` of the table

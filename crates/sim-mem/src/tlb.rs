@@ -24,6 +24,8 @@ use tmcc_types::addr::{Ppn, Vpn};
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cache: SetAssocCache<Ppn>,
+    hits: u64,
+    misses: u64,
 }
 
 impl Tlb {
@@ -35,7 +37,7 @@ impl Tlb {
     /// set count.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(entries.is_multiple_of(ways), "entries must divide evenly into ways");
-        Self { cache: SetAssocCache::new(entries / ways, ways) }
+        Self { cache: SetAssocCache::new(entries / ways, ways), hits: 0, misses: 0 }
     }
 
     /// The paper's configuration: 2048 entries, 8-way.
@@ -46,9 +48,13 @@ impl Tlb {
     /// Looks up a translation; updates recency on hit.
     pub fn lookup(&mut self, vpn: Vpn) -> Option<Ppn> {
         if self.cache.contains(vpn.raw()) {
+            self.hits += 1;
             let (_, _) = self.cache.access(vpn.raw(), false, Ppn::new(0));
             self.cache.payload(vpn.raw()).copied()
         } else {
+            // Counted here, not at fill time: a miss whose walk fails (or
+            // is aborted) must still show up in the miss count.
+            self.misses += 1;
             None
         }
     }
@@ -68,15 +74,15 @@ impl Tlb {
     }
 
     /// `(hits, misses)` counted by [`lookup`](Self::lookup) — a miss is a
-    /// lookup that returned `None`.
+    /// lookup that returned `None`, whether or not a `fill` ever follows.
     pub fn stats(&self) -> (u64, u64) {
-        // `lookup` misses never touch the inner cache, and fills after a
-        // miss record one inner miss each; inner hits are lookup hits.
-        self.cache.stats()
+        (self.hits, self.misses)
     }
 
     /// Clears hit/miss counters.
     pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
         self.cache.reset_stats();
     }
 
@@ -128,5 +134,28 @@ mod tests {
     #[test]
     fn paper_default_size() {
         assert_eq!(Tlb::paper_default().capacity(), 2048);
+    }
+
+    #[test]
+    fn misses_without_fill_are_counted() {
+        // Regression: misses used to be inferred from the inner cache's
+        // fill path, so a lookup miss with no subsequent fill (failed or
+        // aborted walk) vanished from the miss count.
+        let mut tlb = Tlb::new(16, 4);
+        assert_eq!(tlb.lookup(Vpn::new(1)), None);
+        assert_eq!(tlb.lookup(Vpn::new(2)), None);
+        assert_eq!(tlb.stats(), (0, 2), "both fill-less misses counted");
+        tlb.fill(Vpn::new(1), Ppn::new(10));
+        assert_eq!(tlb.stats(), (0, 2), "fill itself is not a lookup");
+        assert_eq!(tlb.lookup(Vpn::new(1)), Some(Ppn::new(10)));
+        assert_eq!(tlb.stats(), (1, 2));
+    }
+
+    #[test]
+    fn reset_clears_lookup_counters() {
+        let mut tlb = Tlb::new(16, 4);
+        let _ = tlb.lookup(Vpn::new(9));
+        tlb.reset_stats();
+        assert_eq!(tlb.stats(), (0, 0));
     }
 }

@@ -10,6 +10,7 @@
 use crate::cache::SetAssocCache;
 use crate::page_table::{PageTable, WalkStep};
 use tmcc_types::addr::{Ppn, Vpn};
+use tmcc_types::pte::PageTableBlock;
 
 /// Result of one page walk.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,14 +74,35 @@ impl PageWalker {
     /// remaining steps (always at least the leaf) are returned in
     /// root-to-leaf order for the caller to issue to the cache hierarchy.
     pub fn walk(&mut self, table: &PageTable, vpn: Vpn) -> Option<WalkResult> {
-        let path = table.walk_path(vpn)?;
+        let mut buf = Vec::with_capacity(4);
+        let (ppn, pwc_hits) = self.walk_into(table, vpn, &mut buf)?;
+        Some(WalkResult { fetched: buf.into_iter().map(|(step, _)| step).collect(), pwc_hits, ppn })
+    }
+
+    /// Allocation-free walk: clears `out` and fills it with the steps the
+    /// walker actually fetches (PWC-skipped upper levels excluded), each
+    /// paired with its PTB. Returns the final translation and the PWC hit
+    /// count, or `None` (with `out` empty) for unmapped addresses.
+    ///
+    /// The hot per-TLB-miss path of the system model: with a caller-owned
+    /// scratch buffer it performs no heap allocation and no extra
+    /// page-table lookups.
+    pub fn walk_into(
+        &mut self,
+        table: &PageTable,
+        vpn: Vpn,
+        out: &mut Vec<(WalkStep, PageTableBlock)>,
+    ) -> Option<(Ppn, u32)> {
+        if !table.walk_path_into(vpn, out) {
+            return None;
+        }
         // A degenerate (empty) path is an unmapped address, not a crash.
-        let leaf_level = path.last()?.level;
+        let leaf_level = out.last()?.0.level;
         // Find the deepest level whose *table pointer* the PWC knows: we
         // can start fetching below it.
         let mut start_idx = 0;
         let mut pwc_hits = 0;
-        for (i, step) in path.iter().enumerate() {
+        for (i, (step, _)) in out.iter().enumerate() {
             if step.level == leaf_level {
                 break; // the leaf PTB itself is never skipped
             }
@@ -94,13 +116,14 @@ impl PageWalker {
             }
         }
         // Install the pointers produced by the steps we did fetch.
-        for step in &path[start_idx..] {
+        for (step, _) in &out[start_idx..] {
             if step.level != leaf_level {
                 let _ = self.pwc.access(Self::pwc_key(vpn, step.level), false, ());
             }
         }
-        let ppn = path.last()?.next_ppn;
-        Some(WalkResult { fetched: path[start_idx..].to_vec(), pwc_hits, ppn })
+        let ppn = out.last()?.0.next_ppn;
+        out.drain(..start_idx);
+        Some((ppn, pwc_hits))
     }
 
     /// Clears the PWC (context switch).

@@ -16,4 +16,8 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
+echo "==> tmcc-bench run-all --quick (smoke sweep)"
+cargo run --release -p tmcc-bench --bin tmcc-bench -- \
+  run-all --quick --out results/ci-smoke
+
 echo "CI gate passed."

@@ -1,0 +1,299 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Implements exactly the subset the workspace uses: a fixed-size thread
+//! pool built with [`ThreadPoolBuilder`], `ThreadPool::install`, and
+//! parallel iteration over owned `Vec`s / borrowed slices with `map`,
+//! `for_each` and `collect`.
+//!
+//! Unlike real rayon there is no work stealing and no global pool reuse:
+//! each parallel-iterator drive spawns scoped worker threads that pull
+//! item indices from a shared atomic counter. Results are written back by
+//! index, so **output order always equals input order** regardless of how
+//! the OS schedules the workers — the property the sweep harness's
+//! byte-identical-JSON guarantee rests on. Worker panics propagate to the
+//! caller when the scope joins, matching rayon's behaviour.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread count `install`ed on the current thread (0 = unset).
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel iterators on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (the stand-in never
+/// actually fails; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; 0 means "one per available CPU".
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A fixed-size thread pool.
+///
+/// The stand-in keeps no persistent worker threads; the pool is a
+/// capacity that `install` scopes onto the calling thread and that
+/// parallel iterators consult when spawning their scoped workers.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool as the ambient pool: parallel iterators
+    /// inside `op` use `self.num_threads` workers.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = CURRENT_THREADS.with(|c| c.replace(self.num_threads));
+        let result = op();
+        CURRENT_THREADS.with(|c| c.set(prev));
+        result
+    }
+}
+
+/// Drives `f` over `items` on `threads` scoped workers; results come back
+/// in input order.
+fn drive<T: Send, R: Send>(items: Vec<T>, threads: usize, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().expect("slot lock").take().expect("item taken once");
+                let r = f(item);
+                *out[i].lock().expect("out lock") = Some(r);
+            });
+        }
+    });
+    out.into_iter().map(|m| m.into_inner().expect("out lock").expect("worker wrote")).collect()
+}
+
+/// A parallel iterator (eager, index-ordered).
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Executes the pipeline, returning items in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` (applied in parallel at drive time).
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Applies `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).drive();
+    }
+
+    /// Collects the (input-ordered) results.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Root parallel iterator over owned items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        // No map stage: nothing to parallelize.
+        self.items
+    }
+}
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        drive(self.base.drive(), current_num_threads(), &self.f)
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// `par_iter` over borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type.
+    type Item: Send + 'a;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter { items: self.iter().collect() }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().expect("pool");
+        let input: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = pool.install(|| input.into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let f = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        let input: Vec<u64> = (0..257).collect();
+        let serial = ThreadPoolBuilder::new().num_threads(1).build().expect("pool");
+        let parallel = ThreadPoolBuilder::new().num_threads(8).build().expect("pool");
+        let a: Vec<u64> = serial.install(|| input.clone().into_par_iter().map(f).collect());
+        let b: Vec<u64> = parallel.install(|| input.into_par_iter().map(f).collect());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u32, 2, 3];
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().expect("pool");
+        let sum: Vec<u32> = pool.install(|| v.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(sum, vec![2, 3, 4]);
+        assert_eq!(v.len(), 3); // still usable
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().expect("pool");
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::AtomicU64;
+        let hits = AtomicU64::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        pool.install(|| {
+            (0..50u64).collect::<Vec<_>>().into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+    }
+}
