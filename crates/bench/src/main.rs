@@ -14,10 +14,13 @@
 //! simulator's host-time phase split (workload / translation / data /
 //! maintenance).
 
+use rayon::ThreadPoolBuilder;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+use tmcc::PhaseProfile;
 use tmcc_bench::registry::{self, Experiment};
-use tmcc_bench::sweep::{ExperimentTiming, Scale, SweepCtx, SweepSummary};
+use tmcc_bench::sweep::{resolve_jobs, ExperimentTiming, Scale, SweepCtx, SweepSummary};
 
 struct Options {
     jobs: usize,
@@ -78,11 +81,12 @@ fn parse_options(args: &[String]) -> Options {
     opts
 }
 
-/// Runs `experiments` through one context, timing each; returns the
-/// consolidated summary.
-fn run_suite(experiments: &[Experiment], opts: &Options) -> SweepSummary {
-    let ctx = SweepCtx::new(opts.scale, opts.jobs, opts.out.clone(), opts.profile);
-    let suite_start = Instant::now();
+/// Runs `experiments` sequentially through one context, timing each.
+fn run_suite_serial(
+    experiments: &[Experiment],
+    opts: &Options,
+) -> (Vec<ExperimentTiming>, PhaseProfile) {
+    let ctx = SweepCtx::new(opts.scale, 1, opts.out.clone(), opts.profile);
     let mut timings = Vec::new();
     for e in experiments {
         println!("\n━━━ {} ━━━", e.name);
@@ -91,24 +95,95 @@ fn run_suite(experiments: &[Experiment], opts: &Options) -> SweepSummary {
         (e.run)(&ctx);
         let wall = start.elapsed();
         let accesses = ctx.accesses_simulated() - before;
-        let wall_ms = wall.as_secs_f64() * 1e3;
         timings.push(ExperimentTiming {
             name: e.name,
-            wall_ms,
+            wall_ms: wall.as_secs_f64() * 1e3,
             accesses_simulated: accesses,
             accesses_per_sec: accesses as f64 / wall.as_secs_f64().max(1e-9),
         });
     }
+    (timings, ctx.profile().unwrap_or_default())
+}
+
+/// Runs `experiments` as tasks on one shared work-stealing pool: every
+/// experiment is spawned up front, each with its own context (so access
+/// counters stay per-experiment) over the same pool, and the pool
+/// saturates its workers across experiment boundaries — an experiment's
+/// inner grid chunks fill the gaps left by another's stragglers.
+///
+/// Results land in per-experiment slots indexed by registry position, so
+/// the summary (and every `results/*.json`) keeps registry order no
+/// matter how the tasks get scheduled. Per-experiment wall clocks overlap
+/// under this scheduler (workers help whichever task is queued), so they
+/// sum to more than the suite's wall clock.
+fn run_suite_parallel(
+    experiments: &[Experiment],
+    opts: &Options,
+    jobs: usize,
+) -> (Vec<ExperimentTiming>, PhaseProfile) {
+    let pool = Arc::new(ThreadPoolBuilder::new().num_threads(jobs).build().expect("pool"));
+    let ctxs: Vec<SweepCtx> = experiments
+        .iter()
+        .map(|_| {
+            SweepCtx::with_pool(opts.scale, jobs, opts.out.clone(), opts.profile, Arc::clone(&pool))
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<ExperimentTiming>>> =
+        experiments.iter().map(|_| Mutex::new(None)).collect();
+    pool.scope(|scope| {
+        for (i, e) in experiments.iter().enumerate() {
+            let ctx = &ctxs[i];
+            let slot = &slots[i];
+            scope.spawn(move || {
+                println!("\n━━━ {} ━━━", e.name);
+                let start = Instant::now();
+                (e.run)(ctx);
+                let wall = start.elapsed();
+                let accesses = ctx.accesses_simulated();
+                *slot.lock().expect("timing slot") = Some(ExperimentTiming {
+                    name: e.name,
+                    wall_ms: wall.as_secs_f64() * 1e3,
+                    accesses_simulated: accesses,
+                    accesses_per_sec: accesses as f64 / wall.as_secs_f64().max(1e-9),
+                });
+            });
+        }
+    });
+    let timings = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("timing slot").expect("experiment ran"))
+        .collect();
+    let profile =
+        ctxs.iter().filter_map(SweepCtx::profile).fold(PhaseProfile::default(), |mut acc, p| {
+            acc.steps += p.steps;
+            acc.workload_ns += p.workload_ns;
+            acc.translation_ns += p.translation_ns;
+            acc.data_ns += p.data_ns;
+            acc.maintenance_ns += p.maintenance_ns;
+            acc
+        });
+    (timings, profile)
+}
+
+/// Runs `experiments`, timing each; returns the consolidated summary.
+fn run_suite(experiments: &[Experiment], opts: &Options) -> SweepSummary {
+    let jobs = resolve_jobs(opts.jobs);
+    let suite_start = Instant::now();
+    let (timings, profile) = if jobs <= 1 {
+        run_suite_serial(experiments, opts)
+    } else {
+        run_suite_parallel(experiments, opts, jobs)
+    };
     let total_wall = suite_start.elapsed();
     let total_accesses: u64 = timings.iter().map(|t| t.accesses_simulated).sum();
     SweepSummary {
         scale: opts.scale.name(),
-        jobs: ctx.jobs(),
+        jobs,
         experiments: timings,
         total_wall_ms: total_wall.as_secs_f64() * 1e3,
         total_accesses_simulated: total_accesses,
         accesses_per_sec: total_accesses as f64 / total_wall.as_secs_f64().max(1e-9),
-        profile: ctx.profile().unwrap_or_default(),
+        profile,
     }
 }
 

@@ -17,6 +17,7 @@ use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tmcc::config::TmccToggles;
 use tmcc::{PhaseProfile, RunReport, SchemeKind, System, SystemConfig, TmccError};
 use tmcc_workloads::WorkloadProfile;
@@ -101,11 +102,24 @@ impl Scale {
     }
 }
 
+/// Resolves a `--jobs` request: 0 means one worker per available CPU.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
 /// Shared context for one sweep invocation.
+///
+/// The worker pool is shared (`Arc`): the `run-all` scheduler builds one
+/// pool and hands it to every experiment's context, so inner `par_map`
+/// grids from different experiments feed the same work-stealing deques.
 pub struct SweepCtx {
     scale: Scale,
     jobs: usize,
-    pool: ThreadPool,
+    pool: Arc<ThreadPool>,
     out_dir: PathBuf,
     profile_enabled: bool,
     accesses: AtomicU64,
@@ -117,14 +131,23 @@ pub struct SweepCtx {
 }
 
 impl SweepCtx {
-    /// Builds a context. `jobs == 0` means one worker per available CPU.
+    /// Builds a context with its own pool. `jobs == 0` means one worker
+    /// per available CPU.
     pub fn new(scale: Scale, jobs: usize, out_dir: PathBuf, profile: bool) -> Self {
-        let jobs = if jobs == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            jobs
-        };
-        let pool = ThreadPoolBuilder::new().num_threads(jobs).build().expect("pool");
+        let jobs = resolve_jobs(jobs);
+        let pool = Arc::new(ThreadPoolBuilder::new().num_threads(jobs).build().expect("pool"));
+        Self::with_pool(scale, jobs, out_dir, profile, pool)
+    }
+
+    /// Builds a context over an existing shared pool. `jobs` must already
+    /// be resolved (non-zero) and should match the pool's thread count.
+    pub fn with_pool(
+        scale: Scale,
+        jobs: usize,
+        out_dir: PathBuf,
+        profile: bool,
+        pool: Arc<ThreadPool>,
+    ) -> Self {
         Self {
             scale,
             jobs,

@@ -18,7 +18,7 @@
 //! places at once — which the property tests exercise.
 
 use crate::error::TmccError;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A simple LIFO free list of uniform chunks, used for Compresso's 512 B
 /// chunks and ML1's 4 KiB chunks.
@@ -116,9 +116,14 @@ pub struct Ml2FreeLists {
     geometry: Vec<(usize, usize)>,
     /// Per class: super-chunks with at least one free slot (ids).
     avail: Vec<Vec<u32>>,
-    /// All live super-chunks.
-    supers: HashMap<u32, SuperChunk>,
-    next_super: u32,
+    /// All super-chunks, indexed directly by id (`None` = dissolved). A
+    /// slab instead of a hash map: every allocate/free/addr_of on the
+    /// simulator's hot path resolves a super-chunk id, and an indexed
+    /// `Vec` makes that a bounds-checked load instead of a hash lookup.
+    supers: Vec<Option<SuperChunk>>,
+    /// Ids of dissolved super-chunks awaiting reuse, so churn does not
+    /// grow `supers` without bound.
+    free_super_ids: Vec<u32>,
     /// Bytes of live sub-chunk allocations (for usage accounting).
     allocated_bytes: usize,
     /// 4 KiB chunks currently owned by ML2.
@@ -152,8 +157,8 @@ impl Ml2FreeLists {
             class_sizes,
             geometry,
             avail: vec![Vec::new(); len],
-            supers: HashMap::new(),
-            next_super: 0,
+            supers: Vec::new(),
+            free_super_ids: Vec::new(),
             allocated_bytes: 0,
             owned_chunks: 0,
         }
@@ -235,7 +240,11 @@ impl Ml2FreeLists {
             requested_bytes: bytes,
             ml1_free_chunks: ml1.len(),
         })?;
-        let sc = self.supers.get_mut(&super_id).ok_or(TmccError::UnknownSubChunk { super_id })?;
+        let sc = self
+            .supers
+            .get_mut(super_id as usize)
+            .and_then(Option::as_mut)
+            .ok_or(TmccError::UnknownSubChunk { super_id })?;
         let slot = sc.free_slots.pop_front().ok_or(TmccError::FreeListExhausted {
             requested_bytes: bytes,
             ml1_free_chunks: ml1.len(),
@@ -263,10 +272,18 @@ impl Ml2FreeLists {
                 }
             }
         }
-        let id = self.next_super;
-        self.next_super += 1;
-        self.supers
-            .insert(id, SuperChunk { chunks, free_slots: (0..n as u8).collect(), n: n as u8 });
+        let sc = SuperChunk { chunks, free_slots: (0..n as u8).collect(), n: n as u8 };
+        let id = match self.free_super_ids.pop() {
+            Some(id) => {
+                self.supers[id as usize] = Some(sc);
+                id
+            }
+            None => {
+                let id = self.supers.len() as u32;
+                self.supers.push(Some(sc));
+                id
+            }
+        };
         self.avail[class].push(id);
         self.owned_chunks += m;
         Some(())
@@ -292,7 +309,8 @@ impl Ml2FreeLists {
     pub fn try_free(&mut self, sub: SubChunk, ml1: &mut Ml1FreeList) -> Result<(), TmccError> {
         let sc = self
             .supers
-            .get_mut(&sub.super_id)
+            .get_mut(sub.super_id as usize)
+            .and_then(Option::as_mut)
             .ok_or(TmccError::UnknownSubChunk { super_id: sub.super_id })?;
         if sc.free_slots.contains(&sub.slot) {
             return Err(TmccError::DoubleFree { super_id: sub.super_id, slot: sub.slot });
@@ -305,15 +323,15 @@ impl Ml2FreeLists {
         }
         if sc.free_slots.len() == sc.n as usize {
             // Fully free: dissolve and return chunks to ML1.
-            let sc = self
-                .supers
-                .remove(&sub.super_id)
+            let sc = self.supers[sub.super_id as usize]
+                .take()
                 .ok_or(TmccError::UnknownSubChunk { super_id: sub.super_id })?;
             self.owned_chunks -= sc.chunks.len();
             for c in sc.chunks {
                 ml1.push(c);
             }
             self.avail[sub.class].retain(|&id| id != sub.super_id);
+            self.free_super_ids.push(sub.super_id);
         }
         Ok(())
     }
@@ -353,7 +371,8 @@ impl Ml2FreeLists {
     pub fn try_addr_of(&self, sub: SubChunk) -> Result<u64, TmccError> {
         let sc = self
             .supers
-            .get(&sub.super_id)
+            .get(sub.super_id as usize)
+            .and_then(Option::as_ref)
             .ok_or(TmccError::UnknownSubChunk { super_id: sub.super_id })?;
         let offset = sub.slot as usize * self.class_sizes[sub.class];
         let chunk = *sc

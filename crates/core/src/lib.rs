@@ -36,6 +36,7 @@
 pub mod config;
 pub mod error;
 pub mod free_list;
+pub mod page_slab;
 pub mod recency;
 pub mod schemes;
 pub mod size_model;
@@ -45,6 +46,7 @@ pub mod system;
 pub use config::{FaultEvent, FaultKind, FaultPlan, SchemeKind, SystemConfig};
 pub use error::TmccError;
 pub use free_list::{CompressoFreeList, Ml1FreeList, Ml2FreeLists};
+pub use page_slab::{PageId, PageSlab};
 pub use recency::RecencyList;
 pub use size_model::{PageSizes, SizeModel};
 pub use stats::{Ml1ReadOutcome, RunReport, SimStats};

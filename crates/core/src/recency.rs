@@ -7,12 +7,18 @@
 //! the list (so ML1 stops trying to evict them) and re-enter with 1 %
 //! probability after a writeback (§IV-B).
 //!
+//! The list is intrusive over a dense slab: page numbers index a `Vec` of
+//! link slots directly, exactly as the hardware table indexes DRAM by page
+//! frame, so every touch/unlink is two array loads — the per-access hash
+//! lookups of the earlier `HashMap` representation are gone. Callers hand
+//! in physical page numbers from the simulator's dense data-page range;
+//! the slab grows to the highest page ever tracked.
+//!
 //! The list costs real DRAM — 0.4 % of capacity (§V-A6) — accounted by
 //! [`RecencyList::dram_overhead_bytes`].
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use tmcc_types::addr::Ppn;
 
 /// The paper's hardware sampling probability: 1 % of ML1 accesses update
@@ -21,6 +27,21 @@ use tmcc_types::addr::Ppn;
 /// [`RecencyList::with_probability`] to keep the *list quality* (samples
 /// per resident page) comparable — see `SystemConfig::recency_sample`.
 pub const SAMPLE_PROBABILITY: f64 = 0.01;
+
+/// Sentinel link value ("no neighbour").
+const NIL: u32 = u32::MAX;
+
+/// One slab slot: intrusive links plus membership.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    prev: u32, // towards head
+    next: u32, // towards tail
+    present: bool,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot { prev: NIL, next: NIL, present: false };
+}
 
 /// The recency list.
 ///
@@ -37,18 +58,13 @@ pub const SAMPLE_PROBABILITY: f64 = 0.01;
 /// ```
 #[derive(Debug, Clone)]
 pub struct RecencyList {
-    /// Intrusive doubly linked list over page indices.
-    nodes: HashMap<u64, Node>,
-    head: Option<u64>, // hottest
-    tail: Option<u64>, // coldest
+    /// Link slots indexed directly by page number (dense data-page range).
+    slots: Vec<Slot>,
+    head: u32, // hottest (NIL when empty)
+    tail: u32, // coldest (NIL when empty)
+    len: usize,
     rng: SmallRng,
     sample_prob: f64,
-}
-
-#[derive(Debug, Clone, Copy, Default)]
-struct Node {
-    prev: Option<u64>, // towards head
-    next: Option<u64>, // towards tail
 }
 
 impl RecencyList {
@@ -67,44 +83,63 @@ impl RecencyList {
     pub fn with_probability(seed: u64, sample_prob: f64) -> Self {
         assert!(sample_prob > 0.0 && sample_prob <= 1.0, "sampling probability must be in (0, 1]");
         Self {
-            nodes: HashMap::new(),
-            head: None,
-            tail: None,
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
             rng: SmallRng::seed_from_u64(seed ^ 0xDECAF),
             sample_prob,
         }
     }
 
+    /// Slab index of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page number cannot index the slab (the simulator's
+    /// trackable pages are dense small indices by construction).
+    #[inline]
+    fn key(page: Ppn) -> usize {
+        let raw = page.raw();
+        assert!(raw < NIL as u64, "page {raw:#x} out of the recency slab's dense index range");
+        raw as usize
+    }
+
     /// Number of tracked pages.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.len
     }
 
     /// Whether the list tracks nothing.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len == 0
     }
 
     /// Whether `page` is tracked.
     pub fn contains(&self, page: Ppn) -> bool {
-        self.nodes.contains_key(&page.raw())
+        self.slots.get(Self::key(page)).is_some_and(|s| s.present)
     }
 
     /// Unconditionally inserts/moves `page` to the hot end.
     pub fn insert_hot(&mut self, page: Ppn) {
-        let key = page.raw();
-        if self.nodes.contains_key(&key) {
-            self.unlink(key);
+        let key = Self::key(page);
+        if key >= self.slots.len() {
+            self.slots.resize(key + 1, Slot::EMPTY);
+        }
+        if self.slots[key].present {
+            self.unlink(key as u32);
+            self.len -= 1;
         }
         let old_head = self.head;
-        self.nodes.insert(key, Node { prev: None, next: old_head });
-        if let Some(h) = old_head {
-            self.nodes.get_mut(&h).expect("head exists").prev = Some(key);
+        self.slots[key] = Slot { prev: NIL, next: old_head, present: true };
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = key as u32;
         }
-        self.head = Some(key);
-        if self.tail.is_none() {
-            self.tail = Some(key);
+        self.head = key as u32;
+        if self.tail == NIL {
+            self.tail = key as u32;
         }
+        self.len += 1;
     }
 
     /// Called on every ML1 access: with 1 % probability, moves the page to
@@ -134,48 +169,58 @@ impl RecencyList {
 
     /// The coldest tracked page.
     pub fn coldest(&self) -> Option<Ppn> {
-        self.tail.map(Ppn::new)
+        if self.tail == NIL {
+            None
+        } else {
+            Some(Ppn::new(self.tail as u64))
+        }
     }
 
     /// Removes and returns the coldest page (the eviction victim).
     pub fn pop_coldest(&mut self) -> Option<Ppn> {
-        let t = self.tail?;
+        let t = self.tail;
+        if t == NIL {
+            return None;
+        }
         self.unlink(t);
-        self.nodes.remove(&t);
-        Some(Ppn::new(t))
+        self.slots[t as usize].present = false;
+        self.len -= 1;
+        Some(Ppn::new(t as u64))
     }
 
     /// Removes `page` (e.g., when found incompressible, or migrated away).
     pub fn remove(&mut self, page: Ppn) -> bool {
-        let key = page.raw();
-        if self.nodes.contains_key(&key) {
-            self.unlink(key);
-            self.nodes.remove(&key);
+        let key = Self::key(page);
+        if self.slots.get(key).is_some_and(|s| s.present) {
+            self.unlink(key as u32);
+            self.slots[key].present = false;
+            self.len -= 1;
             true
         } else {
             false
         }
     }
 
-    fn unlink(&mut self, key: u64) {
-        let node = *self.nodes.get(&key).expect("node exists");
+    fn unlink(&mut self, key: u32) {
+        let node = self.slots[key as usize];
+        debug_assert!(node.present, "unlinking an untracked slot");
         match node.prev {
-            Some(p) => self.nodes.get_mut(&p).expect("prev exists").next = node.next,
-            None => self.head = node.next,
+            NIL => self.head = node.next,
+            p => self.slots[p as usize].next = node.next,
         }
         match node.next {
-            Some(n) => self.nodes.get_mut(&n).expect("next exists").prev = node.prev,
-            None => self.tail = node.prev,
+            NIL => self.tail = node.prev,
+            n => self.slots[n as usize].prev = node.prev,
         }
     }
 
     /// Pages from coldest to hottest (diagnostics; O(n)).
     pub fn cold_to_hot(&self) -> Vec<Ppn> {
-        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut out = Vec::with_capacity(self.len);
         let mut cur = self.tail;
-        while let Some(k) = cur {
-            out.push(Ppn::new(k));
-            cur = self.nodes.get(&k).expect("linked node").prev;
+        while cur != NIL {
+            out.push(Ppn::new(cur as u64));
+            cur = self.slots[cur as usize].prev;
         }
         out
     }
@@ -246,6 +291,18 @@ mod tests {
         assert_eq!(rl.pop_coldest(), Some(Ppn::new(9)));
         assert_eq!(rl.pop_coldest(), None);
         assert_eq!(rl.coldest(), None);
+    }
+
+    #[test]
+    fn reinsert_after_pop_is_tracked_again() {
+        let mut rl = RecencyList::new(1);
+        rl.insert_hot(Ppn::new(3));
+        rl.insert_hot(Ppn::new(4));
+        assert_eq!(rl.pop_coldest(), Some(Ppn::new(3)));
+        assert!(!rl.contains(Ppn::new(3)));
+        rl.insert_hot(Ppn::new(3));
+        assert!(rl.contains(Ppn::new(3)));
+        assert_eq!(rl.cold_to_hot(), vec![Ppn::new(4), Ppn::new(3)]);
     }
 
     #[test]

@@ -30,17 +30,19 @@ use super::{cte_dram_addr, MemRequest, Scheme};
 use crate::config::{FaultKind, SchemeKind, TmccToggles};
 use crate::error::TmccError;
 use crate::free_list::{Ml1FreeList, Ml2FreeLists, SubChunk};
+use crate::page_slab::{PageId, PageSlab};
 use crate::recency::RecencyList;
 use crate::size_model::SizeModel;
 use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use tmcc_deflate::{DeflateTiming, IbmDeflateModel};
 use tmcc_sim_dram::DramSim;
 use tmcc_sim_mem::{CteBuffer, CteCache, CteCacheConfig, PageTable};
 use tmcc_types::addr::{BlockAddr, DramAddr, Ppn, PAGE_SIZE};
 use tmcc_types::cte::{Cte, MemoryLevel, TruncatedCte};
+use tmcc_types::fxhash::FxHashMap;
 use tmcc_types::ptb::{CompressedPtb, PtbGeometry};
 use tmcc_types::pte::{PageTableBlock, PTES_PER_PTB};
 
@@ -85,7 +87,10 @@ struct PageInfo {
 /// The shared two-level scheme.
 pub struct TwoLevelScheme {
     toggles: TmccToggles,
-    pages: HashMap<u64, PageInfo>,
+    /// Per-page state, indexed arithmetically by the dense PPN layout —
+    /// steady-state accesses derive a [`PageId`] once per request and
+    /// never hash (see [`crate::page_slab`]).
+    pages: PageSlab<PageInfo>,
     ml1_free: Ml1FreeList,
     ml2: Ml2FreeLists,
     recency: RecencyList,
@@ -93,9 +98,9 @@ pub struct TwoLevelScheme {
     cte_buffer: CteBuffer,
     /// Modelled embedded CTEs per PTB block (what is physically stored in
     /// the compressed PTB encoding in DRAM).
-    ptb_embed: HashMap<u64, [Option<TruncatedCte>; PTES_PER_PTB]>,
+    ptb_embed: FxHashMap<u64, [Option<TruncatedCte>; PTES_PER_PTB]>,
     /// Latest PTB location of each PPN's PTE, for lazy repair.
-    ptb_slot_of: HashMap<u64, (u64, usize)>,
+    ptb_slot_of: FxHashMap<u64, (u64, usize)>,
     size_model: SizeModel,
     timing: DeflateTiming,
     ibm: IbmDeflateModel,
@@ -191,14 +196,14 @@ impl TwoLevelScheme {
         let evict_lo = ((budget_frames as usize) / 64).max(24);
         let mut s = Self {
             toggles,
-            pages: HashMap::new(),
+            pages: PageSlab::new(page_table.table_region_base()),
             ml1_free: Ml1FreeList::with_chunks(budget_frames),
             ml2: Ml2FreeLists::paper_classes(),
             recency: RecencyList::with_probability(seed, recency_sample),
             cte_cache: CteCache::new(cte_cfg),
             cte_buffer: CteBuffer::paper_default(),
-            ptb_embed: HashMap::new(),
-            ptb_slot_of: HashMap::new(),
+            ptb_embed: FxHashMap::default(),
+            ptb_slot_of: FxHashMap::default(),
             size_model,
             timing: DeflateTiming::default(),
             ibm: IbmDeflateModel::default(),
@@ -379,7 +384,7 @@ impl TwoLevelScheme {
             if !pte.is_present() {
                 continue;
             }
-            if let Some(info) = self.pages.get(&pte.ppn().raw()) {
+            if let Some(info) = self.pages.get(pte.ppn().raw()) {
                 let t = info.cte.truncated();
                 if compressed.embed_cte(i, t) {
                     *slot = Some(t);
@@ -432,17 +437,26 @@ impl TwoLevelScheme {
         }
     }
 
+    /// Derives the dense slab handle for a request's page — arithmetic
+    /// only; the per-access paths below reuse it for every state lookup.
+    #[inline]
+    fn page_id(&self, ppn: Ppn) -> Result<PageId, TmccError> {
+        self.pages.id_of(ppn.raw()).ok_or(TmccError::UnplacedPage { ppn: ppn.raw() })
+    }
+
     /// Physical→DRAM translation + data fetch for an LLC-miss read.
+    #[allow(clippy::too_many_arguments)]
     fn serve_translated_read(
         &mut self,
         req: &MemRequest,
+        id: PageId,
         now_ns: f64,
         dram: &mut DramSim,
         stats: &mut SimStats,
         count_stats: bool,
     ) -> Result<f64, TmccError> {
         let key = req.ppn.raw();
-        let info = *self.pages.get(&key).ok_or(TmccError::UnplacedPage { ppn: key })?;
+        let info = *self.pages.get_id(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
         let in_ml1 = matches!(info.place, Placement::Ml1 { .. });
         let addr = self.data_addr(&info, req)?;
         if self.cte_cache.access(req.ppn) {
@@ -529,9 +543,11 @@ impl TwoLevelScheme {
 
     /// Serves an access to a page currently in ML2: decompress the needed
     /// block, respond, and migrate the page to ML1 in the background.
+    #[allow(clippy::too_many_arguments)]
     fn serve_ml2(
         &mut self,
         req: &MemRequest,
+        id: PageId,
         now_ns: f64,
         dram: &mut DramSim,
         stats: &mut SimStats,
@@ -539,7 +555,7 @@ impl TwoLevelScheme {
     ) -> Result<f64, TmccError> {
         stats.ml2_reads += 1;
         let key = req.ppn.raw();
-        let info = self.pages.get(&key).ok_or(TmccError::UnplacedPage { ppn: key })?;
+        let info = self.pages.get_id(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
         let (sub, comp_bytes) = match info.place {
             Placement::Ml2 { sub, comp_bytes } => (sub, comp_bytes as usize),
             Placement::Ml1 { .. } => {
@@ -549,7 +565,7 @@ impl TwoLevelScheme {
             }
         };
         // Translation + first burst of the compressed page.
-        let first = self.serve_translated_read(req, now_ns, dram, stats, count_stats)?;
+        let first = self.serve_translated_read(req, id, now_ns, dram, stats, count_stats)?;
         // Stream the remaining compressed bursts (they pipeline into the
         // decompressor; their bus time matters, their latency does not).
         let sub_addr = self.ml2.try_addr_of(sub)?;
@@ -597,7 +613,7 @@ impl TwoLevelScheme {
         if let Some(frame) = self.ml1_free.pop() {
             stats.ml2_to_ml1_migrations += 1;
             self.ml2.try_free(sub, &mut self.ml1_free)?;
-            let info = self.pages.get_mut(&key).ok_or(TmccError::UnplacedPage { ppn: key })?;
+            let info = self.pages.get_id_mut(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
             info.place = Placement::Ml1 { frame };
             info.cte.set_frame(frame, MemoryLevel::Ml1);
             self.recency.insert_hot(req.ppn);
@@ -631,10 +647,11 @@ impl Scheme for TwoLevelScheme {
         stats: &mut SimStats,
     ) -> Result<f64, TmccError> {
         let key = req.ppn.raw();
-        let info = *self.pages.get(&key).ok_or(TmccError::UnplacedPage { ppn: key })?;
+        let id = self.page_id(req.ppn)?;
+        let info = *self.pages.get_id(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
         let done = match info.place {
             Placement::Ml1 { .. } => {
-                let done = self.serve_translated_read(req, now_ns, dram, stats, true)?;
+                let done = self.serve_translated_read(req, id, now_ns, dram, stats, true)?;
                 if !info.pinned {
                     self.recency.on_access(req.ppn);
                 }
@@ -642,7 +659,7 @@ impl Scheme for TwoLevelScheme {
                 done
             }
             Placement::Ml2 { .. } => {
-                let done = self.serve_ml2(req, now_ns, dram, stats, true)?;
+                let done = self.serve_ml2(req, id, now_ns, dram, stats, true)?;
                 stats.ml2_latency_sum_ns += done - now_ns;
                 done
             }
@@ -658,7 +675,10 @@ impl Scheme for TwoLevelScheme {
         stats: &mut SimStats,
     ) -> Result<(), TmccError> {
         let key = req.ppn.raw();
-        let Some(info) = self.pages.get(&key).copied() else {
+        let Ok(id) = self.page_id(req.ppn) else {
+            return Ok(());
+        };
+        let Some(info) = self.pages.get_id(id).copied() else {
             return Ok(());
         };
         match info.place {
@@ -674,14 +694,14 @@ impl Scheme for TwoLevelScheme {
                 }
                 if self.rng.gen::<f64>() < DIRTY_REDRAW_PROBABILITY {
                     self.pages
-                        .get_mut(&key)
+                        .get_id_mut(id)
                         .ok_or(TmccError::UnplacedPage { ppn: key })?
                         .dirty_epoch += 1;
                 }
             }
             Placement::Ml2 { .. } => {
                 // A store to a compressed page pulls it back to ML1.
-                let _ = self.serve_ml2(req, now_ns, dram, stats, false)?;
+                let _ = self.serve_ml2(req, id, now_ns, dram, stats, false)?;
             }
         }
         Ok(())
@@ -725,7 +745,7 @@ impl Scheme for TwoLevelScheme {
                 break;
             };
             let key = victim.raw();
-            let Some(info) = self.pages.get(&key).copied() else {
+            let Some(info) = self.pages.get(key).copied() else {
                 continue;
             };
             let Placement::Ml1 { frame } = info.place else {
@@ -740,7 +760,7 @@ impl Scheme for TwoLevelScheme {
                 // Keep it in ML1, flag it, and stop retrying (§IV-B).
                 stats.incompressible_evictions += 1;
                 self.pages
-                    .get_mut(&key)
+                    .get_mut(key)
                     .ok_or(TmccError::UnplacedPage { ppn: key })?
                     .cte
                     .set_incompressible(true);
@@ -800,7 +820,7 @@ impl Scheme for TwoLevelScheme {
             for k in 0..stored_bytes.div_ceil(64) {
                 t = dram.access_background(t, DramAddr::new(sub_addr + (k * 64) as u64), true);
             }
-            let info = self.pages.get_mut(&key).ok_or(TmccError::UnplacedPage { ppn: key })?;
+            let info = self.pages.get_mut(key).ok_or(TmccError::UnplacedPage { ppn: key })?;
             info.place = Placement::Ml2 { sub, comp_bytes: stored_bytes as u32 };
             info.cte.set_frame((sub_addr / PAGE_SIZE as u64) as u32, MemoryLevel::Ml2);
             if !donated {
@@ -881,7 +901,7 @@ impl Scheme for TwoLevelScheme {
     fn validate(&self) -> Result<(), TmccError> {
         let mut ml1_resident = 0usize;
         let mut frames_seen = HashSet::new();
-        for (&ppn, info) in &self.pages {
+        for (ppn, info) in self.pages.iter() {
             match info.place {
                 Placement::Ml1 { frame } => {
                     ml1_resident += 1;
@@ -1101,7 +1121,7 @@ mod tests {
         // Secretly migrate page 5 to a different frame.
         let new_frame = s.ml1_free.pop().unwrap();
         {
-            let info = s.pages.get_mut(&5).unwrap();
+            let info = s.pages.get_mut(5).unwrap();
             info.place = Placement::Ml1 { frame: new_frame };
             info.cte.set_frame(new_frame, MemoryLevel::Ml1);
         }
@@ -1159,12 +1179,13 @@ mod tests {
         // The last page surely landed in ML2.
         let victim = (0..2000)
             .rev()
-            .find(|i| matches!(s.pages[&(*i as u64)].place, Placement::Ml2 { .. }))
+            .find(|i| matches!(s.pages.get(*i as u64).unwrap().place, Placement::Ml2 { .. }))
             .expect("an ML2 page exists") as u64;
         let lat = s.access(&read_req(victim, true), 0.0, &mut d, &mut stats).unwrap();
         assert_eq!(stats.ml2_reads, 1);
         assert_eq!(stats.ml2_to_ml1_migrations, 1);
-        assert!(matches!(s.pages[&victim].place, Placement::Ml1 { .. }), "page must now be in ML1");
+        let place = s.pages.get(victim).unwrap().place;
+        assert!(matches!(place, Placement::Ml1 { .. }), "page must now be in ML1");
         // Fast-deflate latency: ~140 ns decompress + DRAM.
         assert!(lat > 100.0 && lat < 1_000.0, "latency {lat}");
     }
@@ -1177,7 +1198,7 @@ mod tests {
             let mut stats = SimStats::default();
             let victim = (0..2000)
                 .rev()
-                .find(|i| matches!(s.pages[&(*i as u64)].place, Placement::Ml2 { .. }))
+                .find(|i| matches!(s.pages.get(*i as u64).unwrap().place, Placement::Ml2 { .. }))
                 .expect("ml2 page") as u64;
             s.access(&read_req(victim, true), 0.0, &mut d, &mut stats).unwrap()
         };

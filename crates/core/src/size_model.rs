@@ -14,10 +14,29 @@
 //! lets callers re-draw a page's size after heavy write activity, which is
 //! how Compresso-style page-overflow events arise.
 
+use std::sync::{Mutex, OnceLock};
 use tmcc_compression::{BestOfCodec, BlockCodec};
 use tmcc_deflate::MemDeflate;
 use tmcc_types::cte::BlockMetadata;
+use tmcc_types::fxhash::FxHashMap;
 use tmcc_workloads::PageContent;
+
+/// Process-wide memo of sampling results, keyed by the exact concatenated
+/// bytes of the sampled pages.
+///
+/// Sweeps construct many systems over the *same* workload content — every
+/// grid point of an experiment, every probe of an iso-performance budget
+/// search — and each construction used to re-run the real codecs over the
+/// identical sample pages. Keying by the full page bytes makes the memo
+/// exactly behavior-preserving (two different contents can never share an
+/// entry), while a hit skips straight to the stored empirical
+/// distribution. Distinct workload images are few (tens), so the retained
+/// keys stay small; generating the page bytes to build the key costs
+/// microseconds against the milliseconds the codecs take.
+fn sample_memo() -> &'static Mutex<FxHashMap<Vec<u8>, Vec<PageSizes>>> {
+    static MEMO: OnceLock<Mutex<FxHashMap<Vec<u8>, Vec<PageSizes>>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
 
 /// Compressed sizes of one page under the two compressor families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,13 +88,19 @@ impl SizeModel {
     /// Panics if `samples` is zero.
     pub fn sample(content: &PageContent, samples: usize) -> Self {
         assert!(samples > 0, "need at least one sample");
+        // Spread sample indices to hit every template in the mix.
+        let pages: Vec<Vec<u8>> =
+            (0..samples as u64).map(|i| content.page_bytes(i.wrapping_mul(0x9E37) + i)).collect();
+        let key: Vec<u8> = pages.iter().flat_map(|p| p.iter().copied()).collect();
+        if let Some(hit) = sample_memo().lock().expect("memo poisoned").get(&key) {
+            return Self { samples: hit.clone() };
+        }
         let deflate = MemDeflate::default();
         let block = BestOfCodec::new();
-        let samples = (0..samples as u64)
-            .map(|i| {
-                // Spread sample indices to hit every template in the mix.
-                let page = content.page_bytes(i.wrapping_mul(0x9E37) + i);
-                let deflate_bytes = deflate.compressed_size(&page);
+        let samples: Vec<PageSizes> = pages
+            .iter()
+            .map(|page| {
+                let deflate_bytes = deflate.compressed_size(page);
                 let block_bytes = page
                     .chunks_exact(64)
                     .map(|b| {
@@ -86,6 +111,7 @@ impl SizeModel {
                 PageSizes { deflate_bytes, block_bytes }
             })
             .collect();
+        sample_memo().lock().expect("memo poisoned").insert(key, samples.clone());
         Self { samples }
     }
 
@@ -160,6 +186,18 @@ mod tests {
         let b = m.mean_block_ratio();
         assert!(d > b, "deflate {d} must beat block {b}");
         assert!((2.0..4.5).contains(&d), "deflate ratio {d}");
+    }
+
+    #[test]
+    fn memoized_resampling_is_identical() {
+        let w = WorkloadProfile::by_name("canneal").expect("known");
+        let c = w.page_content(11);
+        let fresh = SizeModel::sample(&c, 8);
+        let memoized = SizeModel::sample(&c, 8);
+        assert_eq!(fresh.samples, memoized.samples);
+        // A different seed draws different pages, so it must miss the memo.
+        let other = SizeModel::sample(&w.page_content(12), 8);
+        assert_ne!(fresh.samples, other.samples);
     }
 
     #[test]

@@ -5,8 +5,6 @@
 //! line (used, e.g., to hold the "compressed PTB" data bit the paper adds
 //! to every L2/L3 cacheline, §V-A4).
 
-use std::collections::HashMap;
-
 /// One resident line.
 #[derive(Debug, Clone)]
 struct Line<P> {
@@ -173,14 +171,20 @@ impl<P: Clone> SetAssocCache<P> {
         self.sets.iter().flatten().map(|l| (l.key, &l.payload))
     }
 
-    /// Number of resident lines per key — diagnostics helper asserting the
-    /// no-duplicates invariant.
-    pub fn residency_histogram(&self) -> HashMap<u64, usize> {
-        let mut h = HashMap::new();
-        for (k, _) in self.iter() {
-            *h.entry(k).or_insert(0) += 1;
+    /// Number of resident lines per key, sorted by key — diagnostics helper
+    /// asserting the no-duplicates invariant. Built by sorting the resident
+    /// keys and run-length counting them in a single pass, with no hashing.
+    pub fn residency_histogram(&self) -> Vec<(u64, usize)> {
+        let mut keys: Vec<u64> = self.iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        let mut out: Vec<(u64, usize)> = Vec::with_capacity(keys.len());
+        for k in keys {
+            match out.last_mut() {
+                Some((last, n)) if *last == k => *n += 1,
+                _ => out.push((k, 1)),
+            }
         }
-        h
+        out
     }
 }
 
@@ -246,7 +250,9 @@ mod tests {
         for i in 0..1000u64 {
             c.access(i % 64, i % 3 == 0, ());
         }
-        assert!(c.residency_histogram().values().all(|&n| n == 1));
+        let hist = c.residency_histogram();
+        assert!(hist.iter().all(|&(_, n)| n == 1));
+        assert!(hist.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
     }
 
     #[test]

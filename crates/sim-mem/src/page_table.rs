@@ -8,8 +8,8 @@
 //! The PTB *blocks* this module hands out are exactly what TMCC compresses
 //! and embeds CTEs into.
 
-use std::collections::HashMap;
 use tmcc_types::addr::{BlockAddr, Ppn, Vpn};
+use tmcc_types::fxhash::FxHashMap;
 use tmcc_types::pte::{PageTableBlock, Pte, PteFlags, PTES_PER_PTB};
 
 /// Entries per 4 KiB table page.
@@ -69,8 +69,11 @@ pub struct WalkStep {
 pub struct PageTable {
     cfg: PageTableConfig,
     root: Ppn,
-    /// Table pages by PPN; each holds 512 PTEs.
-    tables: HashMap<u64, Vec<Pte>>,
+    /// Table pages by PPN; each holds 512 PTEs. Keyed with the cheap
+    /// vendored Fx hasher: the walker's fallback path and every PTB fetch
+    /// resolve table pages by key, and nothing iterates the map (so the
+    /// hasher change cannot perturb observable ordering).
+    tables: FxHashMap<u64, Vec<Pte>>,
     next_table_ppn: u64,
     mapped_pages: u64,
 }
@@ -81,7 +84,7 @@ impl PageTable {
         let mut pt = Self {
             cfg,
             root: Ppn::new(cfg.table_region_base),
-            tables: HashMap::new(),
+            tables: FxHashMap::default(),
             next_table_ppn: cfg.table_region_base,
             mapped_pages: 0,
         };
@@ -292,6 +295,13 @@ impl PageTable {
     /// The root table's PPN (CR3).
     pub fn root(&self) -> Ppn {
         self.root
+    }
+
+    /// First PPN of the table-page region. Table pages are allocated
+    /// sequentially from here, so `[base, base + table_page_count)` is a
+    /// dense range — the property the core scheme's page slab indexes by.
+    pub fn table_region_base(&self) -> u64 {
+        self.cfg.table_region_base
     }
 }
 

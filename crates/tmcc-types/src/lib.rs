@@ -30,6 +30,7 @@
 
 pub mod addr;
 pub mod cte;
+pub mod fxhash;
 pub mod ptb;
 pub mod pte;
 
@@ -37,5 +38,6 @@ pub use addr::{
     BlockAddr, DramAddr, PhysAddr, Ppn, VirtAddr, Vpn, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
 };
 pub use cte::{BlockMetadata, Cte, MemoryLevel, TruncatedCte};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ptb::{CompressedPtb, PtbCompressError};
 pub use pte::{PageTableBlock, Pte, PteFlags};

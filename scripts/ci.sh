@@ -16,8 +16,20 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
-echo "==> tmcc-bench run-all --quick (smoke sweep)"
+echo "==> tmcc-bench run-all --quick --jobs 2 (bench smoke)"
 cargo run --release -p tmcc-bench --bin tmcc-bench -- \
-  run-all --quick --out results/ci-smoke
+  run-all --quick --jobs 2 --out results/ci-smoke
+
+echo "==> quick goldens unchanged (results/ci-smoke vs. committed)"
+# BENCH_sweep.json carries wall-clock timings and legitimately changes
+# every run; every simulated-result file must be byte-identical. A new
+# experiment must commit its quick golden alongside the code.
+git diff --exit-code -- results/ci-smoke ':!results/ci-smoke/BENCH_sweep.json'
+untracked="$(git ls-files --others --exclude-standard results/ci-smoke)"
+if [ -n "$untracked" ]; then
+  echo "uncommitted quick goldens:" >&2
+  echo "$untracked" >&2
+  exit 1
+fi
 
 echo "CI gate passed."

@@ -1,40 +1,73 @@
 //! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
 //!
-//! Implements exactly the subset the workspace uses: a fixed-size thread
-//! pool built with [`ThreadPoolBuilder`], `ThreadPool::install`, and
-//! parallel iteration over owned `Vec`s / borrowed slices with `map`,
-//! `for_each` and `collect`.
+//! Implements exactly the subset the workspace uses: a persistent
+//! work-stealing thread pool built with [`ThreadPoolBuilder`],
+//! `ThreadPool::install`, `ThreadPool::scope` with lifetime-scoped task
+//! spawning, and parallel iteration over owned `Vec`s / borrowed slices
+//! with `map`, `for_each` and `collect`.
 //!
-//! Unlike real rayon there is no work stealing and no global pool reuse:
-//! each parallel-iterator drive spawns scoped worker threads that pull
-//! item indices from a shared atomic counter. Results are written back by
-//! index, so **output order always equals input order** regardless of how
-//! the OS schedules the workers — the property the sweep harness's
-//! byte-identical-JSON guarantee rests on. Worker panics propagate to the
-//! caller when the scope joins, matching rayon's behaviour.
+//! The pool keeps its workers alive for its whole lifetime. Each worker
+//! owns a double-ended chunk queue; tasks spawned from a worker go to that
+//! worker's queue (popped LIFO by the owner), tasks spawned from outside
+//! the pool land in a shared injector, and an idle worker steals FIFO from
+//! the front of its siblings' queues — so a skewed chunk's tail migrates
+//! to whichever worker drains first. Parallel iterators split their input
+//! into contiguous index chunks, and every result is written back **by
+//! input index**, so output order always equals input order regardless of
+//! how chunks get stolen — the property the sweep harness's
+//! byte-identical-JSON guarantee rests on.
+//!
+//! A thread that waits for a scope to finish *helps*: it executes queued
+//! tasks itself instead of blocking, so nested scopes on a saturated pool
+//! cannot deadlock. Task panics are captured and re-thrown when the
+//! owning scope joins, matching rayon's behaviour.
+//!
+//! [`current_num_threads`] reports the **installed** pool's size, and `1`
+//! when no pool is installed: an uninstalled thread is serial, full stop.
+//! (An earlier revision fell back to the host's parallelism, which let
+//! code outside any pool silently fan out past the operator's `--jobs`
+//! choice.)
 
-use std::cell::Cell;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A lifetime-erased unit of work (see [`Scope::spawn`] for the erasure
+/// safety argument).
+type Task = Box<dyn FnOnce() + Send>;
+
+/// `WORKER_INDEX` value on threads that are not pool workers.
+const NOT_A_WORKER: usize = usize::MAX;
 
 thread_local! {
     /// Thread count `install`ed on the current thread (0 = unset).
     static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// Pool that parallel iterators on this thread dispatch into.
+    static AMBIENT_POOL: RefCell<Option<Arc<PoolInner>>> = const { RefCell::new(None) };
+    /// Deque index of the pool worker running this thread.
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(NOT_A_WORKER) };
 }
 
-/// Number of threads parallel iterators on this thread will use.
+/// Number of threads parallel iterators on this thread will use: the
+/// installed pool's size, or 1 (serial) when no pool is installed.
 pub fn current_num_threads() -> usize {
     let installed = CURRENT_THREADS.with(|c| c.get());
     if installed > 0 {
         installed
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        1
     }
 }
 
-/// Error returned by [`ThreadPoolBuilder::build`] (the stand-in never
-/// actually fails; the type exists for API compatibility).
+/// Error returned by [`ThreadPoolBuilder::build`] (worker-thread spawn
+/// failure).
 #[derive(Debug)]
 pub struct ThreadPoolBuildError(());
 
@@ -64,66 +97,304 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool.
+    /// Builds the pool, spawning its persistent workers.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { num_threads: n })
+        let inner = Arc::new(PoolInner {
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            work_signal: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            num_threads: n,
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("tmcc-rayon-{i}"))
+                    .spawn(move || worker_loop(&inner, i))
+                    .map_err(|_| ThreadPoolBuildError(()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ThreadPool { inner, workers })
     }
 }
 
-/// A fixed-size thread pool.
-///
-/// The stand-in keeps no persistent worker threads; the pool is a
-/// capacity that `install` scopes onto the calling thread and that
-/// parallel iterators consult when spawning their scoped workers.
-#[derive(Debug)]
-pub struct ThreadPool {
+/// Shared state of one pool: the per-worker deques, the injector for
+/// outside spawns, and the sleep/wake machinery.
+struct PoolInner {
+    /// One chunk deque per worker: the owner pushes and pops the back
+    /// (LIFO keeps its cache warm); thieves steal from the front.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks spawned from threads outside the pool.
+    injector: Mutex<VecDeque<Task>>,
+    /// Wakes sleeping workers when work arrives (paired with `injector`).
+    work_signal: Condvar,
+    shutdown: AtomicBool,
     num_threads: usize,
+}
+
+impl PoolInner {
+    /// Queues a task: onto the calling worker's own deque, or the
+    /// injector when the caller is not a pool worker.
+    fn push(&self, task: Task) {
+        let w = WORKER_INDEX.with(|c| c.get());
+        if w < self.deques.len() {
+            self.deques[w].lock().expect("deque lock").push_back(task);
+        } else {
+            self.injector.lock().expect("injector lock").push_back(task);
+        }
+        self.work_signal.notify_all();
+    }
+
+    /// Next task for the thread at deque `index` (pass [`NOT_A_WORKER`]
+    /// for helper threads): own deque's back, then the injector, then
+    /// stealing the front of each sibling deque.
+    fn find_task(&self, index: usize) -> Option<Task> {
+        if index < self.deques.len() {
+            if let Some(t) = self.deques[index].lock().expect("deque lock").pop_back() {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.lock().expect("injector lock").pop_front() {
+            return Some(t);
+        }
+        for (victim, deque) in self.deques.iter().enumerate() {
+            if victim == index {
+                continue;
+            }
+            if let Some(t) = deque.lock().expect("deque lock").pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Runs one queued task with this pool installed, so the task's own
+/// nested parallel iterators dispatch back into the same pool no matter
+/// which thread (worker or helping waiter) picked it up.
+fn run_task(inner: &Arc<PoolInner>, task: Task) {
+    let _install = InstallGuard::enter(inner);
+    task();
+}
+
+/// RAII for `install`-style thread-local state: restores the previous
+/// pool/thread-count even if the guarded code unwinds.
+struct InstallGuard {
+    prev_threads: usize,
+    prev_pool: Option<Arc<PoolInner>>,
+}
+
+impl InstallGuard {
+    fn enter(inner: &Arc<PoolInner>) -> Self {
+        let prev_threads = CURRENT_THREADS.with(|c| c.replace(inner.num_threads));
+        let prev_pool = AMBIENT_POOL.with(|p| p.borrow_mut().replace(Arc::clone(inner)));
+        Self { prev_threads, prev_pool }
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT_THREADS.with(|c| c.set(self.prev_threads));
+        AMBIENT_POOL.with(|p| *p.borrow_mut() = self.prev_pool.take());
+    }
+}
+
+fn worker_loop(inner: &Arc<PoolInner>, index: usize) {
+    WORKER_INDEX.with(|c| c.set(index));
+    loop {
+        if let Some(task) = inner.find_task(index) {
+            run_task(inner, task);
+            continue;
+        }
+        let guard = inner.injector.lock().expect("injector lock");
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if !guard.is_empty() {
+            continue;
+        }
+        // Timed wait: a push onto a *sibling deque* between our scan and
+        // this wait would fire the signal before we listen; the timeout
+        // bounds that race instead of a heavier two-phase sleep protocol.
+        let _ = inner.work_signal.wait_timeout(guard, Duration::from_millis(5));
+    }
+}
+
+/// Join state of one `scope` call.
+struct ScopeState {
+    /// Spawned-but-unfinished task count.
+    remaining: AtomicUsize,
+    /// First captured panic payload, re-thrown at scope exit.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Signals `remaining == 0` (paired with `done_lock`).
+    done_lock: Mutex<()>,
+    done_signal: Condvar,
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`]. Tasks may
+/// borrow anything that outlives `'scope`; the scope call does not return
+/// until every spawned task has finished.
+pub struct Scope<'scope> {
+    inner: Arc<PoolInner>,
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope` (as in rayon), so the compiler cannot
+    /// shrink the lifetime the spawned closures' captures must outlive.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` on the pool. Panics inside `f` are captured and
+    /// re-thrown when the scope joins.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.remaining.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let wrapper = move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().expect("panic slot");
+                slot.get_or_insert(payload);
+            }
+            if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _guard = state.done_lock.lock().expect("done lock");
+                state.done_signal.notify_all();
+            }
+        };
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(wrapper);
+        // SAFETY: `scope_on` blocks until `remaining` reaches zero, i.e.
+        // until this closure has run to completion, so every `'scope`
+        // borrow it captures strictly outlives its execution. The
+        // lifetime is erased only to store the task in the pool's
+        // `'static` deques.
+        let task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
+        };
+        self.inner.push(task);
+    }
+}
+
+/// Runs `op` with a [`Scope`] on `inner`, then waits for every spawned
+/// task — executing queued tasks itself while it waits, so nested scopes
+/// cannot deadlock the pool.
+fn scope_on<'scope, OP, R>(inner: &Arc<PoolInner>, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let state = Arc::new(ScopeState {
+        remaining: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        done_lock: Mutex::new(()),
+        done_signal: Condvar::new(),
+    });
+    let scope = Scope { inner: Arc::clone(inner), state: Arc::clone(&state), marker: PhantomData };
+    // Even if `op` itself panics, already-spawned tasks still borrow the
+    // caller's stack — the join below must happen before we unwind.
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    let helper_index = WORKER_INDEX.with(|c| c.get());
+    while state.remaining.load(Ordering::Acquire) > 0 {
+        if let Some(task) = inner.find_task(helper_index) {
+            run_task(inner, task);
+        } else {
+            let guard = state.done_lock.lock().expect("done lock");
+            if state.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let _ = state.done_signal.wait_timeout(guard, Duration::from_micros(500));
+        }
+    }
+    match result {
+        Ok(r) => {
+            if let Some(payload) = state.panic.lock().expect("panic slot").take() {
+                resume_unwind(payload);
+            }
+            r
+        }
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// A fixed-size pool of persistent work-stealing workers.
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool").field("num_threads", &self.inner.num_threads).finish()
+    }
 }
 
 impl ThreadPool {
     /// The pool's thread count.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.inner.num_threads
     }
 
     /// Runs `op` with this pool as the ambient pool: parallel iterators
-    /// inside `op` use `self.num_threads` workers.
+    /// inside `op` dispatch onto this pool's workers.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R,
     {
-        let prev = CURRENT_THREADS.with(|c| c.replace(self.num_threads));
-        let result = op();
-        CURRENT_THREADS.with(|c| c.set(prev));
-        result
+        let _install = InstallGuard::enter(&self.inner);
+        op()
+    }
+
+    /// Runs `op` with a [`Scope`] that spawns tasks onto this pool, and
+    /// returns once `op` *and every spawned task* have finished. The
+    /// calling thread helps execute queued tasks while it waits.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        scope_on(&self.inner, op)
     }
 }
 
-/// Drives `f` over `items` on `threads` scoped workers; results come back
-/// in input order.
-fn drive<T: Send, R: Send>(items: Vec<T>, threads: usize, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.inner.injector.lock().expect("injector lock");
+            self.inner.work_signal.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
     }
+}
+
+/// Drives `f` over `items` on the ambient pool as stealable contiguous
+/// chunks; results come back in input order.
+fn drive<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let threads = current_num_threads();
+    let n = items.len();
+    let pool = AMBIENT_POOL.with(|p| p.borrow().clone());
+    let Some(pool) = pool.filter(|_| threads > 1 && n > 1) else {
+        return items.into_iter().map(f).collect();
+    };
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(n) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+    // A few chunks per worker, so a slow chunk's siblings are stealable.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    scope_on(&pool, |scope| {
+        let slots = &slots;
+        let out = &out;
+        for start in (0..n).step_by(chunk) {
+            let end = (start + chunk).min(n);
+            scope.spawn(move || {
+                for i in start..end {
+                    let item = slots[i].lock().expect("slot lock").take().expect("item taken once");
+                    *out[i].lock().expect("out lock") = Some(f(item));
                 }
-                let item = slots[i].lock().expect("slot lock").take().expect("item taken once");
-                let r = f(item);
-                *out[i].lock().expect("out lock") = Some(r);
             });
         }
     });
@@ -189,7 +460,7 @@ where
     type Item = R;
 
     fn drive(self) -> Vec<R> {
-        drive(self.base.drive(), current_num_threads(), &self.f)
+        drive(self.base.drive(), &self.f)
     }
 }
 
@@ -249,6 +520,7 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -286,7 +558,6 @@ mod tests {
 
     #[test]
     fn for_each_runs_every_item() {
-        use std::sync::atomic::AtomicU64;
         let hits = AtomicU64::new(0);
         let pool = ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
         pool.install(|| {
@@ -295,5 +566,98 @@ mod tests {
             })
         });
         assert_eq!(hits.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn uninstalled_threads_are_serial() {
+        // The fallback must be 1 — an uninstalled thread never fans out to
+        // the host's parallelism. Run on a fresh thread so other tests'
+        // thread-locals can't leak in.
+        let n = std::thread::spawn(current_num_threads).join().expect("join");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn installed_count_is_authoritative_inside_tasks() {
+        // Pool tasks see the *pool's* size — not the host's CPU count —
+        // wherever they execute (worker or helping waiter).
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().expect("pool");
+        let seen = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                seen.store(current_num_threads(), Ordering::Release);
+            });
+        });
+        assert_eq!(seen.load(Ordering::Acquire), 3);
+    }
+
+    #[test]
+    fn scope_joins_borrowed_tasks() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for i in 0..32u64 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (0..32).sum::<u64>());
+    }
+
+    #[test]
+    fn scope_propagates_task_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().expect("pool");
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task boom"));
+            });
+        }));
+        assert!(r.is_err(), "task panic must re-throw at the scope join");
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // More outer tasks than workers, each running an inner scope: the
+        // waiters must help drain the queues instead of blocking.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().expect("pool");
+        let hits = AtomicU64::new(0);
+        pool.scope(|outer| {
+            for _ in 0..6 {
+                let hits = &hits;
+                let pool = &pool;
+                outer.spawn(move || {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 24);
+    }
+
+    #[test]
+    fn stolen_chunks_keep_input_order() {
+        // Skew the per-item cost so early chunks outlive later ones and
+        // stealing definitely happens; order must still hold.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+        let input: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = pool.install(|| {
+            input
+                .into_par_iter()
+                .map(|x| {
+                    if x < 4 {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    x * 3
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<_>>());
     }
 }
