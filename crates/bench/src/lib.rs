@@ -7,8 +7,11 @@
 //! search).
 
 mod experiments;
+pub mod failures;
+pub mod journal;
 pub mod registry;
 pub mod sweep;
+pub mod watchdog;
 
 use serde::Serialize;
 use std::fs;

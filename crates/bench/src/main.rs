@@ -3,7 +3,9 @@
 //! ```text
 //! tmcc-bench list
 //! tmcc-bench run <name>... [--jobs N] [--quick|--test] [--profile] [--out DIR]
+//!                          [--resume] [--retries N]
 //! tmcc-bench run-all       [--jobs N] [--quick|--test] [--profile] [--out DIR]
+//!                          [--resume] [--retries N]
 //! ```
 //!
 //! `run-all` executes every registered experiment and writes the same
@@ -13,20 +15,38 @@
 //! accesses/sec per experiment. `--profile` additionally collects the
 //! simulator's host-time phase split (workload / translation / data /
 //! maintenance).
+//!
+//! # Crash safety (DESIGN.md §6.2)
+//!
+//! Every completed simulation run is journaled under
+//! `<out>/.journal/`; `--resume` replays journaled runs byte-identically
+//! and simulates only the remainder. Failing points are retried
+//! (`--retries`, default 2) and then quarantined into
+//! `results/FAILURES.json`; a quarantined point fails its experiment but
+//! never the rest of the fleet, and the process exits non-zero so CI
+//! notices.
 
 use rayon::ThreadPoolBuilder;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tmcc::PhaseProfile;
+use tmcc_bench::failures::FailureSink;
+use tmcc_bench::journal::{JournalMeta, ResumeState, SweepJournal};
 use tmcc_bench::registry::{self, Experiment};
-use tmcc_bench::sweep::{resolve_jobs, ExperimentTiming, Scale, SweepCtx, SweepSummary};
+use tmcc_bench::sweep::{
+    resolve_jobs, ExperimentTiming, PointAborted, Scale, SweepCtx, SweepSummary, DEFAULT_RETRIES,
+};
+use tmcc_bench::watchdog::Watchdog;
 
 struct Options {
     jobs: usize,
     scale: Scale,
     profile: bool,
     out: PathBuf,
+    resume: bool,
+    retries: u32,
     names: Vec<String>,
 }
 
@@ -44,7 +64,9 @@ fn usage() -> ! {
          \x20 --quick              ~5x smaller runs (CI smoke scale)\n\
          \x20 --test               tiny runs (golden determinism scale)\n\
          \x20 --profile            collect host-time per-phase timing\n\
-         \x20 --out DIR            output directory (default: repo results/)"
+         \x20 --out DIR            output directory (default: repo results/)\n\
+         \x20 --resume             replay completed points from the sweep journal\n\
+         \x20 --retries N          attempts per point = N + 1 (default: 2)"
     );
     std::process::exit(2);
 }
@@ -55,6 +77,8 @@ fn parse_options(args: &[String]) -> Options {
         scale: Scale::Full,
         profile: false,
         out: tmcc_bench::results_dir(),
+        resume: false,
+        retries: DEFAULT_RETRIES,
         names: Vec::new(),
     };
     let mut it = args.iter();
@@ -71,6 +95,11 @@ fn parse_options(args: &[String]) -> Options {
                 let v = it.next().unwrap_or_else(|| usage());
                 opts.out = PathBuf::from(v);
             }
+            "--resume" => opts.resume = true,
+            "--retries" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.retries = v.parse().unwrap_or_else(|_| usage());
+            }
             other if other.starts_with('-') => {
                 eprintln!("unknown option {other}\n");
                 usage();
@@ -81,28 +110,129 @@ fn parse_options(args: &[String]) -> Options {
     opts
 }
 
-/// Runs `experiments` sequentially through one context, timing each.
+/// The shared crash-safety plumbing of one sweep invocation.
+struct Harness {
+    journal: Arc<SweepJournal>,
+    watchdog: Arc<Watchdog>,
+    failures: Arc<FailureSink>,
+}
+
+impl Harness {
+    /// Opens the journal (resuming if asked), starts the watchdog.
+    fn new(opts: &Options) -> Self {
+        let meta = JournalMeta::current(opts.scale);
+        let journal = if opts.resume {
+            match SweepJournal::open_resume(&opts.out, &meta) {
+                Ok((journal, state)) => {
+                    match state {
+                        ResumeState::Fresh => {
+                            println!("[resume] no journal found; starting cold");
+                        }
+                        ResumeState::Resumed { records, dropped_tail } => {
+                            println!(
+                                "[resume] replaying {records} completed point(s) from {}{}",
+                                journal.path().display(),
+                                if dropped_tail { " (torn tail dropped)" } else { "" }
+                            );
+                        }
+                        ResumeState::Invalidated { field } => {
+                            println!(
+                                "[resume] journal {field} mismatch (different build, scale, or \
+                                 tuning); starting cold"
+                            );
+                        }
+                    }
+                    journal
+                }
+                Err(e) => {
+                    eprintln!("cannot resume: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            match SweepJournal::open_fresh(&opts.out, &meta) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot open sweep journal: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        Self {
+            journal: Arc::new(journal),
+            watchdog: Arc::new(Watchdog::new()),
+            failures: Arc::new(FailureSink::new()),
+        }
+    }
+
+    /// A context wired to the shared journal/watchdog/sink for one
+    /// experiment.
+    fn ctx_for(
+        &self,
+        e: &Experiment,
+        opts: &Options,
+        jobs: usize,
+        pool: Arc<rayon::ThreadPool>,
+    ) -> SweepCtx {
+        SweepCtx::with_pool(opts.scale, jobs, opts.out.clone(), opts.profile, pool)
+            .for_experiment(e.name, e.budget_weight)
+            .with_retries(opts.retries)
+            .with_journal(Arc::clone(&self.journal))
+            .with_watchdog(Arc::clone(&self.watchdog))
+            .with_failures(Arc::clone(&self.failures))
+    }
+}
+
+/// Runs one experiment through its context, isolating panics: a point
+/// quarantine ([`PointAborted`]) or any other experiment-level panic
+/// marks the experiment failed without taking down the suite.
+fn run_one(e: &Experiment, ctx: &SweepCtx) -> ExperimentTiming {
+    println!("\n━━━ {} ━━━", e.name);
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| (e.run)(ctx)));
+    let wall = start.elapsed();
+    let status = match outcome {
+        Ok(()) => "ok",
+        Err(payload) => {
+            if !payload.is::<PointAborted>() {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                eprintln!("[{}] experiment aborted: {message}", e.name);
+            }
+            "failed"
+        }
+    };
+    let accesses = ctx.accesses_simulated();
+    ExperimentTiming {
+        name: e.name,
+        status,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        accesses_simulated: accesses,
+        accesses_per_sec: accesses as f64 / wall.as_secs_f64().max(1e-9),
+        points_replayed: ctx.points_replayed(),
+    }
+}
+
+/// Runs `experiments` sequentially, one context each, timing each.
 fn run_suite_serial(
     experiments: &[Experiment],
     opts: &Options,
+    harness: &Harness,
 ) -> (Vec<ExperimentTiming>, PhaseProfile) {
-    let ctx = SweepCtx::new(opts.scale, 1, opts.out.clone(), opts.profile);
+    let pool = Arc::new(ThreadPoolBuilder::new().num_threads(1).build().expect("pool"));
     let mut timings = Vec::new();
+    let mut profile = PhaseProfile::default();
     for e in experiments {
-        println!("\n━━━ {} ━━━", e.name);
-        let before = ctx.accesses_simulated();
-        let start = Instant::now();
-        (e.run)(&ctx);
-        let wall = start.elapsed();
-        let accesses = ctx.accesses_simulated() - before;
-        timings.push(ExperimentTiming {
-            name: e.name,
-            wall_ms: wall.as_secs_f64() * 1e3,
-            accesses_simulated: accesses,
-            accesses_per_sec: accesses as f64 / wall.as_secs_f64().max(1e-9),
-        });
+        let ctx = harness.ctx_for(e, opts, 1, Arc::clone(&pool));
+        timings.push(run_one(e, &ctx));
+        if let Some(p) = ctx.profile() {
+            accumulate_profile(&mut profile, &p);
+        }
     }
-    (timings, ctx.profile().unwrap_or_default())
+    (timings, profile)
 }
 
 /// Runs `experiments` as tasks on one shared work-stealing pool: every
@@ -115,19 +245,18 @@ fn run_suite_serial(
 /// the summary (and every `results/*.json`) keeps registry order no
 /// matter how the tasks get scheduled. Per-experiment wall clocks overlap
 /// under this scheduler (workers help whichever task is queued), so they
-/// sum to more than the suite's wall clock.
+/// sum to more than the suite's wall clock. Panics never reach the
+/// shared pool's scope join — [`run_one`] catches them at the experiment
+/// boundary, so one failing experiment cannot poison the batch.
 fn run_suite_parallel(
     experiments: &[Experiment],
     opts: &Options,
+    harness: &Harness,
     jobs: usize,
 ) -> (Vec<ExperimentTiming>, PhaseProfile) {
     let pool = Arc::new(ThreadPoolBuilder::new().num_threads(jobs).build().expect("pool"));
-    let ctxs: Vec<SweepCtx> = experiments
-        .iter()
-        .map(|_| {
-            SweepCtx::with_pool(opts.scale, jobs, opts.out.clone(), opts.profile, Arc::clone(&pool))
-        })
-        .collect();
+    let ctxs: Vec<SweepCtx> =
+        experiments.iter().map(|e| harness.ctx_for(e, opts, jobs, Arc::clone(&pool))).collect();
     let slots: Vec<Mutex<Option<ExperimentTiming>>> =
         experiments.iter().map(|_| Mutex::new(None)).collect();
     pool.scope(|scope| {
@@ -135,17 +264,7 @@ fn run_suite_parallel(
             let ctx = &ctxs[i];
             let slot = &slots[i];
             scope.spawn(move || {
-                println!("\n━━━ {} ━━━", e.name);
-                let start = Instant::now();
-                (e.run)(ctx);
-                let wall = start.elapsed();
-                let accesses = ctx.accesses_simulated();
-                *slot.lock().expect("timing slot") = Some(ExperimentTiming {
-                    name: e.name,
-                    wall_ms: wall.as_secs_f64() * 1e3,
-                    accesses_simulated: accesses,
-                    accesses_per_sec: accesses as f64 / wall.as_secs_f64().max(1e-9),
-                });
+                *slot.lock().expect("timing slot") = Some(run_one(e, ctx));
             });
         }
     });
@@ -153,26 +272,29 @@ fn run_suite_parallel(
         .into_iter()
         .map(|m| m.into_inner().expect("timing slot").expect("experiment ran"))
         .collect();
-    let profile =
-        ctxs.iter().filter_map(SweepCtx::profile).fold(PhaseProfile::default(), |mut acc, p| {
-            acc.steps += p.steps;
-            acc.workload_ns += p.workload_ns;
-            acc.translation_ns += p.translation_ns;
-            acc.data_ns += p.data_ns;
-            acc.maintenance_ns += p.maintenance_ns;
-            acc
-        });
+    let mut profile = PhaseProfile::default();
+    for p in ctxs.iter().filter_map(SweepCtx::profile) {
+        accumulate_profile(&mut profile, &p);
+    }
     (timings, profile)
 }
 
+fn accumulate_profile(acc: &mut PhaseProfile, p: &PhaseProfile) {
+    acc.steps += p.steps;
+    acc.workload_ns += p.workload_ns;
+    acc.translation_ns += p.translation_ns;
+    acc.data_ns += p.data_ns;
+    acc.maintenance_ns += p.maintenance_ns;
+}
+
 /// Runs `experiments`, timing each; returns the consolidated summary.
-fn run_suite(experiments: &[Experiment], opts: &Options) -> SweepSummary {
+fn run_suite(experiments: &[Experiment], opts: &Options, harness: &Harness) -> SweepSummary {
     let jobs = resolve_jobs(opts.jobs);
     let suite_start = Instant::now();
     let (timings, profile) = if jobs <= 1 {
-        run_suite_serial(experiments, opts)
+        run_suite_serial(experiments, opts, harness)
     } else {
-        run_suite_parallel(experiments, opts, jobs)
+        run_suite_parallel(experiments, opts, harness, jobs)
     };
     let total_wall = suite_start.elapsed();
     let total_accesses: u64 = timings.iter().map(|t| t.accesses_simulated).sum();
@@ -190,14 +312,23 @@ fn run_suite(experiments: &[Experiment], opts: &Options) -> SweepSummary {
 fn print_summary(summary: &SweepSummary) {
     println!("\n━━━ sweep summary ({} scale, {} jobs) ━━━", summary.scale, summary.jobs);
     for t in &summary.experiments {
+        let replayed = if t.points_replayed > 0 {
+            format!("  ({} replayed)", t.points_replayed)
+        } else {
+            String::new()
+        };
         println!(
-            "  {:<28} {:>9.0} ms  {:>12} accesses  {:>12.0} acc/s",
-            t.name, t.wall_ms, t.accesses_simulated, t.accesses_per_sec
+            "  {:<28} {:>6} {:>9.0} ms  {:>12} accesses  {:>12.0} acc/s{}",
+            t.name, t.status, t.wall_ms, t.accesses_simulated, t.accesses_per_sec, replayed
         );
     }
     println!(
-        "  {:<28} {:>9.0} ms  {:>12} accesses  {:>12.0} acc/s",
-        "TOTAL", summary.total_wall_ms, summary.total_accesses_simulated, summary.accesses_per_sec
+        "  {:<28} {:>6} {:>9.0} ms  {:>12} accesses  {:>12.0} acc/s",
+        "TOTAL",
+        "",
+        summary.total_wall_ms,
+        summary.total_accesses_simulated,
+        summary.accesses_per_sec
     );
     let p = &summary.profile;
     if p.steps > 0 {
@@ -211,6 +342,16 @@ fn print_summary(summary: &SweepSummary) {
             d * 100.0,
             m * 100.0
         );
+    }
+}
+
+/// Writes `FAILURES.json` (or removes a stale one) and exits non-zero
+/// when anything was quarantined.
+fn finish(harness: &Harness, opts: &Options) {
+    let quarantined = harness.failures.finalize(&opts.out);
+    if quarantined > 0 {
+        eprintln!("tmcc-bench: {}", harness.failures.summary_line());
+        std::process::exit(1);
     }
 }
 
@@ -239,8 +380,10 @@ fn main() {
                     }
                 }
             }
-            let summary = run_suite(&experiments, &opts);
+            let harness = Harness::new(&opts);
+            let summary = run_suite(&experiments, &opts, &harness);
             print_summary(&summary);
+            finish(&harness, &opts);
         }
         "run-all" => {
             let opts = parse_options(&args[1..]);
@@ -248,7 +391,8 @@ fn main() {
                 eprintln!("run-all takes no experiment names\n");
                 usage();
             }
-            let summary = run_suite(&registry::all(), &opts);
+            let harness = Harness::new(&opts);
+            let summary = run_suite(&registry::all(), &opts, &harness);
             print_summary(&summary);
             let _ = std::fs::create_dir_all(&opts.out);
             let path = opts.out.join("BENCH_sweep.json");
@@ -260,6 +404,7 @@ fn main() {
                 }
                 Err(e) => eprintln!("could not serialize sweep summary: {e}"),
             }
+            finish(&harness, &opts);
         }
         _ => usage(),
     }

@@ -9,17 +9,35 @@
 //! regardless of scheduling, and the JSON emitters consume those ordered
 //! results — so `--jobs 1` and `--jobs N` produce byte-identical
 //! per-figure files.
+//!
+//! # Failure isolation (DESIGN.md §6.2)
+//!
+//! Under `tmcc-bench`, every `par_map` point runs inside a
+//! `catch_unwind` ring: a panicking, erroring, or timed-out point is
+//! retried up to `--retries` times (each retry deterministically
+//! re-seeded in [`SweepCtx::tune`]), and a point that exhausts its
+//! retries is quarantined into `results/FAILURES.json` — its experiment
+//! aborts, the rest of the fleet keeps running. The sweep journal
+//! ([`crate::journal`]) makes completed points replayable after a crash;
+//! the watchdog ([`crate::watchdog`]) cancels points that exceed their
+//! deadline through the simulator's cooperative [`RunHandle`].
 
+use crate::failures::{FailPoint, FailureCause, FailureSink, PointFailure};
+use crate::journal::{fingerprint, SweepJournal};
+use crate::watchdog::{effective_budget, Watchdog};
 use crate::DEFAULT_ACCESSES;
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 use serde::Serialize;
+use std::cell::{Cell, RefCell};
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use tmcc::config::TmccToggles;
-use tmcc::{PhaseProfile, RunReport, SchemeKind, System, SystemConfig, TmccError};
+use tmcc::{PhaseProfile, RunHandle, RunReport, SchemeKind, System, SystemConfig, TmccError};
 use tmcc_workloads::WorkloadProfile;
 
 /// How much work each config point simulates.
@@ -100,7 +118,22 @@ impl Scale {
             Scale::Test => 16,
         }
     }
+
+    /// Base watchdog budget per simulation run, before the experiment's
+    /// `budget_weight` multiplier. Calibrated ~50× above observed run
+    /// times at each scale — the watchdog exists to catch wedged points,
+    /// not slow ones.
+    pub fn point_budget(self) -> Duration {
+        match self {
+            Scale::Full => Duration::from_secs(600),
+            Scale::Quick => Duration::from_secs(120),
+            Scale::Test => Duration::from_secs(60),
+        }
+    }
 }
+
+/// Default `--retries`: attempts per point = retries + 1.
+pub const DEFAULT_RETRIES: u32 = 2;
 
 /// Resolves a `--jobs` request: 0 means one worker per available CPU.
 pub fn resolve_jobs(jobs: usize) -> usize {
@@ -111,18 +144,56 @@ pub fn resolve_jobs(jobs: usize) -> usize {
     }
 }
 
+/// A point's retry state, visible to [`SweepCtx::tune`] on the worker
+/// thread executing the point.
+#[derive(Debug, Clone, Copy, Default)]
+struct PointState {
+    attempt: u32,
+    timeouts: u32,
+}
+
+thread_local! {
+    /// Retry state of the point currently executing on this worker.
+    static POINT_CTX: Cell<PointState> = const { Cell::new(PointState { attempt: 0, timeouts: 0 }) };
+    /// Display form of the last simulator error [`SweepCtx::run`]
+    /// panicked on — lets the retry ring report a typed `sim-error`
+    /// cause instead of a generic panic.
+    static LAST_SIM_ERROR: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Panic payload for a watchdog-cancelled run; [`SweepCtx::try_run`]
+/// throws it so timeouts route through the same retry ring as panics,
+/// even for callers that match on `Result` (the robustness sweep).
+struct PointTimeout {
+    budget_ms: u64,
+}
+
+/// Panic payload thrown after a point exhausts its retries and was
+/// recorded in the failure sink. The experiment-level `catch_unwind` in
+/// `tmcc-bench` recognizes it and does not double-report.
+pub struct PointAborted;
+
 /// Shared context for one sweep invocation.
 ///
 /// The worker pool is shared (`Arc`): the `run-all` scheduler builds one
 /// pool and hands it to every experiment's context, so inner `par_map`
 /// grids from different experiments feed the same work-stealing deques.
+/// Journal, watchdog, and failure sink are likewise shared across the
+/// per-experiment contexts of a `run-all`.
 pub struct SweepCtx {
     scale: Scale,
     jobs: usize,
     pool: Arc<ThreadPool>,
     out_dir: PathBuf,
     profile_enabled: bool,
+    experiment: &'static str,
+    budget_weight: f64,
+    retries: u32,
+    journal: Option<Arc<SweepJournal>>,
+    watchdog: Option<Arc<Watchdog>>,
+    failures: Option<Arc<FailureSink>>,
     accesses: AtomicU64,
+    points_replayed: AtomicU64,
     prof_steps: AtomicU64,
     prof_workload_ns: AtomicU64,
     prof_translation_ns: AtomicU64,
@@ -154,7 +225,14 @@ impl SweepCtx {
             pool,
             out_dir,
             profile_enabled: profile,
+            experiment: "",
+            budget_weight: 1.0,
+            retries: DEFAULT_RETRIES,
+            journal: None,
+            watchdog: None,
+            failures: None,
             accesses: AtomicU64::new(0),
+            points_replayed: AtomicU64::new(0),
             prof_steps: AtomicU64::new(0),
             prof_workload_ns: AtomicU64::new(0),
             prof_translation_ns: AtomicU64::new(0),
@@ -167,6 +245,42 @@ impl SweepCtx {
     /// the repo `results/` directory.
     pub fn standalone() -> Self {
         Self::new(Scale::Full, 0, crate::results_dir(), false)
+    }
+
+    /// Names the experiment this context runs and sets its watchdog
+    /// budget multiplier (`registry::Experiment::budget_weight`). The
+    /// name keys the context's journal records and failure reports.
+    pub fn for_experiment(mut self, name: &'static str, budget_weight: f64) -> Self {
+        self.experiment = name;
+        self.budget_weight = budget_weight;
+        self
+    }
+
+    /// Attaches the shared sweep journal: completed runs are appended,
+    /// and runs already journaled are replayed instead of simulated.
+    pub fn with_journal(mut self, journal: Arc<SweepJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Attaches the shared watchdog: every simulation run gets a
+    /// cancellation deadline.
+    pub fn with_watchdog(mut self, watchdog: Arc<Watchdog>) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Attaches the shared failure sink, enabling the per-point retry +
+    /// quarantine ring in [`SweepCtx::par_map`].
+    pub fn with_failures(mut self, failures: Arc<FailureSink>) -> Self {
+        self.failures = Some(failures);
+        self
+    }
+
+    /// Sets the per-point retry count (attempts = retries + 1).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
     }
 
     /// The run scale.
@@ -185,8 +299,20 @@ impl SweepCtx {
     }
 
     /// Total accesses (warmup included) simulated through this context.
+    /// Replayed runs count too — the figure they feed represents the
+    /// same simulated work whether it ran now or before the crash.
     pub fn accesses_simulated(&self) -> u64 {
         self.accesses.load(Ordering::Relaxed)
+    }
+
+    /// Runs replayed from the journal instead of simulated.
+    pub fn points_replayed(&self) -> u64 {
+        self.points_replayed.load(Ordering::Relaxed)
+    }
+
+    /// The experiment name this context was built for ("" standalone).
+    pub fn experiment(&self) -> &'static str {
+        self.experiment
     }
 
     /// Aggregated host-time phase profile, if profiling was requested.
@@ -205,16 +331,81 @@ impl SweepCtx {
 
     /// Maps `f` over `items` on the worker pool; results come back in
     /// input order no matter how the workers are scheduled.
+    ///
+    /// When a failure sink is attached (`tmcc-bench` runs), each point
+    /// runs inside the retry ring: a panic, simulator error, or watchdog
+    /// timeout is retried up to the configured `--retries` with a
+    /// deterministic re-seed, and a point that exhausts its attempts is
+    /// quarantined before the experiment aborts with [`PointAborted`].
     pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
-        T: Send,
+        T: Send + Clone,
         R: Send,
         F: Fn(T) -> R + Sync + Send,
     {
+        let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+        let run = |(index, item): (usize, T)| self.run_point(index, item, &f);
         if self.jobs <= 1 {
-            return items.into_iter().map(f).collect();
+            return indexed.into_iter().map(run).collect();
         }
-        self.pool.install(|| items.into_par_iter().map(f).collect())
+        self.pool.install(|| indexed.into_par_iter().map(run).collect())
+    }
+
+    /// One point through the retry ring (or straight through when no
+    /// failure sink is attached — standalone binaries keep the legacy
+    /// fail-fast behavior).
+    fn run_point<T, R, F>(&self, index: usize, item: T, f: &F) -> R
+    where
+        T: Clone,
+        F: Fn(T) -> R,
+    {
+        let Some(sink) = &self.failures else {
+            return f(item);
+        };
+        let attempts = self.retries + 1;
+        let mut timeouts = 0u32;
+        let mut last_cause = None;
+        for attempt in 0..attempts {
+            POINT_CTX.with(|c| c.set(PointState { attempt, timeouts }));
+            LAST_SIM_ERROR.with(|c| c.borrow_mut().take());
+            let injected =
+                FailPoint::from_env().is_some_and(|fp| fp.matches(self.experiment, index, attempt));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if injected {
+                    panic!("injected failure ({})", crate::failures::FAIL_POINT_ENV);
+                }
+                f(item.clone())
+            }));
+            POINT_CTX.with(|c| c.set(PointState::default()));
+            match result {
+                Ok(r) => {
+                    if attempt > 0 {
+                        eprintln!(
+                            "[{}] point {index} recovered on attempt {}",
+                            self.experiment,
+                            attempt + 1
+                        );
+                    }
+                    return r;
+                }
+                Err(payload) => {
+                    let cause = classify_failure(payload);
+                    if matches!(cause, FailureCause::Timeout { .. }) {
+                        timeouts += 1;
+                    }
+                    eprintln!(
+                        "[{}] point {index} attempt {}/{attempts} failed ({})",
+                        self.experiment,
+                        attempt + 1,
+                        cause.kind()
+                    );
+                    last_cause = Some(cause);
+                }
+            }
+        }
+        let cause = last_cause.unwrap_or(FailureCause::Panic { message: "unknown".into() });
+        sink.record(PointFailure { experiment: self.experiment, index, cause, attempts });
+        std::panic::panic_any(PointAborted);
     }
 
     /// Writes `results/<name>.json` under the context's output directory
@@ -233,7 +424,11 @@ impl SweepCtx {
     }
 
     /// Applies the scale's warmup/footprint overrides and the profile
-    /// flag to a config.
+    /// flag to a config, plus the executing point's retry adjustments:
+    /// retry attempts get a deterministic seed perturbation (a flaky
+    /// point re-rolls its access stream instead of replaying the exact
+    /// crash), and `--quick` runs halve the footprint per prior timeout
+    /// so a wedged smoke point degrades instead of timing out forever.
     pub fn tune(&self, mut cfg: SystemConfig) -> SystemConfig {
         if let Some(w) = self.scale.warmup() {
             cfg.warmup_accesses = w;
@@ -245,6 +440,14 @@ impl SweepCtx {
         if self.profile_enabled {
             cfg.profile = true;
         }
+        let point = POINT_CTX.with(Cell::get);
+        if point.attempt > 0 {
+            cfg.seed ^= RESEED_GOLDEN.wrapping_mul(point.attempt as u64);
+        }
+        if point.timeouts > 0 && self.scale == Scale::Quick {
+            let shift = point.timeouts.min(8);
+            cfg.workload.sim_pages = (cfg.workload.sim_pages >> shift).max(64);
+        }
         cfg
     }
 
@@ -253,16 +456,50 @@ impl SweepCtx {
     pub fn run(&self, cfg: SystemConfig, accesses: u64) -> RunReport {
         match self.try_run(cfg, accesses) {
             Ok(r) => r,
-            Err(e) => panic!("{e}"),
+            Err(e) => {
+                // Leave the typed error for the retry ring's classifier;
+                // the panic itself is what routes control there.
+                LAST_SIM_ERROR.with(|c| *c.borrow_mut() = Some(e.to_string()));
+                panic!("{e}")
+            }
         }
     }
 
     /// Fallible variant of [`SweepCtx::run`] (robustness sweeps record
     /// the error instead of aborting).
+    ///
+    /// This is the journal's unit of replay: the tuned config + access
+    /// count fingerprint the run, a journal hit decodes the stored
+    /// report (bit-exact — downstream JSON stays byte-identical) instead
+    /// of simulating, and a completed run is appended before returning.
+    /// Watchdog cancellation is converted to a [`PointTimeout`] panic so
+    /// timeouts reach the retry ring even from callers that handle the
+    /// `Err` branch themselves.
     pub fn try_run(&self, cfg: SystemConfig, accesses: u64) -> Result<RunReport, TmccError> {
         let cfg = self.tune(cfg);
         let warmup = cfg.warmup_accesses;
+        let key = fingerprint(&format!("{cfg:?}|{accesses}"));
+        if let Some(journal) = &self.journal {
+            if let Some(json) = journal.lookup(self.experiment, key) {
+                match decode_report(json) {
+                    Ok(report) => {
+                        self.accesses.fetch_add(warmup + accesses, Ordering::Relaxed);
+                        self.points_replayed.fetch_add(1, Ordering::Relaxed);
+                        return Ok(report);
+                    }
+                    Err(detail) => eprintln!(
+                        "warning: [{}] journal record undecodable ({detail}); re-running",
+                        self.experiment
+                    ),
+                }
+            }
+        }
         let mut sys = System::try_new(cfg)?;
+        let _guard = self.watchdog.as_ref().map(|dog| {
+            let handle = RunHandle::new();
+            sys.attach_handle(&handle);
+            dog.arm(self.point_budget(), &handle)
+        });
         let result = sys.try_run(accesses);
         // Count even failed runs: the work up to the failure was simulated.
         self.accesses.fetch_add(warmup + accesses, Ordering::Relaxed);
@@ -274,7 +511,24 @@ impl SweepCtx {
             self.prof_data_ns.fetch_add(p.data_ns, Ordering::Relaxed);
             self.prof_maintenance_ns.fetch_add(p.maintenance_ns, Ordering::Relaxed);
         }
+        if let Err(e) = &result {
+            if e.is_cancelled() {
+                let budget_ms = self.point_budget().as_millis() as u64;
+                std::panic::panic_any(PointTimeout { budget_ms });
+            }
+        }
+        if let (Ok(report), Some(journal)) = (&result, &self.journal) {
+            match serde_json::to_string(report) {
+                Ok(json) => journal.append(self.experiment, key, &json),
+                Err(e) => eprintln!("warning: could not journal a run: {e}"),
+            }
+        }
         result
+    }
+
+    /// This context's watchdog deadline per simulation run.
+    fn point_budget(&self) -> Duration {
+        effective_budget(self.scale.point_budget().mul_f64(self.budget_weight.max(0.1)))
     }
 
     /// [`crate::run_scheme`] through the context.
@@ -367,17 +621,54 @@ impl SweepCtx {
     }
 }
 
+/// Seed-perturbation constant for retry attempts (the golden-ratio
+/// multiplier also used by the workspace hasher). `seed ^ GOLDEN*attempt`
+/// is deterministic — re-running a resumed sweep retries with the same
+/// perturbed seeds — yet decorrelates the access stream from the attempt
+/// that failed.
+const RESEED_GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Classifies a caught point panic into a typed cause, consuming the
+/// thread-local simulator-error note when one was left.
+fn classify_failure(payload: Box<dyn std::any::Any + Send>) -> FailureCause {
+    let payload = match payload.downcast::<PointTimeout>() {
+        Ok(t) => return FailureCause::Timeout { budget_ms: t.budget_ms },
+        Err(p) => p,
+    };
+    if let Some(error) = LAST_SIM_ERROR.with(|c| c.borrow_mut().take()) {
+        return FailureCause::Sim { error };
+    }
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    FailureCause::Panic { message }
+}
+
+/// Decodes a journaled compact-JSON report (see `RunReport::from_value`).
+fn decode_report(json: &str) -> Result<RunReport, String> {
+    let value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    RunReport::from_value(&value)
+}
+
 /// One experiment's entry in `BENCH_sweep.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct ExperimentTiming {
     /// Registry name (also the `results/<name>.json` file stem).
     pub name: &'static str,
+    /// `"ok"`, or `"failed"` when the experiment aborted on a
+    /// quarantined point (see `results/FAILURES.json`).
+    pub status: &'static str,
     /// Wall-clock milliseconds the experiment took.
     pub wall_ms: f64,
     /// Total accesses (warmup included) the experiment simulated.
     pub accesses_simulated: u64,
     /// Simulation throughput over the experiment's wall time.
     pub accesses_per_sec: f64,
+    /// Runs replayed from the sweep journal instead of simulated
+    /// (non-zero only under `--resume`).
+    pub points_replayed: u64,
 }
 
 /// The consolidated `BENCH_sweep.json` document.

@@ -29,6 +29,18 @@ impl SchemeKind {
             SchemeKind::Tmcc => "tmcc",
         }
     }
+
+    /// Inverse of the derive's fieldless-enum serialization (the variant
+    /// name as a string). Used by the sweep journal's report decoder.
+    pub fn from_variant(s: &str) -> Option<Self> {
+        match s {
+            "NoCompression" => Some(SchemeKind::NoCompression),
+            "Compresso" => Some(SchemeKind::Compresso),
+            "OsInspired" => Some(SchemeKind::OsInspired),
+            "Tmcc" => Some(SchemeKind::Tmcc),
+            _ => None,
+        }
+    }
 }
 
 /// Optimization toggles separating TMCC from the barebone OS-inspired

@@ -70,6 +70,21 @@ pub enum TmccError {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// The run was cancelled through its [`crate::RunHandle`] (the bench
+    /// watchdog arms one per sweep point and cancels on deadline overrun).
+    Cancelled {
+        /// Accesses executed (warmup included) when the cancellation was
+        /// observed.
+        at_access: u64,
+    },
+}
+
+impl TmccError {
+    /// Whether this error is a cooperative cancellation (watchdog
+    /// timeout) rather than a simulation-level failure.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, TmccError::Cancelled { .. })
+    }
 }
 
 impl fmt::Display for TmccError {
@@ -104,6 +119,9 @@ impl fmt::Display for TmccError {
             }
             TmccError::InvariantViolation { detail } => {
                 write!(f, "invariant violation: {detail}")
+            }
+            TmccError::Cancelled { at_access } => {
+                write!(f, "run cancelled after {at_access} accesses")
             }
         }
     }

@@ -106,14 +106,15 @@ impl CompressoScheme {
     ) -> (f64, bool) {
         if self.meta_cache.access(req.ppn) {
             if count_stats {
-                stats.cte_hits += 1;
+                stats.cte_hits = stats.cte_hits.saturating_add(1);
             }
             (now_ns, false)
         } else {
             if count_stats {
-                stats.cte_misses += 1;
+                stats.cte_misses = stats.cte_misses.saturating_add(1);
                 if req.after_tlb_miss {
-                    stats.cte_misses_after_tlb_miss += 1;
+                    stats.cte_misses_after_tlb_miss =
+                        stats.cte_misses_after_tlb_miss.saturating_add(1);
                 }
             }
             // Serial metadata fetch from DRAM (Fig. 8a).
@@ -154,7 +155,7 @@ impl Scheme for CompressoScheme {
         // Occasionally the new value no longer fits: repack the page
         // (metadata update + data movement), the churn [6] manages.
         if self.rng.gen::<f64>() < OVERFLOW_PROBABILITY {
-            stats.page_overflows += 1;
+            stats.page_overflows = stats.page_overflows.saturating_add(1);
             let page = self
                 .pages
                 .get_mut(&req.ppn.raw())

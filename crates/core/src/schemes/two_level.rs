@@ -413,7 +413,7 @@ impl TwoLevelScheme {
             self.degraded_mark_ns = now_ns;
             if self.reclaim_debt == 0 && self.ml1_free.len() >= self.evict_lo {
                 self.degraded = false;
-                stats.recoveries += 1;
+                stats.recoveries = stats.recoveries.saturating_add(1);
             }
         } else if self.reclaim_debt > 0 || self.ml1_free.len() < self.evict_crit / 2 {
             self.degraded = true;
@@ -461,17 +461,17 @@ impl TwoLevelScheme {
         let addr = self.data_addr(&info, req)?;
         if self.cte_cache.access(req.ppn) {
             if count_stats {
-                stats.cte_hits += 1;
+                stats.cte_hits = stats.cte_hits.saturating_add(1);
                 if in_ml1 {
-                    stats.ml1_cte_hit += 1;
+                    stats.ml1_cte_hit = stats.ml1_cte_hit.saturating_add(1);
                 }
             }
             return Ok(dram.access(now_ns, DramAddr::new(addr), req.write));
         }
         if count_stats {
-            stats.cte_misses += 1;
+            stats.cte_misses = stats.cte_misses.saturating_add(1);
             if req.after_tlb_miss {
-                stats.cte_misses_after_tlb_miss += 1;
+                stats.cte_misses_after_tlb_miss = stats.cte_misses_after_tlb_miss.saturating_add(1);
             }
         }
         let cte_addr = DramAddr::new(cte_dram_addr(req.ppn));
@@ -494,14 +494,16 @@ impl TwoLevelScheme {
                     };
                     if embedded.matches(&correct) && !forced_stale {
                         if count_stats && in_ml1 {
-                            stats.ml1_parallel_correct += 1;
+                            stats.ml1_parallel_correct =
+                                stats.ml1_parallel_correct.saturating_add(1);
                         }
                         both
                     } else {
                         // Stale embedding: re-access with the correct CTE
                         // (Fig. 8c) and lazily repair the PTB (§V-A2).
                         if count_stats && in_ml1 {
-                            stats.ml1_parallel_mismatch += 1;
+                            stats.ml1_parallel_mismatch =
+                                stats.ml1_parallel_mismatch.saturating_add(1);
                         }
                         self.repair_embedding(req.ppn, correct.truncated());
                         dram.access(both, DramAddr::new(addr), req.write)
@@ -510,7 +512,7 @@ impl TwoLevelScheme {
                 None => {
                     // No embedded CTE: serial, as in prior work (Fig. 8a).
                     if count_stats && in_ml1 {
-                        stats.ml1_serial += 1;
+                        stats.ml1_serial = stats.ml1_serial.saturating_add(1);
                     }
                     self.repair_embedding(req.ppn, correct.truncated());
                     let cte_done = dram.access(now_ns, cte_addr, false);
@@ -519,7 +521,7 @@ impl TwoLevelScheme {
             }
         } else {
             if count_stats && in_ml1 {
-                stats.ml1_serial += 1;
+                stats.ml1_serial = stats.ml1_serial.saturating_add(1);
             }
             let cte_done = dram.access(now_ns, cte_addr, false);
             dram.access(cte_done, DramAddr::new(addr), req.write)
@@ -553,7 +555,7 @@ impl TwoLevelScheme {
         stats: &mut SimStats,
         count_stats: bool,
     ) -> Result<f64, TmccError> {
-        stats.ml2_reads += 1;
+        stats.ml2_reads = stats.ml2_reads.saturating_add(1);
         let key = req.ppn.raw();
         let info = self.pages.get_id(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
         let (sub, comp_bytes) = match info.place {
@@ -601,7 +603,7 @@ impl TwoLevelScheme {
         // Under critical free-list pressure, evictions preempt ML2 reads
         // (§VI: priorities flip below the lower threshold).
         if self.ml1_free.len() < self.evict_crit {
-            stats.ml2_crit_penalties += 1;
+            stats.ml2_crit_penalties = stats.ml2_crit_penalties.saturating_add(1);
             let full_dec = if self.toggles.fast_deflate {
                 self.timing.decompress_latency(comp_bytes * 8, PAGE_SIZE).ns
             } else {
@@ -611,7 +613,7 @@ impl TwoLevelScheme {
         }
         // Background migration ML2 -> ML1.
         if let Some(frame) = self.ml1_free.pop() {
-            stats.ml2_to_ml1_migrations += 1;
+            stats.ml2_to_ml1_migrations = stats.ml2_to_ml1_migrations.saturating_add(1);
             self.ml2.try_free(sub, &mut self.ml1_free)?;
             let info = self.pages.get_id_mut(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
             info.place = Placement::Ml1 { frame };
@@ -758,7 +760,7 @@ impl Scheme for TwoLevelScheme {
             let comp = self.eviction_comp_bytes(sizes.deflate_bytes);
             if sizes.ml2_incompressible() || self.ml2.class_for(comp).is_none() {
                 // Keep it in ML1, flag it, and stop retrying (§IV-B).
-                stats.incompressible_evictions += 1;
+                stats.incompressible_evictions = stats.incompressible_evictions.saturating_add(1);
                 self.pages
                     .get_mut(key)
                     .ok_or(TmccError::UnplacedPage { ppn: key })?
@@ -785,7 +787,7 @@ impl Scheme for TwoLevelScheme {
                         // to keep evictions making forward progress.
                         Err(_) => match self.ml2.try_allocate(PAGE_SIZE, &mut self.ml1_free) {
                             Ok(sub) => {
-                                stats.raw_fallbacks += 1;
+                                stats.raw_fallbacks = stats.raw_fallbacks.saturating_add(1);
                                 (sub, PAGE_SIZE)
                             }
                             Err(_) => {
@@ -807,9 +809,9 @@ impl Scheme for TwoLevelScheme {
             };
             performed += 1;
             if performed > NORMAL_EVICTION_BURST {
-                stats.emergency_evictions += 1;
+                stats.emergency_evictions = stats.emergency_evictions.saturating_add(1);
             }
-            stats.ml1_to_ml2_migrations += 1;
+            stats.ml1_to_ml2_migrations = stats.ml1_to_ml2_migrations.saturating_add(1);
             // Read the page, compress (background), write the sub-chunk.
             let base = frame as u64 * PAGE_SIZE as u64;
             let mut t = now_ns;
@@ -893,7 +895,7 @@ impl Scheme for TwoLevelScheme {
                 self.size_inflation_pct = percent;
             }
         }
-        stats.faults_injected += 1;
+        stats.faults_injected = stats.faults_injected.saturating_add(1);
         self.update_degradation(now_ns, stats);
         Ok(())
     }

@@ -2,9 +2,17 @@
 //!
 //! Every figure in the paper's evaluation reads off one or more of these
 //! counters; the field docs say which.
+//!
+//! [`RunReport::from_value`] reconstructs a report from its own
+//! serialization — the decode half of the sweep journal's crash-safe
+//! replay. The decode is *exact* (integers and float bit patterns round
+//! trip), and *strict*: every field must be present and every key must be
+//! consumed, so a counter added to [`SimStats`] without a matching decode
+//! line fails loudly in the round-trip tests instead of silently
+//! replaying stale zeros after a resume.
 
 use crate::config::SchemeKind;
-use serde::Serialize;
+use serde::{Serialize, Value};
 use tmcc_sim_dram::DramStats;
 
 /// How an LLC-miss read to an ML1 page was served under TMCC (Fig. 19).
@@ -155,6 +163,97 @@ impl SimStats {
             self.footprint_bytes as f64 / self.dram_used_bytes as f64
         }
     }
+
+    /// Cross-counter consistency audit, run from `System::validate` in
+    /// debug builds. Catches saturated counters (the hot loops use
+    /// `saturating_add`, so a wrapped counter shows up as `u64::MAX`
+    /// here instead of as garbage ratios downstream), violated
+    /// subset relations, and non-finite time accumulators.
+    pub fn audit(&self) -> Result<(), String> {
+        let counters = [
+            ("accesses", self.accesses),
+            ("work_cycles", self.work_cycles),
+            ("tlb_hits", self.tlb_hits),
+            ("tlb_misses", self.tlb_misses),
+            ("walker_fetches", self.walker_fetches),
+            ("llc_miss_data", self.llc_miss_data),
+            ("llc_miss_ptb", self.llc_miss_ptb),
+            ("llc_writebacks", self.llc_writebacks),
+            ("cte_hits", self.cte_hits),
+            ("cte_misses", self.cte_misses),
+            ("dram_used_bytes", self.dram_used_bytes),
+        ];
+        for (name, value) in counters {
+            if value == u64::MAX {
+                return Err(format!("stats counter {name} saturated at u64::MAX"));
+            }
+        }
+        if self.cte_misses_after_tlb_miss > self.cte_misses {
+            return Err(format!(
+                "cte_misses_after_tlb_miss ({}) exceeds cte_misses ({})",
+                self.cte_misses_after_tlb_miss, self.cte_misses
+            ));
+        }
+        let times = [
+            ("elapsed_ns", self.elapsed_ns),
+            ("l3_miss_latency_sum_ns", self.l3_miss_latency_sum_ns),
+            ("ml1_latency_sum_ns", self.ml1_latency_sum_ns),
+            ("ml2_latency_sum_ns", self.ml2_latency_sum_ns),
+            ("migration_stall_ns", self.migration_stall_ns),
+            ("degraded_ns", self.degraded_ns),
+        ];
+        for (name, value) in times {
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!(
+                    "stats accumulator {name} is {value} (not a finite non-negative time)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact, strict inverse of this type's serialization (see the module
+    /// doc). Errors name the offending field.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let mut f = serde::FieldReader::open(v, "SimStats")?;
+        let stats = Self {
+            accesses: f.u64("accesses")?,
+            work_cycles: f.u64("work_cycles")?,
+            elapsed_ns: f.f64("elapsed_ns")?,
+            tlb_hits: f.u64("tlb_hits")?,
+            tlb_misses: f.u64("tlb_misses")?,
+            walker_fetches: f.u64("walker_fetches")?,
+            llc_miss_data: f.u64("llc_miss_data")?,
+            llc_miss_ptb: f.u64("llc_miss_ptb")?,
+            llc_writebacks: f.u64("llc_writebacks")?,
+            l3_miss_latency_sum_ns: f.f64("l3_miss_latency_sum_ns")?,
+            cte_hits: f.u64("cte_hits")?,
+            cte_misses: f.u64("cte_misses")?,
+            cte_misses_after_tlb_miss: f.u64("cte_misses_after_tlb_miss")?,
+            ml1_cte_hit: f.u64("ml1_cte_hit")?,
+            ml1_parallel_correct: f.u64("ml1_parallel_correct")?,
+            ml1_parallel_mismatch: f.u64("ml1_parallel_mismatch")?,
+            ml1_serial: f.u64("ml1_serial")?,
+            ml2_reads: f.u64("ml2_reads")?,
+            ml1_latency_sum_ns: f.f64("ml1_latency_sum_ns")?,
+            ml2_latency_sum_ns: f.f64("ml2_latency_sum_ns")?,
+            ml2_to_ml1_migrations: f.u64("ml2_to_ml1_migrations")?,
+            ml1_to_ml2_migrations: f.u64("ml1_to_ml2_migrations")?,
+            incompressible_evictions: f.u64("incompressible_evictions")?,
+            migration_stall_ns: f.f64("migration_stall_ns")?,
+            ml2_crit_penalties: f.u64("ml2_crit_penalties")?,
+            page_overflows: f.u64("page_overflows")?,
+            faults_injected: f.u64("faults_injected")?,
+            emergency_evictions: f.u64("emergency_evictions")?,
+            raw_fallbacks: f.u64("raw_fallbacks")?,
+            degraded_ns: f.f64("degraded_ns")?,
+            recoveries: f.u64("recoveries")?,
+            dram_used_bytes: f.u64("dram_used_bytes")?,
+            footprint_bytes: f.u64("footprint_bytes")?,
+        };
+        f.finish()?;
+        Ok(stats)
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -197,6 +296,37 @@ impl RunReport {
             self.stats.accesses as f64 / (self.stats.elapsed_ns / 1000.0)
         }
     }
+
+    /// Exact, strict inverse of this type's serialization — the decode
+    /// half of the sweep journal's crash-safe replay (see the module
+    /// doc). `to_value(from_value(v)) == v` for any report this
+    /// workspace produced.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let mut f = serde::FieldReader::open(v, "RunReport")?;
+        let workload_name = f.str("workload")?;
+        // Reports carry `&'static str` workload names; intern decoded
+        // names through the profile table, leaking only for names no
+        // registered profile owns (e.g. future journal versions).
+        let workload = match tmcc_workloads::WorkloadProfile::by_name(workload_name) {
+            Some(profile) => profile.name,
+            None => &*Box::leak(workload_name.to_string().into_boxed_str()),
+        };
+        let scheme_variant = f.str("scheme")?;
+        let scheme = SchemeKind::from_variant(scheme_variant)
+            .ok_or_else(|| format!("RunReport: unknown scheme variant {scheme_variant:?}"))?;
+        let stats = SimStats::from_value(f.value("stats")?)?;
+        let dram = DramStats::from_value(f.value("dram")?)?;
+        let report = Self {
+            workload,
+            scheme,
+            stats,
+            dram,
+            peak_bandwidth_gbps: f.f64("peak_bandwidth_gbps")?,
+            bandwidth_utilization: f.f64("bandwidth_utilization")?,
+        };
+        f.finish()?;
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +367,58 @@ mod tests {
         assert_eq!(s.cte_hit_rate(), 0.0);
         assert_eq!(s.avg_l3_miss_latency_ns(), 0.0);
         assert_eq!(s.effective_ratio(), 1.0);
+    }
+
+    #[test]
+    fn audit_flags_saturation_and_subset_violations() {
+        assert!(SimStats::default().audit().is_ok());
+
+        let saturated = SimStats { tlb_misses: u64::MAX, ..Default::default() };
+        assert!(saturated.audit().unwrap_err().contains("tlb_misses"));
+
+        let inverted =
+            SimStats { cte_misses: 3, cte_misses_after_tlb_miss: 4, ..Default::default() };
+        assert!(inverted.audit().unwrap_err().contains("cte_misses_after_tlb_miss"));
+
+        let nan_time = SimStats { elapsed_ns: f64::NAN, ..Default::default() };
+        assert!(nan_time.audit().unwrap_err().contains("elapsed_ns"));
+    }
+
+    #[test]
+    fn report_round_trips_exactly_through_value() {
+        let report = RunReport {
+            workload: "canneal",
+            scheme: SchemeKind::Tmcc,
+            stats: SimStats {
+                accesses: 12_345,
+                elapsed_ns: 6_789.125,
+                tlb_hits: 11_000,
+                tlb_misses: 1_345,
+                cte_hits: 7,
+                cte_misses: 9,
+                cte_misses_after_tlb_miss: 5,
+                l3_miss_latency_sum_ns: 0.1 + 0.2, // deliberately non-round bits
+                dram_used_bytes: 1 << 30,
+                footprint_bytes: 3 << 30,
+                ..Default::default()
+            },
+            dram: DramStats::default(),
+            peak_bandwidth_gbps: 102.4,
+            bandwidth_utilization: 0.312_499_999_9,
+        };
+        let value = report.to_value();
+        let decoded = RunReport::from_value(&value).expect("strict decode");
+        assert_eq!(decoded.to_value(), value);
+        // The workload name must be interned, not leaked, for known
+        // profiles.
+        assert!(std::ptr::eq(decoded.workload, report.workload) || decoded.workload == "canneal");
+
+        // Strictness: a perturbed map must be rejected, not ignored.
+        let mut entries = match &value {
+            Value::Map(entries) => entries.clone(),
+            _ => unreachable!(),
+        };
+        entries.push(("extra".to_string(), Value::Null));
+        assert!(RunReport::from_value(&Value::Map(entries)).is_err());
     }
 }

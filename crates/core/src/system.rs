@@ -20,6 +20,7 @@
 
 use crate::config::{FaultEvent, SchemeKind, SystemConfig};
 use crate::error::TmccError;
+use crate::handle::{RunHandle, CANCEL_CHECK_PERIOD};
 use crate::schemes::{CompressoScheme, MemRequest, NoCompressionScheme, Scheme, TwoLevelScheme};
 use crate::size_model::SizeModel;
 use crate::stats::{RunReport, SimStats};
@@ -105,6 +106,9 @@ pub struct System {
     evict_buf: Vec<Ppn>,
     /// Host-time phase breakdown, populated when `cfg.profile` is set.
     profile: PhaseProfile,
+    /// Cooperative cancellation token, polled every
+    /// [`CANCEL_CHECK_PERIOD`] accesses when attached.
+    cancel: Option<RunHandle>,
 }
 
 impl System {
@@ -205,6 +209,7 @@ impl System {
             walk_buf: Vec::with_capacity(4),
             evict_buf: Vec::new(),
             profile: PhaseProfile::default(),
+            cancel: None,
             cfg,
         })
     }
@@ -237,11 +242,26 @@ impl System {
         &self.profile
     }
 
+    /// Attaches a cancellation token. The simulation loop polls it every
+    /// [`CANCEL_CHECK_PERIOD`] accesses and aborts the run with
+    /// [`TmccError::Cancelled`] once [`RunHandle::cancel`] has been
+    /// called. Attaching replaces any previous handle.
+    pub fn attach_handle(&mut self, handle: &RunHandle) {
+        self.cancel = Some(handle.clone());
+    }
+
     /// Audits the scheme's internal invariants (frame conservation,
     /// CTE/placement consistency). Cheap enough to call between
     /// maintenance intervals; `SystemConfig::with_audit` does so
-    /// automatically.
+    /// automatically. Debug builds additionally audit the raw counter
+    /// block for saturation and cross-counter consistency, so a wrapped
+    /// or mis-accounted statistic in a fault-injected long run surfaces
+    /// as a typed error instead of silently corrupting figures.
     pub fn validate(&self) -> Result<(), TmccError> {
+        #[cfg(debug_assertions)]
+        if let Err(detail) = self.stats.audit() {
+            return Err(TmccError::InvariantViolation { detail });
+        }
         self.scheme.validate()
     }
 
@@ -264,12 +284,19 @@ impl System {
         // Host-time phase stamps, only taken under `cfg.profile`.
         let t0 = self.cfg.profile.then(Instant::now);
 
+        if self.total_accesses.is_multiple_of(CANCEL_CHECK_PERIOD) {
+            if let Some(handle) = &self.cancel {
+                if handle.is_cancelled() {
+                    return Err(TmccError::Cancelled { at_access: self.total_accesses });
+                }
+            }
+        }
         self.apply_due_faults()?;
         self.total_accesses += 1;
         let ev = self.streams[self.next_stream].next_access();
         self.next_stream = (self.next_stream + 1) % self.streams.len();
         self.now_ns += ev.work_cycles as f64 * CORE_NS_PER_CYCLE;
-        self.stats.work_cycles += ev.work_cycles as u64;
+        self.stats.work_cycles = self.stats.work_cycles.saturating_add(ev.work_cycles as u64);
 
         let vpn = ev.vaddr.vpn();
         let is_tmcc_ptb = matches!(self.cfg.scheme, SchemeKind::Tmcc)
@@ -282,12 +309,12 @@ impl System {
         let mut walked = false;
         let ppn = match self.tlb.lookup(vpn) {
             Some(p) => {
-                self.stats.tlb_hits += 1;
+                self.stats.tlb_hits = self.stats.tlb_hits.saturating_add(1);
                 p
             }
             None => {
                 walked = true;
-                self.stats.tlb_misses += 1;
+                self.stats.tlb_misses = self.stats.tlb_misses.saturating_add(1);
                 // The scratch buffer keeps the walk allocation-free; the
                 // walker hands back each fetched step *with* its PTB, so
                 // no per-step page-table lookup is needed below.
@@ -297,11 +324,11 @@ impl System {
                     return Err(TmccError::UnmappedVpn { vpn: vpn.raw() });
                 };
                 for &(step, ptb) in walk_buf.iter() {
-                    self.stats.walker_fetches += 1;
+                    self.stats.walker_fetches = self.stats.walker_fetches.saturating_add(1);
                     let acc = self.hierarchy.access(step.ptb_block, false, is_tmcc_ptb);
                     let mut lat = acc.latency_ns;
                     if acc.level == HitLevel::Memory {
-                        self.stats.llc_miss_ptb += 1;
+                        self.stats.llc_miss_ptb = self.stats.llc_miss_ptb.saturating_add(1);
                         let req = MemRequest {
                             ppn: step.ptb_block.ppn(),
                             block: step.ptb_block,
@@ -339,7 +366,7 @@ impl System {
         let acc = self.hierarchy.access(block, ev.write, false);
         let mut lat = acc.latency_ns;
         if acc.level == HitLevel::Memory {
-            self.stats.llc_miss_data += 1;
+            self.stats.llc_miss_data = self.stats.llc_miss_data.saturating_add(1);
             let req =
                 MemRequest { ppn, block, write: ev.write, is_ptb: false, after_tlb_miss: walked };
             let mlat =
@@ -351,7 +378,7 @@ impl System {
             self.handle_writeback(wb.ppn(), wb)?;
         }
         self.now_ns += lat;
-        self.stats.accesses += 1;
+        self.stats.accesses = self.stats.accesses.saturating_add(1);
 
         let t3 = t0.map(|_| Instant::now());
 
@@ -392,7 +419,7 @@ impl System {
         ppn: Ppn,
         block: tmcc_types::addr::BlockAddr,
     ) -> Result<(), TmccError> {
-        self.stats.llc_writebacks += 1;
+        self.stats.llc_writebacks = self.stats.llc_writebacks.saturating_add(1);
         let req = MemRequest { ppn, block, write: true, is_ptb: false, after_tlb_miss: false };
         self.scheme.writeback(&req, self.now_ns, &mut self.dram, &mut self.stats)
     }

@@ -118,6 +118,21 @@ pub struct DramStats {
 }
 
 impl DramStats {
+    /// Decodes a `DramStats` from its own serialization (strict: every
+    /// field present, no unknown keys) — the sweep journal's replay path.
+    pub fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let mut f = serde::FieldReader::open(v, "DramStats")?;
+        let stats = Self {
+            reads: f.u64("reads")?,
+            writes: f.u64("writes")?,
+            row_hits: f.u64("row_hits")?,
+            row_misses: f.u64("row_misses")?,
+            bus_busy_ns: f.f64("bus_busy_ns")?,
+        };
+        f.finish()?;
+        Ok(stats)
+    }
+
     /// Row-buffer hit rate.
     pub fn row_hit_rate(&self) -> f64 {
         let total = self.row_hits + self.row_misses;
@@ -244,22 +259,22 @@ impl DramSim {
             // Batched background transfers stream at CAS granularity
             // within their write/read window; their activates are hidden
             // inside the batch (§VI's write-drain batching).
-            self.stats.row_misses += 1;
+            self.stats.row_misses = self.stats.row_misses.saturating_add(1);
             self.cfg.t_cl_ns
         } else if hit {
             bank.row_streak += 1;
-            self.stats.row_hits += 1;
+            self.stats.row_hits = self.stats.row_hits.saturating_add(1);
             self.cfg.t_cl_ns
         } else {
             let reopen = bank.open_row.is_some();
             if bank.open_row == Some(loc.row) {
                 // Cap expiry: same row, but re-arbitrated.
                 bank.row_streak = 1;
-                self.stats.row_hits += 1;
+                self.stats.row_hits = self.stats.row_hits.saturating_add(1);
                 self.cfg.t_cl_ns + self.cfg.t_burst_ns
             } else {
                 bank.row_streak = 1;
-                self.stats.row_misses += 1;
+                self.stats.row_misses = self.stats.row_misses.saturating_add(1);
                 let pre = if reopen { self.cfg.t_rp_ns } else { 0.0 };
                 pre + self.cfg.t_rcd_ns + self.cfg.t_cl_ns
             }
@@ -297,9 +312,9 @@ impl DramSim {
         };
         self.stats.bus_busy_ns += self.cfg.t_burst_ns;
         if write {
-            self.stats.writes += 1;
+            self.stats.writes = self.stats.writes.saturating_add(1);
         } else {
-            self.stats.reads += 1;
+            self.stats.reads = self.stats.reads.saturating_add(1);
         }
         self.last_ns = self.last_ns.max(done);
         done

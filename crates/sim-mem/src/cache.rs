@@ -95,10 +95,10 @@ impl<P: Clone> SetAssocCache<P> {
         if let Some(line) = lines.iter_mut().find(|l| l.key == key) {
             line.stamp = tick;
             line.dirty |= write;
-            self.hits += 1;
+            self.hits = self.hits.saturating_add(1);
             return (CacheOutcome::Hit, None);
         }
-        self.misses += 1;
+        self.misses = self.misses.saturating_add(1);
         let mut victim = None;
         if lines.len() == self.ways {
             let idx = lines

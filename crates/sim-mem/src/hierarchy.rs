@@ -129,22 +129,22 @@ impl CacheHierarchy {
         let l3_ns = (t.l1_cycles + t.l2_extra_cycles + t.l3_extra_cycles) as f64 * NS_PER_CYCLE;
 
         if self.l1.access(key, write, ()).0.is_hit() {
-            self.counts[0] += 1;
+            self.counts[0] = self.counts[0].saturating_add(1);
             // L2 is inclusive of L1; keep its copy warm for recency.
             let _ = self.l2.access(key, write, compressed_ptb);
             return MemAccess { level: HitLevel::L1, latency_ns: l1_ns, writeback: None };
         }
         let mut writeback = None;
         if self.l2.access(key, write, compressed_ptb).0.is_hit() {
-            self.counts[1] += 1;
+            self.counts[1] = self.counts[1].saturating_add(1);
             return MemAccess { level: HitLevel::L2, latency_ns: l2_ns, writeback: None };
         }
         let (l3_outcome, l3_victim) = self.l3.access(key, write, compressed_ptb);
         if l3_outcome.is_hit() {
-            self.counts[2] += 1;
+            self.counts[2] = self.counts[2].saturating_add(1);
             return MemAccess { level: HitLevel::L3, latency_ns: l3_ns, writeback: None };
         }
-        self.counts[3] += 1;
+        self.counts[3] = self.counts[3].saturating_add(1);
         // The miss installed the line; a dirty victim becomes a writeback.
         if let Some((victim, dirty, _)) = l3_victim {
             if dirty && victim != key {

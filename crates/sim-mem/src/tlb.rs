@@ -48,13 +48,13 @@ impl Tlb {
     /// Looks up a translation; updates recency on hit.
     pub fn lookup(&mut self, vpn: Vpn) -> Option<Ppn> {
         if self.cache.contains(vpn.raw()) {
-            self.hits += 1;
+            self.hits = self.hits.saturating_add(1);
             let (_, _) = self.cache.access(vpn.raw(), false, Ppn::new(0));
             self.cache.payload(vpn.raw()).copied()
         } else {
             // Counted here, not at fill time: a miss whose walk fails (or
             // is aborted) must still show up in the miss count.
-            self.misses += 1;
+            self.misses = self.misses.saturating_add(1);
             None
         }
     }

@@ -30,6 +30,149 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks a key up in a [`Value::Map`]; `None` for other variants or
+    /// missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The unsigned integer, if this is a non-negative JSON integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The signed integer, if this is a JSON integer in `i64` range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The float, if this is any JSON number. Integers convert; a
+    /// [`Value::F64`] is returned bit-exactly.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a JSON string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a JSON boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is a JSON array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value entries, if this is a JSON object.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+/// Strict field-by-field reader over a serialized struct's
+/// [`Value::Map`], for hand-written decoders (the workspace's derive
+/// stand-in has no `Deserialize` codegen).
+///
+/// Strictness is the point: every named field must be present with the
+/// right shape, and [`FieldReader::finish`] fails if any key was left
+/// unread — so a struct field added without a matching decode line
+/// surfaces as a loud error in round-trip tests, not as silently dropped
+/// data.
+pub struct FieldReader<'a> {
+    ty: &'static str,
+    entries: &'a [(String, Value)],
+    used: Vec<bool>,
+}
+
+impl<'a> FieldReader<'a> {
+    /// Opens a reader over `v`, which must be a [`Value::Map`]. `ty` is
+    /// the decoded type's name, used in error messages.
+    pub fn open(v: &'a Value, ty: &'static str) -> Result<Self, String> {
+        match v {
+            Value::Map(entries) => Ok(Self { ty, entries, used: vec![false; entries.len()] }),
+            other => Err(format!("{ty}: expected object, found {other:?}")),
+        }
+    }
+
+    /// The raw value of `name`, marking it consumed.
+    pub fn value(&mut self, name: &str) -> Result<&'a Value, String> {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if k == name {
+                self.used[i] = true;
+                return Ok(v);
+            }
+        }
+        Err(format!("{}: missing field {name:?}", self.ty))
+    }
+
+    /// Reads `name` as a `u64`.
+    pub fn u64(&mut self, name: &str) -> Result<u64, String> {
+        let ty = self.ty;
+        self.value(name)?.as_u64().ok_or_else(|| format!("{ty}: field {name:?} is not a u64"))
+    }
+
+    /// Reads `name` as an `f64` (bit-exact for float-typed fields).
+    pub fn f64(&mut self, name: &str) -> Result<f64, String> {
+        let ty = self.ty;
+        self.value(name)?.as_f64().ok_or_else(|| format!("{ty}: field {name:?} is not a number"))
+    }
+
+    /// Reads `name` as a string slice.
+    pub fn str(&mut self, name: &str) -> Result<&'a str, String> {
+        let ty = self.ty;
+        self.value(name)?.as_str().ok_or_else(|| format!("{ty}: field {name:?} is not a string"))
+    }
+
+    /// Reads `name` as a bool.
+    pub fn bool(&mut self, name: &str) -> Result<bool, String> {
+        let ty = self.ty;
+        self.value(name)?.as_bool().ok_or_else(|| format!("{ty}: field {name:?} is not a bool"))
+    }
+
+    /// Verifies every key was consumed.
+    pub fn finish(self) -> Result<(), String> {
+        for (i, (k, _)) in self.entries.iter().enumerate() {
+            if !self.used[i] {
+                return Err(format!("{}: unknown field {k:?}", self.ty));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Conversion to a JSON [`Value`] — the stand-in for `serde::Serialize`.
 pub trait Serialize {
     /// Converts `self` to a JSON value tree.
@@ -148,6 +291,23 @@ impl Serialize for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn accessors_extract_and_reject() {
+        let v = Value::Map(vec![
+            ("n".into(), Value::U64(7)),
+            ("x".into(), Value::F64(0.5)),
+            ("s".into(), Value::Str("hi".into())),
+        ]);
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(7));
+        assert_eq!(v.get("x").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("s").and_then(Value::as_u64), None);
+        assert_eq!(Value::I64(-1).as_u64(), None);
+        assert_eq!(Value::Seq(vec![Value::Null]).as_seq().map(<[Value]>::len), Some(1));
+    }
 
     #[test]
     fn primitives_map_to_expected_variants() {

@@ -5,12 +5,17 @@
 //! emits fields in struct order), so the same value always produces
 //! byte-identical output — a property the simulator's reproducibility
 //! tests rely on.
+//!
+//! [`from_str`] parses JSON text back into a [`serde::Value`] tree. The
+//! parse is *exact* for anything this crate emitted: floats are written
+//! with Rust's shortest-round-trip formatting and read back with
+//! `str::parse::<f64>`, so serialize → parse → serialize is the identity
+//! on bytes. The sweep journal's crash-safe replay relies on this.
 
 use serde::{Serialize, Value};
 use std::fmt;
 
-/// Serialization error (this stand-in never fails; the type exists for
-/// call-site compatibility).
+/// Serialization/parse error.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -127,6 +132,212 @@ fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
     }
 }
 
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Integers without a fraction or exponent become [`Value::U64`] /
+/// [`Value::I64`] (kept exact); any other number becomes [`Value::F64`]
+/// via `str::parse`, which reconstructs the original bit pattern for
+/// floats emitted by [`to_string`] / [`to_string_pretty`].
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected {:?} at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error(format!("invalid number bytes at {start}")))?;
+        if float {
+            let x: f64 =
+                text.parse().map_err(|_| Error(format!("invalid float {text:?} at {start}")))?;
+            return Ok(Value::F64(x));
+        }
+        if text.starts_with('-') {
+            let n: i64 =
+                text.parse().map_err(|_| Error(format!("invalid integer {text:?} at {start}")))?;
+            Ok(Value::I64(n))
+        } else {
+            let n: u64 =
+                text.parse().map_err(|_| Error(format!("invalid integer {text:?} at {start}")))?;
+            Ok(Value::U64(n))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error(format!("invalid \\u escape {hex:?}")))?;
+                            // The emitter only escapes control characters;
+                            // surrogate pairs are out of scope here.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error(format!("invalid codepoint {code:#x}")))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(Error(format!("invalid escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Take the full UTF-8 scalar, not just one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error(format!("invalid UTF-8 at byte {}", self.pos)))?;
+                    let c = rest.chars().next().expect("non-empty rest");
+                    if (c as u32) < 0x20 {
+                        return Err(Error(format!("raw control character at byte {}", self.pos)));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => return Err(Error(format!("expected ',' or ']', found {other:?}"))),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => return Err(Error(format!("expected ',' or '}}', found {other:?}"))),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +367,41 @@ mod tests {
     fn pretty_output_is_indented() {
         let v = Value::Map(vec![("k".into(), Value::U64(7))]);
         assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"k\": 7\n}");
+    }
+
+    #[test]
+    fn parse_round_trips_compact_and_pretty() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::U64(u64::MAX)),
+            ("b".into(), Value::I64(-42)),
+            ("c".into(), Value::F64(0.1 + 0.2)),
+            ("d".into(), Value::Str("q\"\\\nend".into())),
+            ("e".into(), Value::Seq(vec![Value::Bool(false), Value::Null])),
+            ("f".into(), Value::Map(vec![])),
+        ]);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+        // Serialize → parse → serialize is the identity on bytes.
+        assert_eq!(to_string(&from_str(&compact).unwrap()).unwrap(), compact);
+    }
+
+    #[test]
+    fn parse_preserves_float_bits() {
+        for x in [1.0, 0.5, 1e300, 1.0 / 3.0, f64::MIN_POSITIVE, 123_456_789.123_456_78] {
+            let text = to_string(&x).unwrap();
+            match from_str(&text).unwrap() {
+                Value::F64(y) => assert_eq!(x.to_bits(), y.to_bits(), "{text}"),
+                other => panic!("expected float for {text}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,", "\"open", "{\"a\" 1}", "nul", "1 2", "{\"a\":01x}"] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }
