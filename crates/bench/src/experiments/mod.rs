@@ -20,6 +20,7 @@ pub mod fig19;
 pub mod fig20;
 pub mod fig21;
 pub mod fig22;
+pub mod mt;
 pub mod robustness;
 pub mod sens_huge_pages;
 pub mod sens_small_workloads;

@@ -1,0 +1,359 @@
+//! Multi-tenant scenarios: isolation under an adversarial neighbor
+//! (`mt_degradation`), guarantee pressure under demand spikes
+//! (`mt_tail_latency`), and arrival/departure/ballooning storms
+//! (`mt_churn_storm`). Every scenario runs a full [`MultiTenantSystem`]
+//! — per-tenant page tables, TLBs and compression state over one shared
+//! [`tmcc::tenancy::CapacityArbiter`] — with per-round invariant audits
+//! on, and emits the complete per-tenant report.
+//!
+//! The scenario builders are scale-aware (roster footprints, warmups,
+//! quanta and run lengths are sized per [`Scale`]), so the whole grid is
+//! part of the journal's config hash: [`grid_signature`] feeds
+//! `journal::scale_config_hash`, and a `--resume` against a journal
+//! written under different scenario parameters starts cold instead of
+//! replaying stale multi-tenant records.
+
+use crate::print_table;
+use crate::sweep::{Scale, SweepCtx};
+use serde::Serialize;
+use tmcc::tenancy::{ChurnKind, ChurnPlan, MultiTenantConfig, TenantSpec};
+use tmcc::{FaultKind, MultiTenantReport, QosPolicyKind, SchemeKind};
+use tmcc_workloads::WorkloadProfile;
+
+/// Per-scale scenario sizing. The quick tier mirrors the core acceptance
+/// test (`tenancy_integration.rs`) exactly, so the quarantine dynamics it
+/// asserts — adversary enters *and* exits degraded mode while every
+/// well-behaved floor holds — are what `mt_degradation --quick` shows.
+struct MtParams {
+    pages: u64,
+    warmup: u64,
+    quantum: u64,
+    total: u64,
+    size_samples: usize,
+}
+
+fn params(scale: Scale) -> MtParams {
+    match scale {
+        Scale::Full => {
+            MtParams { pages: 2_048, warmup: 2_000, quantum: 384, total: 56_000, size_samples: 16 }
+        }
+        Scale::Quick => {
+            MtParams { pages: 1_024, warmup: 800, quantum: 256, total: 28_000, size_samples: 8 }
+        }
+        Scale::Test => {
+            MtParams { pages: 512, warmup: 300, quantum: 128, total: 9_000, size_samples: 8 }
+        }
+    }
+}
+
+/// All three QoS policies, in registry order.
+const POLICIES: [QosPolicyKind; 3] = [
+    QosPolicyKind::StrictPartition,
+    QosPolicyKind::ProportionalShare,
+    QosPolicyKind::BestEffortFloors,
+];
+
+/// One point of a multi-tenant grid.
+#[derive(Clone)]
+pub struct MtPoint {
+    /// Scenario label within the experiment (e.g. `adversarial`).
+    pub scenario: &'static str,
+    /// The full scenario configuration.
+    pub cfg: MultiTenantConfig,
+    /// Measured accesses for the run.
+    pub total: u64,
+}
+
+/// A kv workload shrunk/grown to the scenario's page count.
+fn kv(name: &str, pages: u64) -> WorkloadProfile {
+    let mut w = WorkloadProfile::by_name(name).expect("kv workload");
+    w.sim_pages = pages;
+    w
+}
+
+/// The degradation roster: three well-behaved kv tenants plus an
+/// adversary whose demand undershoots its uncompressed footprint — it
+/// *needs* compression to fit, so turning its content incompressible
+/// collapses its free list and trips the quarantine ladder.
+fn degradation_cfg(p: &MtParams, policy: QosPolicyKind, adversarial: bool) -> MultiTenantConfig {
+    let resident = TenantSpec::resident_frames(&kv("kv_zipf", p.pages));
+    let well = |name: &str, workload: &str, seed: u64| {
+        TenantSpec::new(name, kv(workload, p.pages), SchemeKind::Tmcc, seed)
+            .with_floor(resident * 6 / 10)
+            .with_demand(resident)
+    };
+    let adversary = TenantSpec::new("adversary", kv("kv_hostile", p.pages), SchemeKind::Tmcc, 99)
+        .with_floor(resident / 2)
+        .with_demand(resident * 7 / 10);
+    let total = p.total;
+    let churn = if adversarial {
+        ChurnPlan::none()
+            .with(
+                total / 6,
+                ChurnKind::Fault { roster: 3, kind: FaultKind::ContentShift { percent: 40 } },
+            )
+            .with(total / 6, ChurnKind::WorkingSetSpike { roster: 3, percent: 140 })
+            .with(
+                total / 2,
+                ChurnKind::Fault { roster: 3, kind: FaultKind::ContentShift { percent: 0 } },
+            )
+            .with(total / 2, ChurnKind::WorkingSetSpike { roster: 3, percent: 100 })
+    } else {
+        ChurnPlan::none()
+    };
+    MultiTenantConfig::new((3 * resident + resident * 7 / 10) as u64, policy)
+        .with_tenant(well("alpha", "kv_zipf", 11))
+        .with_tenant(well("beta", "kv_cache", 22))
+        .with_tenant(well("gamma", "kv_scan", 33))
+        .with_tenant(adversary)
+        .with_churn(churn)
+        .with_quantum(p.quantum)
+        .with_warmup(p.warmup)
+        .with_seed(0xBEEF)
+        .with_size_samples(p.size_samples)
+        .with_audit()
+}
+
+/// The `mt_degradation` grid: {control, adversarial} under each policy.
+pub fn degradation_points(scale: Scale) -> Vec<MtPoint> {
+    let p = params(scale);
+    let mut points = Vec::new();
+    for policy in POLICIES {
+        for (scenario, adversarial) in [("control", false), ("adversarial", true)] {
+            points.push(MtPoint {
+                scenario,
+                cfg: degradation_cfg(&p, policy, adversarial),
+                total: p.total,
+            });
+        }
+    }
+    points
+}
+
+/// The tail-latency roster: the hostile tenant never turns
+/// incompressible here — it just spikes its working set mid-run, and the
+/// question is how many rounds each policy lets the pressure breach
+/// well-behaved guarantees before the arbiter rebalances.
+fn tail_latency_cfg(p: &MtParams, policy: QosPolicyKind) -> MultiTenantConfig {
+    let resident = TenantSpec::resident_frames(&kv("kv_zipf", p.pages));
+    let well = |name: &str, workload: &str, seed: u64| {
+        TenantSpec::new(name, kv(workload, p.pages), SchemeKind::Tmcc, seed)
+            .with_floor(resident * 6 / 10)
+            .with_demand(resident)
+    };
+    let bursty = TenantSpec::new("bursty", kv("kv_hostile", p.pages), SchemeKind::Tmcc, 77)
+        .with_floor(resident / 2)
+        .with_demand(resident * 7 / 10);
+    let total = p.total;
+    MultiTenantConfig::new((3 * resident + resident * 7 / 10) as u64, policy)
+        .with_tenant(well("alpha", "kv_zipf", 41))
+        .with_tenant(well("beta", "kv_cache", 42))
+        .with_tenant(well("gamma", "kv_scan", 43))
+        .with_tenant(bursty)
+        .with_churn(
+            ChurnPlan::none()
+                .with(total / 3, ChurnKind::WorkingSetSpike { roster: 3, percent: 160 })
+                .with(2 * total / 3, ChurnKind::WorkingSetSpike { roster: 3, percent: 100 }),
+        )
+        .with_quantum(p.quantum)
+        .with_warmup(p.warmup)
+        .with_seed(0xD00D)
+        .with_size_samples(p.size_samples)
+        .with_audit()
+}
+
+/// The `mt_tail_latency` grid: one spike scenario per policy.
+pub fn tail_latency_points(scale: Scale) -> Vec<MtPoint> {
+    let p = params(scale);
+    POLICIES
+        .into_iter()
+        .map(|policy| MtPoint {
+            scenario: "spike",
+            cfg: tail_latency_cfg(&p, policy),
+            total: p.total,
+        })
+        .collect()
+}
+
+/// The churn roster: five kv tenants over a pool that holds roughly
+/// three and a half of them, so every arrival renegotiates budgets and
+/// every departure returns contended frames.
+fn churn_cfg(
+    p: &MtParams,
+    policy: QosPolicyKind,
+    churn: ChurnPlan,
+    seed: u64,
+) -> MultiTenantConfig {
+    let pages = (p.pages / 2).max(256);
+    let resident = TenantSpec::resident_frames(&kv("kv_zipf", pages));
+    let workloads = ["kv_zipf", "kv_cache", "kv_scan", "kv_zipf", "kv_cache"];
+    let mut cfg = MultiTenantConfig::new((resident as u64) * 7 / 2, policy)
+        .with_initial_tenants(3)
+        .with_churn(churn)
+        .with_quantum(p.quantum)
+        .with_warmup(p.warmup)
+        .with_seed(seed)
+        .with_size_samples(p.size_samples)
+        .with_audit();
+    for (i, workload) in workloads.into_iter().enumerate() {
+        cfg = cfg.with_tenant(
+            TenantSpec::new(&format!("t{i}"), kv(workload, pages), SchemeKind::Tmcc, 50 + i as u64)
+                .with_floor(resident / 2)
+                .with_demand(resident),
+        );
+    }
+    cfg
+}
+
+/// The `mt_churn_storm` grid: calm → gusty → storm, each under a
+/// different policy so all three see churn coverage.
+pub fn churn_storm_points(scale: Scale) -> Vec<MtPoint> {
+    let p = params(scale);
+    let pages = (p.pages / 2).max(256);
+    let balloon = u64::from(TenantSpec::resident_frames(&kv("kv_zipf", pages))) / 6;
+    let t = p.total;
+    let calm = ChurnPlan::none()
+        .with(t / 4, ChurnKind::Arrive { roster: 3 })
+        .with(t / 2, ChurnKind::Depart { roster: 0 });
+    let gusty = ChurnPlan::none()
+        .with(t / 6, ChurnKind::Arrive { roster: 3 })
+        .with(t / 3, ChurnKind::Arrive { roster: 4 })
+        .with(t / 2, ChurnKind::Depart { roster: 1 })
+        .with(2 * t / 3, ChurnKind::PoolShrink { frames: balloon })
+        .with(5 * t / 6, ChurnKind::PoolGrow { frames: balloon });
+    let storm = ChurnPlan::none()
+        .with(t / 8, ChurnKind::Arrive { roster: 3 })
+        .with(t / 6, ChurnKind::Fault { roster: 1, kind: FaultKind::CteFlushStorm })
+        .with(t / 5, ChurnKind::WorkingSetSpike { roster: 2, percent: 180 })
+        .with(t / 4, ChurnKind::Arrive { roster: 4 })
+        .with(t / 3, ChurnKind::PoolShrink { frames: balloon })
+        .with(t / 2, ChurnKind::Depart { roster: 0 })
+        .with(t / 2, ChurnKind::Fault { roster: 2, kind: FaultKind::ContentShift { percent: 50 } })
+        .with(2 * t / 3, ChurnKind::PoolGrow { frames: balloon })
+        .with(3 * t / 4, ChurnKind::WorkingSetSpike { roster: 2, percent: 100 })
+        .with(7 * t / 8, ChurnKind::Depart { roster: 3 });
+    vec![
+        MtPoint {
+            scenario: "calm",
+            cfg: churn_cfg(&p, QosPolicyKind::StrictPartition, calm, 0xCA11),
+            total: p.total,
+        },
+        MtPoint {
+            scenario: "gusty",
+            cfg: churn_cfg(&p, QosPolicyKind::ProportionalShare, gusty, 0x6057),
+            total: p.total,
+        },
+        MtPoint {
+            scenario: "storm",
+            cfg: churn_cfg(&p, QosPolicyKind::BestEffortFloors, storm, 0x5708),
+            total: p.total,
+        },
+    ]
+}
+
+/// Fingerprint input covering every multi-tenant grid at `scale` —
+/// folded into the sweep journal's config hash so MT scenario changes
+/// invalidate a stale `--resume` journal.
+pub fn grid_signature(scale: Scale) -> String {
+    let mut sig = String::new();
+    for (experiment, points) in [
+        ("mt_degradation", degradation_points(scale)),
+        ("mt_tail_latency", tail_latency_points(scale)),
+        ("mt_churn_storm", churn_storm_points(scale)),
+    ] {
+        for p in points {
+            sig.push_str(&format!("{experiment}|{}|{}|{:?};", p.scenario, p.total, p.cfg));
+        }
+    }
+    sig
+}
+
+#[derive(Serialize)]
+struct Row {
+    scenario: &'static str,
+    policy: &'static str,
+    total_accesses: u64,
+    report: MultiTenantReport,
+}
+
+fn run_grid(ctx: &SweepCtx, title: &str, stem: &str, points: Vec<MtPoint>) {
+    let out: Vec<Row> = ctx.par_map(points, |p| {
+        let policy = p.cfg.policy.name();
+        let report = ctx.run_mt(p.cfg, p.total);
+        Row { scenario: p.scenario, policy, total_accesses: p.total, report }
+    });
+    let rows: Vec<Vec<String>> = out
+        .iter()
+        .map(|row| {
+            let r = &row.report;
+            let degraded: u64 = r.tenants.iter().map(|t| t.degraded_entries).sum();
+            let throttled: u64 = r.tenants.iter().map(|t| t.throttled_quanta).sum();
+            vec![
+                row.scenario.to_string(),
+                row.policy.to_string(),
+                r.rounds.to_string(),
+                r.churn_events_applied.to_string(),
+                r.admission_rejections.to_string(),
+                degraded.to_string(),
+                throttled.to_string(),
+                r.guarantee_breach_rounds.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &["scenario", "policy", "rounds", "churn", "rejected", "degraded", "throttled", "breaches"],
+        &rows,
+    );
+    ctx.emit(stem, &out);
+}
+
+/// `mt_degradation`: adversarial-neighbor isolation under each policy.
+pub fn run_degradation(ctx: &SweepCtx) {
+    run_grid(
+        ctx,
+        "Multi-tenant degradation — adversarial neighbor vs control, per QoS policy",
+        "mt_degradation",
+        degradation_points(ctx.scale()),
+    );
+}
+
+/// `mt_tail_latency`: guarantee pressure under mid-run demand spikes.
+pub fn run_tail_latency(ctx: &SweepCtx) {
+    run_grid(
+        ctx,
+        "Multi-tenant tail pressure — working-set spikes, per QoS policy",
+        "mt_tail_latency",
+        tail_latency_points(ctx.scale()),
+    );
+}
+
+/// `mt_churn_storm`: arrival/departure/ballooning storms of rising
+/// intensity.
+pub fn run_churn_storm(ctx: &SweepCtx) {
+    run_grid(
+        ctx,
+        "Multi-tenant churn — calm, gusty and storm arrival/departure mixes",
+        "mt_churn_storm",
+        churn_storm_points(ctx.scale()),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The journal invalidation contract: the signature must cover every
+    /// mt grid and change whenever their scale-dependent parameters do.
+    #[test]
+    fn grid_signature_covers_all_grids_and_varies_by_scale() {
+        let quick = grid_signature(Scale::Quick);
+        for experiment in ["mt_degradation|", "mt_tail_latency|", "mt_churn_storm|"] {
+            assert!(quick.contains(experiment), "signature misses {experiment}");
+        }
+        assert_ne!(quick, grid_signature(Scale::Test));
+        assert_ne!(quick, grid_signature(Scale::Full));
+        // Deterministic: the hash must be stable across processes.
+        assert_eq!(quick, grid_signature(Scale::Quick));
+    }
+}

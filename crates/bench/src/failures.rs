@@ -77,6 +77,16 @@ pub struct PointFailure {
     pub cause: FailureCause,
     /// Attempts made (1 initial + retries).
     pub attempts: u32,
+    /// Seed of the most recently tuned config for the point (the final
+    /// attempt's seed, including retry re-seeds) — together with `scale`
+    /// and `config_hash` enough to replay it standalone via
+    /// `tmcc-bench run <experiment> --point <index>`.
+    pub seed: Option<u64>,
+    /// Name of the [`crate::sweep::Scale`] the sweep ran at.
+    pub scale: &'static str,
+    /// The scale's tuning-knob hash (see `journal::scale_config_hash`);
+    /// matches the `config=` field of the sweep journal header.
+    pub config_hash: u64,
 }
 
 /// Thread-safe failure collector shared by every experiment context.
@@ -214,6 +224,9 @@ mod tests {
             index: 3,
             cause: FailureCause::Sim { error: "capacity exhausted".into() },
             attempts: 3,
+            seed: Some(0xBEEF),
+            scale: "test",
+            config_hash: 0xabcd,
         });
         assert_eq!(sink.finalize(&dir), 1);
         assert!(path.exists());

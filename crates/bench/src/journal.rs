@@ -138,13 +138,19 @@ pub fn build_id() -> String {
     described.unwrap_or_else(|| format!("pkg-{}", env!("CARGO_PKG_VERSION")))
 }
 
-fn scale_config_hash(scale: Scale) -> u64 {
+/// Hash over everything a [`Scale`] pins about the sweep's configuration:
+/// the single-system tuning knobs *and* the multi-tenant scenario grids
+/// (rosters, churn plans, quanta all vary by scale) — so a journal written
+/// under different MT parameters invalidates on `--resume` instead of
+/// replaying stale records.
+pub fn scale_config_hash(scale: Scale) -> u64 {
     fingerprint(&format!(
-        "accesses={} warmup={:?} pages_cap={:?} size_samples={}",
+        "accesses={} warmup={:?} pages_cap={:?} size_samples={} mt={:016x}",
         scale.accesses(),
         scale.warmup(),
         scale.pages_cap(),
-        scale.size_samples()
+        scale.size_samples(),
+        fingerprint(&crate::experiments::mt::grid_signature(scale))
     ))
 }
 

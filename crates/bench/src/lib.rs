@@ -6,9 +6,10 @@
 //! run helpers (iso-savings budgets, normalized comparisons, iso-perf
 //! search).
 
-mod experiments;
+pub mod experiments;
 pub mod failures;
 pub mod journal;
+pub mod perf_gate;
 pub mod registry;
 pub mod sweep;
 pub mod watchdog;

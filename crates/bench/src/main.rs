@@ -34,9 +34,11 @@ use std::time::Instant;
 use tmcc::PhaseProfile;
 use tmcc_bench::failures::FailureSink;
 use tmcc_bench::journal::{JournalMeta, ResumeState, SweepJournal};
+use tmcc_bench::perf_gate;
 use tmcc_bench::registry::{self, Experiment};
 use tmcc_bench::sweep::{
-    resolve_jobs, ExperimentTiming, PointAborted, Scale, SweepCtx, SweepSummary, DEFAULT_RETRIES,
+    resolve_jobs, ExperimentTiming, PointAborted, PointReplayDone, Scale, SweepCtx, SweepSummary,
+    DEFAULT_RETRIES,
 };
 use tmcc_bench::watchdog::Watchdog;
 
@@ -47,6 +49,7 @@ struct Options {
     out: PathBuf,
     resume: bool,
     retries: u32,
+    point: Option<usize>,
     names: Vec<String>,
 }
 
@@ -58,6 +61,9 @@ fn usage() -> ! {
          \x20 list                 list registered experiments\n\
          \x20 run <name>...        run the named experiments\n\
          \x20 run-all              run every registered experiment\n\
+         \x20 perf-gate --baseline F --current F [--tolerance-pct P]\n\
+         \x20                      diff two BENCH_sweep.json summaries; exit 1 on\n\
+         \x20                      any acc/s regression beyond P% (default 15)\n\
          \n\
          options:\n\
          \x20 --jobs N             worker threads (default: one per CPU)\n\
@@ -66,7 +72,9 @@ fn usage() -> ! {
          \x20 --profile            collect host-time per-phase timing\n\
          \x20 --out DIR            output directory (default: repo results/)\n\
          \x20 --resume             replay completed points from the sweep journal\n\
-         \x20 --retries N          attempts per point = N + 1 (default: 2)"
+         \x20 --retries N          attempts per point = N + 1 (default: 2)\n\
+         \x20 --point N            (run, one experiment) replay only grid point N —\n\
+         \x20                      standalone reproduction of a FAILURES.json entry"
     );
     std::process::exit(2);
 }
@@ -79,6 +87,7 @@ fn parse_options(args: &[String]) -> Options {
         out: tmcc_bench::results_dir(),
         resume: false,
         retries: DEFAULT_RETRIES,
+        point: None,
         names: Vec::new(),
     };
     let mut it = args.iter();
@@ -96,6 +105,10 @@ fn parse_options(args: &[String]) -> Options {
                 opts.out = PathBuf::from(v);
             }
             "--resume" => opts.resume = true,
+            "--point" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.point = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
             "--retries" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 opts.retries = v.parse().unwrap_or_else(|_| usage());
@@ -177,6 +190,7 @@ impl Harness {
         SweepCtx::with_pool(opts.scale, jobs, opts.out.clone(), opts.profile, pool)
             .for_experiment(e.name, e.budget_weight)
             .with_retries(opts.retries)
+            .with_point(opts.point)
             .with_journal(Arc::clone(&self.journal))
             .with_watchdog(Arc::clone(&self.watchdog))
             .with_failures(Arc::clone(&self.failures))
@@ -193,6 +207,7 @@ fn run_one(e: &Experiment, ctx: &SweepCtx) -> ExperimentTiming {
     let wall = start.elapsed();
     let status = match outcome {
         Ok(()) => "ok",
+        Err(payload) if payload.is::<PointReplayDone>() => "replayed",
         Err(payload) => {
             if !payload.is::<PointAborted>() {
                 let message = payload
@@ -356,6 +371,14 @@ fn finish(harness: &Harness, opts: &Options) {
 }
 
 fn main() {
+    // `--point` unwinds with [`PointReplayDone`] on success; that control
+    // flow must not print as a panic.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !info.payload().is::<PointReplayDone>() {
+            default_hook(info);
+        }
+    }));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
     match command.as_str() {
@@ -380,15 +403,28 @@ fn main() {
                     }
                 }
             }
+            if opts.point.is_some() && experiments.len() != 1 {
+                eprintln!("--point replays one grid point; name exactly one experiment\n");
+                usage();
+            }
             let harness = Harness::new(&opts);
             let summary = run_suite(&experiments, &opts, &harness);
             print_summary(&summary);
             finish(&harness, &opts);
+            if opts.point.is_some() && summary.experiments.iter().any(|t| t.status != "replayed") {
+                // An out-of-range point aborts without quarantining
+                // anything; the replay still failed.
+                std::process::exit(1);
+            }
         }
         "run-all" => {
             let opts = parse_options(&args[1..]);
             if !opts.names.is_empty() {
                 eprintln!("run-all takes no experiment names\n");
+                usage();
+            }
+            if opts.point.is_some() {
+                eprintln!("--point requires `run` with a single experiment\n");
                 usage();
             }
             let harness = Harness::new(&opts);
@@ -405,6 +441,68 @@ fn main() {
                 Err(e) => eprintln!("could not serialize sweep summary: {e}"),
             }
             finish(&harness, &opts);
+        }
+        "perf-gate" => {
+            let mut baseline = None;
+            let mut current = None;
+            let mut tolerance = perf_gate::DEFAULT_TOLERANCE_PCT;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--baseline" => baseline = it.next().map(PathBuf::from),
+                    "--current" => current = it.next().map(PathBuf::from),
+                    "--tolerance-pct" => {
+                        let v = it.next().unwrap_or_else(|| usage());
+                        tolerance = v.parse().unwrap_or_else(|_| usage());
+                    }
+                    other => {
+                        eprintln!("perf-gate: unknown argument {other}\n");
+                        usage();
+                    }
+                }
+            }
+            let (Some(baseline), Some(current)) = (baseline, current) else {
+                eprintln!("perf-gate: --baseline and --current are both required\n");
+                usage();
+            };
+            let read = |path: &PathBuf| match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("perf-gate: cannot read {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            let outcome = match perf_gate::evaluate(&read(&baseline), &read(&current), tolerance) {
+                Ok(o) => o,
+                Err(msg) => {
+                    eprintln!("perf-gate: {msg}");
+                    std::process::exit(1);
+                }
+            };
+            println!("━━━ perf gate (tolerance {tolerance:.0}%) ━━━");
+            for r in &outcome.rows {
+                println!(
+                    "  {:<28} {:>12.0} → {:>12.0} acc/s  {:>+7.1}%  {}",
+                    r.name,
+                    r.baseline_aps,
+                    r.current_aps,
+                    r.delta_pct,
+                    if r.regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+            for s in &outcome.skipped {
+                println!("  skipped: {s}");
+            }
+            let regressions = outcome.regressions();
+            if !regressions.is_empty() {
+                eprintln!(
+                    "perf-gate: {} experiment(s) regressed beyond {tolerance:.0}%: {}",
+                    regressions.len(),
+                    regressions.join(", ")
+                );
+                std::process::exit(1);
+            }
+            println!("perf-gate: {} experiment(s) within tolerance", outcome.rows.len());
         }
         _ => usage(),
     }

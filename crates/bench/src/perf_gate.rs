@@ -1,0 +1,165 @@
+//! CI performance-regression gate: diffs the per-experiment `acc/s`
+//! throughput of two `BENCH_sweep.json` summaries (a checked-in baseline
+//! vs the current quick sweep) and fails when any shared experiment
+//! regressed beyond the tolerance.
+//!
+//! Only experiments that completed (`status == "ok"`) in *both* sweeps
+//! are compared; experiments present on one side only are listed as
+//! skipped, never silently dropped. Speedups always pass — the gate is
+//! one-sided.
+
+use serde::Value;
+
+/// Default regression tolerance, percent.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 15.0;
+
+/// One compared experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Registry name.
+    pub name: String,
+    /// Baseline throughput, accesses/second.
+    pub baseline_aps: f64,
+    /// Current throughput, accesses/second.
+    pub current_aps: f64,
+    /// Relative change, percent (negative = slower than baseline).
+    pub delta_pct: f64,
+    /// Whether the slowdown exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// The gate's verdict over two sweep summaries.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Experiments compared, in baseline order.
+    pub rows: Vec<GateRow>,
+    /// Experiments skipped (missing or not `ok` on one side), with the
+    /// reason.
+    pub skipped: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Names of the experiments that regressed beyond tolerance.
+    pub fn regressions(&self) -> Vec<&str> {
+        self.rows.iter().filter(|r| r.regressed).map(|r| r.name.as_str()).collect()
+    }
+}
+
+/// Per-experiment `(name, status, accesses_per_sec)` out of one
+/// `BENCH_sweep.json` text.
+fn experiments(json: &str, label: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let value = serde_json::from_str(json).map_err(|e| format!("{label}: unparsable: {e}"))?;
+    let entries = value
+        .get("experiments")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| format!("{label}: no `experiments` array"))?;
+    let mut out = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{label}: experiment #{i} has no name"))?;
+        let status = e.get("status").and_then(Value::as_str).unwrap_or("unknown");
+        let aps = e
+            .get("accesses_per_sec")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{label}: {name} has no accesses_per_sec"))?;
+        out.push((name.to_string(), status.to_string(), aps));
+    }
+    Ok(out)
+}
+
+/// Compares two sweep summaries under `tolerance_pct`.
+pub fn evaluate(
+    baseline_json: &str,
+    current_json: &str,
+    tolerance_pct: f64,
+) -> Result<GateOutcome, String> {
+    let baseline = experiments(baseline_json, "baseline")?;
+    let current = experiments(current_json, "current")?;
+    let mut outcome = GateOutcome::default();
+    for (name, status, baseline_aps) in &baseline {
+        if status != "ok" {
+            outcome.skipped.push(format!("{name}: baseline status {status}"));
+            continue;
+        }
+        let Some((_, cur_status, current_aps)) = current.iter().find(|(n, _, _)| n == name) else {
+            outcome.skipped.push(format!("{name}: missing from current sweep"));
+            continue;
+        };
+        if cur_status != "ok" {
+            outcome.skipped.push(format!("{name}: current status {cur_status}"));
+            continue;
+        }
+        let delta_pct = if *baseline_aps > 0.0 {
+            (current_aps - baseline_aps) / baseline_aps * 100.0
+        } else {
+            0.0
+        };
+        outcome.rows.push(GateRow {
+            name: name.clone(),
+            baseline_aps: *baseline_aps,
+            current_aps: *current_aps,
+            delta_pct,
+            regressed: *current_aps < baseline_aps * (1.0 - tolerance_pct / 100.0),
+        });
+    }
+    for (name, _, _) in &current {
+        if !baseline.iter().any(|(n, _, _)| n == name) {
+            outcome.skipped.push(format!("{name}: missing from baseline (new experiment?)"));
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(entries: &[(&str, &str, f64)]) -> String {
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|(name, status, aps)| {
+                format!(
+                    "{{\"name\":\"{name}\",\"status\":\"{status}\",\"accesses_per_sec\":{aps}}}"
+                )
+            })
+            .collect();
+        format!("{{\"experiments\":[{}]}}", rows.join(","))
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_regression_fails() {
+        let baseline = sweep(&[("fig01", "ok", 1000.0), ("fig02", "ok", 2000.0)]);
+        let current = sweep(&[("fig01", "ok", 900.0), ("fig02", "ok", 1500.0)]);
+        let outcome = evaluate(&baseline, &current, 15.0).expect("evaluates");
+        assert_eq!(outcome.rows.len(), 2);
+        assert!(!outcome.rows[0].regressed, "-10% is within a 15% tolerance");
+        assert!(outcome.rows[1].regressed, "-25% must trip the gate");
+        assert_eq!(outcome.regressions(), vec!["fig02"]);
+    }
+
+    #[test]
+    fn speedups_and_exact_boundary_pass() {
+        let baseline = sweep(&[("a", "ok", 1000.0), ("b", "ok", 1000.0)]);
+        let current = sweep(&[("a", "ok", 5000.0), ("b", "ok", 850.0)]);
+        let outcome = evaluate(&baseline, &current, 15.0).expect("evaluates");
+        assert!(outcome.regressions().is_empty(), "exactly -15% is tolerated");
+    }
+
+    #[test]
+    fn non_ok_and_missing_experiments_are_skipped_not_failed() {
+        let baseline = sweep(&[("a", "ok", 1000.0), ("b", "failed", 10.0), ("c", "ok", 500.0)]);
+        let current = sweep(&[("a", "failed", 1.0), ("c", "ok", 490.0), ("d", "ok", 100.0)]);
+        let outcome = evaluate(&baseline, &current, 15.0).expect("evaluates");
+        assert_eq!(outcome.rows.len(), 1, "only c is comparable");
+        assert!(outcome.regressions().is_empty());
+        assert_eq!(outcome.skipped.len(), 3, "a, b and d all reported: {:?}", outcome.skipped);
+    }
+
+    #[test]
+    fn garbage_input_is_a_typed_error() {
+        assert!(evaluate("not json", "{}", 15.0).is_err());
+        assert!(evaluate("{\"experiments\":[]}", "{}", 15.0).is_err());
+    }
+}

@@ -136,6 +136,24 @@ pub fn all() -> Vec<Experiment> {
             title: "Robustness sweep — balloon shocks of increasing severity",
             run: experiments::robustness::run,
         },
+        Experiment {
+            name: "mt_degradation",
+            budget_weight: 3.0,
+            title: "Multi-tenant — adversarial-neighbor isolation per QoS policy",
+            run: experiments::mt::run_degradation,
+        },
+        Experiment {
+            name: "mt_tail_latency",
+            budget_weight: 3.0,
+            title: "Multi-tenant — guarantee pressure under working-set spikes",
+            run: experiments::mt::run_tail_latency,
+        },
+        Experiment {
+            name: "mt_churn_storm",
+            budget_weight: 3.0,
+            title: "Multi-tenant — arrival/departure/ballooning churn storms",
+            run: experiments::mt::run_churn_storm,
+        },
     ]
 }
 

@@ -37,7 +37,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tmcc::config::TmccToggles;
-use tmcc::{PhaseProfile, RunHandle, RunReport, SchemeKind, System, SystemConfig, TmccError};
+use tmcc::{
+    MultiTenantConfig, MultiTenantReport, MultiTenantSystem, PhaseProfile, RunHandle, RunReport,
+    SchemeKind, System, SystemConfig, TmccError,
+};
 use tmcc_workloads::WorkloadProfile;
 
 /// How much work each config point simulates.
@@ -159,6 +162,10 @@ thread_local! {
     /// panicked on — lets the retry ring report a typed `sim-error`
     /// cause instead of a generic panic.
     static LAST_SIM_ERROR: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// Seed of the most recently tuned config on this worker, recorded
+    /// into `FAILURES.json` so a quarantined point can be replayed at
+    /// the exact seed of its final attempt.
+    static LAST_POINT_SEED: Cell<Option<u64>> = const { Cell::new(None) };
 }
 
 /// Panic payload for a watchdog-cancelled run; [`SweepCtx::try_run`]
@@ -172,6 +179,11 @@ struct PointTimeout {
 /// recorded in the failure sink. The experiment-level `catch_unwind` in
 /// `tmcc-bench` recognizes it and does not double-report.
 pub struct PointAborted;
+
+/// Panic payload thrown by `--point` replay after the selected point
+/// finished: the experiment stops before aggregating or emitting partial
+/// results, and `tmcc-bench` reports the replay as a success.
+pub struct PointReplayDone;
 
 /// Shared context for one sweep invocation.
 ///
@@ -189,6 +201,7 @@ pub struct SweepCtx {
     experiment: &'static str,
     budget_weight: f64,
     retries: u32,
+    only_point: Option<usize>,
     journal: Option<Arc<SweepJournal>>,
     watchdog: Option<Arc<Watchdog>>,
     failures: Option<Arc<FailureSink>>,
@@ -228,6 +241,7 @@ impl SweepCtx {
             experiment: "",
             budget_weight: 1.0,
             retries: DEFAULT_RETRIES,
+            only_point: None,
             journal: None,
             watchdog: None,
             failures: None,
@@ -280,6 +294,16 @@ impl SweepCtx {
     /// Sets the per-point retry count (attempts = retries + 1).
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
+        self
+    }
+
+    /// Restricts the sweep to one point index of the experiment's first
+    /// grid (`tmcc-bench run <exp> --point <idx>`): the point runs alone
+    /// through the normal retry ring, then the experiment stops with
+    /// [`PointReplayDone`] instead of emitting partial results. This is
+    /// the standalone replay for a `FAILURES.json` entry.
+    pub fn with_point(mut self, point: Option<usize>) -> Self {
+        self.only_point = point;
         self
     }
 
@@ -344,6 +368,16 @@ impl SweepCtx {
         F: Fn(T) -> R + Sync + Send,
     {
         let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+        if let Some(point) = self.only_point {
+            let grid = indexed.len();
+            let Some((index, item)) = indexed.into_iter().find(|&(i, _)| i == point) else {
+                eprintln!("[{}] --point {point} out of range (grid has {grid})", self.experiment);
+                std::panic::panic_any(PointAborted);
+            };
+            let _ = self.run_point(index, item, &f);
+            println!("[{}] point {point} replayed successfully", self.experiment);
+            std::panic::panic_any(PointReplayDone);
+        }
         let run = |(index, item): (usize, T)| self.run_point(index, item, &f);
         if self.jobs <= 1 {
             return indexed.into_iter().map(run).collect();
@@ -404,7 +438,15 @@ impl SweepCtx {
             }
         }
         let cause = last_cause.unwrap_or(FailureCause::Panic { message: "unknown".into() });
-        sink.record(PointFailure { experiment: self.experiment, index, cause, attempts });
+        sink.record(PointFailure {
+            experiment: self.experiment,
+            index,
+            cause,
+            attempts,
+            seed: LAST_POINT_SEED.with(Cell::get),
+            scale: self.scale.name(),
+            config_hash: crate::journal::scale_config_hash(self.scale),
+        });
         std::panic::panic_any(PointAborted);
     }
 
@@ -448,6 +490,20 @@ impl SweepCtx {
             let shift = point.timeouts.min(8);
             cfg.workload.sim_pages = (cfg.workload.sim_pages >> shift).max(64);
         }
+        LAST_POINT_SEED.with(|c| c.set(Some(cfg.seed)));
+        cfg
+    }
+
+    /// Multi-tenant counterpart of [`SweepCtx::tune`]. The scenario
+    /// builders in `experiments::mt` are already scale-aware (roster
+    /// footprints, warmups and quanta are sized per [`Scale`]), so only
+    /// the per-attempt retry re-seed applies here.
+    pub fn tune_mt(&self, mut cfg: MultiTenantConfig) -> MultiTenantConfig {
+        let point = POINT_CTX.with(Cell::get);
+        if point.attempt > 0 {
+            cfg.seed ^= RESEED_GOLDEN.wrapping_mul(point.attempt as u64);
+        }
+        LAST_POINT_SEED.with(|c| c.set(Some(cfg.seed)));
         cfg
     }
 
@@ -511,6 +567,70 @@ impl SweepCtx {
             self.prof_data_ns.fetch_add(p.data_ns, Ordering::Relaxed);
             self.prof_maintenance_ns.fetch_add(p.maintenance_ns, Ordering::Relaxed);
         }
+        if let Err(e) = &result {
+            if e.is_cancelled() {
+                let budget_ms = self.point_budget().as_millis() as u64;
+                std::panic::panic_any(PointTimeout { budget_ms });
+            }
+        }
+        if let (Ok(report), Some(journal)) = (&result, &self.journal) {
+            match serde_json::to_string(report) {
+                Ok(json) => journal.append(self.experiment, key, &json),
+                Err(e) => eprintln!("warning: could not journal a run: {e}"),
+            }
+        }
+        result
+    }
+
+    /// Runs one multi-tenant scenario, panicking on error so failures
+    /// route through the retry ring (the MT counterpart of
+    /// [`SweepCtx::run`]).
+    pub fn run_mt(&self, cfg: MultiTenantConfig, accesses: u64) -> MultiTenantReport {
+        match self.try_run_mt(cfg, accesses) {
+            Ok(r) => r,
+            Err(e) => {
+                LAST_SIM_ERROR.with(|c| *c.borrow_mut() = Some(e.to_string()));
+                panic!("{e}")
+            }
+        }
+    }
+
+    /// Fallible multi-tenant counterpart of [`SweepCtx::try_run`]: same
+    /// journal replay (keys prefixed `mt|` so they can never collide
+    /// with single-system fingerprints), same watchdog arming — the
+    /// cancellation token is wired in before construction so admission
+    /// warmups respect the deadline — and the same timeout-to-panic
+    /// conversion into the retry ring.
+    pub fn try_run_mt(
+        &self,
+        cfg: MultiTenantConfig,
+        accesses: u64,
+    ) -> Result<MultiTenantReport, TmccError> {
+        let cfg = self.tune_mt(cfg);
+        let initial_warmups =
+            cfg.warmup_accesses * cfg.initial_tenants.min(cfg.roster.len()) as u64;
+        let key = fingerprint(&format!("mt|{cfg:?}|{accesses}"));
+        if let Some(journal) = &self.journal {
+            if let Some(json) = journal.lookup(self.experiment, key) {
+                match decode_mt_report(json) {
+                    Ok(report) => {
+                        self.accesses.fetch_add(initial_warmups + accesses, Ordering::Relaxed);
+                        self.points_replayed.fetch_add(1, Ordering::Relaxed);
+                        return Ok(report);
+                    }
+                    Err(detail) => eprintln!(
+                        "warning: [{}] journal record undecodable ({detail}); re-running",
+                        self.experiment
+                    ),
+                }
+            }
+        }
+        let handle = RunHandle::new();
+        let _guard = self.watchdog.as_ref().map(|dog| dog.arm(self.point_budget(), &handle));
+        let result = MultiTenantSystem::try_new_cancellable(cfg, Some(&handle))
+            .and_then(|mut sys| sys.try_run(accesses));
+        // Count even failed scenarios: the work up to the failure ran.
+        self.accesses.fetch_add(initial_warmups + accesses, Ordering::Relaxed);
         if let Err(e) = &result {
             if e.is_cancelled() {
                 let budget_ms = self.point_budget().as_millis() as u64;
@@ -650,6 +770,12 @@ fn classify_failure(payload: Box<dyn std::any::Any + Send>) -> FailureCause {
 fn decode_report(json: &str) -> Result<RunReport, String> {
     let value = serde_json::from_str(json).map_err(|e| e.to_string())?;
     RunReport::from_value(&value)
+}
+
+/// Decodes a journaled multi-tenant report.
+fn decode_mt_report(json: &str) -> Result<MultiTenantReport, String> {
+    let value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    MultiTenantReport::from_value(&value)
 }
 
 /// One experiment's entry in `BENCH_sweep.json`.

@@ -43,6 +43,7 @@ pub mod schemes;
 pub mod size_model;
 pub mod stats;
 pub mod system;
+pub mod tenancy;
 
 pub use config::{FaultEvent, FaultKind, FaultPlan, SchemeKind, SystemConfig};
 pub use error::TmccError;
@@ -53,3 +54,7 @@ pub use recency::RecencyList;
 pub use size_model::{PageSizes, SizeModel};
 pub use stats::{Ml1ReadOutcome, RunReport, SimStats};
 pub use system::{PhaseProfile, System};
+pub use tenancy::{
+    ChurnKind, ChurnPlan, MultiTenantConfig, MultiTenantReport, MultiTenantSystem, QosPolicyKind,
+    TenantReport, TenantSpec,
+};

@@ -25,6 +25,19 @@ use tmcc_types::pte::PageTableBlock;
 /// data frames; the tables are small, §V-A6).
 pub const CTE_TABLE_BASE: u64 = 1 << 40;
 
+/// A cheap snapshot of a scheme's capacity-pressure state, polled by the
+/// multi-tenant arbiter between scheduling rounds (see
+/// [`crate::tenancy`]). Schemes without pressure machinery report the
+/// default (healthy, no debt).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemePressure {
+    /// Whether the scheme is in degraded mode (free list below the
+    /// critical watermark, or unpaid reclaim debt).
+    pub degraded: bool,
+    /// Frames owed to a balloon shrink that have not been reclaimed yet.
+    pub reclaim_debt_frames: u64,
+}
+
 /// An LLC-miss request delivered to the memory controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRequest {
@@ -105,6 +118,12 @@ pub trait Scheme {
     /// consistency). Cheap schemes with no internal state just return Ok.
     fn validate(&self) -> Result<(), TmccError> {
         Ok(())
+    }
+
+    /// Snapshot of the scheme's capacity-pressure state. Schemes without
+    /// watermarks or reclaim debt are always healthy.
+    fn pressure(&self) -> SchemePressure {
+        SchemePressure::default()
     }
 
     /// DRAM bytes currently occupied by data + translation metadata.

@@ -26,7 +26,7 @@
 //! size class cannot be carved). [`Scheme::validate`] audits frame
 //! conservation and CTE/placement consistency at any point.
 
-use super::{cte_dram_addr, MemRequest, Scheme};
+use super::{cte_dram_addr, MemRequest, Scheme, SchemePressure};
 use crate::config::{FaultKind, SchemeKind, TmccToggles};
 use crate::error::TmccError;
 use crate::free_list::{Ml1FreeList, Ml2FreeLists, SubChunk};
@@ -976,6 +976,10 @@ impl Scheme for TwoLevelScheme {
 
     fn drain_evicted_pages(&mut self, out: &mut Vec<Ppn>) {
         out.append(&mut self.evicted_pages);
+    }
+
+    fn pressure(&self) -> SchemePressure {
+        SchemePressure { degraded: self.degraded, reclaim_debt_frames: self.reclaim_debt }
     }
 
     fn dram_used_bytes(&self) -> u64 {

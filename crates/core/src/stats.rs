@@ -30,7 +30,7 @@ pub enum Ml1ReadOutcome {
 }
 
 /// Raw counters accumulated during a run.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct SimStats {
     /// Workload accesses executed (the performance work unit).
     pub accesses: u64,
@@ -269,7 +269,7 @@ fn ratio(num: u64, den: u64) -> f64 {
 /// Serializes deterministically: two runs with the same seed and fault
 /// plan produce byte-identical JSON (the determinism regression tests
 /// rely on this).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunReport {
     /// Workload name.
     pub workload: &'static str,

@@ -7,7 +7,7 @@
 //! contention — without adding latency of its own. This reproduces the
 //! paper's *relative* performance effects (translation serialization,
 //! decompression latency, migration pressure) without an out-of-order
-//! core model; see DESIGN.md §7.
+//! core model; see DESIGN.md §8.
 //!
 //! # Fault injection and auditing
 //!
@@ -98,6 +98,9 @@ pub struct System {
     /// Accesses executed since construction, warmup included — the clock
     /// fault events are scheduled against.
     total_accesses: u64,
+    /// Simulated time at the end of warmup — the origin `elapsed_ns` is
+    /// measured from (set by [`System::try_warmup`]).
+    measure_start_ns: f64,
     /// Reused per-walk scratch: fetched steps with their PTBs. Keeping it
     /// on the system takes the page-walk path out of the per-access
     /// allocation profile.
@@ -206,6 +209,7 @@ impl System {
             fault_events,
             next_fault: 0,
             total_accesses: 0,
+            measure_start_ns: 0.0,
             walk_buf: Vec::with_capacity(4),
             evict_buf: Vec::new(),
             profile: PhaseProfile::default(),
@@ -442,29 +446,82 @@ impl System {
     /// Runs `accesses` measured accesses (after the configured warmup) and
     /// reports, propagating any simulation error.
     pub fn try_run(&mut self, accesses: u64) -> Result<RunReport, TmccError> {
+        self.try_warmup()?;
+        self.try_run_slice(accesses)?;
+        Ok(self.report())
+    }
+
+    /// Runs the configured warmup and arms the measurement window: counters
+    /// reset, cache/placement state kept (the paper warms up ML1, ML2 and
+    /// embedded CTEs before measuring, §VI). Called once before any
+    /// [`System::try_run_slice`]; a tenant admitted mid-run warms up at
+    /// admission time.
+    pub fn try_warmup(&mut self) -> Result<(), TmccError> {
         for _ in 0..self.cfg.warmup_accesses {
             self.try_step()?;
         }
-        // Reset counters; keep all cache/placement state (the paper warms
-        // up ML1, ML2 and embedded CTEs before measuring, §VI).
         self.stats = SimStats::default();
         self.hierarchy.reset_stats();
         self.dram.reset_stats();
         self.tlb.reset_stats();
-        let start_ns = self.now_ns;
+        self.measure_start_ns = self.now_ns;
+        Ok(())
+    }
+
+    /// Runs `accesses` measured accesses without resetting counters, so a
+    /// scheduler (the multi-tenant round-robin, an incremental driver) can
+    /// interleave slices of several systems and still get one coherent
+    /// measurement window per system out of [`System::report`].
+    pub fn try_run_slice(&mut self, accesses: u64) -> Result<(), TmccError> {
         for _ in 0..accesses {
             self.try_step()?;
         }
-        self.stats.elapsed_ns = self.now_ns - start_ns;
+        Ok(())
+    }
+
+    /// Seals the measurement window opened by [`System::try_warmup`] and
+    /// builds the report over every slice run since.
+    pub fn report(&mut self) -> RunReport {
+        self.stats.elapsed_ns = self.now_ns - self.measure_start_ns;
         self.stats.dram_used_bytes = self.scheme.dram_used_bytes();
         self.stats.footprint_bytes = self.cfg.workload.sim_pages * 4096;
-        Ok(RunReport {
+        RunReport {
             workload: self.cfg.workload.name,
             scheme: self.cfg.scheme,
             stats: self.stats,
             dram: self.dram.stats(),
             peak_bandwidth_gbps: self.cfg.dram.peak_bandwidth_gbps(),
             bandwidth_utilization: self.dram.bandwidth_utilization(),
-        })
+        }
+    }
+
+    /// Injects a runtime fault right now, outside any scheduled
+    /// [`FaultPlan`](crate::config::FaultPlan) — the mechanism the
+    /// multi-tenant capacity arbiter uses to balloon a tenant's budget
+    /// (shrink/grow) while the run is in flight.
+    pub fn inject_fault(&mut self, kind: crate::config::FaultKind) -> Result<(), TmccError> {
+        self.scheme.apply_fault(kind, self.now_ns, &mut self.stats)
+    }
+
+    /// Snapshot of the scheme's capacity-pressure state (degraded mode,
+    /// outstanding reclaim debt).
+    pub fn scheme_pressure(&self) -> crate::schemes::SchemePressure {
+        self.scheme.pressure()
+    }
+
+    /// DRAM bytes the scheme currently occupies (data + translation
+    /// metadata) — the arbiter's cross-tenant frame-leak audit reads this.
+    pub fn dram_used_bytes(&self) -> u64 {
+        self.scheme.dram_used_bytes()
+    }
+
+    /// Counters accumulated in the current measurement window.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Accesses executed since construction, warmup included.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_accesses
     }
 }

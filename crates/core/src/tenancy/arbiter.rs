@@ -1,0 +1,166 @@
+//! The shared-pool capacity arbiter.
+//!
+//! The arbiter owns the frame ledger: how many frames the pool has, which
+//! roster slot holds how many, and whether a candidate tenant can be
+//! admitted without pushing an incumbent below its guarantee. It never
+//! touches a tenant's `System` — the
+//! [`MultiTenantSystem`](super::MultiTenantSystem) translates allocation
+//! deltas into balloon faults ([`FaultKind::ShrinkBudget`] /
+//! [`FaultKind::GrowBudget`](crate::config::FaultKind::GrowBudget)) on the
+//! tenant simulators.
+
+#[cfg(doc)]
+use crate::config::FaultKind;
+use crate::error::TmccError;
+
+use super::qos::{QosPolicyKind, TenantDemand};
+
+/// The frame ledger for one shared compressed pool.
+#[derive(Debug)]
+pub struct CapacityArbiter {
+    pool_frames: u64,
+    policy: QosPolicyKind,
+    /// Allocation per roster slot; `None` while the slot is inactive.
+    allocations: Vec<Option<u32>>,
+    /// Rounds in which at least one active tenant sat below its
+    /// guarantee (possible only while a pool shrink has the guarantees
+    /// oversubscribed). Saturating.
+    guarantee_breach_rounds: u64,
+}
+
+impl CapacityArbiter {
+    /// A fresh arbiter over `pool_frames` frames and `slots` roster
+    /// slots, all inactive.
+    pub fn new(pool_frames: u64, policy: QosPolicyKind, slots: usize) -> Self {
+        Self { pool_frames, policy, allocations: vec![None; slots], guarantee_breach_rounds: 0 }
+    }
+
+    /// Frames the pool currently holds.
+    pub fn pool_frames(&self) -> u64 {
+        self.pool_frames
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> QosPolicyKind {
+        self.policy
+    }
+
+    /// The slot's current allocation, if active.
+    pub fn allocation(&self, slot: usize) -> Option<u32> {
+        self.allocations.get(slot).copied().flatten()
+    }
+
+    /// Rounds spent with some guarantee breached (pool-shrink storms).
+    pub fn guarantee_breach_rounds(&self) -> u64 {
+        self.guarantee_breach_rounds
+    }
+
+    /// Balloon deflation at pool scope.
+    pub fn shrink_pool(&mut self, frames: u64) {
+        self.pool_frames = self.pool_frames.saturating_sub(frames);
+    }
+
+    /// Balloon inflation at pool scope.
+    pub fn grow_pool(&mut self, frames: u64) {
+        self.pool_frames = self.pool_frames.saturating_add(frames);
+    }
+
+    /// Recomputes every active tenant's allocation under the policy.
+    /// `active` pairs each active slot with its current demand, in roster
+    /// order. Returns `(slot, new_allocation)` per active tenant and
+    /// updates the ledger; breach accounting advances when the pool
+    /// cannot cover the sum of guarantees.
+    pub fn rebalance(&mut self, active: &[(usize, TenantDemand)]) -> Vec<(usize, u32)> {
+        let demands: Vec<TenantDemand> = active.iter().map(|(_, d)| *d).collect();
+        let guaranteed: u64 = demands.iter().map(|d| d.guaranteed() as u64).sum();
+        if guaranteed > self.pool_frames && !active.is_empty() {
+            self.guarantee_breach_rounds = self.guarantee_breach_rounds.saturating_add(1);
+        }
+        let alloc = self.policy.policy().allocate(self.pool_frames, &demands);
+        for a in self.allocations.iter_mut() {
+            *a = None;
+        }
+        let mut out = Vec::with_capacity(active.len());
+        for (&(slot, _), &frames) in active.iter().zip(&alloc) {
+            self.allocations[slot] = Some(frames);
+            out.push((slot, frames));
+        }
+        out
+    }
+
+    /// Admission check: would admitting a tenant with `candidate`'s
+    /// demand leave every incumbent (and the candidate) at or above its
+    /// guarantee? Pure — the ledger is only updated by the
+    /// [`CapacityArbiter::rebalance`] the caller performs after building
+    /// the tenant.
+    pub fn can_admit(&self, incumbents: &[TenantDemand], candidate: TenantDemand) -> bool {
+        let mut demands: Vec<TenantDemand> = incumbents.to_vec();
+        demands.push(candidate);
+        let guaranteed: u64 = demands.iter().map(|d| d.guaranteed() as u64).sum();
+        guaranteed <= self.pool_frames
+    }
+
+    /// Releases a departing tenant's frames back to the pool.
+    pub fn release(&mut self, slot: usize) {
+        if let Some(a) = self.allocations.get_mut(slot) {
+            *a = None;
+        }
+    }
+
+    /// Ledger invariant: the active allocations never oversubscribe the
+    /// pool.
+    pub fn validate(&self) -> Result<(), TmccError> {
+        let total: u64 = self.allocations.iter().flatten().map(|&a| a as u64).sum();
+        if total > self.pool_frames {
+            return Err(TmccError::InvariantViolation {
+                detail: format!(
+                    "arbiter oversubscribed: {total} frames allocated, pool holds {}",
+                    self.pool_frames
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(weight: u32, floor: u32, demand: u32) -> TenantDemand {
+        TenantDemand { weight, floor_frames: floor, min_frames: floor, demand_frames: demand }
+    }
+
+    #[test]
+    fn rebalance_updates_ledger_and_validates() {
+        let mut arb = CapacityArbiter::new(1000, QosPolicyKind::ProportionalShare, 3);
+        let out = arb.rebalance(&[(0, d(1, 100, 400)), (2, d(1, 100, 400))]);
+        assert_eq!(out.len(), 2);
+        assert!(arb.allocation(0).is_some());
+        assert!(arb.allocation(1).is_none());
+        assert!(arb.validate().is_ok());
+        arb.release(0);
+        assert!(arb.allocation(0).is_none());
+    }
+
+    #[test]
+    fn admission_rejects_oversubscribed_guarantees() {
+        let arb = CapacityArbiter::new(300, QosPolicyKind::ProportionalShare, 2);
+        assert!(arb.can_admit(&[d(1, 100, 200)], d(1, 150, 200)));
+        assert!(!arb.can_admit(&[d(1, 100, 200)], d(1, 250, 300)));
+    }
+
+    #[test]
+    fn pool_ballooning_counts_breach_rounds() {
+        let mut arb = CapacityArbiter::new(400, QosPolicyKind::StrictPartition, 2);
+        arb.rebalance(&[(0, d(1, 150, 200)), (1, d(1, 150, 200))]);
+        assert_eq!(arb.guarantee_breach_rounds(), 0);
+        arb.shrink_pool(200);
+        arb.rebalance(&[(0, d(1, 150, 200)), (1, d(1, 150, 200))]);
+        assert_eq!(arb.guarantee_breach_rounds(), 1);
+        assert!(arb.validate().is_ok());
+        arb.grow_pool(200);
+        arb.rebalance(&[(0, d(1, 150, 200)), (1, d(1, 150, 200))]);
+        assert_eq!(arb.guarantee_breach_rounds(), 1);
+    }
+}

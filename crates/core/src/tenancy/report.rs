@@ -1,0 +1,240 @@
+//! Multi-tenant run reports.
+//!
+//! One [`TenantReport`] per roster slot (whether or not the tenant was
+//! ever admitted) rolled up into a [`MultiTenantReport`]. Like
+//! [`RunReport`], both types round-trip exactly through the vendored
+//! serde stand-in — `from_value` is the strict decode half the sweep
+//! journal uses to replay finished multi-tenant points after a crash.
+
+use crate::stats::RunReport;
+use serde::{Serialize, Value};
+
+use super::qos::QosPolicyKind;
+
+/// Outcome and counters for one roster slot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantReport {
+    /// Tenant name (unique within the roster).
+    pub name: String,
+    /// Whether the tenant was ever admitted.
+    pub admitted: bool,
+    /// Admission attempts the arbiter turned down.
+    pub rejections: u64,
+    /// Global access count at (last) admission.
+    pub arrived_at: Option<u64>,
+    /// Global access count at departure, if the tenant left.
+    pub departed_at: Option<u64>,
+    /// Simulation error that forced the tenant out, if any. A faulted
+    /// tenant is evicted and its neighbours keep running — the error is
+    /// recorded here instead of failing the scenario.
+    pub fault: Option<String>,
+    /// Share weight.
+    pub weight: u32,
+    /// Configured QoS floor, frames.
+    pub floor_frames: u32,
+    /// Configured steady-state demand, frames.
+    pub demand_frames: u32,
+    /// Allocation when the run ended (0 if inactive).
+    pub alloc_frames: u32,
+    /// Smallest allocation the tenant ever held while active (0 if it
+    /// never held one) — the acceptance check for "achieved capacity
+    /// never fell below the floor".
+    pub min_alloc_frames: u32,
+    /// Scheduling quanta executed.
+    pub quanta: u64,
+    /// Quanta executed at the quarantine-throttled (¼) rate.
+    pub throttled_quanta: u64,
+    /// Times the degradation ladder moved the tenant into quarantine.
+    pub degraded_entries: u64,
+    /// Times the tenant recovered and left quarantine.
+    pub degraded_exits: u64,
+    /// Balloon-shrink faults the arbiter injected into this tenant.
+    pub shrink_events: u64,
+    /// Balloon-grow faults the arbiter injected into this tenant.
+    pub grow_events: u64,
+    /// Rounds this tenant spent below its guarantee (pool-shrink storms).
+    pub guarantee_breach_rounds: u64,
+    /// Measured accesses the tenant executed.
+    pub measured_accesses: u64,
+    /// The tenant's own simulation report over its measured window
+    /// (`None` if never admitted; present even for departed/faulted
+    /// tenants, sealed at departure).
+    pub report: Option<RunReport>,
+}
+
+/// The rolled-up result of one multi-tenant scenario.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MultiTenantReport {
+    /// QoS policy display name.
+    pub policy: &'static str,
+    /// Pool size when the run ended, frames (churn ballooning moves it).
+    pub pool_frames: u64,
+    /// Scheduling quantum, accesses.
+    pub quantum: u64,
+    /// Measured accesses executed across all tenants.
+    pub total_accesses: u64,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+    /// Churn events applied.
+    pub churn_events_applied: u64,
+    /// Admissions the arbiter rejected (roster-wide).
+    pub admission_rejections: u64,
+    /// Rounds with some guarantee breached (arbiter-wide).
+    pub guarantee_breach_rounds: u64,
+    /// One report per roster slot, in roster order.
+    pub tenants: Vec<TenantReport>,
+}
+
+fn opt_u64(f: &mut serde::FieldReader<'_>, name: &str) -> Result<Option<u64>, String> {
+    match f.value(name)? {
+        Value::Null => Ok(None),
+        v => v.as_u64().map(Some).ok_or_else(|| format!("TenantReport: {name} is not a u64")),
+    }
+}
+
+impl TenantReport {
+    /// Exact, strict inverse of this type's serialization (see
+    /// [`RunReport::from_value`]).
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let mut f = serde::FieldReader::open(v, "TenantReport")?;
+        let report = Self {
+            name: f.str("name")?.to_string(),
+            admitted: f.bool("admitted")?,
+            rejections: f.u64("rejections")?,
+            arrived_at: opt_u64(&mut f, "arrived_at")?,
+            departed_at: opt_u64(&mut f, "departed_at")?,
+            fault: match f.value("fault")? {
+                Value::Null => None,
+                v => Some(
+                    v.as_str()
+                        .ok_or_else(|| "TenantReport: fault is not a string".to_string())?
+                        .to_string(),
+                ),
+            },
+            weight: f.u64("weight")? as u32,
+            floor_frames: f.u64("floor_frames")? as u32,
+            demand_frames: f.u64("demand_frames")? as u32,
+            alloc_frames: f.u64("alloc_frames")? as u32,
+            min_alloc_frames: f.u64("min_alloc_frames")? as u32,
+            quanta: f.u64("quanta")?,
+            throttled_quanta: f.u64("throttled_quanta")?,
+            degraded_entries: f.u64("degraded_entries")?,
+            degraded_exits: f.u64("degraded_exits")?,
+            shrink_events: f.u64("shrink_events")?,
+            grow_events: f.u64("grow_events")?,
+            guarantee_breach_rounds: f.u64("guarantee_breach_rounds")?,
+            measured_accesses: f.u64("measured_accesses")?,
+            report: match f.value("report")? {
+                Value::Null => None,
+                v => Some(RunReport::from_value(v)?),
+            },
+        };
+        f.finish()?;
+        Ok(report)
+    }
+}
+
+impl MultiTenantReport {
+    /// Exact, strict inverse of this type's serialization.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let mut f = serde::FieldReader::open(v, "MultiTenantReport")?;
+        let policy_name = f.str("policy")?;
+        let policy = QosPolicyKind::from_name(policy_name)
+            .ok_or_else(|| format!("MultiTenantReport: unknown policy {policy_name:?}"))?
+            .name();
+        let tenants = f
+            .value("tenants")?
+            .as_seq()
+            .ok_or_else(|| "MultiTenantReport: tenants is not an array".to_string())?
+            .iter()
+            .map(TenantReport::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let report = Self {
+            policy,
+            pool_frames: f.u64("pool_frames")?,
+            quantum: f.u64("quantum")?,
+            total_accesses: f.u64("total_accesses")?,
+            rounds: f.u64("rounds")?,
+            churn_events_applied: f.u64("churn_events_applied")?,
+            admission_rejections: f.u64("admission_rejections")?,
+            guarantee_breach_rounds: f.u64("guarantee_breach_rounds")?,
+            tenants,
+        };
+        f.finish()?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant() -> TenantReport {
+        TenantReport {
+            name: "t0".into(),
+            admitted: true,
+            rejections: 0,
+            arrived_at: Some(0),
+            departed_at: None,
+            fault: None,
+            weight: 1,
+            floor_frames: 100,
+            demand_frames: 200,
+            alloc_frames: 180,
+            min_alloc_frames: 120,
+            quanta: 8,
+            throttled_quanta: 2,
+            degraded_entries: 1,
+            degraded_exits: 1,
+            shrink_events: 1,
+            grow_events: 1,
+            guarantee_breach_rounds: 0,
+            measured_accesses: 4096,
+            report: None,
+        }
+    }
+
+    #[test]
+    fn reports_round_trip() {
+        let mt = MultiTenantReport {
+            policy: QosPolicyKind::ProportionalShare.name(),
+            pool_frames: 1000,
+            quantum: 512,
+            total_accesses: 8192,
+            rounds: 16,
+            churn_events_applied: 3,
+            admission_rejections: 1,
+            guarantee_breach_rounds: 0,
+            tenants: vec![
+                tenant(),
+                TenantReport { departed_at: Some(5000), fault: Some("boom".into()), ..tenant() },
+            ],
+        };
+        let decoded = MultiTenantReport::from_value(&mt.to_value()).expect("round trip");
+        assert_eq!(decoded, mt);
+    }
+
+    #[test]
+    fn unknown_policy_is_rejected() {
+        let mut v = MultiTenantReport {
+            policy: "proportional-share",
+            pool_frames: 1,
+            quantum: 1,
+            total_accesses: 0,
+            rounds: 0,
+            churn_events_applied: 0,
+            admission_rejections: 0,
+            guarantee_breach_rounds: 0,
+            tenants: vec![],
+        }
+        .to_value();
+        if let Value::Map(entries) = &mut v {
+            for (k, val) in entries.iter_mut() {
+                if k == "policy" {
+                    *val = Value::Str("mystery".into());
+                }
+            }
+        }
+        assert!(MultiTenantReport::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end multi-tenant isolation tests — the acceptance scenario:
+//! one adversarial (incompressible, spiking) tenant among well-behaved
+//! key-value tenants under proportional-share QoS. The adversary must
+//! enter *and* exit degraded mode while every well-behaved tenant's
+//! achieved capacity stays at or above its configured floor.
+
+use tmcc::tenancy::{ChurnKind, ChurnPlan, MultiTenantConfig, MultiTenantSystem, TenantSpec};
+use tmcc::{FaultKind, MultiTenantReport, QosPolicyKind, SchemeKind};
+use tmcc_workloads::WorkloadProfile;
+
+/// A kv workload shrunk to integration-test scale.
+fn kv(name: &str, pages: u64) -> WorkloadProfile {
+    let mut w = WorkloadProfile::by_name(name).expect("kv workload");
+    w.sim_pages = pages;
+    w
+}
+
+/// The acceptance scenario: three well-behaved tenants plus `kv_hostile`
+/// whose content turns incompressible mid-run and recovers later.
+fn adversary_scenario(total: u64) -> MultiTenantConfig {
+    let pages = 1024u64;
+    let resident = TenantSpec::resident_frames(&kv("kv_zipf", pages));
+    let well = |name: &str, workload: &str, seed: u64| {
+        TenantSpec::new(name, kv(workload, pages), SchemeKind::Tmcc, seed)
+            .with_floor(resident * 6 / 10)
+            .with_demand(resident)
+    };
+    // The adversary asks for less than its uncompressed footprint — it
+    // *needs* compression to fit. When its content shifts incompressible
+    // the free list collapses and the ladder quarantines it.
+    let adversary = TenantSpec::new("adversary", kv("kv_hostile", pages), SchemeKind::Tmcc, 99)
+        .with_floor(resident / 2)
+        .with_demand(resident * 7 / 10);
+    let pool = (3 * resident + resident * 7 / 10) as u64;
+    MultiTenantConfig::new(pool, QosPolicyKind::ProportionalShare)
+        .with_tenant(well("alpha", "kv_zipf", 11))
+        .with_tenant(well("beta", "kv_cache", 22))
+        .with_tenant(well("gamma", "kv_scan", 33))
+        .with_tenant(adversary)
+        .with_churn(
+            ChurnPlan::none()
+                .with(
+                    total / 6,
+                    ChurnKind::Fault { roster: 3, kind: FaultKind::ContentShift { percent: 40 } },
+                )
+                .with(total / 6, ChurnKind::WorkingSetSpike { roster: 3, percent: 140 })
+                .with(
+                    total / 2,
+                    ChurnKind::Fault { roster: 3, kind: FaultKind::ContentShift { percent: 0 } },
+                )
+                .with(total / 2, ChurnKind::WorkingSetSpike { roster: 3, percent: 100 }),
+        )
+        .with_quantum(256)
+        .with_warmup(800)
+        .with_seed(0xBEEF)
+        .with_size_samples(8)
+        .with_audit()
+}
+
+fn run(cfg: MultiTenantConfig, total: u64) -> MultiTenantReport {
+    let mut sys = MultiTenantSystem::try_new(cfg).expect("scenario constructs");
+    let report = sys.try_run(total).expect("scenario survives");
+    sys.validate().expect("invariants clean after the run");
+    report
+}
+
+#[test]
+fn adversary_is_contained_under_proportional_share() {
+    let total = 28_000;
+    let report = run(adversary_scenario(total), total);
+
+    for t in &report.tenants {
+        assert!(t.admitted, "{} must be admitted", t.name);
+        assert!(t.fault.is_none(), "{} faulted: {:?}", t.name, t.fault);
+        assert!(t.measured_accesses > 0, "{} never ran", t.name);
+    }
+    // Isolation: every well-behaved tenant's achieved capacity never
+    // fell below its configured floor.
+    for t in report.tenants.iter().filter(|t| t.name != "adversary") {
+        assert!(
+            t.min_alloc_frames >= t.floor_frames,
+            "{} squeezed below its floor: {} < {}",
+            t.name,
+            t.min_alloc_frames,
+            t.floor_frames
+        );
+        assert_eq!(t.degraded_entries, 0, "{} must stay healthy", t.name);
+        assert_eq!(t.guarantee_breach_rounds, 0, "{} breached", t.name);
+    }
+    // Containment: the adversary entered quarantine while incompressible
+    // and recovered after its content shifted back.
+    let adv = report.tenants.iter().find(|t| t.name == "adversary").unwrap();
+    assert!(adv.degraded_entries >= 1, "adversary never quarantined: {adv:?}");
+    assert!(adv.degraded_exits >= 1, "adversary never recovered: {adv:?}");
+    assert!(adv.throttled_quanta > 0, "quarantine must throttle: {adv:?}");
+    assert!(adv.shrink_events >= 1, "quarantine must squeeze: {adv:?}");
+}
+
+#[test]
+fn scenario_is_deterministic() {
+    let total = 12_000;
+    let a = run(adversary_scenario(total), total);
+    let b = run(adversary_scenario(total), total);
+    let a = serde_json::to_string(&a).expect("serializes");
+    let b = serde_json::to_string(&b).expect("serializes");
+    assert_eq!(a, b, "same scenario must serialize byte-identically");
+}
+
+#[test]
+fn churned_arrivals_and_departures_keep_invariants() {
+    let total = 10_000;
+    let pages = 512u64;
+    let resident = TenantSpec::resident_frames(&kv("kv_zipf", pages));
+    let spec = |name: &str, seed: u64| {
+        TenantSpec::new(name, kv("kv_zipf", pages), SchemeKind::Tmcc, seed)
+            .with_floor(resident / 2)
+            .with_demand(resident)
+    };
+    // Pool holds roughly two tenants; the third's mid-run arrival tests
+    // admission control, its departure tests frame release.
+    let cfg = MultiTenantConfig::new((resident as u64) * 5 / 2, QosPolicyKind::BestEffortFloors)
+        .with_tenant(spec("one", 1))
+        .with_tenant(spec("two", 2))
+        .with_tenant(spec("three", 3))
+        .with_initial_tenants(2)
+        .with_churn(
+            ChurnPlan::none()
+                .with(total / 4, ChurnKind::Arrive { roster: 2 })
+                .with(total / 2, ChurnKind::Depart { roster: 0 })
+                .with(3 * total / 4, ChurnKind::Arrive { roster: 2 }) // no-op if active
+                .with(3 * total / 4, ChurnKind::PoolShrink { frames: 64 })
+                .with(7 * total / 8, ChurnKind::PoolGrow { frames: 64 }),
+        )
+        .with_quantum(256)
+        .with_warmup(400)
+        .with_seed(7)
+        .with_size_samples(8)
+        .with_audit();
+    let report = run(cfg, total);
+    let one = &report.tenants[0];
+    assert!(one.departed_at.is_some(), "tenant one must depart");
+    assert!(one.report.is_some(), "departed tenant keeps its sealed report");
+    assert!(report.rounds > 0 && report.churn_events_applied == 5);
+}

@@ -48,6 +48,12 @@ pub struct AccessPattern {
     /// Mean core cycles of work between accesses (memory intensity knob;
     /// smaller = more bandwidth-hungry).
     pub mean_work_cycles: u32,
+    /// Zipf skew θ for ordinary cold draws within the warm region. 0
+    /// keeps the historical uniform draw (bit-identical streams); θ > 0
+    /// (clamped below 1) skews draws towards low page ranks with
+    /// P(rank) ∝ rank^-θ — the key-popularity shape of key-value serving
+    /// traffic ("millions of users" behind a cache tier).
+    pub zipf_theta: f64,
 }
 
 impl AccessPattern {
@@ -62,6 +68,7 @@ impl AccessPattern {
             warm_fraction: 0.18,
             tail_fraction: 0.02,
             mean_work_cycles: 6,
+            zipf_theta: 0.0,
         }
     }
 
@@ -76,6 +83,23 @@ impl AccessPattern {
             warm_fraction: 0.5,
             tail_fraction: 0.01,
             mean_work_cycles: 12,
+            zipf_theta: 0.0,
+        }
+    }
+
+    /// A key-value-store request mix: point lookups with Zipf-skewed key
+    /// popularity (θ), a modest hot tier, and occasional range scans.
+    pub fn zipfian_kv(theta: f64) -> Self {
+        Self {
+            p_seq: 0.10,
+            p_hot: 0.25,
+            hot_fraction: 0.02,
+            seq_run_blocks: 16,
+            write_fraction: 0.30,
+            warm_fraction: 0.35,
+            tail_fraction: 0.02,
+            mean_work_cycles: 6,
+            zipf_theta: theta,
         }
     }
 }
@@ -160,7 +184,17 @@ impl AccessStream {
                 // Ordinary cold access within the warm region.
                 let warm = ((self.footprint_pages as f64 * self.pattern.warm_fraction) as u64)
                     .clamp(1, self.footprint_pages);
-                let page = self.rng.gen_range(0..warm);
+                let page = if self.pattern.zipf_theta > 0.0 {
+                    // Zipf-skewed rank via the bounded-Pareto inverse
+                    // CDF: P(rank) ∝ rank^-θ over [0, warm). Only taken
+                    // when θ > 0, so θ = 0 streams keep their historical
+                    // RNG consumption bit-for-bit.
+                    let theta = self.pattern.zipf_theta.min(0.99);
+                    let u: f64 = self.rng.gen();
+                    ((warm as f64 * u.powf(1.0 / (1.0 - theta))) as u64).min(warm - 1)
+                } else {
+                    self.rng.gen_range(0..warm)
+                };
                 page * 64 + self.rng.gen_range(0..64u64)
             }
         };
@@ -235,6 +269,31 @@ mod tests {
         let frac = tail as f64 / accesses.len() as f64;
         assert!(frac < 0.05, "cold-tail fraction {frac}");
         assert!(frac > 0.0005, "tail must still be touched sometimes: {frac}");
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let uniform = AccessPattern { p_seq: 0.0, p_hot: 0.0, ..AccessPattern::zipfian_kv(0.0) };
+        let skewed = AccessPattern { zipf_theta: 0.9, ..uniform };
+        let head_share = |pattern| {
+            let mut s = AccessStream::new(pattern, 10_000, 3);
+            let warm_head = 10_000 / 10; // top decile of the footprint
+            let hits =
+                s.take_accesses(20_000).iter().filter(|a| a.vaddr.vpn().raw() < warm_head).count();
+            hits as f64 / 20_000.0
+        };
+        let u = head_share(uniform);
+        let z = head_share(skewed);
+        assert!(z > 2.0 * u, "zipf head share {z} vs uniform {u}");
+    }
+
+    #[test]
+    fn zipf_zero_is_bit_identical_to_legacy_uniform() {
+        let p = AccessPattern::irregular();
+        assert_eq!(p.zipf_theta, 0.0);
+        let mut a = AccessStream::new(p, 5000, 9);
+        let mut b = AccessStream::new(AccessPattern { zipf_theta: 0.0, ..p }, 5000, 9);
+        assert_eq!(a.take_accesses(2000), b.take_accesses(2000));
     }
 
     #[test]

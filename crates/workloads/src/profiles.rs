@@ -29,6 +29,9 @@ pub enum WorkloadClass {
     Small,
     /// The §VIII bandwidth-intensive interleaving suite.
     Bandwidth,
+    /// Synthetic key-value serving tenants (Zipf-skewed key popularity)
+    /// for the multi-tenant scenarios.
+    KeyValue,
 }
 
 /// A fully calibrated synthetic workload.
@@ -105,6 +108,7 @@ impl WorkloadProfile {
                     warm_fraction: 0.15,
                     tail_fraction: 0.02,
                     mean_work_cycles: 6,
+                    zipf_theta: 0.0,
                 },
                 content: ContentProfile::mcf(),
             },
@@ -125,6 +129,7 @@ impl WorkloadProfile {
                     warm_fraction: 0.15,
                     tail_fraction: 0.015,
                     mean_work_cycles: 8,
+                    zipf_theta: 0.0,
                 },
                 content: ContentProfile::omnetpp(),
             },
@@ -142,6 +147,7 @@ impl WorkloadProfile {
                     warm_fraction: 0.25,
                     tail_fraction: 0.03,
                     mean_work_cycles: 3,
+                    zipf_theta: 0.0,
                 },
                 content: ContentProfile::canneal(),
             },
@@ -182,6 +188,7 @@ impl WorkloadProfile {
                     warm_fraction: 0.4,
                     tail_fraction: 0.015,
                     mean_work_cycles: 6,
+                    zipf_theta: 0.0,
                 },
             ),
         ]
@@ -204,6 +211,7 @@ impl WorkloadProfile {
                 warm_fraction: 0.5,
                 tail_fraction: 0.01,
                 mean_work_cycles: work,
+                zipf_theta: 0.0,
             },
             content: ContentProfile::graph_analytics(),
         };
@@ -217,12 +225,65 @@ impl WorkloadProfile {
         ]
     }
 
+    /// The key-value serving tenants used by the multi-tenant (`mt_*`)
+    /// scenarios: Zipf-skewed point lookups shaped like a memcached/LSM
+    /// serving tier, not drawn from the paper (which never measured
+    /// contention).
+    pub fn kv_suite() -> Vec<Self> {
+        let kv = |name: &'static str,
+                  content: ContentProfile,
+                  pattern: AccessPattern|
+         -> WorkloadProfile {
+            WorkloadProfile {
+                name,
+                class: WorkloadClass::KeyValue,
+                paper_footprint_gb: 0.0, // not a paper workload
+                sim_pages: 6_144,        // 24 MiB per tenant
+                pattern,
+                content,
+            }
+        };
+        vec![
+            // The common case: skewed point lookups over compressible
+            // serving data.
+            kv("kv_zipf", ContentProfile::graph_analytics(), AccessPattern::zipfian_kv(0.8)),
+            // A cache-tier tenant: most traffic pinned to a hot tier.
+            kv(
+                "kv_cache",
+                ContentProfile::omnetpp(),
+                AccessPattern { p_hot: 0.55, hot_fraction: 0.03, ..AccessPattern::zipfian_kv(0.7) },
+            ),
+            // A scan-heavy analytical tenant (range queries).
+            kv(
+                "kv_scan",
+                ContentProfile::mcf(),
+                AccessPattern { p_seq: 0.5, seq_run_blocks: 32, ..AccessPattern::zipfian_kv(0.6) },
+            ),
+            // The adversary: near-uniform churn over poorly compressible
+            // values, write-heavy, barely any compute between requests.
+            kv(
+                "kv_hostile",
+                ContentProfile::canneal(),
+                AccessPattern {
+                    p_seq: 0.04,
+                    p_hot: 0.10,
+                    warm_fraction: 0.55,
+                    tail_fraction: 0.05,
+                    write_fraction: 0.45,
+                    mean_work_cycles: 3,
+                    ..AccessPattern::zipfian_kv(0.2)
+                },
+            ),
+        ]
+    }
+
     /// Finds a workload by paper name across every suite.
     pub fn by_name(name: &str) -> Option<Self> {
         Self::large_suite()
             .into_iter()
             .chain(Self::small_suite())
             .chain(Self::bandwidth_suite())
+            .chain(Self::kv_suite())
             .find(|w| w.name == name)
     }
 
@@ -293,7 +354,21 @@ mod tests {
         assert!(WorkloadProfile::by_name("shortestPath").is_some());
         assert!(WorkloadProfile::by_name("rocksdb").is_some());
         assert!(WorkloadProfile::by_name("hpcg").is_some());
+        assert!(WorkloadProfile::by_name("kv_zipf").is_some());
         assert!(WorkloadProfile::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn kv_suite_is_zipf_skewed_except_the_adversary() {
+        let suite = WorkloadProfile::kv_suite();
+        assert_eq!(suite.len(), 4);
+        for w in &suite {
+            assert_eq!(w.class, WorkloadClass::KeyValue);
+            assert!(w.pattern.zipf_theta > 0.0, "{} must be zipfian", w.name);
+        }
+        let theta = |n: &str| suite.iter().find(|w| w.name == n).unwrap().pattern.zipf_theta;
+        // The hostile tenant spreads its traffic nearly uniformly.
+        assert!(theta("kv_hostile") < theta("kv_zipf"));
     }
 
     #[test]

@@ -32,4 +32,17 @@ if [ -n "$untracked" ]; then
   exit 1
 fi
 
+echo "==> perf gate (quick acc/s vs checked-in baseline)"
+# Throughput is hardware-dependent: refresh the baseline when the CI
+# hardware changes (cp results/ci-smoke/BENCH_sweep.json
+# results/ci-smoke/BENCH_baseline.json). TMCC_CI_SKIP_PERF_GATE=1 skips
+# the gate for runs on unrelated machines.
+if [ "${TMCC_CI_SKIP_PERF_GATE:-0}" != 1 ]; then
+  cargo run --release -p tmcc-bench --bin tmcc-bench -- \
+    perf-gate --baseline results/ci-smoke/BENCH_baseline.json \
+              --current results/ci-smoke/BENCH_sweep.json
+else
+  echo "skipped (TMCC_CI_SKIP_PERF_GATE=1)"
+fi
+
 echo "CI gate passed."
