@@ -8,6 +8,7 @@
 //! from shared mutable state, so the emitted JSON is identical at any
 //! `--jobs` count.
 
+pub mod capacity_cliff;
 pub mod fig01;
 pub mod fig02;
 pub mod fig05;

@@ -251,6 +251,101 @@ pub fn churn_storm_points(scale: Scale) -> Vec<MtPoint> {
     ]
 }
 
+/// Fleet sizing: many small tenants instead of a few big ones. The
+/// packed per-tenant metadata (CTE slot directory, succinct residency
+/// maps, lazy page store) keeps each admitted `System` in the
+/// kilobyte range, so a 100+-tenant roster costs less host memory than
+/// the old 5-tenant scenarios did.
+struct FleetParams {
+    tenants: usize,
+    pages: u64,
+    warmup: u64,
+    quantum: u64,
+    total: u64,
+    size_samples: usize,
+}
+
+fn fleet_params(scale: Scale) -> FleetParams {
+    match scale {
+        Scale::Full => FleetParams {
+            tenants: 144,
+            pages: 256,
+            warmup: 400,
+            quantum: 256,
+            total: 48_000,
+            size_samples: 8,
+        },
+        Scale::Quick => FleetParams {
+            tenants: 112,
+            pages: 128,
+            warmup: 200,
+            quantum: 128,
+            total: 24_000,
+            size_samples: 8,
+        },
+        Scale::Test => FleetParams {
+            tenants: 24,
+            pages: 96,
+            warmup: 100,
+            quantum: 64,
+            total: 6_000,
+            size_samples: 8,
+        },
+    }
+}
+
+/// The fleet roster: `tenants` small kv tenants cycling the three kv
+/// shapes over a pool that holds ~60 % of their summed residency, with
+/// late arrivals and a few departures for churn coverage. Tenant content
+/// seeds cycle a small set so the size-model memo amortizes sampling
+/// across the fleet.
+fn fleet_cfg(p: &FleetParams, policy: QosPolicyKind) -> MultiTenantConfig {
+    let resident = TenantSpec::resident_frames(&kv("kv_zipf", p.pages));
+    let workloads = ["kv_zipf", "kv_cache", "kv_scan"];
+    let pool = (p.tenants as u64) * (resident as u64) * 6 / 10;
+    let t = p.total;
+    let late = 4.min(p.tenants);
+    let initial = p.tenants - late;
+    let mut churn = ChurnPlan::none();
+    for (j, at) in [t / 4, t / 3, t / 2, 2 * t / 3].into_iter().take(late).enumerate() {
+        churn = churn.with(at, ChurnKind::Arrive { roster: initial + j });
+    }
+    churn = churn
+        .with(3 * t / 5, ChurnKind::Depart { roster: 0 })
+        .with(4 * t / 5, ChurnKind::Depart { roster: 1 });
+    let mut cfg = MultiTenantConfig::new(pool, policy)
+        .with_initial_tenants(initial)
+        .with_churn(churn)
+        .with_quantum(p.quantum)
+        .with_warmup(p.warmup)
+        .with_seed(0xF1EE7)
+        .with_size_samples(p.size_samples)
+        .with_audit();
+    for i in 0..p.tenants {
+        let workload = workloads[i % workloads.len()];
+        cfg = cfg.with_tenant(
+            TenantSpec::new(
+                &format!("f{i:03}"),
+                kv(workload, p.pages),
+                SchemeKind::Tmcc,
+                200 + (i as u64 % 10),
+            )
+            .with_floor(resident / 2)
+            .with_demand(resident),
+        );
+    }
+    cfg
+}
+
+/// The `mt_fleet` grid: the full roster once under each policy.
+pub fn fleet_points(scale: Scale) -> Vec<MtPoint> {
+    let p = fleet_params(scale);
+    POLICIES
+        .into_iter()
+        .map(|policy| MtPoint { scenario: "fleet", cfg: fleet_cfg(&p, policy), total: p.total })
+        .collect()
+}
+
 /// Fingerprint input covering every multi-tenant grid at `scale` —
 /// folded into the sweep journal's config hash so MT scenario changes
 /// invalidate a stale `--resume` journal.
@@ -260,6 +355,7 @@ pub fn grid_signature(scale: Scale) -> String {
         ("mt_degradation", degradation_points(scale)),
         ("mt_tail_latency", tail_latency_points(scale)),
         ("mt_churn_storm", churn_storm_points(scale)),
+        ("mt_fleet", fleet_points(scale)),
     ] {
         for p in points {
             sig.push_str(&format!("{experiment}|{}|{}|{:?};", p.scenario, p.total, p.cfg));
@@ -339,6 +435,18 @@ pub fn run_churn_storm(ctx: &SweepCtx) {
     );
 }
 
+/// `mt_fleet`: a 100+-tenant roster per policy — the packed-metadata
+/// stress test (each admitted tenant must stay kilobyte-scale on the
+/// host).
+pub fn run_fleet(ctx: &SweepCtx) {
+    run_grid(
+        ctx,
+        "Multi-tenant fleet — 100+ small tenants per QoS policy",
+        "mt_fleet",
+        fleet_points(ctx.scale()),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,12 +456,33 @@ mod tests {
     #[test]
     fn grid_signature_covers_all_grids_and_varies_by_scale() {
         let quick = grid_signature(Scale::Quick);
-        for experiment in ["mt_degradation|", "mt_tail_latency|", "mt_churn_storm|"] {
+        for experiment in ["mt_degradation|", "mt_tail_latency|", "mt_churn_storm|", "mt_fleet|"] {
             assert!(quick.contains(experiment), "signature misses {experiment}");
         }
         assert_ne!(quick, grid_signature(Scale::Test));
         assert_ne!(quick, grid_signature(Scale::Full));
         // Deterministic: the hash must be stable across processes.
         assert_eq!(quick, grid_signature(Scale::Quick));
+    }
+
+    /// The fleet acceptance floor: 100+ tenants at every non-test scale,
+    /// floors admissible within the pool.
+    #[test]
+    fn fleet_rosters_are_fleet_sized_and_admissible() {
+        for scale in [Scale::Quick, Scale::Full] {
+            for point in fleet_points(scale) {
+                assert!(
+                    point.cfg.roster.len() >= 100,
+                    "{} fleet roster has only {} tenants",
+                    scale.name(),
+                    point.cfg.roster.len()
+                );
+                let floors: u64 = point.cfg.roster.iter().map(|t| u64::from(t.floor_frames)).sum();
+                assert!(floors <= point.cfg.pool_frames, "fleet floors exceed the pool");
+            }
+        }
+        for point in fleet_points(Scale::Test) {
+            assert!(point.cfg.roster.len() >= 16, "test fleet still exercises many tenants");
+        }
     }
 }

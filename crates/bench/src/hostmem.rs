@@ -1,0 +1,48 @@
+//! Host-process memory introspection for the footprint experiments and
+//! the peak-RSS perf gate.
+//!
+//! Reads `/proc/self/status` on Linux; every probe returns 0 on other
+//! platforms (the capacity experiments still emit their deterministic
+//! metrics there, just without host-cost context).
+
+/// A `kB` field of `/proc/self/status` (e.g. `VmRSS`, `VmHWM`), or 0
+/// when unavailable.
+pub fn status_kb(field: &str) -> u64 {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    text.lines()
+        .find(|l| l.starts_with(field) && l.as_bytes().get(field.len()) == Some(&b':'))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Current resident set size, kB.
+pub fn current_rss_kb() -> u64 {
+    status_kb("VmRSS")
+}
+
+/// Peak resident set size since process start, kB. Process-wide and
+/// monotonic: under `run-all` it reflects the whole suite, so per-point
+/// attribution needs [`current_rss_kb`] deltas instead.
+pub fn peak_rss_kb() -> u64 {
+    status_kb("VmHWM")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn probes_report_nonzero_on_linux() {
+        assert!(current_rss_kb() > 0);
+        assert!(peak_rss_kb() >= current_rss_kb());
+    }
+
+    #[test]
+    fn unknown_field_is_zero() {
+        assert_eq!(status_kb("VmDefinitelyNotAField"), 0);
+    }
+}

@@ -145,12 +145,13 @@ pub fn build_id() -> String {
 /// replaying stale records.
 pub fn scale_config_hash(scale: Scale) -> u64 {
     fingerprint(&format!(
-        "accesses={} warmup={:?} pages_cap={:?} size_samples={} mt={:016x}",
+        "accesses={} warmup={:?} pages_cap={:?} size_samples={} mt={:016x} cap={:016x}",
         scale.accesses(),
         scale.warmup(),
         scale.pages_cap(),
         scale.size_samples(),
-        fingerprint(&crate::experiments::mt::grid_signature(scale))
+        fingerprint(&crate::experiments::mt::grid_signature(scale)),
+        fingerprint(&crate::experiments::capacity_cliff::grid_signature(scale))
     ))
 }
 

@@ -8,6 +8,7 @@
 
 pub mod experiments;
 pub mod failures;
+pub mod hostmem;
 pub mod journal;
 pub mod perf_gate;
 pub mod registry;

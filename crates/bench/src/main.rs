@@ -62,8 +62,10 @@ fn usage() -> ! {
          \x20 run <name>...        run the named experiments\n\
          \x20 run-all              run every registered experiment\n\
          \x20 perf-gate --baseline F --current F [--tolerance-pct P]\n\
+         \x20           [--rss-tolerance-pct R]\n\
          \x20                      diff two BENCH_sweep.json summaries; exit 1 on\n\
-         \x20                      any acc/s regression beyond P% (default 15)\n\
+         \x20                      any acc/s regression beyond P% (default 15) or\n\
+         \x20                      peak-RSS growth beyond R% (default 25)\n\
          \n\
          options:\n\
          \x20 --jobs N             worker threads (default: one per CPU)\n\
@@ -320,6 +322,7 @@ fn run_suite(experiments: &[Experiment], opts: &Options, harness: &Harness) -> S
         total_wall_ms: total_wall.as_secs_f64() * 1e3,
         total_accesses_simulated: total_accesses,
         accesses_per_sec: total_accesses as f64 / total_wall.as_secs_f64().max(1e-9),
+        peak_rss_kb: tmcc_bench::hostmem::peak_rss_kb(),
         profile,
     }
 }
@@ -446,6 +449,7 @@ fn main() {
             let mut baseline = None;
             let mut current = None;
             let mut tolerance = perf_gate::DEFAULT_TOLERANCE_PCT;
+            let mut rss_tolerance = perf_gate::DEFAULT_RSS_TOLERANCE_PCT;
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -454,6 +458,10 @@ fn main() {
                     "--tolerance-pct" => {
                         let v = it.next().unwrap_or_else(|| usage());
                         tolerance = v.parse().unwrap_or_else(|_| usage());
+                    }
+                    "--rss-tolerance-pct" => {
+                        let v = it.next().unwrap_or_else(|| usage());
+                        rss_tolerance = v.parse().unwrap_or_else(|_| usage());
                     }
                     other => {
                         eprintln!("perf-gate: unknown argument {other}\n");
@@ -472,14 +480,19 @@ fn main() {
                     std::process::exit(1);
                 }
             };
-            let outcome = match perf_gate::evaluate(&read(&baseline), &read(&current), tolerance) {
+            let outcome = match perf_gate::evaluate(
+                &read(&baseline),
+                &read(&current),
+                tolerance,
+                rss_tolerance,
+            ) {
                 Ok(o) => o,
                 Err(msg) => {
                     eprintln!("perf-gate: {msg}");
                     std::process::exit(1);
                 }
             };
-            println!("━━━ perf gate (tolerance {tolerance:.0}%) ━━━");
+            println!("━━━ perf gate (tolerance {tolerance:.0}%, RSS {rss_tolerance:.0}%) ━━━");
             for r in &outcome.rows {
                 println!(
                     "  {:<28} {:>12.0} → {:>12.0} acc/s  {:>+7.1}%  {}",
@@ -488,6 +501,16 @@ fn main() {
                     r.current_aps,
                     r.delta_pct,
                     if r.regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+            if let Some(rss) = outcome.rss {
+                println!(
+                    "  {:<28} {:>12} → {:>12} kB     {:>+7.1}%  {}",
+                    "peak RSS",
+                    rss.baseline_kb,
+                    rss.current_kb,
+                    rss.delta_pct,
+                    if rss.regressed { "REGRESSED" } else { "ok" }
                 );
             }
             for s in &outcome.skipped {
@@ -500,6 +523,11 @@ fn main() {
                     regressions.len(),
                     regressions.join(", ")
                 );
+            }
+            if outcome.rss.is_some_and(|r| r.regressed) {
+                eprintln!("perf-gate: peak RSS grew beyond {rss_tolerance:.0}%");
+            }
+            if outcome.failed() {
                 std::process::exit(1);
             }
             println!("perf-gate: {} experiment(s) within tolerance", outcome.rows.len());

@@ -137,6 +137,12 @@ pub fn all() -> Vec<Experiment> {
             run: experiments::robustness::run,
         },
         Experiment {
+            name: "capacity_cliff",
+            budget_weight: 2.0,
+            title: "Capacity cliff — TB-scale footprints under lazy materialization",
+            run: experiments::capacity_cliff::run,
+        },
+        Experiment {
             name: "mt_degradation",
             budget_weight: 3.0,
             title: "Multi-tenant — adversarial-neighbor isolation per QoS policy",
@@ -153,6 +159,12 @@ pub fn all() -> Vec<Experiment> {
             budget_weight: 3.0,
             title: "Multi-tenant — arrival/departure/ballooning churn storms",
             run: experiments::mt::run_churn_storm,
+        },
+        Experiment {
+            name: "mt_fleet",
+            budget_weight: 3.0,
+            title: "Multi-tenant — 100+-tenant fleet under packed metadata",
+            run: experiments::mt::run_fleet,
         },
     ]
 }

@@ -35,7 +35,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tmcc::config::TmccToggles;
 use tmcc::{
     MultiTenantConfig, MultiTenantReport, MultiTenantSystem, PhaseProfile, RunHandle, RunReport,
@@ -646,6 +646,103 @@ impl SweepCtx {
         result
     }
 
+    /// Runs one capacity/footprint point, panicking on error so failures
+    /// route through the retry ring (the capacity counterpart of
+    /// [`SweepCtx::run`]).
+    pub fn run_capacity(
+        &self,
+        cfg: SystemConfig,
+        accesses: u64,
+    ) -> (RunReport, CapacityProbe, Option<HostCost>) {
+        match self.try_run_capacity(cfg, accesses) {
+            Ok(r) => r,
+            Err(e) => {
+                LAST_SIM_ERROR.with(|c| *c.borrow_mut() = Some(e.to_string()));
+                panic!("{e}")
+            }
+        }
+    }
+
+    /// Capacity counterpart of [`SweepCtx::try_run`]: same journal replay
+    /// (keys prefixed `cap|`) and watchdog arming, but the journal record
+    /// carries a [`CapacityProbe`] beside the report — the host-side
+    /// metadata/store measurements a plain [`RunReport`] cannot express.
+    /// The returned [`HostCost`] is the *nondeterministic* wall-clock/RSS
+    /// side and is `None` for replayed points; it must never feed a
+    /// golden-compared results file.
+    pub fn try_run_capacity(
+        &self,
+        cfg: SystemConfig,
+        accesses: u64,
+    ) -> Result<(RunReport, CapacityProbe, Option<HostCost>), TmccError> {
+        let cfg = self.tune(cfg);
+        let warmup = cfg.warmup_accesses;
+        let key = fingerprint(&format!("cap|{cfg:?}|{accesses}"));
+        if let Some(journal) = &self.journal {
+            if let Some(json) = journal.lookup(self.experiment, key) {
+                match decode_capacity(json) {
+                    Ok((report, probe)) => {
+                        self.accesses.fetch_add(warmup + accesses, Ordering::Relaxed);
+                        self.points_replayed.fetch_add(1, Ordering::Relaxed);
+                        return Ok((report, probe, None));
+                    }
+                    Err(detail) => eprintln!(
+                        "warning: [{}] journal record undecodable ({detail}); re-running",
+                        self.experiment
+                    ),
+                }
+            }
+        }
+        let rss_before_kb = crate::hostmem::current_rss_kb();
+        let construct_start = Instant::now();
+        let mut sys = System::try_new(cfg)?;
+        let construct_ms = construct_start.elapsed().as_secs_f64() * 1e3;
+        let _guard = self.watchdog.as_ref().map(|dog| {
+            let handle = RunHandle::new();
+            sys.attach_handle(&handle);
+            dog.arm(self.point_budget(), &handle)
+        });
+        let run_start = Instant::now();
+        let result = sys.try_run(accesses);
+        let run_ms = run_start.elapsed().as_secs_f64() * 1e3;
+        self.accesses.fetch_add(warmup + accesses, Ordering::Relaxed);
+        if let Err(e) = &result {
+            if e.is_cancelled() {
+                let budget_ms = self.point_budget().as_millis() as u64;
+                std::panic::panic_any(PointTimeout { budget_ms });
+            }
+        }
+        let report = result?;
+        let (store_reads, store_writes, store_divergent_writes) = sys.page_store().stats();
+        let probe = CapacityProbe {
+            metadata_heap_bytes: sys.metadata_heap_bytes() as u64,
+            store_heap_bytes: sys.page_store().heap_bytes() as u64,
+            store_reads,
+            store_writes,
+            store_divergent_writes,
+            pinned_pages: sys.page_store().pinned_pages() as u64,
+        };
+        let host = HostCost {
+            construct_ms,
+            run_ms,
+            rss_before_kb,
+            rss_after_kb: crate::hostmem::current_rss_kb(),
+        };
+        if let Some(journal) = &self.journal {
+            match (serde_json::to_string(&report), serde_json::to_string(&probe)) {
+                (Ok(r), Ok(p)) => {
+                    journal.append(
+                        self.experiment,
+                        key,
+                        &format!("{{\"report\":{r},\"probe\":{p}}}"),
+                    );
+                }
+                _ => eprintln!("warning: could not journal a capacity run"),
+            }
+        }
+        Ok((report, probe, Some(host)))
+    }
+
     /// This context's watchdog deadline per simulation run.
     fn point_budget(&self) -> Duration {
         effective_budget(self.scale.point_budget().mul_f64(self.budget_weight.max(0.1)))
@@ -778,6 +875,69 @@ fn decode_mt_report(json: &str) -> Result<MultiTenantReport, String> {
     MultiTenantReport::from_value(&value)
 }
 
+/// Deterministic host-side measurements of one capacity point: the
+/// scheme's metadata heap and the lazy page store's activity. Everything
+/// here is a pure function of the config, so it is journaled beside the
+/// report and may feed golden-compared results files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CapacityProbe {
+    /// Host heap bytes of the scheme's metadata structures
+    /// (`System::metadata_heap_bytes`).
+    pub metadata_heap_bytes: u64,
+    /// Host heap bytes of the lazy page store (scratch + pinned pages).
+    pub store_heap_bytes: u64,
+    /// Pages materialized from the content seed.
+    pub store_reads: u64,
+    /// Whole-page writes verified against the seed.
+    pub store_writes: u64,
+    /// Writes that diverged from the seed and pinned host memory.
+    pub store_divergent_writes: u64,
+    /// Pages pinned (divergent) at the end of the run.
+    pub pinned_pages: u64,
+}
+
+impl CapacityProbe {
+    /// Decodes a probe from its journaled JSON value.
+    pub fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let mut f = serde::FieldReader::open(v, "CapacityProbe")?;
+        let probe = Self {
+            metadata_heap_bytes: f.u64("metadata_heap_bytes")?,
+            store_heap_bytes: f.u64("store_heap_bytes")?,
+            store_reads: f.u64("store_reads")?,
+            store_writes: f.u64("store_writes")?,
+            store_divergent_writes: f.u64("store_divergent_writes")?,
+            pinned_pages: f.u64("pinned_pages")?,
+        };
+        f.finish()?;
+        Ok(probe)
+    }
+}
+
+/// Nondeterministic host costs of one *live* capacity run (wall clock,
+/// RSS). `None` for journal-replayed points; only ever emitted to
+/// `FOOTPRINT.json`, which the golden diffs exclude.
+#[derive(Debug, Clone, Copy)]
+pub struct HostCost {
+    /// `System::try_new` wall time, ms.
+    pub construct_ms: f64,
+    /// Warmup + measured accesses wall time, ms.
+    pub run_ms: f64,
+    /// Process RSS just before construction, kB.
+    pub rss_before_kb: u64,
+    /// Process RSS right after the run, kB.
+    pub rss_after_kb: u64,
+}
+
+/// Decodes a journaled capacity record (`{"report": .., "probe": ..}`).
+fn decode_capacity(json: &str) -> Result<(RunReport, CapacityProbe), String> {
+    let value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let mut f = serde::FieldReader::open(&value, "CapacityRecord")?;
+    let report = RunReport::from_value(f.value("report")?)?;
+    let probe = CapacityProbe::from_value(f.value("probe")?)?;
+    f.finish()?;
+    Ok((report, probe))
+}
+
 /// One experiment's entry in `BENCH_sweep.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct ExperimentTiming {
@@ -812,6 +972,10 @@ pub struct SweepSummary {
     pub total_accesses_simulated: u64,
     /// Aggregate simulation throughput.
     pub accesses_per_sec: f64,
+    /// Peak process RSS over the whole sweep, kB (0 off-Linux). Gated
+    /// one-sidedly by `tmcc-bench perf-gate` against the checked-in
+    /// baseline so metadata-footprint regressions fail CI.
+    pub peak_rss_kb: u64,
     /// Host-time phase profile (all zeros unless `--profile` was given).
     pub profile: PhaseProfile,
 }

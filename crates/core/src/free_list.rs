@@ -14,11 +14,32 @@
 //!   super-chunk frees up, its chunks return to ML1 (the "ML2 gracefully
 //!   shrinks" behaviour of §IV-A).
 //!
+//! # Representation
+//!
+//! Both list flavours are succinct so metadata stays kilobytes at
+//! datacenter-scale footprints while popping/pushing in *exactly* the
+//! order the original `Vec`/`VecDeque` representations did (frame order
+//! determines DRAM addresses and therefore bank timing, so the pop
+//! sequence is part of the determinism contract):
+//!
+//! * [`ChunkFreeList`] splits its free set into a *fresh watermark* — the
+//!   never-yet-popped run `[fresh_next, fresh_end)`, which costs zero
+//!   bytes — and a LIFO *spill* of explicitly returned chunks, shadowed
+//!   by a [`BitVec`] free-map that makes the double-free audit O(1)
+//!   instead of an O(n) scan.
+//! * Each [`Ml2FreeLists`] super-chunk threads its free slots through an
+//!   inline singly-linked list (`free_head` + one `u8` next-pointer per
+//!   slot, exactly `N` bytes, `N ≤ 128`) with a `u128` occupancy mask for
+//!   O(1) double-free detection. Head insertion/removal reproduces the
+//!   old `VecDeque` `push_front`/`pop_front` byte for byte, and the
+//!   fixed-size table cannot retain drained capacity across
+//!   `PoolShrink`/`PoolGrow` churn the way a `VecDeque` did.
+//!
 //! All three enforce the conservation invariant — a chunk is never in two
 //! places at once — which the property tests exercise.
 
 use crate::error::TmccError;
-use std::collections::VecDeque;
+use tmcc_types::bitvec::BitVec;
 
 /// A simple LIFO free list of uniform chunks, used for Compresso's 512 B
 /// chunks and ML1's 4 KiB chunks.
@@ -28,13 +49,22 @@ use std::collections::VecDeque;
 /// the top of the Free List".
 #[derive(Debug, Clone, Default)]
 pub struct ChunkFreeList {
-    free: Vec<u32>,
+    /// First never-popped chunk of the fresh run.
+    fresh_next: u32,
+    /// One past the last chunk of the fresh run.
+    fresh_end: u32,
+    /// Explicitly returned chunks, popped LIFO before the fresh run.
+    spill: Vec<u32>,
+    /// Free-map over the spill (bit set = chunk is in `spill`); the fresh
+    /// run is implicit in the watermark, so an all-fresh list costs no
+    /// bitmap bits at all.
+    spill_map: BitVec,
 }
 
 impl ChunkFreeList {
     /// Creates a list owning chunks `0..chunks`.
     pub fn with_chunks(chunks: u32) -> Self {
-        Self { free: (0..chunks).rev().collect() }
+        Self { fresh_next: 0, fresh_end: chunks, spill: Vec::new(), spill_map: BitVec::new() }
     }
 
     /// Creates an empty list.
@@ -42,25 +72,55 @@ impl ChunkFreeList {
         Self::default()
     }
 
-    /// Takes a free chunk from the top, if any.
+    /// Takes a free chunk from the top, if any: the most recently pushed
+    /// chunk first, then the fresh run in ascending order.
     pub fn pop(&mut self) -> Option<u32> {
-        self.free.pop()
+        if let Some(c) = self.spill.pop() {
+            self.spill_map.clear(c as usize);
+            Some(c)
+        } else if self.fresh_next < self.fresh_end {
+            let c = self.fresh_next;
+            self.fresh_next += 1;
+            Some(c)
+        } else {
+            None
+        }
     }
 
     /// Returns a chunk to the top.
     pub fn push(&mut self, chunk: u32) {
-        debug_assert!(!self.free.contains(&chunk), "chunk {chunk} double-freed");
-        self.free.push(chunk);
+        debug_assert!(!self.is_free(chunk), "chunk {chunk} double-freed");
+        self.spill_map.grow(chunk as usize + 1);
+        self.spill_map.set(chunk as usize);
+        self.spill.push(chunk);
+    }
+
+    /// Whether `chunk` is currently free (in the fresh run or the spill).
+    pub fn is_free(&self, chunk: u32) -> bool {
+        (self.fresh_next..self.fresh_end).contains(&chunk)
+            || ((chunk as usize) < self.spill_map.len() && self.spill_map.get(chunk as usize))
     }
 
     /// Number of free chunks.
     pub fn len(&self) -> usize {
-        self.free.len()
+        (self.fresh_end - self.fresh_next) as usize + self.spill.len()
     }
 
     /// Whether no chunks are free.
     pub fn is_empty(&self) -> bool {
-        self.free.is_empty()
+        self.len() == 0
+    }
+
+    /// Heap bytes owned by the list (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        self.spill.capacity() * std::mem::size_of::<u32>() + self.spill_map.heap_bytes()
+    }
+
+    /// Drops excess capacity left behind by a drain (pool-shrink hygiene:
+    /// a drained list should not pin its peak-size allocation).
+    pub fn shrink_to_fit(&mut self) {
+        self.spill.shrink_to_fit();
+        self.spill_map.shrink_to_fit();
     }
 }
 
@@ -70,16 +130,69 @@ pub type CompressoFreeList = ChunkFreeList;
 /// ML1's 4 KiB-chunk free list (Fig. 3b).
 pub type Ml1FreeList = ChunkFreeList;
 
+/// Sentinel for "no next slot" in a super-chunk's inline free list
+/// (slots are `< 128`, so `0xFF` is never a valid slot).
+const SLOT_NIL: u8 = u8::MAX;
+
 /// A super-chunk: `M` 4 KiB chunks carved into `N` sub-chunks of one size
-/// class (Fig. 3c).
+/// class (Fig. 3c). `M ≤ 8` and the smallest class is 256 B, so `N ≤ 128`
+/// and the free-slot list fits a fixed `N`-byte next-pointer table plus a
+/// `u128` occupancy mask.
 #[derive(Debug, Clone)]
 struct SuperChunk {
-    /// The 4 KiB chunk numbers backing this super-chunk.
-    chunks: Vec<u32>,
-    /// Free sub-chunk slots (0..n).
-    free_slots: VecDeque<u8>,
+    /// The 4 KiB chunk numbers backing this super-chunk (first `m` used).
+    chunks: [u32; 8],
+    /// Chunks backing this super-chunk.
+    m: u8,
     /// Total sub-chunk slots.
     n: u8,
+    /// Head of the free-slot list ([`SLOT_NIL`] when full).
+    free_head: u8,
+    /// `next[s]` = slot after `s` in the free list; exactly `n` bytes.
+    next: Box<[u8]>,
+    /// Bit set = slot currently allocated (O(1) double-free detection).
+    allocated: u128,
+}
+
+impl SuperChunk {
+    /// A fresh super-chunk with all `n` slots free, popping `0, 1, …` in
+    /// ascending order like the original `(0..n).collect::<VecDeque<_>>()`.
+    fn carve(chunks: [u32; 8], m: u8, n: u8) -> Self {
+        let mut next = vec![SLOT_NIL; n as usize].into_boxed_slice();
+        for s in 0..n.saturating_sub(1) {
+            next[s as usize] = s + 1;
+        }
+        Self { chunks, m, n, free_head: 0, next, allocated: 0 }
+    }
+
+    /// Pops the head free slot (the old `free_slots.pop_front()`).
+    fn pop_slot(&mut self) -> Option<u8> {
+        if self.free_head == SLOT_NIL {
+            return None;
+        }
+        let s = self.free_head;
+        self.free_head = self.next[s as usize];
+        self.allocated |= 1u128 << s;
+        Some(s)
+    }
+
+    /// Pushes a freed slot at the head (the old `push_front`), so it is
+    /// reused before older free slots.
+    fn push_slot(&mut self, s: u8) {
+        self.next[s as usize] = self.free_head;
+        self.free_head = s;
+        self.allocated &= !(1u128 << s);
+    }
+
+    /// Number of free slots.
+    fn free_count(&self) -> usize {
+        self.n as usize - self.allocated.count_ones() as usize
+    }
+
+    /// Heap bytes owned by this super-chunk.
+    fn heap_bytes(&self) -> usize {
+        self.next.len()
+    }
 }
 
 /// Identifier of an allocated ML2 sub-chunk.
@@ -143,13 +256,18 @@ impl Ml2FreeLists {
     /// # Panics
     ///
     /// Panics if `class_sizes` is empty, unsorted, or contains a class
-    /// larger than 4 KiB.
+    /// larger than 4 KiB or smaller than 256 B (the super-chunk slot
+    /// table packs slot ids into 7 bits).
     pub fn new(class_sizes: Vec<usize>) -> Self {
         assert!(!class_sizes.is_empty(), "need at least one class");
         assert!(class_sizes.windows(2).all(|w| w[0] < w[1]), "classes must be ascending");
         assert!(
             *class_sizes.last().expect("non-empty") <= 4096,
             "sub-chunks cannot exceed a 4 KiB chunk"
+        );
+        assert!(
+            *class_sizes.first().expect("non-empty") >= 256,
+            "sub-chunks below 256 B would overflow the 128-slot super-chunk table"
         );
         let geometry = class_sizes.iter().map(|&s| Self::best_geometry(s)).collect();
         let len = class_sizes.len();
@@ -245,11 +363,11 @@ impl Ml2FreeLists {
             .get_mut(super_id as usize)
             .and_then(Option::as_mut)
             .ok_or(TmccError::UnknownSubChunk { super_id })?;
-        let slot = sc.free_slots.pop_front().ok_or(TmccError::FreeListExhausted {
+        let slot = sc.pop_slot().ok_or(TmccError::FreeListExhausted {
             requested_bytes: bytes,
             ml1_free_chunks: ml1.len(),
         })?;
-        if sc.free_slots.is_empty() {
+        if sc.free_head == SLOT_NIL {
             self.avail[class].pop();
         }
         self.allocated_bytes += self.class_sizes[class];
@@ -260,19 +378,19 @@ impl Ml2FreeLists {
         let (m, n) = self.geometry[class];
         // Take M chunks from ML1 (§IV-A: "ML1 gives cold victim physical
         // pages to ML2" — here modelled from the free list).
-        let mut chunks = Vec::with_capacity(m);
-        for _ in 0..m {
+        let mut chunks = [0u32; 8];
+        for i in 0..m {
             match ml1.pop() {
-                Some(c) => chunks.push(c),
+                Some(c) => chunks[i] = c,
                 None => {
-                    for c in chunks {
+                    for &c in &chunks[..i] {
                         ml1.push(c);
                     }
                     return None;
                 }
             }
         }
-        let sc = SuperChunk { chunks, free_slots: (0..n as u8).collect(), n: n as u8 };
+        let sc = SuperChunk::carve(chunks, m as u8, n as u8);
         let id = match self.free_super_ids.pop() {
             Some(id) => {
                 self.supers[id as usize] = Some(sc);
@@ -312,22 +430,25 @@ impl Ml2FreeLists {
             .get_mut(sub.super_id as usize)
             .and_then(Option::as_mut)
             .ok_or(TmccError::UnknownSubChunk { super_id: sub.super_id })?;
-        if sc.free_slots.contains(&sub.slot) {
+        if sub.slot >= sc.n {
+            return Err(TmccError::UnknownSubChunk { super_id: sub.super_id });
+        }
+        if sc.allocated & (1u128 << sub.slot) == 0 {
             return Err(TmccError::DoubleFree { super_id: sub.super_id, slot: sub.slot });
         }
-        // Newly-freed super-chunks go to the *top* of the list (§IV-B).
-        sc.free_slots.push_front(sub.slot);
+        // Newly-freed sub-chunks go to the *top* of the list (§IV-B).
+        sc.push_slot(sub.slot);
         self.allocated_bytes -= self.class_sizes[sub.class];
-        if sc.free_slots.len() == 1 {
+        if sc.free_count() == 1 {
             self.avail[sub.class].push(sub.super_id);
         }
-        if sc.free_slots.len() == sc.n as usize {
+        if sc.free_count() == sc.n as usize {
             // Fully free: dissolve and return chunks to ML1.
             let sc = self.supers[sub.super_id as usize]
                 .take()
                 .ok_or(TmccError::UnknownSubChunk { super_id: sub.super_id })?;
-            self.owned_chunks -= sc.chunks.len();
-            for c in sc.chunks {
+            self.owned_chunks -= sc.m as usize;
+            for &c in &sc.chunks[..sc.m as usize] {
                 ml1.push(c);
             }
             self.avail[sub.class].retain(|&id| id != sub.super_id);
@@ -350,6 +471,18 @@ impl Ml2FreeLists {
     /// accounting the effective-ratio experiments use.
     pub fn footprint_bytes(&self) -> usize {
         self.owned_chunks * 4096
+    }
+
+    /// Heap bytes owned by the free lists (capacity, not length): the
+    /// super-chunk slab, each live super-chunk's slot table, and the
+    /// per-class availability stacks.
+    pub fn heap_bytes(&self) -> usize {
+        self.supers.capacity() * std::mem::size_of::<Option<SuperChunk>>()
+            + self.supers.iter().flatten().map(SuperChunk::heap_bytes).sum::<usize>()
+            + self.free_super_ids.capacity() * std::mem::size_of::<u32>()
+            + self.avail.iter().map(|v| v.capacity() * std::mem::size_of::<u32>()).sum::<usize>()
+            + self.class_sizes.capacity() * std::mem::size_of::<usize>()
+            + self.geometry.capacity() * std::mem::size_of::<(usize, usize)>()
     }
 
     /// DRAM byte address where sub-chunk `sub` starts. Sub-chunks may span
@@ -378,6 +511,7 @@ impl Ml2FreeLists {
         let chunk = *sc
             .chunks
             .get(offset / 4096)
+            .filter(|_| offset / 4096 < sc.m as usize)
             .ok_or(TmccError::UnknownSubChunk { super_id: sub.super_id })?;
         Ok(chunk as u64 * 4096 + (offset % 4096) as u64)
     }
@@ -396,6 +530,49 @@ mod tests {
         assert_eq!(l.pop(), Some(1));
         assert_eq!(l.pop(), Some(2));
         assert_eq!(l.pop(), None);
+    }
+
+    #[test]
+    fn chunk_list_matches_naive_vec_order() {
+        // The watermark + spill representation must replay the exact pop
+        // order of the original `(0..n).rev().collect::<Vec<_>>()` list
+        // under an arbitrary interleaving of pops and pushes.
+        let mut naive: Vec<u32> = (0..40u32).rev().collect();
+        let mut l = ChunkFreeList::with_chunks(40);
+        let mut popped = Vec::new();
+        let mut step = 0u64;
+        for _ in 0..400 {
+            step = step.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if !step.is_multiple_of(3) || popped.is_empty() {
+                let a = naive.pop();
+                let b = l.pop();
+                assert_eq!(a, b);
+                if let Some(c) = b {
+                    popped.push(c);
+                }
+            } else {
+                let c = popped.swap_remove((step % popped.len() as u64) as usize);
+                naive.push(c);
+                l.push(c);
+            }
+            assert_eq!(naive.len(), l.len());
+        }
+    }
+
+    #[test]
+    fn chunk_list_free_map_tracks_membership() {
+        let mut l = ChunkFreeList::with_chunks(10);
+        assert!(l.is_free(0) && l.is_free(9));
+        assert!(!l.is_free(10));
+        let c = l.pop().expect("non-empty");
+        assert!(!l.is_free(c));
+        l.push(c);
+        assert!(l.is_free(c));
+        // Chunks minted beyond the original range (GrowBudget) work too.
+        l.push(500);
+        assert!(l.is_free(500));
+        assert_eq!(l.pop(), Some(500));
+        assert!(!l.is_free(500));
     }
 
     #[test]
@@ -460,6 +637,24 @@ mod tests {
     }
 
     #[test]
+    fn super_chunk_slots_reuse_most_recent_free_first() {
+        // One 4096-class super-chunk has n == m, so slot recycling within
+        // a single super-chunk is observable: pop 0,1,2 ascending, then a
+        // freed slot is handed out again before the next fresh one.
+        let mut ml1 = Ml1FreeList::with_chunks(8);
+        let mut ml2 = Ml2FreeLists::new(vec![256]);
+        let a = ml2.allocate(100, &mut ml1).expect("fits");
+        let b = ml2.allocate(100, &mut ml1).expect("fits");
+        let c = ml2.allocate(100, &mut ml1).expect("fits");
+        assert_eq!((a.slot, b.slot, c.slot), (0, 1, 2));
+        ml2.free(b, &mut ml1);
+        let d = ml2.allocate(100, &mut ml1).expect("fits");
+        assert_eq!(d.slot, 1, "most recently freed slot is reused first");
+        let e = ml2.allocate(100, &mut ml1).expect("fits");
+        assert_eq!(e.slot, 3, "then the fresh run continues");
+    }
+
+    #[test]
     fn oversized_pages_rejected() {
         let mut ml1 = Ml1FreeList::with_chunks(8);
         let mut ml2 = Ml2FreeLists::paper_classes();
@@ -486,6 +681,15 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_slot_is_a_typed_error() {
+        let mut ml1 = Ml1FreeList::with_chunks(8);
+        let mut ml2 = Ml2FreeLists::new(vec![2048]);
+        let a = ml2.allocate(2000, &mut ml1).expect("fits");
+        let bogus = SubChunk { class: a.class, super_id: a.super_id, slot: 99 };
+        assert!(matches!(ml2.try_free(bogus, &mut ml1), Err(TmccError::UnknownSubChunk { .. })));
+    }
+
+    #[test]
     fn many_allocations_within_budget() {
         let mut ml1 = Ml1FreeList::with_chunks(256);
         let mut ml2 = Ml2FreeLists::paper_classes();
@@ -507,5 +711,46 @@ mod tests {
             ml2.free(s, &mut ml1);
         }
         assert_eq!(ml1.len(), 256);
+    }
+
+    #[test]
+    fn churn_cycles_do_not_retain_capacity() {
+        // Regression for the pool-shrink leak: super-chunk slot tracking
+        // (previously a `VecDeque<u8>` per super-chunk) must not pin its
+        // peak capacity once allocations drain. Heap bytes after each
+        // full drain must stay flat across fill/drain cycles, and a
+        // drained ML2 must cost no more than the empty slab + id stacks.
+        let mut ml1 = Ml1FreeList::with_chunks(512);
+        let mut ml2 = Ml2FreeLists::paper_classes();
+        let mut drained_heap = Vec::new();
+        for _ in 0..4 {
+            let mut live = Vec::new();
+            let mut k = 0usize;
+            while let Some(s) = ml2.allocate(260 + (k * 131) % 3000, &mut ml1) {
+                live.push(s);
+                k += 1;
+            }
+            let peak = ml2.heap_bytes();
+            for s in live {
+                ml2.free(s, &mut ml1);
+            }
+            assert_eq!(ml2.owned_chunks(), 0);
+            let drained = ml2.heap_bytes();
+            assert!(
+                drained < peak,
+                "drained heap {drained} should drop below peak {peak} \
+                 (per-super slot tables must be released on dissolve)"
+            );
+            drained_heap.push(drained);
+        }
+        assert!(
+            drained_heap.windows(2).all(|w| w[1] <= w[0]),
+            "drained heap must not grow across cycles: {drained_heap:?}"
+        );
+        // ML1's spill also returns to watermark-only cost on demand.
+        let before = ml1.heap_bytes();
+        while ml1.pop().is_some() {}
+        ml1.shrink_to_fit();
+        assert!(ml1.heap_bytes() < before.max(1));
     }
 }

@@ -19,19 +19,27 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageId(u32);
 
-/// Region bit: set for table-region pages.
-const TABLE_BIT: u32 = 1 << 31;
+/// Region bit: set for table-region pages. Shared with
+/// [`crate::page_meta::PageMetaStore`], which derives handles with the
+/// same arithmetic over the same two-region layout.
+pub(crate) const TABLE_BIT: u32 = 1 << 31;
 
 impl PageId {
+    /// Rebuilds a handle from its raw encoding (region bit | index).
+    #[inline]
+    pub(crate) fn from_raw(raw: u32) -> Self {
+        Self(raw)
+    }
+
     /// The region-local index.
     #[inline]
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         (self.0 & !TABLE_BIT) as usize
     }
 
     /// Whether the handle points into the table region.
     #[inline]
-    fn is_table(self) -> bool {
+    pub(crate) fn is_table(self) -> bool {
         self.0 & TABLE_BIT != 0
     }
 }

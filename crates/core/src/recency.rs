@@ -10,9 +10,12 @@
 //! The list is intrusive over a dense slab: page numbers index a `Vec` of
 //! link slots directly, exactly as the hardware table indexes DRAM by page
 //! frame, so every touch/unlink is two array loads — the per-access hash
-//! lookups of the earlier `HashMap` representation are gone. Callers hand
-//! in physical page numbers from the simulator's dense data-page range;
-//! the slab grows to the highest page ever tracked.
+//! lookups of the earlier `HashMap` representation are gone. Membership
+//! lives in a succinct [`BitVec`] beside the link slab, which keeps each
+//! slot at exactly two 32-bit links (8 B instead of a padded 12 B) at
+//! datacenter-scale page counts. Callers hand in physical page numbers
+//! from the simulator's dense data-page range; the slab grows to the
+//! highest page ever tracked.
 //!
 //! The list costs real DRAM — 0.4 % of capacity (§V-A6) — accounted by
 //! [`RecencyList::dram_overhead_bytes`].
@@ -20,6 +23,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tmcc_types::addr::Ppn;
+use tmcc_types::bitvec::BitVec;
 
 /// The paper's hardware sampling probability: 1 % of ML1 accesses update
 /// the list (§IV-B). Hardware runs billions of accesses, so 1 % sampling
@@ -31,16 +35,16 @@ pub const SAMPLE_PROBABILITY: f64 = 0.01;
 /// Sentinel link value ("no neighbour").
 const NIL: u32 = u32::MAX;
 
-/// One slab slot: intrusive links plus membership.
+/// One slab slot: intrusive links. Membership is tracked separately in
+/// the `present` bitmap so the slot packs into 8 bytes.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     prev: u32, // towards head
     next: u32, // towards tail
-    present: bool,
 }
 
 impl Slot {
-    const EMPTY: Slot = Slot { prev: NIL, next: NIL, present: false };
+    const EMPTY: Slot = Slot { prev: NIL, next: NIL };
 }
 
 /// The recency list.
@@ -60,6 +64,8 @@ impl Slot {
 pub struct RecencyList {
     /// Link slots indexed directly by page number (dense data-page range).
     slots: Vec<Slot>,
+    /// Membership bitmap, indexed like `slots`.
+    present: BitVec,
     head: u32, // hottest (NIL when empty)
     tail: u32, // coldest (NIL when empty)
     len: usize,
@@ -84,6 +90,7 @@ impl RecencyList {
         assert!(sample_prob > 0.0 && sample_prob <= 1.0, "sampling probability must be in (0, 1]");
         Self {
             slots: Vec::new(),
+            present: BitVec::new(),
             head: NIL,
             tail: NIL,
             len: 0,
@@ -117,7 +124,8 @@ impl RecencyList {
 
     /// Whether `page` is tracked.
     pub fn contains(&self, page: Ppn) -> bool {
-        self.slots.get(Self::key(page)).is_some_and(|s| s.present)
+        let key = Self::key(page);
+        key < self.present.len() && self.present.get(key)
     }
 
     /// Unconditionally inserts/moves `page` to the hot end.
@@ -126,12 +134,14 @@ impl RecencyList {
         if key >= self.slots.len() {
             self.slots.resize(key + 1, Slot::EMPTY);
         }
-        if self.slots[key].present {
+        self.present.grow(key + 1);
+        if self.present.get(key) {
             self.unlink(key as u32);
             self.len -= 1;
         }
         let old_head = self.head;
-        self.slots[key] = Slot { prev: NIL, next: old_head, present: true };
+        self.slots[key] = Slot { prev: NIL, next: old_head };
+        self.present.set(key);
         if old_head != NIL {
             self.slots[old_head as usize].prev = key as u32;
         }
@@ -183,7 +193,7 @@ impl RecencyList {
             return None;
         }
         self.unlink(t);
-        self.slots[t as usize].present = false;
+        self.present.clear(t as usize);
         self.len -= 1;
         Some(Ppn::new(t as u64))
     }
@@ -191,9 +201,9 @@ impl RecencyList {
     /// Removes `page` (e.g., when found incompressible, or migrated away).
     pub fn remove(&mut self, page: Ppn) -> bool {
         let key = Self::key(page);
-        if self.slots.get(key).is_some_and(|s| s.present) {
+        if key < self.present.len() && self.present.get(key) {
             self.unlink(key as u32);
-            self.slots[key].present = false;
+            self.present.clear(key);
             self.len -= 1;
             true
         } else {
@@ -203,7 +213,7 @@ impl RecencyList {
 
     fn unlink(&mut self, key: u32) {
         let node = self.slots[key as usize];
-        debug_assert!(node.present, "unlinking an untracked slot");
+        debug_assert!(self.present.get(key as usize), "unlinking an untracked slot");
         match node.prev {
             NIL => self.head = node.next,
             p => self.slots[p as usize].next = node.next,
@@ -230,6 +240,11 @@ impl RecencyList {
     /// DRAM (§V-A6).
     pub fn dram_overhead_bytes(total_pages: u64) -> u64 {
         total_pages * 16
+    }
+
+    /// Host heap bytes the list occupies (link slab + membership bitmap).
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot>() + self.present.heap_bytes()
     }
 }
 

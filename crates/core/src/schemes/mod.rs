@@ -129,6 +129,13 @@ pub trait Scheme {
     /// DRAM bytes currently occupied by data + translation metadata.
     fn dram_used_bytes(&self) -> u64;
 
+    /// *Host* heap bytes the scheme's metadata structures occupy — what
+    /// the capacity/footprint experiments report per simulated GB.
+    /// Schemes that don't track it report 0.
+    fn metadata_heap_bytes(&self) -> usize {
+        0
+    }
+
     /// Appends the pages evicted to ML2 since the last call to `out`
     /// (caller-owned scratch, so the per-step poll allocates nothing). The
     /// system model flushes their blocks from the cache hierarchy

@@ -29,18 +29,20 @@
 use super::{cte_dram_addr, MemRequest, Scheme, SchemePressure};
 use crate::config::{FaultKind, SchemeKind, TmccToggles};
 use crate::error::TmccError;
-use crate::free_list::{Ml1FreeList, Ml2FreeLists, SubChunk};
-use crate::page_slab::{PageId, PageSlab};
+use crate::free_list::{Ml1FreeList, Ml2FreeLists};
+use crate::page_meta::{PageInfo, PageMetaStore, Placement};
+use crate::page_slab::PageId;
 use crate::recency::RecencyList;
 use crate::size_model::SizeModel;
 use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use tmcc_deflate::{DeflateTiming, IbmDeflateModel};
 use tmcc_sim_dram::DramSim;
 use tmcc_sim_mem::{CteBuffer, CteCache, CteCacheConfig, PageTable};
 use tmcc_types::addr::{BlockAddr, DramAddr, Ppn, PAGE_SIZE};
+use tmcc_types::bitvec::BitVec;
 use tmcc_types::cte::{Cte, MemoryLevel, TruncatedCte};
 use tmcc_types::fxhash::FxHashMap;
 use tmcc_types::ptb::{CompressedPtb, PtbGeometry};
@@ -67,30 +69,15 @@ const EMERGENCY_EVICTION_BURST: u32 = 32;
 /// floor would leave eviction unable to grow ML2 and the debt unpayable.
 const CARVE_RESERVE: usize = 8;
 
-/// Where a page's bytes currently live.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Placement {
-    Ml1 { frame: u32 },
-    Ml2 { sub: SubChunk, comp_bytes: u32 },
-}
-
-/// Per-page state.
-#[derive(Debug, Clone, Copy)]
-struct PageInfo {
-    cte: Cte,
-    place: Placement,
-    dirty_epoch: u32,
-    /// Page-table pages are pinned in ML1 and never migrate.
-    pinned: bool,
-}
-
 /// The shared two-level scheme.
 pub struct TwoLevelScheme {
     toggles: TmccToggles,
-    /// Per-page state, indexed arithmetically by the dense PPN layout —
-    /// steady-state accesses derive a [`PageId`] once per request and
-    /// never hash (see [`crate::page_slab`]).
-    pages: PageSlab<PageInfo>,
+    /// Per-page state, packed one word per page and indexed
+    /// arithmetically by the dense PPN layout — steady-state accesses
+    /// derive a [`PageId`] once per request and never hash (see
+    /// [`crate::page_meta`]). The CTE is not stored: it is derived from
+    /// the placement on demand (see [`Self::cte_of`]).
+    pages: PageMetaStore,
     ml1_free: Ml1FreeList,
     ml2: Ml2FreeLists,
     recency: RecencyList,
@@ -196,7 +183,7 @@ impl TwoLevelScheme {
         let evict_lo = ((budget_frames as usize) / 64).max(24);
         let mut s = Self {
             toggles,
-            pages: PageSlab::new(page_table.table_region_base()),
+            pages: PageMetaStore::new(page_table.table_region_base()),
             ml1_free: Ml1FreeList::with_chunks(budget_frames),
             ml2: Ml2FreeLists::paper_classes(),
             recency: RecencyList::with_probability(seed, recency_sample),
@@ -241,45 +228,43 @@ impl TwoLevelScheme {
             s.pages.insert(
                 ppn,
                 PageInfo {
-                    cte: Cte::new(frame, MemoryLevel::Ml1),
                     place: Placement::Ml1 { frame },
                     dirty_epoch: 0,
                     pinned: true,
+                    incompressible: false,
                 },
             );
         }
         // Place data pages, hottest (lowest index) first. Choose the split
         // point k so that pages 0..k live in ML1 and k.. fit into ML2
-        // within the remaining budget (plus the eviction reserve).
-        let class_rounded: Vec<u64> = (0..data_pages)
-            .map(|i| {
-                let comp = s.size_model.sizes_of(i, 0).deflate_bytes.min(PAGE_SIZE);
-                s.ml2
-                    .class_for(comp)
-                    .map(|c| s.ml2.class_size(c) as u64)
-                    .unwrap_or(PAGE_SIZE as u64)
-            })
-            .collect();
-        // suffix[k] = ML2 bytes needed if pages k.. go to ML2.
-        let mut suffix = vec![0u64; data_pages as usize + 1];
-        for k in (0..data_pages as usize).rev() {
-            suffix[k] = suffix[k + 1] + class_rounded[k];
-        }
+        // within the remaining budget (plus the eviction reserve). The
+        // candidate k runs from data_pages down to 0 while the suffix sum
+        // of class-rounded ML2 sizes accumulates in lockstep, so the
+        // search streams in O(1) extra space — no per-page arrays, which
+        // would dominate host memory at TB-scale footprints.
         let avail = s.ml1_free.len() as u64;
         let reserve = s.evict_hi as u64 + 8;
+        // ML2 bytes needed if pages k.. go to ML2 (the suffix sum at the
+        // loop variable's current value).
+        let mut suffix_bytes = 0u64;
         let mut split = None;
         for k in (0..=data_pages).rev() {
             // ML2 frames with ~3% carving slack.
-            let ml2_frames = (suffix[k as usize] * 103 / 100).div_ceil(PAGE_SIZE as u64);
+            let ml2_frames = (suffix_bytes * 103 / 100).div_ceil(PAGE_SIZE as u64);
             if k + ml2_frames + reserve <= avail {
                 split = Some(k);
                 break;
             }
+            if k > 0 {
+                suffix_bytes += s.ml2_rounded_bytes(k - 1);
+            }
         }
+        // When no k fits, the loop ran to k = 0, so `suffix_bytes` holds
+        // the all-ML2 total for the error report.
         let split = split.ok_or_else(|| TmccError::InfeasibleBudget {
             budget_frames: budget_frames as u64,
             required_frames: table_pages
-                + (suffix[0] * 103 / 100).div_ceil(PAGE_SIZE as u64)
+                + (suffix_bytes * 103 / 100).div_ceil(PAGE_SIZE as u64)
                 + reserve,
             stage: "ML1/ML2 data placement",
         })?;
@@ -296,10 +281,10 @@ impl TwoLevelScheme {
                 s.pages.insert(
                     idx,
                     PageInfo {
-                        cte: Cte::new(frame, MemoryLevel::Ml1),
                         place: Placement::Ml1 { frame },
                         dirty_epoch: 0,
                         pinned: false,
+                        incompressible: false,
                     },
                 );
                 s.recency.insert_hot(ppn);
@@ -310,19 +295,19 @@ impl TwoLevelScheme {
                     TmccError::InfeasibleBudget {
                         budget_frames: budget_frames as u64,
                         required_frames: table_pages
-                            + (suffix[0] * 103 / 100).div_ceil(PAGE_SIZE as u64)
+                            + split
+                            + (suffix_bytes * 103 / 100).div_ceil(PAGE_SIZE as u64)
                             + reserve,
                         stage: "ML2 placement",
                     }
                 })?;
-                let frame = (s.ml2.try_addr_of(sub)? / PAGE_SIZE as u64) as u32;
                 s.pages.insert(
                     idx,
                     PageInfo {
-                        cte: Cte::new(frame, MemoryLevel::Ml2),
                         place: Placement::Ml2 { sub, comp_bytes: comp as u32 },
                         dirty_epoch: 0,
                         pinned: false,
+                        incompressible: false,
                     },
                 );
             }
@@ -373,6 +358,29 @@ impl TwoLevelScheme {
         self.reclaim_debt
     }
 
+    /// Class-rounded ML2 bytes data page `idx` would occupy if placed
+    /// compressed (4 KiB when it fits no class).
+    fn ml2_rounded_bytes(&self, idx: u64) -> u64 {
+        let comp = self.size_model.sizes_of(idx, 0).deflate_bytes.min(PAGE_SIZE);
+        self.ml2.class_for(comp).map(|c| self.ml2.class_size(c) as u64).unwrap_or(PAGE_SIZE as u64)
+    }
+
+    /// Derives a page's CTE from its placement. The schemes never
+    /// populate the pair vector and [`Cte::set_frame`] writes exactly the
+    /// frame and level, so reconstruction is bit-identical to the CTE the
+    /// scheme used to keep stored and mutate in lockstep.
+    fn cte_of(&self, info: &PageInfo) -> Result<Cte, TmccError> {
+        let (frame, level) = match info.place {
+            Placement::Ml1 { frame } => (frame, MemoryLevel::Ml1),
+            Placement::Ml2 { sub, .. } => {
+                ((self.ml2.try_addr_of(sub)? / PAGE_SIZE as u64) as u32, MemoryLevel::Ml2)
+            }
+        };
+        let mut cte = Cte::new(frame, level);
+        cte.set_incompressible(info.incompressible);
+        Ok(cte)
+    }
+
     fn refresh_ptb_embedding(&mut self, block: BlockAddr, ptb: &PageTableBlock, g: PtbGeometry) {
         let Ok(mut compressed) = CompressedPtb::compress(ptb, g) else {
             self.ptb_embed.remove(&block.raw());
@@ -385,7 +393,10 @@ impl TwoLevelScheme {
                 continue;
             }
             if let Some(info) = self.pages.get(pte.ppn().raw()) {
-                let t = info.cte.truncated();
+                let Ok(cte) = self.cte_of(&info) else {
+                    continue;
+                };
+                let t = cte.truncated();
                 if compressed.embed_cte(i, t) {
                     *slot = Some(t);
                 }
@@ -456,7 +467,7 @@ impl TwoLevelScheme {
         count_stats: bool,
     ) -> Result<f64, TmccError> {
         let key = req.ppn.raw();
-        let info = *self.pages.get_id(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
+        let info = self.pages.get_id(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
         let in_ml1 = matches!(info.place, Placement::Ml1 { .. });
         let addr = self.data_addr(&info, req)?;
         if self.cte_cache.access(req.ppn) {
@@ -475,7 +486,7 @@ impl TwoLevelScheme {
             }
         }
         let cte_addr = DramAddr::new(cte_dram_addr(req.ppn));
-        let correct = info.cte;
+        let correct = self.cte_of(&info)?;
         let done = if self.toggles.embedded_ctes {
             match self.cte_buffer.lookup(req.ppn).and_then(|e| e.cte) {
                 Some(embedded) => {
@@ -615,9 +626,9 @@ impl TwoLevelScheme {
         if let Some(frame) = self.ml1_free.pop() {
             stats.ml2_to_ml1_migrations = stats.ml2_to_ml1_migrations.saturating_add(1);
             self.ml2.try_free(sub, &mut self.ml1_free)?;
-            let info = self.pages.get_id_mut(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
-            info.place = Placement::Ml1 { frame };
-            info.cte.set_frame(frame, MemoryLevel::Ml1);
+            if !self.pages.set_place(id, Placement::Ml1 { frame }) {
+                return Err(TmccError::UnplacedPage { ppn: key });
+            }
             self.recency.insert_hot(req.ppn);
             // Write the decompressed page into its new frame (background,
             // via the rank-scoped write mode of §VI).
@@ -650,7 +661,7 @@ impl Scheme for TwoLevelScheme {
     ) -> Result<f64, TmccError> {
         let key = req.ppn.raw();
         let id = self.page_id(req.ppn)?;
-        let info = *self.pages.get_id(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
+        let info = self.pages.get_id(id).ok_or(TmccError::UnplacedPage { ppn: key })?;
         let done = match info.place {
             Placement::Ml1 { .. } => {
                 let done = self.serve_translated_read(req, id, now_ns, dram, stats, true)?;
@@ -680,7 +691,7 @@ impl Scheme for TwoLevelScheme {
         let Ok(id) = self.page_id(req.ppn) else {
             return Ok(());
         };
-        let Some(info) = self.pages.get_id(id).copied() else {
+        let Some(info) = self.pages.get_id(id) else {
             return Ok(());
         };
         match info.place {
@@ -690,15 +701,13 @@ impl Scheme for TwoLevelScheme {
                 let _ = self.cte_cache.access(req.ppn);
                 let addr = self.data_addr(&info, req)?;
                 let _ = dram.access_background(now_ns, DramAddr::new(addr), true);
-                if info.cte.is_incompressible() && self.recency.on_incompressible_writeback(req.ppn)
-                {
+                if info.incompressible && self.recency.on_incompressible_writeback(req.ppn) {
                     // Re-entered the recency list; it may be evicted again.
                 }
-                if self.rng.gen::<f64>() < DIRTY_REDRAW_PROBABILITY {
-                    self.pages
-                        .get_id_mut(id)
-                        .ok_or(TmccError::UnplacedPage { ppn: key })?
-                        .dirty_epoch += 1;
+                if self.rng.gen::<f64>() < DIRTY_REDRAW_PROBABILITY
+                    && !self.pages.bump_dirty_epoch(id)
+                {
+                    return Err(TmccError::UnplacedPage { ppn: key });
                 }
             }
             Placement::Ml2 { .. } => {
@@ -747,7 +756,10 @@ impl Scheme for TwoLevelScheme {
                 break;
             };
             let key = victim.raw();
-            let Some(info) = self.pages.get(key).copied() else {
+            let Some(vid) = self.pages.id_of(key) else {
+                continue;
+            };
+            let Some(info) = self.pages.get_id(vid) else {
                 continue;
             };
             let Placement::Ml1 { frame } = info.place else {
@@ -761,11 +773,9 @@ impl Scheme for TwoLevelScheme {
             if sizes.ml2_incompressible() || self.ml2.class_for(comp).is_none() {
                 // Keep it in ML1, flag it, and stop retrying (§IV-B).
                 stats.incompressible_evictions = stats.incompressible_evictions.saturating_add(1);
-                self.pages
-                    .get_mut(key)
-                    .ok_or(TmccError::UnplacedPage { ppn: key })?
-                    .cte
-                    .set_incompressible(true);
+                if !self.pages.set_incompressible(vid, true) {
+                    return Err(TmccError::UnplacedPage { ppn: key });
+                }
                 continue;
             }
             let mut donated = false;
@@ -822,9 +832,9 @@ impl Scheme for TwoLevelScheme {
             for k in 0..stored_bytes.div_ceil(64) {
                 t = dram.access_background(t, DramAddr::new(sub_addr + (k * 64) as u64), true);
             }
-            let info = self.pages.get_mut(key).ok_or(TmccError::UnplacedPage { ppn: key })?;
-            info.place = Placement::Ml2 { sub, comp_bytes: stored_bytes as u32 };
-            info.cte.set_frame((sub_addr / PAGE_SIZE as u64) as u32, MemoryLevel::Ml2);
+            if !self.pages.set_place(vid, Placement::Ml2 { sub, comp_bytes: stored_bytes as u32 }) {
+                return Err(TmccError::UnplacedPage { ppn: key });
+            }
             if !donated {
                 self.ml1_free.push(frame);
             }
@@ -901,47 +911,33 @@ impl Scheme for TwoLevelScheme {
     }
 
     fn validate(&self) -> Result<(), TmccError> {
+        // The CTE is derived from the placement (see `cte_of`), so the
+        // old CTE↔placement lockstep checks hold by construction; what
+        // remains auditable is the placement itself.
         let mut ml1_resident = 0usize;
-        let mut frames_seen = HashSet::new();
+        let mut frames_seen = BitVec::with_len(self.next_frame_id as usize);
         for (ppn, info) in self.pages.iter() {
             match info.place {
                 Placement::Ml1 { frame } => {
                     ml1_resident += 1;
-                    if info.cte.level() != MemoryLevel::Ml1 || info.cte.frame() != frame {
+                    if frame >= self.next_frame_id {
                         return Err(TmccError::InvariantViolation {
                             detail: format!(
-                                "page {ppn:#x}: CTE ({:?}, frame {}) disagrees with ML1 \
-                                 placement in frame {frame}",
-                                info.cte.level(),
-                                info.cte.frame()
+                                "page {ppn:#x}: ML1 frame {frame} was never minted \
+                                 (next id {})",
+                                self.next_frame_id
                             ),
                         });
                     }
-                    if !frames_seen.insert(frame) {
+                    if !frames_seen.set(frame as usize) {
                         return Err(TmccError::InvariantViolation {
                             detail: format!("frame {frame} backs more than one ML1 page"),
                         });
                     }
                 }
                 Placement::Ml2 { sub, comp_bytes } => {
-                    if info.cte.level() != MemoryLevel::Ml2 {
-                        return Err(TmccError::InvariantViolation {
-                            detail: format!(
-                                "page {ppn:#x}: CTE level {:?} disagrees with ML2 placement",
-                                info.cte.level()
-                            ),
-                        });
-                    }
-                    let addr = self.ml2.try_addr_of(sub)?;
-                    if info.cte.frame() as u64 != addr / PAGE_SIZE as u64 {
-                        return Err(TmccError::InvariantViolation {
-                            detail: format!(
-                                "page {ppn:#x}: CTE frame {} disagrees with sub-chunk \
-                                 address {addr:#x}",
-                                info.cte.frame()
-                            ),
-                        });
-                    }
+                    // A dangling sub-chunk surfaces as a typed error here.
+                    let _addr = self.ml2.try_addr_of(sub)?;
                     if comp_bytes as usize > self.ml2.class_size(sub.class) {
                         return Err(TmccError::InvariantViolation {
                             detail: format!(
@@ -990,6 +986,14 @@ impl Scheme for TwoLevelScheme {
         let cte_table = self.pages.len() as u64 * Cte::SIZE_IN_DRAM as u64;
         let recency = RecencyList::dram_overhead_bytes(self.pages.len() as u64);
         frames_in_use * PAGE_SIZE as u64 + cte_table + recency
+    }
+
+    fn metadata_heap_bytes(&self) -> usize {
+        self.pages.heap_bytes()
+            + self.ml1_free.heap_bytes()
+            + self.ml2.heap_bytes()
+            + self.recency.heap_bytes()
+            + self.cte_cache.heap_bytes()
     }
 }
 
@@ -1045,7 +1049,7 @@ mod tests {
         assert!(s.dram_used_bytes() <= 1200 * 4096 + 2100 * 24);
         // Some pages must have landed in ML2.
         let ml2_pages =
-            s.pages.values().filter(|p| matches!(p.place, Placement::Ml2 { .. })).count();
+            s.pages.iter().filter(|(_, p)| matches!(p.place, Placement::Ml2 { .. })).count();
         assert!(ml2_pages > 0, "budget pressure must push pages to ML2");
     }
 
@@ -1126,11 +1130,8 @@ mod tests {
         s.on_ptb_fetched(step.ptb_block, &ptb);
         // Secretly migrate page 5 to a different frame.
         let new_frame = s.ml1_free.pop().unwrap();
-        {
-            let info = s.pages.get_mut(5).unwrap();
-            info.place = Placement::Ml1 { frame: new_frame };
-            info.cte.set_frame(new_frame, MemoryLevel::Ml1);
-        }
+        let id = s.pages.id_of(5).unwrap();
+        assert!(s.pages.set_place(id, Placement::Ml1 { frame: new_frame }));
         let _ = s.access(&read_req(5, true), 0.0, &mut d, &mut stats).unwrap();
         assert_eq!(stats.ml1_parallel_mismatch, 1);
         // The embedding has been lazily repaired: next fetch+access is
@@ -1301,7 +1302,7 @@ mod tests {
         s.maintain(0.0, &mut d, &mut stats).unwrap();
         assert!(stats.incompressible_evictions > 0);
         assert_eq!(stats.ml1_to_ml2_migrations, 0);
-        let flagged = s.pages.values().filter(|p| p.cte.is_incompressible()).count();
+        let flagged = s.pages.iter().filter(|(_, p)| p.incompressible).count();
         assert!(flagged > 0);
     }
 

@@ -19,7 +19,7 @@ use tmcc_compression::{BestOfCodec, BlockCodec};
 use tmcc_deflate::MemDeflate;
 use tmcc_types::cte::BlockMetadata;
 use tmcc_types::fxhash::FxHashMap;
-use tmcc_workloads::PageContent;
+use tmcc_workloads::{PageContent, PageStore};
 
 /// Process-wide memo of sampling results, keyed by the exact concatenated
 /// bytes of the sampled pages.
@@ -87,10 +87,22 @@ impl SizeModel {
     ///
     /// Panics if `samples` is zero.
     pub fn sample(content: &PageContent, samples: usize) -> Self {
+        Self::sample_via(&mut PageStore::new(content.clone()), samples)
+    }
+
+    /// Like [`sample`](Self::sample), but materializes the sample pages
+    /// through an existing [`PageStore`] — the lazy generate-on-read path
+    /// the system model uses, so sampling shares the store's scratch
+    /// buffer and sees any pinned (divergent) pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn sample_via(store: &mut PageStore, samples: usize) -> Self {
         assert!(samples > 0, "need at least one sample");
         // Spread sample indices to hit every template in the mix.
         let pages: Vec<Vec<u8>> =
-            (0..samples as u64).map(|i| content.page_bytes(i.wrapping_mul(0x9E37) + i)).collect();
+            (0..samples as u64).map(|i| store.read(i.wrapping_mul(0x9E37) + i).to_vec()).collect();
         let key: Vec<u8> = pages.iter().flat_map(|p| p.iter().copied()).collect();
         if let Some(hit) = sample_memo().lock().expect("memo poisoned").get(&key) {
             return Self { samples: hit.clone() };

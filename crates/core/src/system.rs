@@ -32,7 +32,7 @@ use tmcc_sim_mem::page_table::WalkStep;
 use tmcc_sim_mem::{CacheHierarchy, HitLevel, PageTable, PageTableConfig, PageWalker, Tlb};
 use tmcc_types::addr::{Ppn, Vpn};
 use tmcc_types::pte::PageTableBlock;
-use tmcc_workloads::AccessStream;
+use tmcc_workloads::{AccessStream, PageStore};
 
 /// ns per core cycle at the Table III core clock (2.8 GHz).
 const CORE_NS_PER_CYCLE: f64 = 1.0 / 2.8;
@@ -107,6 +107,10 @@ pub struct System {
     walk_buf: Vec<(WalkStep, PageTableBlock)>,
     /// Reused scratch for pages drained from the scheme's eviction queue.
     evict_buf: Vec<Ppn>,
+    /// Lazy page-content source: pages materialize from the workload seed
+    /// on read and are only host-resident while divergent, so simulated
+    /// footprint costs no RSS (see `tmcc_workloads::store`).
+    store: PageStore,
     /// Host-time phase breakdown, populated when `cfg.profile` is set.
     profile: PhaseProfile,
     /// Cooperative cancellation token, polled every
@@ -147,7 +151,8 @@ impl System {
                 page_table.map(Vpn::new(i), Ppn::new(i));
             }
         }
-        let size_model = SizeModel::sample(&cfg.workload.page_content(cfg.seed), cfg.size_samples);
+        let mut store = PageStore::new(cfg.workload.page_content(cfg.seed));
+        let size_model = SizeModel::sample_via(&mut store, cfg.size_samples);
         let table_pages = page_table.table_page_count() as u64;
 
         let scheme: Box<dyn Scheme> = match cfg.scheme {
@@ -212,6 +217,7 @@ impl System {
             measure_start_ns: 0.0,
             walk_buf: Vec::with_capacity(4),
             evict_buf: Vec::new(),
+            store,
             profile: PhaseProfile::default(),
             cancel: None,
             cfg,
@@ -225,7 +231,10 @@ impl System {
         for i in 0..cfg.workload.sim_pages {
             page_table.map(Vpn::new(i), Ppn::new(i));
         }
-        let size_model = SizeModel::sample(&cfg.workload.page_content(cfg.seed), cfg.size_samples);
+        let size_model = SizeModel::sample_via(
+            &mut PageStore::new(cfg.workload.page_content(cfg.seed)),
+            cfg.size_samples,
+        );
         let frames = TwoLevelScheme::min_budget_frames(
             &size_model,
             page_table.table_page_count() as u64,
@@ -513,6 +522,24 @@ impl System {
     /// metadata) — the arbiter's cross-tenant frame-leak audit reads this.
     pub fn dram_used_bytes(&self) -> u64 {
         self.scheme.dram_used_bytes()
+    }
+
+    /// The lazy page-content store backing this system's workload.
+    pub fn page_store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Mutable access to the page store — the footprint experiments drive
+    /// generate-on-read / verify-on-write sweeps against the very content
+    /// the system sampled its size model from.
+    pub fn page_store_mut(&mut self) -> &mut PageStore {
+        &mut self.store
+    }
+
+    /// Host heap bytes this system's scheme metadata occupies (0 for
+    /// schemes that don't track it).
+    pub fn metadata_heap_bytes(&self) -> usize {
+        self.scheme.metadata_heap_bytes()
     }
 
     /// Counters accumulated in the current measurement window.

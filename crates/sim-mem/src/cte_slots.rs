@@ -1,0 +1,304 @@
+//! Packed slot directory for CTE cache metadata.
+//!
+//! The CTE cache only ever needs *tag + recency* per line — its payload is
+//! empty — yet the generic [`SetAssocCache`](crate::SetAssocCache) spends a
+//! 24-byte `Line` (key, dirty, unit payload, 64-bit global stamp) plus a
+//! `Vec` header per set on it. [`PackedCteSlots`] stores the same directory
+//! in two fixed-width packed sequences: a 40-bit tag per way (the paper's
+//! PPN width bounds every line key) and a metadata field holding a valid
+//! bit plus a per-set recency rank sized to the way count (3 rank bits for
+//! the default 8-way geometry — 5.5 bytes per line). Both are flat in two
+//! allocations, and the directory scales to the multi-tenant rosters where
+//! hundreds of per-tenant CTE caches exist at once.
+//!
+//! The recency ranks are behaviorally identical to the generic cache's
+//! global LRU stamps: stamps are only ever *compared within one set*, so
+//! the per-set rank order (0 = least recent, `valid-1` = most recent) picks
+//! the same victim on every eviction, and hit/miss outcomes are a function
+//! of residency only. The parity test at the bottom drives both structures
+//! with the same trace and asserts identical outcomes.
+
+use tmcc_types::packed::PackedSeq;
+
+/// Bits per tag: covers any line key derived from a 40-bit PPN.
+const TAG_BITS: u32 = 40;
+/// Metadata layout: bit 0 = valid, the remaining bits the recency rank.
+const VALID_BIT: u64 = 1;
+const RANK_SHIFT: u64 = 1;
+
+/// Metadata bits for a `ways`-way set: valid bit + enough rank bits to
+/// hold ranks `0..ways` (3 rank bits for the default 8-way geometry).
+fn meta_bits(ways: usize) -> u32 {
+    1 + (usize::BITS - (ways - 1).leading_zeros()).max(1)
+}
+
+/// A set-associative tag/LRU directory with no payload, packed to 44 bits
+/// per way.
+///
+/// # Examples
+///
+/// ```
+/// use tmcc_sim_mem::PackedCteSlots;
+///
+/// let mut d = PackedCteSlots::new(2, 4); // 8 lines
+/// assert!(!d.access(42), "cold miss fills the line");
+/// assert!(d.access(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedCteSlots {
+    /// `sets * ways` tags, valid only where the meta nibble says so.
+    tags: PackedSeq,
+    /// `sets * ways` nibbles: valid bit + per-set recency rank.
+    meta: PackedSeq,
+    sets: usize,
+    ways: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PackedCteSlots {
+    /// Creates a directory with `num_sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `num_sets` is not a power
+    /// of two.
+    pub fn new(num_sets: usize, ways: usize) -> Self {
+        assert!(num_sets > 0 && ways > 0, "directory dimensions must be nonzero");
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        let lines = num_sets * ways;
+        Self {
+            tags: PackedSeq::with_len(TAG_BITS, lines),
+            meta: PackedSeq::with_len(meta_bits(ways), lines),
+            sets: num_sets,
+            ways,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Same multiplicative hash as the generic cache, so a swapped-in
+    /// directory indexes identical sets.
+    fn set_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (self.sets - 1)
+    }
+
+    /// Accesses `key`, filling it on a miss (evicting the set's
+    /// least-recently-used way if full). Returns whether it hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not fit the 40-bit tag.
+    pub fn access(&mut self, key: u64) -> bool {
+        assert!(key <= self.tags.max_value(), "key {key:#x} exceeds the {TAG_BITS}-bit tag");
+        let base = self.set_of(key) * self.ways;
+        let mut valid = 0u64;
+        let mut hit_way = None;
+        let mut victim_way = 0;
+        let mut free_way = None;
+        for w in 0..self.ways {
+            let m = self.meta.get(base + w);
+            if m & VALID_BIT == 0 {
+                free_way.get_or_insert(w);
+                continue;
+            }
+            valid += 1;
+            if self.tags.get(base + w) == key {
+                hit_way = Some(w);
+            }
+            if m >> RANK_SHIFT == 0 {
+                victim_way = w;
+            }
+        }
+        if let Some(w) = hit_way {
+            self.hits = self.hits.saturating_add(1);
+            let old_rank = self.meta.get(base + w) >> RANK_SHIFT;
+            self.demote_above(base, old_rank);
+            self.meta.set(base + w, VALID_BIT | ((valid - 1) << RANK_SHIFT));
+            return true;
+        }
+        self.misses = self.misses.saturating_add(1);
+        let (w, new_rank) = match free_way {
+            Some(w) => (w, valid), // fill a free way at the most-recent rank
+            None => {
+                // Evict rank 0: everything above it slides down one.
+                self.demote_above(base, 0);
+                (victim_way, valid - 1)
+            }
+        };
+        self.tags.set(base + w, key);
+        self.meta.set(base + w, VALID_BIT | (new_rank << RANK_SHIFT));
+        false
+    }
+
+    /// Decrements the rank of every valid way ranked strictly above
+    /// `rank` (closing the gap a promotion or eviction leaves).
+    fn demote_above(&mut self, base: usize, rank: u64) {
+        for w in 0..self.ways {
+            let m = self.meta.get(base + w);
+            if m & VALID_BIT != 0 && m >> RANK_SHIFT > rank {
+                self.meta.set(base + w, m - (1 << RANK_SHIFT));
+            }
+        }
+    }
+
+    /// Whether `key` is resident, without touching recency state.
+    pub fn contains(&self, key: u64) -> bool {
+        if key > self.tags.max_value() {
+            return false;
+        }
+        let base = self.set_of(key) * self.ways;
+        (0..self.ways)
+            .any(|w| self.meta.get(base + w) & VALID_BIT != 0 && self.tags.get(base + w) == key)
+    }
+
+    /// Removes `key` if resident. Returns whether it was.
+    pub fn invalidate(&mut self, key: u64) -> bool {
+        if key > self.tags.max_value() {
+            return false;
+        }
+        let base = self.set_of(key) * self.ways;
+        for w in 0..self.ways {
+            let m = self.meta.get(base + w);
+            if m & VALID_BIT != 0 && self.tags.get(base + w) == key {
+                self.meta.set(base + w, 0);
+                self.demote_above(base, m >> RANK_SHIFT);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops every resident line; hit/miss counters are preserved.
+    pub fn clear(&mut self) {
+        let lines = self.capacity();
+        for i in 0..lines {
+            self.meta.set(i, 0);
+        }
+    }
+
+    /// `(hits, misses)` since construction or [`reset_stats`](Self::reset_stats).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Zeroes the hit/miss counters (e.g. after warmup).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Heap bytes owned by the directory.
+    pub fn heap_bytes(&self) -> usize {
+        self.tags.heap_bytes() + self.meta.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::SetAssocCache;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn hit_after_fill() {
+        let mut d = PackedCteSlots::new(4, 2);
+        assert!(!d.access(1));
+        assert!(d.access(1));
+        assert_eq!(d.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut d = PackedCteSlots::new(1, 2);
+        d.access(1);
+        d.access(2);
+        d.access(1); // 2 is now LRU
+        d.access(3); // evicts 2
+        assert!(d.contains(1) && d.contains(3) && !d.contains(2));
+    }
+
+    #[test]
+    fn invalidate_removes_and_keeps_order() {
+        let mut d = PackedCteSlots::new(1, 3);
+        d.access(1);
+        d.access(2);
+        d.access(3);
+        assert!(d.invalidate(2));
+        assert!(!d.invalidate(2));
+        d.access(4); // set full again: 1, 3, 4
+        d.access(5); // evicts 1, the survivor with the oldest rank
+        assert!(!d.contains(1) && d.contains(3) && d.contains(4) && d.contains(5));
+    }
+
+    #[test]
+    fn parity_with_generic_cache_on_random_trace() {
+        let mut d = PackedCteSlots::new(8, 4);
+        let mut c: SetAssocCache<()> = SetAssocCache::new(8, 4);
+        let mut rng = SmallRng::seed_from_u64(0xC7E);
+        for step in 0..20_000u32 {
+            let key = rng.gen_range(0..96u64);
+            match rng.gen_range(0..10u32) {
+                0 => assert_eq!(d.invalidate(key), c.invalidate(key).is_some(), "step {step}"),
+                1 => assert_eq!(d.contains(key), c.contains(key), "step {step}"),
+                2 if step % 997 == 0 => {
+                    d.clear();
+                    c.clear();
+                }
+                _ => {
+                    let hit = d.access(key);
+                    assert_eq!(hit, c.access(key, false, ()).0.is_hit(), "step {step}");
+                }
+            }
+        }
+        assert_eq!(d.stats(), c.stats());
+        for key in 0..96u64 {
+            assert_eq!(d.contains(key), c.contains(key), "final residency of {key}");
+        }
+    }
+
+    #[test]
+    fn packs_under_six_bytes_per_line() {
+        let d = PackedCteSlots::new(128, 8); // the tmcc() geometry: 1024 lines
+        assert!(
+            d.heap_bytes() <= d.capacity() * 6,
+            "{} bytes for {} lines",
+            d.heap_bytes(),
+            d.capacity()
+        );
+    }
+
+    #[test]
+    fn oversized_key_is_never_resident() {
+        let mut d = PackedCteSlots::new(2, 2);
+        d.access(7);
+        assert!(!d.contains(1 << 41));
+        assert!(!d.invalidate(1 << 41));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        let _ = PackedCteSlots::new(3, 2);
+    }
+
+    #[test]
+    fn wide_sets_get_wider_rank_fields() {
+        // A 4x-scaled CTE cache is 16-way; ranks 0..16 need 4 bits.
+        let mut d = PackedCteSlots::new(4, 16);
+        let mut c: SetAssocCache<()> = SetAssocCache::new(4, 16);
+        let mut rng = SmallRng::seed_from_u64(0x16C7E);
+        for step in 0..20_000u32 {
+            let key = rng.gen_range(0..192u64);
+            let hit = d.access(key);
+            assert_eq!(hit, c.access(key, false, ()).0.is_hit(), "step {step}");
+        }
+        assert_eq!(d.stats(), c.stats());
+    }
+}

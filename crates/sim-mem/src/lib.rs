@@ -15,6 +15,7 @@
 pub mod cache;
 pub mod cte_buffer;
 pub mod cte_cache;
+pub mod cte_slots;
 pub mod hierarchy;
 pub mod page_table;
 pub mod tlb;
@@ -23,6 +24,7 @@ pub mod walker;
 pub use cache::SetAssocCache;
 pub use cte_buffer::{CteBuffer, CteBufferEntry};
 pub use cte_cache::{CteCache, CteCacheConfig};
+pub use cte_slots::PackedCteSlots;
 pub use hierarchy::{CacheHierarchy, HierarchyConfig, HitLevel, MemAccess};
 pub use page_table::{PageTable, PageTableConfig};
 pub use tlb::Tlb;

@@ -17,6 +17,10 @@
 //!   64-byte block-level metadata entry used by Compresso-style designs.
 //! * [`addr`] — virtual/physical/DRAM address newtypes and geometry
 //!   constants.
+//! * [`bitvec`] / [`packed`] — succinct rank/select bitmaps and
+//!   fixed-width packed sequences backing the simulator's hot metadata
+//!   (free-slot maps, residency bits, CTE slot state) at datacenter-scale
+//!   page counts.
 //!
 //! # Examples
 //!
@@ -29,15 +33,19 @@
 //! ```
 
 pub mod addr;
+pub mod bitvec;
 pub mod cte;
 pub mod fxhash;
+pub mod packed;
 pub mod ptb;
 pub mod pte;
 
 pub use addr::{
     BlockAddr, DramAddr, PhysAddr, Ppn, VirtAddr, Vpn, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
 };
+pub use bitvec::{BitVec, RankSelect};
 pub use cte::{BlockMetadata, Cte, MemoryLevel, TruncatedCte};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use packed::PackedSeq;
 pub use ptb::{CompressedPtb, PtbCompressError};
 pub use pte::{PageTableBlock, Pte, PteFlags};

@@ -1,0 +1,216 @@
+//! Fixed-width packed integer sequences (`cseq`-style compact sequences).
+//!
+//! [`PackedSeq`] stores unsigned integers of a fixed bit width back to
+//! back in 64-bit words, so a sequence whose values fit in `w` bits costs
+//! `w` bits per element instead of 64. The simulator uses it for metadata
+//! whose value range is known and small — CTE slot indices, compression
+//! classes, per-slot byte counts — where a `Vec<u64>` would waste 6-8× the
+//! space at datacenter-scale page counts.
+//!
+//! Values may straddle word boundaries; `get`/`set` handle the split read
+//! and read-modify-write explicitly, so no unsafe code and no platform
+//! dependence.
+
+/// Bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A growable sequence of fixed-width unsigned integers.
+///
+/// # Examples
+///
+/// ```
+/// use tmcc_types::packed::PackedSeq;
+///
+/// let mut seq = PackedSeq::new(13); // values 0..8192
+/// for v in [0u64, 1, 4095, 8191] {
+///     seq.push(v);
+/// }
+/// assert_eq!(seq.get(2), 4095);
+/// seq.set(0, 7777);
+/// assert_eq!(seq.get(0), 7777);
+/// assert_eq!(seq.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSeq {
+    words: Vec<u64>,
+    width: u32,
+    mask: u64,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// An empty sequence of `width`-bit values (`1..=64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "width {width} must be in 1..=64");
+        let mask = if width == 64 { !0 } else { (1u64 << width) - 1 };
+        Self { words: Vec::new(), width, mask, len: 0 }
+    }
+
+    /// A sequence of `len` zeros of `width`-bit values.
+    pub fn with_len(width: u32, len: usize) -> Self {
+        let mut s = Self::new(width);
+        s.words = vec![0; (len * width as usize).div_ceil(WORD_BITS)];
+        s.len = len;
+        s
+    }
+
+    /// Bit width per element.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Largest storable value.
+    pub fn max_value(&self) -> u64 {
+        self.mask
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn get(&self, index: usize) -> u64 {
+        assert!(index < self.len, "index {index} out of range (len {})", self.len);
+        let bit = index * self.width as usize;
+        let word = bit / WORD_BITS;
+        let off = bit % WORD_BITS;
+        let lo = self.words[word] >> off;
+        let have = WORD_BITS - off;
+        let v = if have >= self.width as usize { lo } else { lo | (self.words[word + 1] << have) };
+        v & self.mask
+    }
+
+    /// Stores `value` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len` or `value` does not fit in the width.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: u64) {
+        assert!(index < self.len, "index {index} out of range (len {})", self.len);
+        assert!(value <= self.mask, "value {value} exceeds {}-bit width", self.width);
+        let bit = index * self.width as usize;
+        let word = bit / WORD_BITS;
+        let off = bit % WORD_BITS;
+        self.words[word] = (self.words[word] & !(self.mask << off)) | (value << off);
+        let have = WORD_BITS - off;
+        if have < self.width as usize {
+            let spill = self.width as usize - have;
+            let spill_mask = (1u64 << spill) - 1;
+            self.words[word + 1] = (self.words[word + 1] & !spill_mask) | (value >> have);
+        }
+    }
+
+    /// Appends `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the width.
+    pub fn push(&mut self, value: u64) {
+        let needed = ((self.len + 1) * self.width as usize).div_ceil(WORD_BITS);
+        if needed > self.words.len() {
+            self.words.resize(needed, 0);
+        }
+        self.len += 1;
+        self.set(self.len - 1, value);
+    }
+
+    /// Removes all elements, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Drops any excess word capacity.
+    pub fn shrink_to_fit(&mut self) {
+        self.words.shrink_to_fit();
+    }
+
+    /// Heap bytes owned by the sequence (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Iterator over all elements, in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straddling_values_roundtrip() {
+        // width 13 → element 4 starts at bit 52 and straddles words 0/1.
+        let mut s = PackedSeq::new(13);
+        let vals = [1u64, 8191, 0, 4096, 8190, 17, 5555];
+        for &v in &vals {
+            s.push(v);
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(s.get(i), v, "element {i}");
+        }
+        s.set(4, 123);
+        assert_eq!(s.get(4), 123);
+        assert_eq!(s.get(3), 4096, "neighbor untouched");
+        assert_eq!(s.get(5), 17, "neighbor untouched");
+    }
+
+    #[test]
+    fn width_64_uses_full_words() {
+        let mut s = PackedSeq::new(64);
+        s.push(u64::MAX);
+        s.push(0);
+        s.push(0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(s.get(0), u64::MAX);
+        assert_eq!(s.get(2), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn width_1_is_a_bitmap() {
+        let mut s = PackedSeq::with_len(1, 200);
+        s.set(0, 1);
+        s.set(63, 1);
+        s.set(64, 1);
+        s.set(199, 1);
+        assert_eq!(s.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn with_len_starts_zeroed() {
+        let s = PackedSeq::with_len(7, 100);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_value_rejected() {
+        let mut s = PackedSeq::new(4);
+        s.push(16);
+    }
+
+    #[test]
+    fn heap_cost_tracks_width() {
+        let narrow = PackedSeq::with_len(4, 1024);
+        let wide = PackedSeq::with_len(32, 1024);
+        assert!(narrow.heap_bytes() * 4 <= wide.heap_bytes());
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests pinning the succinct structures to naive reference
+//! models: [`BitVec`] / [`RankSelect`] against a `Vec<bool>`, and
+//! [`PackedSeq`] against a `Vec<u64>`. Arbitrary op traces must leave
+//! every observable (get, rank, select, counts, iteration order)
+//! identical to the model, including at word boundaries and on all-zero /
+//! all-one blocks.
+
+use proptest::prelude::*;
+use tmcc_types::bitvec::{BitVec, RankSelect};
+use tmcc_types::packed::PackedSeq;
+
+/// Reference rank: ones strictly below `index`.
+fn ref_rank1(model: &[bool], index: usize) -> usize {
+    model[..index].iter().filter(|&&b| b).count()
+}
+
+/// Reference select: position of the `k`-th set bit.
+fn ref_select1(model: &[bool], k: usize) -> Option<usize> {
+    model.iter().enumerate().filter(|&(_, &b)| b).nth(k).map(|(i, _)| i)
+}
+
+#[derive(Debug, Clone)]
+enum BitOp {
+    Set(usize),
+    Clear(usize),
+    SetTo(usize, bool),
+    Push(bool),
+    Grow(usize),
+}
+
+fn bit_op() -> impl Strategy<Value = BitOp> {
+    // Index range deliberately exceeds typical lengths so ops cluster on
+    // boundary words; out-of-range indices are wrapped by the executor.
+    (any::<u8>(), 0usize..200, any::<bool>()).prop_map(|(kind, i, b)| match kind % 5 {
+        0 => BitOp::Set(i),
+        1 => BitOp::Clear(i),
+        2 => BitOp::SetTo(i, b),
+        3 => BitOp::Push(b),
+        _ => BitOp::Grow(i),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every observable of `BitVec` matches the `Vec<bool>` model after an
+    /// arbitrary trace of set/clear/push/grow ops.
+    #[test]
+    fn bitvec_matches_vec_bool(
+        init_len in 0usize..150,
+        ops in prop::collection::vec(bit_op(), 0..120),
+    ) {
+        let mut bv = BitVec::with_len(init_len);
+        let mut model = vec![false; init_len];
+        for op in ops {
+            match op {
+                BitOp::Set(i) if !model.is_empty() => {
+                    let i = i % model.len();
+                    let was_clear = !model[i];
+                    prop_assert_eq!(bv.set(i), was_clear);
+                    model[i] = true;
+                }
+                BitOp::Clear(i) if !model.is_empty() => {
+                    let i = i % model.len();
+                    let was_set = model[i];
+                    prop_assert_eq!(bv.clear(i), was_set);
+                    model[i] = false;
+                }
+                BitOp::SetTo(i, b) if !model.is_empty() => {
+                    let i = i % model.len();
+                    let changed = model[i] != b;
+                    prop_assert_eq!(bv.set_to(i, b), changed);
+                    model[i] = b;
+                }
+                BitOp::Push(b) => {
+                    bv.push(b);
+                    model.push(b);
+                }
+                BitOp::Grow(n) => {
+                    bv.grow(n);
+                    if n > model.len() {
+                        model.resize(n, false);
+                    }
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(bv.len(), model.len());
+        prop_assert_eq!(bv.count_ones(), model.iter().filter(|&&b| b).count());
+        for (i, &b) in model.iter().enumerate() {
+            prop_assert_eq!(bv.get(i), b, "bit {}", i);
+        }
+        for i in 0..=model.len() {
+            prop_assert_eq!(bv.rank1(i), ref_rank1(&model, i), "rank1 at {}", i);
+            prop_assert_eq!(bv.rank0(i), i - ref_rank1(&model, i), "rank0 at {}", i);
+        }
+        for k in 0..=bv.count_ones() {
+            prop_assert_eq!(bv.select1(k), ref_select1(&model, k), "select1 at {}", k);
+        }
+        let zeros: Vec<usize> =
+            model.iter().enumerate().filter(|&(_, &b)| !b).map(|(i, _)| i).collect();
+        for k in 0..=zeros.len() {
+            prop_assert_eq!(bv.select0(k), zeros.get(k).copied(), "select0 at {}", k);
+        }
+        let ones: Vec<usize> =
+            model.iter().enumerate().filter(|&(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(bv.iter_ones().collect::<Vec<_>>(), ones);
+    }
+
+    /// The frozen directory agrees with the mutable scan on rank and
+    /// select for bitmaps built from arbitrary word patterns — including
+    /// runs of all-zero and all-one 512-bit blocks.
+    #[test]
+    fn rank_select_directory_matches_bitvec(
+        // Per-block fill style: 0 = empty, 1 = full, 2 = random words.
+        blocks in prop::collection::vec((0u8..3, any::<u64>()), 1..12),
+        tail_bits in 0usize..64,
+    ) {
+        let mut bv = BitVec::new();
+        for &(style, seed) in &blocks {
+            for w in 0..8usize {
+                let word = match style {
+                    0 => 0u64,
+                    1 => !0u64,
+                    _ => seed.rotate_left((w * 11) as u32) ^ (w as u64).wrapping_mul(0x9E37_79B9),
+                };
+                for b in 0..64 {
+                    bv.push(word >> b & 1 == 1);
+                }
+            }
+        }
+        for b in 0..tail_bits {
+            bv.push(b % 3 == 0);
+        }
+        let rs = RankSelect::build(bv.clone());
+        prop_assert_eq!(rs.len(), bv.len());
+        prop_assert_eq!(rs.count_ones(), bv.count_ones());
+        let step = (bv.len() / 97).max(1);
+        for i in (0..=bv.len()).step_by(step) {
+            prop_assert_eq!(rs.rank1(i), bv.rank1(i), "rank1 at {}", i);
+        }
+        prop_assert_eq!(rs.rank1(bv.len()), bv.count_ones());
+        let kstep = (bv.count_ones() / 61).max(1);
+        for k in (0..bv.count_ones()).step_by(kstep) {
+            prop_assert_eq!(rs.select1(k), bv.select1(k), "select1 at {}", k);
+        }
+        prop_assert_eq!(rs.select1(bv.count_ones()), None);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum SeqOp {
+    Push(u64),
+    Set(usize, u64),
+}
+
+fn seq_op() -> impl Strategy<Value = SeqOp> {
+    (any::<bool>(), 0usize..300, any::<u64>()).prop_map(|(push, i, v)| {
+        if push {
+            SeqOp::Push(v)
+        } else {
+            SeqOp::Set(i, v)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `PackedSeq` matches a `Vec<u64>` model under arbitrary push/set
+    /// traces at every width, so straddled word boundaries never leak
+    /// bits into neighbors.
+    #[test]
+    fn packed_seq_matches_vec_u64(
+        width in 1u32..=64,
+        init_len in 0usize..80,
+        ops in prop::collection::vec(seq_op(), 0..100),
+    ) {
+        let mask = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
+        let mut seq = PackedSeq::with_len(width, init_len);
+        let mut model = vec![0u64; init_len];
+        for op in ops {
+            match op {
+                SeqOp::Push(v) => {
+                    seq.push(v & mask);
+                    model.push(v & mask);
+                }
+                SeqOp::Set(i, v) if !model.is_empty() => {
+                    let i = i % model.len();
+                    seq.set(i, v & mask);
+                    model[i] = v & mask;
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(seq.len(), model.len());
+        for (i, &v) in model.iter().enumerate() {
+            prop_assert_eq!(seq.get(i), v, "element {}", i);
+        }
+        prop_assert_eq!(seq.iter().collect::<Vec<_>>(), model);
+    }
+}

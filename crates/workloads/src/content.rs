@@ -244,11 +244,24 @@ impl PageContent {
 
     /// The 4 KiB content of page `index`, regenerated on demand.
     pub fn page_bytes(&self, index: u64) -> Vec<u8> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        self.fill_page(index, &mut page);
+        page
+    }
+
+    /// Regenerates page `index` into a caller-owned buffer — the
+    /// allocation-free form of [`page_bytes`](Self::page_bytes) used by
+    /// `PageStore` to materialize pages into one reusable scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page` is exactly one page long.
+    pub fn fill_page(&self, index: u64, page: &mut [u8]) {
+        assert_eq!(page.len(), PAGE_SIZE, "page buffer must be exactly {PAGE_SIZE} bytes");
+        page.fill(0);
         let mut rng =
             SmallRng::seed_from_u64(self.seed ^ index.wrapping_mul(0x9E37_79B9).rotate_left(17));
-        let mut page = vec![0u8; PAGE_SIZE];
-        self.template_of(index).fill(&mut rng, &mut page);
-        page
+        self.template_of(index).fill(&mut rng, page);
     }
 }
 

@@ -23,7 +23,9 @@
 pub mod access;
 pub mod content;
 pub mod profiles;
+pub mod store;
 
 pub use access::{AccessEvent, AccessPattern, AccessStream};
 pub use content::{ContentProfile, PageContent, PageTemplate};
 pub use profiles::{WorkloadClass, WorkloadProfile};
+pub use store::PageStore;

@@ -21,10 +21,13 @@ cargo run --release -p tmcc-bench --bin tmcc-bench -- \
   run-all --quick --jobs 2 --out results/ci-smoke
 
 echo "==> quick goldens unchanged (results/ci-smoke vs. committed)"
-# BENCH_sweep.json carries wall-clock timings and legitimately changes
-# every run; every simulated-result file must be byte-identical. A new
-# experiment must commit its quick golden alongside the code.
-git diff --exit-code -- results/ci-smoke ':!results/ci-smoke/BENCH_sweep.json'
+# BENCH_sweep.json carries wall-clock timings and FOOTPRINT.json carries
+# host RSS/wall-clock probes; both legitimately change every run. Every
+# simulated-result file must be byte-identical. A new experiment must
+# commit its quick golden alongside the code.
+git diff --exit-code -- results/ci-smoke \
+  ':!results/ci-smoke/BENCH_sweep.json' \
+  ':!results/ci-smoke/FOOTPRINT.json'
 untracked="$(git ls-files --others --exclude-standard results/ci-smoke)"
 if [ -n "$untracked" ]; then
   echo "uncommitted quick goldens:" >&2
