@@ -6,8 +6,10 @@
 //! table2_deflate_perf`).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use tmcc_compression::{BdiCodec, BestOfCodec, BlockCodec, BpcCodec, CpackCodec};
-use tmcc_deflate::{MemDeflate, SoftwareDeflate};
+use tmcc_compression::{
+    BdiCodec, BestOfCodec, BitReader, BitWriter, BlockCodec, BpcCodec, CpackCodec,
+};
+use tmcc_deflate::{DeflateScratch, FullHuffman, MemDeflate, ReducedHuffman, SoftwareDeflate};
 use tmcc_workloads::WorkloadProfile;
 
 fn corpus_page(i: u64) -> Vec<u8> {
@@ -70,6 +72,11 @@ fn bench_deflate(c: &mut Criterion) {
     g.bench_function("decompress-4k", |b| {
         b.iter(|| black_box(codec.decompress_page(black_box(&compressed))))
     });
+    g.bench_function("compressed-size-4k", |b| {
+        // The analytic sizing path ratio sweeps run per page.
+        let mut scratch = DeflateScratch::new();
+        b.iter(|| black_box(codec.compressed_size_with(black_box(&page), &mut scratch)))
+    });
     g.finish();
 
     let sw = SoftwareDeflate::new();
@@ -84,5 +91,92 @@ fn bench_deflate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_block_codecs, bench_deflate);
+/// The table-driven Huffman decode hot paths in isolation: the reduced
+/// 16-leaf tree over a page-sized payload and the full 256-symbol tree
+/// over a multi-page LZ stream.
+fn bench_huffman_decode(c: &mut Criterion) {
+    let page = corpus_page(2);
+    let reduced = ReducedHuffman::build(&page, 15);
+    let reduced_stream = reduced.encode(&page);
+    let (reduced_tree, reduced_payload) = ReducedHuffman::read_tree(&reduced_stream);
+
+    let mut dump = Vec::new();
+    for i in 8..12 {
+        dump.extend_from_slice(&corpus_page(i));
+    }
+    let full = FullHuffman::build(&dump);
+    let full_stream = full.encode(&dump);
+
+    let mut g = c.benchmark_group("huffman-decode");
+    g.throughput(Throughput::Bytes(page.len() as u64));
+    g.bench_function("reduced-lut-4k", |b| {
+        b.iter(|| black_box(reduced_tree.decode(black_box(reduced_payload), page.len())))
+    });
+    g.bench_function("reduced-encode-4k", |b| {
+        b.iter(|| black_box(reduced.encode(black_box(&page))))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("huffman-decode-full");
+    g.throughput(Throughput::Bytes(dump.len() as u64));
+    g.bench_function("full-lut-16k", |b| {
+        b.iter(|| black_box(FullHuffman::decode(black_box(&full_stream), dump.len())))
+    });
+    g.finish();
+}
+
+/// Raw bit I/O throughput: the word-at-a-time accumulator feeding every
+/// bit-packed codec. Mixed 5/11/13-bit fields model Huffman code widths.
+fn bench_bit_io(c: &mut Criterion) {
+    const FIELDS: usize = 8192;
+    let widths = [5u32, 11, 13, 7, 3, 12];
+    let mut w = BitWriter::new();
+    for i in 0..FIELDS {
+        let n = widths[i % widths.len()];
+        w.put(i as u64, n);
+    }
+    let total_bits: usize = w.len_bits();
+    let bytes = w.into_bytes();
+
+    let mut g = c.benchmark_group("bit-io");
+    g.throughput(Throughput::Bytes((total_bits / 8) as u64));
+    g.bench_function("writer-mixed-fields", |b| {
+        let mut writer = BitWriter::with_capacity(bytes.len());
+        b.iter(|| {
+            writer.clear();
+            for i in 0..FIELDS {
+                let n = widths[i % widths.len()];
+                writer.put(i as u64, n);
+            }
+            black_box(writer.len_bits())
+        })
+    });
+    g.bench_function("reader-get-mixed-fields", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for i in 0..FIELDS {
+                let n = widths[i % widths.len()];
+                acc = acc.wrapping_add(r.get(n));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("reader-peek-consume", |b| {
+        // The LUT decoder's access pattern: wide peek, narrow consume.
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for i in 0..FIELDS {
+                let n = widths[i % widths.len()];
+                acc = acc.wrapping_add(r.peek(16) >> (16 - n));
+                r.consume(n);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_codecs, bench_deflate, bench_huffman_decode, bench_bit_io);
 criterion_main!(benches);

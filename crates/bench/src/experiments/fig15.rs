@@ -14,7 +14,7 @@ use crate::sweep::SweepCtx;
 use crate::{geomean, print_table};
 use serde::Serialize;
 use tmcc_compression::{BestOfCodec, BlockCodec};
-use tmcc_deflate::{DeflateParams, MemDeflate, SoftwareDeflate};
+use tmcc_deflate::{DeflateParams, DeflateScratch, MemDeflate, SoftwareDeflate};
 use tmcc_workloads::WorkloadProfile;
 
 /// Content seed shared by every workload image (each workload's content
@@ -36,11 +36,13 @@ pub fn run(ctx: &SweepCtx) {
         WorkloadProfile::large_suite().into_iter().chain(WorkloadProfile::small_suite()).collect();
     let out: Vec<Row> = ctx.par_map(suite, |w| {
         // Codecs are stateless across pages; per-point instances keep the
-        // grid embarrassingly parallel.
+        // grid embarrassingly parallel. One analytic sizing pass per page
+        // prices both dynamic-skip settings (they share LZ and tree
+        // parameters), and one scratch serves the whole image.
         let block = BestOfCodec::new();
-        let deflate_noskip = MemDeflate::new(DeflateParams::new().dynamic_skip(false));
-        let deflate_skip = MemDeflate::new(DeflateParams::new().dynamic_skip(true));
+        let deflate = MemDeflate::new(DeflateParams::new());
         let software = SoftwareDeflate::new();
+        let mut scratch = DeflateScratch::new();
         let content = w.page_content(SEED);
         let mut raw = 0usize;
         let mut block_sz = 0usize;
@@ -49,7 +51,8 @@ pub fn run(ctx: &SweepCtx) {
         let mut dump = Vec::new();
         for i in 0..pages {
             let page = content.page_bytes(i);
-            if page.iter().all(|&b| b == 0) {
+            let quote = deflate.size_quote_with(&page, &mut scratch);
+            if quote.is_zero() {
                 continue; // paper: all-zero pages deleted from dumps
             }
             raw += page.len();
@@ -60,11 +63,11 @@ pub fn run(ctx: &SweepCtx) {
                     block.compressed_size(arr)
                 })
                 .sum::<usize>();
-            noskip_sz += deflate_noskip.compressed_size(&page);
-            skip_sz += deflate_skip.compressed_size(&page);
+            noskip_sz += quote.stored_len(false);
+            skip_sz += quote.stored_len(true);
             dump.extend_from_slice(&page);
         }
-        let sw_sz = software.compressed_size(&dump);
+        let sw_sz = software.compressed_size_with(&dump, &mut scratch);
         Row {
             workload: w.name,
             block_level: raw as f64 / block_sz as f64,

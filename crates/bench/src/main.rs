@@ -223,12 +223,19 @@ fn run_one(e: &Experiment, ctx: &SweepCtx) -> ExperimentTiming {
         }
     };
     let accesses = ctx.accesses_simulated();
+    // Throughput divides by summed point-execution time, not the span:
+    // under the shared pool a span includes time this experiment's
+    // workers spent stolen by other experiments, which makes span-based
+    // acc/s flip 2x+ with scheduling order and trip the perf gate.
+    let busy = ctx.busy_ns() as f64 / 1e9;
+    let denom = if busy > 0.0 { busy } else { wall.as_secs_f64() };
     ExperimentTiming {
         name: e.name,
         status,
         wall_ms: wall.as_secs_f64() * 1e3,
+        busy_ms: busy * 1e3,
         accesses_simulated: accesses,
-        accesses_per_sec: accesses as f64 / wall.as_secs_f64().max(1e-9),
+        accesses_per_sec: accesses as f64 / denom.max(1e-9),
         points_replayed: ctx.points_replayed(),
     }
 }

@@ -206,6 +206,11 @@ pub struct SweepCtx {
     watchdog: Option<Arc<Watchdog>>,
     failures: Option<Arc<FailureSink>>,
     accesses: AtomicU64,
+    /// Summed worker time spent executing this experiment's points. Under
+    /// the shared `run-all` pool an experiment's *span* includes time its
+    /// workers were stolen by other experiments, so span-based throughput
+    /// is schedule-dependent; busy time is not.
+    busy_ns: AtomicU64,
     points_replayed: AtomicU64,
     prof_steps: AtomicU64,
     prof_workload_ns: AtomicU64,
@@ -246,6 +251,7 @@ impl SweepCtx {
             watchdog: None,
             failures: None,
             accesses: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
             points_replayed: AtomicU64::new(0),
             prof_steps: AtomicU64::new(0),
             prof_workload_ns: AtomicU64::new(0),
@@ -329,6 +335,13 @@ impl SweepCtx {
         self.accesses.load(Ordering::Relaxed)
     }
 
+    /// Summed worker nanoseconds spent executing this context's points
+    /// (all attempts). Independent of how the shared pool interleaved
+    /// this experiment with others, unlike its start-to-finish span.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns.load(Ordering::Relaxed)
+    }
+
     /// Runs replayed from the journal instead of simulated.
     pub fn points_replayed(&self) -> u64 {
         self.points_replayed.load(Ordering::Relaxed)
@@ -394,7 +407,10 @@ impl SweepCtx {
         F: Fn(T) -> R,
     {
         let Some(sink) = &self.failures else {
-            return f(item);
+            let start = Instant::now();
+            let r = f(item);
+            self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            return r;
         };
         let attempts = self.retries + 1;
         let mut timeouts = 0u32;
@@ -404,12 +420,14 @@ impl SweepCtx {
             LAST_SIM_ERROR.with(|c| c.borrow_mut().take());
             let injected =
                 FailPoint::from_env().is_some_and(|fp| fp.matches(self.experiment, index, attempt));
+            let start = Instant::now();
             let result = catch_unwind(AssertUnwindSafe(|| {
                 if injected {
                     panic!("injected failure ({})", crate::failures::FAIL_POINT_ENV);
                 }
                 f(item.clone())
             }));
+            self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             POINT_CTX.with(|c| c.set(PointState::default()));
             match result {
                 Ok(r) => {
@@ -946,11 +964,21 @@ pub struct ExperimentTiming {
     /// `"ok"`, or `"failed"` when the experiment aborted on a
     /// quarantined point (see `results/FAILURES.json`).
     pub status: &'static str,
-    /// Wall-clock milliseconds the experiment took.
+    /// Wall-clock milliseconds from the experiment's start to its finish.
+    /// Under a shared `run-all` pool spans overlap and include time spent
+    /// on *other* experiments' stolen work, so they sum to more than the
+    /// suite wall clock and vary with scheduling order.
     pub wall_ms: f64,
+    /// Summed worker milliseconds actually executing this experiment's
+    /// points — schedule-independent, what `accesses_per_sec` divides by.
+    pub busy_ms: f64,
     /// Total accesses (warmup included) the experiment simulated.
     pub accesses_simulated: u64,
-    /// Simulation throughput over the experiment's wall time.
+    /// Simulation throughput per busy worker-second (falls back to the
+    /// wall span for experiments that never enter the point runner).
+    /// This is what `tmcc-bench perf-gate` compares: busy time makes it
+    /// reproducible under the work-stealing scheduler, where span-based
+    /// throughput flips by 2x+ with queue position.
     pub accesses_per_sec: f64,
     /// Runs replayed from the sweep journal instead of simulated
     /// (non-zero only under `--resume`).

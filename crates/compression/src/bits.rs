@@ -1,10 +1,39 @@
 //! MSB-first bit-granular writer/reader used by the bit-packed codecs
 //! (BPC, CPack) and by the Deflate implementation downstream.
+//!
+//! Both sides run on a 64-bit accumulator with byte-granular flush/refill
+//! instead of per-bit loops, so every `put`/`get` is O(1) in the number of
+//! *calls*, not bits. The stream format is unchanged: the first bit written
+//! is the most significant bit of the first byte, and the final partial
+//! byte is zero-padded in its low bits.
+//!
+//! Invariants (relied on by the Huffman decode tables in `tmcc-deflate`):
+//!
+//! * `BitWriter` keeps fewer than 8 pending bits in its accumulator — all
+//!   whole bytes are flushed eagerly, and the pending bits are the *low*
+//!   bits of the accumulator with all higher bits zero.
+//! * `BitReader::peek` returns the next `n` bits zero-padded past the end
+//!   of the stream without advancing, so a table lookup may safely read
+//!   more bits than the code it resolves actually consumes.
+
+/// Bit mask with the low `n` bits set (`n <= 64`).
+#[inline]
+fn mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
 
 /// Writes an MSB-first bit stream into a growing byte vector.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     bytes: Vec<u8>,
+    /// Pending bits, right-aligned; always fewer than 8, higher bits zero.
+    acc: u64,
+    /// Number of valid bits in `acc` (0..=7).
+    acc_bits: u32,
     /// Number of valid bits in the stream.
     len_bits: usize,
 }
@@ -13,6 +42,20 @@ impl BitWriter {
     /// Creates an empty writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty writer whose byte buffer has room for `bytes`
+    /// bytes before reallocating.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self { bytes: Vec::with_capacity(bytes), acc: 0, acc_bits: 0, len_bits: 0 }
+    }
+
+    /// Resets the writer to empty, keeping the allocated buffer.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.acc = 0;
+        self.acc_bits = 0;
+        self.len_bits = 0;
     }
 
     /// Number of bits written so far.
@@ -25,29 +68,54 @@ impl BitWriter {
     /// # Panics
     ///
     /// Panics if `n > 64`.
+    #[inline]
     pub fn put(&mut self, value: u64, n: u32) {
         assert!(n <= 64, "cannot write more than 64 bits at once");
-        for i in (0..n).rev() {
-            let bit = (value >> i) & 1;
-            let byte_idx = self.len_bits / 8;
-            if byte_idx == self.bytes.len() {
-                self.bytes.push(0);
-            }
-            if bit != 0 {
-                self.bytes[byte_idx] |= 0x80 >> (self.len_bits % 8);
-            }
-            self.len_bits += 1;
+        if n == 0 {
+            return;
         }
+        // The accumulator holds at most 7 pending bits, so up to 56 more
+        // fit without overflow; split wider writes once.
+        if n > 56 {
+            self.put(value >> 32, n - 32);
+            self.put(value & mask(32), 32);
+            return;
+        }
+        self.acc = (self.acc << n) | (value & mask(n));
+        self.acc_bits += n;
+        self.len_bits += n as usize;
+        while self.acc_bits >= 8 {
+            self.acc_bits -= 8;
+            self.bytes.push((self.acc >> self.acc_bits) as u8);
+        }
+        self.acc &= mask(self.acc_bits);
     }
 
     /// Appends a single bit.
+    #[inline]
     pub fn put_bit(&mut self, bit: bool) {
         self.put(bit as u64, 1);
     }
 
     /// Finishes the stream, returning the padded bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.acc_bits > 0 {
+            self.bytes.push((self.acc << (8 - self.acc_bits)) as u8);
+        }
         self.bytes
+    }
+
+    /// Finishes the stream and moves the padded bytes out, leaving the
+    /// writer empty but with its allocation intact — the reuse hook for
+    /// per-page codec scratch.
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        if self.acc_bits > 0 {
+            self.bytes.push((self.acc << (8 - self.acc_bits)) as u8);
+        }
+        self.acc = 0;
+        self.acc_bits = 0;
+        self.len_bits = 0;
+        std::mem::take(&mut self.bytes)
     }
 
     /// The stream length rounded up to whole bytes.
@@ -60,13 +128,30 @@ impl BitWriter {
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    pos_bits: usize,
+    /// Next byte to pull into the accumulator.
+    byte_pos: usize,
+    /// Refilled bits, right-aligned: the next stream bit is bit
+    /// `acc_bits - 1` of `acc`.
+    acc: u64,
+    /// Number of valid bits in `acc`.
+    acc_bits: u32,
 }
 
 impl<'a> BitReader<'a> {
     /// Wraps a byte slice for reading.
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos_bits: 0 }
+        Self { bytes, byte_pos: 0, acc: 0, acc_bits: 0 }
+    }
+
+    /// Pulls whole bytes into the accumulator while at least 8 bits of
+    /// room remain.
+    #[inline]
+    fn refill(&mut self) {
+        while self.acc_bits <= 56 && self.byte_pos < self.bytes.len() {
+            self.acc = (self.acc << 8) | self.bytes[self.byte_pos] as u64;
+            self.byte_pos += 1;
+            self.acc_bits += 8;
+        }
     }
 
     /// Reads `n` bits, most significant first.
@@ -74,17 +159,22 @@ impl<'a> BitReader<'a> {
     /// # Panics
     ///
     /// Panics if fewer than `n` bits remain or `n > 64`.
+    #[inline]
     pub fn get(&mut self, n: u32) -> u64 {
         assert!(n <= 64, "cannot read more than 64 bits at once");
-        assert!(self.pos_bits + n as usize <= self.bytes.len() * 8, "bit stream exhausted");
-        let mut out = 0u64;
-        for _ in 0..n {
-            let byte = self.bytes[self.pos_bits / 8];
-            let bit = (byte >> (7 - self.pos_bits % 8)) & 1;
-            out = (out << 1) | bit as u64;
-            self.pos_bits += 1;
+        if n == 0 {
+            return 0;
         }
-        out
+        if n > 56 {
+            let hi = self.get(n - 32);
+            return (hi << 32) | self.get(32);
+        }
+        if self.acc_bits < n {
+            self.refill();
+            assert!(self.acc_bits >= n, "bit stream exhausted");
+        }
+        self.acc_bits -= n;
+        (self.acc >> self.acc_bits) & mask(n)
     }
 
     /// Reads one bit.
@@ -92,18 +182,50 @@ impl<'a> BitReader<'a> {
     /// # Panics
     ///
     /// Panics if the stream is exhausted.
+    #[inline]
     pub fn get_bit(&mut self) -> bool {
         self.get(1) != 0
     }
 
+    /// Returns the next `n <= 56` bits without advancing, zero-padded if
+    /// fewer remain — the lookup key for table-driven Huffman decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 56`.
+    #[inline]
+    pub fn peek(&mut self, n: u32) -> u64 {
+        assert!(n <= 56, "cannot peek more than 56 bits");
+        if self.acc_bits < n {
+            self.refill();
+        }
+        if self.acc_bits >= n {
+            (self.acc >> (self.acc_bits - n)) & mask(n)
+        } else {
+            (self.acc << (n - self.acc_bits)) & mask(n)
+        }
+    }
+
+    /// Advances past `n` bits previously observed via [`peek`](Self::peek).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bits remain.
+    #[inline]
+    pub fn consume(&mut self, n: u32) {
+        assert!(self.acc_bits >= n, "cannot consume more bits than peeked");
+        self.acc_bits -= n;
+        self.acc &= mask(self.acc_bits);
+    }
+
     /// Bits remaining (counting byte padding).
     pub fn remaining_bits(&self) -> usize {
-        self.bytes.len() * 8 - self.pos_bits
+        (self.bytes.len() - self.byte_pos) * 8 + self.acc_bits as usize
     }
 
     /// Current read position in bits.
     pub fn pos_bits(&self) -> usize {
-        self.pos_bits
+        self.byte_pos * 8 - self.acc_bits as usize
     }
 }
 
@@ -150,5 +272,50 @@ mod tests {
         assert_eq!(w.len_bytes(), 1);
         w.put(0xff, 8);
         assert_eq!(w.len_bytes(), 2);
+    }
+
+    #[test]
+    fn high_bits_above_width_are_ignored() {
+        let mut w = BitWriter::new();
+        w.put(u64::MAX, 3);
+        w.put(u64::MAX, 60);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(3), 0b111);
+        assert_eq!(r.get(60), mask(60));
+    }
+
+    #[test]
+    fn peek_does_not_advance_and_pads_past_end() {
+        let mut r = BitReader::new(&[0b1010_1100, 0b1111_0000]);
+        assert_eq!(r.peek(4), 0b1010);
+        assert_eq!(r.peek(12), 0b1010_1100_1111);
+        assert_eq!(r.get(4), 0b1010);
+        // 12 bits remain; peeking 20 pads with zeros.
+        assert_eq!(r.peek(20), 0b1100_1111_0000 << 8);
+        r.consume(12);
+        assert_eq!(r.remaining_bits(), 0);
+        assert_eq!(r.peek(8), 0);
+    }
+
+    #[test]
+    fn take_bytes_resets_and_keeps_format() {
+        let mut w = BitWriter::new();
+        w.put(0b1_0110, 5);
+        let first = w.take_bytes();
+        assert_eq!(first, vec![0b1011_0000]);
+        assert_eq!(w.len_bits(), 0);
+        w.put(0xA5, 8);
+        assert_eq!(w.take_bytes(), vec![0xA5]);
+    }
+
+    #[test]
+    fn clear_resets_pending_bits() {
+        let mut w = BitWriter::new();
+        w.put(0b11, 2);
+        w.clear();
+        w.put(0, 1);
+        w.put(0b1, 1);
+        assert_eq!(w.into_bytes(), vec![0b0100_0000]);
     }
 }

@@ -1,0 +1,116 @@
+//! Records compressed streams from the current codec into
+//! `tests/fixtures/old_codec_streams.txt`, the corpus consumed by the
+//! differential decoder test (`tests/differential.rs`).
+//!
+//! Run from the repo root whenever the *format* intentionally changes
+//! (never for pure speedups — the point of the fixture is that decoder
+//! rewrites keep consuming historically produced streams):
+//!
+//! ```bash
+//! cargo run -p tmcc-deflate --example record_streams
+//! ```
+
+use std::fmt::Write as _;
+use tmcc_deflate::{FullHuffman, MemDeflate, ReducedHuffman, SoftwareDeflate};
+
+/// Deterministic page generator shared verbatim with the differential
+/// test: xorshift64 bytes shaped into the regimes real dumps contain.
+fn fixture_page(seed: u64, kind: u8) -> Vec<u8> {
+    let mut page = vec![0u8; 4096];
+    let mut x = seed | 1;
+    let mut rng = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    match kind {
+        0 => {} // all-zero page
+        1 => {
+            // Repeating text-like motif: the LzHuffman common case.
+            let motif = b"key=value; ptr=0x7fffaa00; flags=rw-; n=0001732; ";
+            for (i, b) in page.iter_mut().enumerate() {
+                *b = motif[i % motif.len()];
+            }
+            for _ in 0..6 {
+                let i = (rng() % 4096) as usize;
+                page[i] = rng() as u8;
+            }
+        }
+        2 => {
+            // Near-uniform bytes with internal repetition: LZ wins but
+            // Huffman expands -> dynamic skip (LzOnly).
+            for (i, b) in page.iter_mut().enumerate().take(2048) {
+                *b = ((i * 37) % 251) as u8;
+            }
+            let (lo, hi) = page.split_at_mut(2048);
+            hi.copy_from_slice(lo);
+        }
+        3 => {
+            // Random page: stored Raw.
+            for b in page.iter_mut() {
+                *b = rng() as u8;
+            }
+        }
+        _ => {
+            // Pointer-array-like page.
+            let base = rng() & 0x0000_7fff_ffff_f000;
+            for i in 0..512usize {
+                let v = base + (rng() % 0x1000);
+                page[i * 8..(i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    page
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+fn main() {
+    let mut out = String::new();
+    out.push_str(
+        "# kind seed page_kind extra stream_hex\n\
+         # Recorded by examples/record_streams.rs; consumed by tests/differential.rs.\n",
+    );
+    let mem = MemDeflate::default();
+    let sw = SoftwareDeflate::new();
+    for (seed, kind) in
+        [(11u64, 0u8), (12, 1), (13, 2), (14, 3), (15, 4), (16, 1), (17, 2), (18, 4)]
+    {
+        let page = fixture_page(seed, kind);
+        // Reduced-Huffman stream (tree header + payload) over the raw page.
+        let tree = ReducedHuffman::build(&page, 15);
+        let enc = tree.encode(&page);
+        let _ = writeln!(out, "reduced {seed} {kind} {} {}", page.len(), hex(&enc));
+        // Full-Huffman stream over the raw page.
+        let full = FullHuffman::build(&page);
+        let fenc = full.encode(&page);
+        let _ = writeln!(out, "full {seed} {kind} {} {}", page.len(), hex(&fenc));
+        // End-to-end MemDeflate page: mode + lz_len + payload.
+        let c = mem.compress_page(&page);
+        let _ = writeln!(
+            out,
+            "mem {seed} {kind} {}:{} {}",
+            c.mode() as u8,
+            c.lz_len(),
+            hex(c.payload())
+        );
+    }
+    // A multi-page software-Deflate dump (32 KiB window spans pages).
+    let mut dump = Vec::new();
+    for (seed, kind) in [(21u64, 1u8), (22, 4), (23, 2), (24, 1)] {
+        dump.extend_from_slice(&fixture_page(seed, kind));
+    }
+    let c = sw.compress(&dump);
+    let _ = writeln!(out, "software 0 0 {} {}", dump.len(), hex(&c));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/old_codec_streams.txt");
+    std::fs::write(path, out).expect("write fixture");
+    println!("wrote {path}");
+}

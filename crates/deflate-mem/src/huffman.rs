@@ -14,6 +14,13 @@
 //! Huffman coder. It serves as this reproduction's *software Deflate*
 //! backend (the gzip stand-in of Fig. 15) and as the DSE reference for "what
 //! a bigger tree would buy".
+//!
+//! Both decoders are **table-driven** (à la `minimum_redundancy` /
+//! libdeflate): a [`DecodeTable`] built once per tree resolves a symbol
+//! with a single lookup keyed by the next `root_bits` stream bits, instead
+//! of a per-bit scan over the code list. Codes longer than the root table
+//! (possible only for symbols rarer than `2^-root_bits`) fall back to a
+//! short sorted scan. Streams are bit-identical to the pre-table decoder's.
 
 use crate::PAGE_SIZE;
 use tmcc_compression::{BitReader, BitWriter};
@@ -96,11 +103,94 @@ fn canonical_codes(lengths: &[u32]) -> Vec<(u32, u32)> {
     codes
 }
 
+/// Root-table size cap in bits: 2^11 × 2 B = 4 KiB, comfortably
+/// cache-resident while still resolving every code of length ≤ 11 in one
+/// lookup. Canonical codes longer than this belong to symbols with
+/// probability < 2^-11, so the fallback scan is cold by construction.
+const ROOT_BITS_CAP: u32 = 11;
+/// Root-table sentinel: the keyed prefix continues into a code longer than
+/// `root_bits`; resolve via the sorted `long` list.
+const LONG_CODE: u16 = u16::MAX;
+
+/// Single-lookup decoder for a canonical prefix code.
+///
+/// `table` is indexed by the next `root_bits` stream bits; each entry packs
+/// `(code_len << 12) | symbol` for codes that fit the root table, `0` for
+/// bit patterns no code produces, and [`LONG_CODE`] for prefixes of
+/// longer-than-root codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DecodeTable {
+    /// Bits keying `table`: `min(max_len, ROOT_BITS_CAP)`, at least 1.
+    root_bits: u32,
+    /// Longest code length in the tree.
+    max_len: u32,
+    table: Vec<u16>,
+    /// Codes longer than `root_bits`, sorted by (length, code): rare by
+    /// construction, resolved by a scan over at most the alphabet size.
+    long: Vec<(u32, u32, u16)>,
+}
+
+impl DecodeTable {
+    /// Builds the table from per-symbol `(code, length)` pairs (length 0 =
+    /// symbol absent).
+    fn build(codes: &[(u32, u32)]) -> Self {
+        let max_len = codes.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        let root_bits = max_len.clamp(1, ROOT_BITS_CAP);
+        let mut table = vec![0u16; 1usize << root_bits];
+        let mut long = Vec::new();
+        for (sym, &(code, len)) in codes.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            if len <= root_bits {
+                // Every root key whose top `len` bits equal `code` decodes
+                // to this symbol.
+                let lo = (code as usize) << (root_bits - len);
+                let hi = ((code + 1) as usize) << (root_bits - len);
+                let entry = ((len as u16) << 12) | sym as u16;
+                for e in &mut table[lo..hi] {
+                    *e = entry;
+                }
+            } else {
+                table[(code >> (len - root_bits)) as usize] = LONG_CODE;
+                long.push((len, code, sym as u16));
+            }
+        }
+        long.sort_unstable();
+        Self { root_bits, max_len, table, long }
+    }
+
+    /// Decodes one symbol, consuming exactly its code's bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the next bits match no code in the tree.
+    #[inline]
+    fn decode_sym(&self, r: &mut BitReader<'_>) -> u16 {
+        let e = self.table[r.peek(self.root_bits) as usize];
+        if e != LONG_CODE {
+            assert!(e != 0, "invalid Huffman code");
+            r.consume((e >> 12) as u32);
+            return e & 0x0FFF;
+        }
+        let bits = r.peek(self.max_len) as u32;
+        for &(len, code, sym) in &self.long {
+            if bits >> (self.max_len - len) == code {
+                r.consume(len);
+                return sym;
+            }
+        }
+        panic!("code longer than any in tree");
+    }
+}
+
 /// The reduced 16-leaf Huffman coder (paper §V-B1).
 ///
 /// A `ReducedHuffman` value is the *tree*: build one per page with
 /// [`ReducedHuffman::build`], or recover it from a compressed stream with
-/// [`ReducedHuffman::read_tree`].
+/// [`ReducedHuffman::read_tree`]. Construction also derives the encode
+/// (symbol→slot, per-symbol bit cost) and decode (root LUT) tables once,
+/// so the per-byte hot paths are single array lookups.
 ///
 /// # Examples
 ///
@@ -113,7 +203,7 @@ fn canonical_codes(lengths: &[u32]) -> Vec<(u32, u32)> {
 /// let (tree2, rest) = ReducedHuffman::read_tree(&encoded);
 /// assert_eq!(tree2.decode(rest, data.len()), data);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ReducedHuffman {
     /// The 15 in-tree symbols, hottest first. May be shorter if the page
     /// has fewer distinct bytes.
@@ -122,13 +212,48 @@ pub struct ReducedHuffman {
     lengths: Vec<u32>,
     /// Canonical codes matching `lengths`.
     codes: Vec<(u32, u32)>,
+    /// Byte value → tree slot; [`Self::NO_SLOT`] for escape-coded bytes.
+    slot: [u8; 256],
+    /// Encoded bits per byte value (code length, or escape length + 8).
+    sym_bits: [u8; 256],
+    /// The single-lookup decoder over `codes`.
+    decode_table: DecodeTable,
 }
+
+/// Two trees are equal iff they code identically; the derived tables are a
+/// pure function of `(hot, lengths)`.
+impl PartialEq for ReducedHuffman {
+    fn eq(&self, other: &Self) -> bool {
+        self.hot == other.hot && self.lengths == other.lengths
+    }
+}
+impl Eq for ReducedHuffman {}
 
 impl ReducedHuffman {
     /// Serialized tree size in bytes: 16 entries × (8-bit symbol + 4-bit
     /// length) = 24 bytes, written uncompressed (§V-B1: "our compressor
     /// outputs the tree in a plain format").
     pub const TREE_BYTES: usize = 24;
+
+    /// `slot` sentinel for bytes outside the tree (escape-coded).
+    const NO_SLOT: u8 = 0xFF;
+
+    /// Finishes construction from the semantic fields, deriving every
+    /// cached table. Single point shared by [`build`](Self::build) and
+    /// [`read_tree`](Self::read_tree).
+    fn from_parts(hot: Vec<u8>, lengths: Vec<u32>) -> Self {
+        let codes = canonical_codes(&lengths);
+        let escape = lengths.len() - 1;
+        let esc_bits = (codes[escape].1 + 8) as u8;
+        let mut slot = [Self::NO_SLOT; 256];
+        let mut sym_bits = [esc_bits; 256];
+        for (i, &b) in hot.iter().enumerate() {
+            slot[b as usize] = i as u8;
+            sym_bits[b as usize] = codes[i].1 as u8;
+        }
+        let decode_table = DecodeTable::build(&codes);
+        Self { hot, lengths, codes, slot, sym_bits, decode_table }
+    }
 
     /// Counts byte frequencies and builds the reduced tree: the 15 hottest
     /// characters plus an escape leaf whose frequency is the sum of all
@@ -154,8 +279,7 @@ impl ReducedHuffman {
         // the page currently has no cold characters.
         tree_freqs.push(escape_freq.max(1));
         let lengths = limited_lengths(&tree_freqs, max_depth);
-        let codes = canonical_codes(&lengths);
-        Self { hot, lengths, codes }
+        Self::from_parts(hot, lengths)
     }
 
     /// The in-tree symbols, hottest first.
@@ -183,20 +307,15 @@ impl ReducedHuffman {
 
     /// Encodes `data` into an existing bit stream without the tree header.
     pub fn encode_into(&self, w: &mut BitWriter, data: &[u8]) {
-        // Symbol -> tree slot lookup.
-        let mut slot = [usize::MAX; 256];
-        for (i, &b) in self.hot.iter().enumerate() {
-            slot[b as usize] = i;
-        }
         let (esc_code, esc_len) = self.codes[self.escape_idx()];
         for &b in data {
-            let s = slot[b as usize];
-            if s != usize::MAX {
-                let (code, len) = self.codes[s];
+            let s = self.slot[b as usize];
+            if s != Self::NO_SLOT {
+                let (code, len) = self.codes[s as usize];
                 w.put(code as u64, len);
             } else {
-                w.put(esc_code as u64, esc_len);
-                w.put(b as u64, 8);
+                // Fused escape-code + raw-byte write: one accumulator pass.
+                w.put(((esc_code as u64) << 8) | b as u64, esc_len + 8);
             }
         }
     }
@@ -204,15 +323,7 @@ impl ReducedHuffman {
     /// Size in bits `data` would occupy under this tree, without header —
     /// used by the dynamic-skip decision (§V-B1).
     pub fn encoded_bits(&self, data: &[u8]) -> usize {
-        let mut slot_len = [0u32; 256];
-        let (_, esc_len) = self.codes[self.escape_idx()];
-        for l in slot_len.iter_mut() {
-            *l = esc_len + 8;
-        }
-        for (i, &b) in self.hot.iter().enumerate() {
-            slot_len[b as usize] = self.codes[i].1;
-        }
-        data.iter().map(|&b| slot_len[b as usize] as usize).sum()
+        data.iter().map(|&b| self.sym_bits[b as usize] as usize).sum()
     }
 
     /// Writes the plain-format tree: 16 × (symbol, 4-bit length). Unused
@@ -252,8 +363,7 @@ impl ReducedHuffman {
         }
         let _ = r.get(8);
         lengths.push(r.get(4) as u32); // escape
-        let codes = canonical_codes(&lengths);
-        (Self { hot, lengths, codes }, &stream[Self::TREE_BYTES..])
+        (Self::from_parts(hot, lengths), &stream[Self::TREE_BYTES..])
     }
 
     /// Decodes `n` original bytes from `payload` (no tree header).
@@ -273,27 +383,27 @@ impl ReducedHuffman {
     /// Panics if the stream is malformed.
     pub fn decode_from(&self, r: &mut BitReader<'_>, n: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(n);
-        let escape = self.escape_idx();
-        // Decode bit-by-bit against the canonical table (hardware uses a
-        // pipelined multi-code decoder; functional result is identical).
-        while out.len() < n {
-            let mut code = 0u32;
-            let mut len = 0u32;
-            loop {
-                code = (code << 1) | r.get_bit() as u32;
-                len += 1;
-                assert!(len <= 15, "code longer than any in tree");
-                if let Some(i) = self.codes.iter().position(|&(c, l)| l == len && c == code) {
-                    if i == escape {
-                        out.push(r.get(8) as u8);
-                    } else {
-                        out.push(self.hot[i]);
-                    }
-                    break;
-                }
+        self.decode_from_into(r, n, &mut out);
+        out
+    }
+
+    /// Decodes `n` bytes from an open bit stream, appending to `out` —
+    /// the allocation-free variant the pipeline scratch uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is malformed.
+    pub fn decode_from_into(&self, r: &mut BitReader<'_>, n: usize, out: &mut Vec<u8>) {
+        let escape = self.escape_idx() as u16;
+        out.reserve(n);
+        for _ in 0..n {
+            let s = self.decode_table.decode_sym(r);
+            if s == escape {
+                out.push(r.get(8) as u8);
+            } else {
+                out.push(self.hot[s as usize]);
             }
         }
-        out
     }
 }
 
@@ -330,7 +440,8 @@ impl FullHuffman {
     /// Panics if `data` contains a byte whose frequency was zero at build
     /// time (always use the tree built from the same data).
     pub fn encode(&self, data: &[u8]) -> Vec<u8> {
-        let mut w = BitWriter::new();
+        let mut w =
+            BitWriter::with_capacity(Self::TREE_BYTES + self.encoded_bits(data).div_ceil(8));
         for &l in &self.lengths {
             w.put(l as u64, 4);
         }
@@ -353,28 +464,10 @@ impl FullHuffman {
         for l in lengths.iter_mut() {
             *l = r.get(4) as u32;
         }
-        let codes = canonical_codes(&lengths);
-        // Build (len, code) -> symbol lookup.
-        let mut dec: Vec<((u32, u32), usize)> = codes
-            .iter()
-            .enumerate()
-            .filter(|(_, &(_, l))| l > 0)
-            .map(|(i, &(c, l))| ((l, c), i))
-            .collect();
-        dec.sort_unstable();
+        let table = DecodeTable::build(&canonical_codes(&lengths));
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
-            let mut code = 0u32;
-            let mut len = 0u32;
-            loop {
-                code = (code << 1) | r.get_bit() as u32;
-                len += 1;
-                assert!(len <= 15, "code longer than any in tree");
-                if let Ok(idx) = dec.binary_search_by_key(&(len, code), |&(k, _)| k) {
-                    out.push(dec[idx].1 as u8);
-                    break;
-                }
-            }
+            out.push(table.decode_sym(&mut r) as u8);
         }
         out
     }
@@ -513,5 +606,78 @@ mod tests {
         assert_eq!(enc.len(), ReducedHuffman::TREE_BYTES);
         let (t2, rest) = ReducedHuffman::read_tree(&enc);
         assert!(t2.decode(rest, 0).is_empty());
+    }
+
+    /// Reference decoder: the pre-LUT per-bit scan over the canonical code
+    /// list, kept verbatim as the differential oracle for the table.
+    fn decode_by_bit_scan(tree: &ReducedHuffman, payload: &[u8], n: usize) -> Vec<u8> {
+        let mut r = BitReader::new(payload);
+        let mut out = Vec::with_capacity(n);
+        let escape = tree.escape_idx();
+        while out.len() < n {
+            let mut code = 0u32;
+            let mut len = 0u32;
+            loop {
+                code = (code << 1) | r.get_bit() as u32;
+                len += 1;
+                assert!(len <= 15, "code longer than any in tree");
+                if let Some(i) = tree.codes.iter().position(|&(c, l)| l == len && c == code) {
+                    if i == escape {
+                        out.push(r.get(8) as u8);
+                    } else {
+                        out.push(tree.hot[i]);
+                    }
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lut_decoder_matches_bit_scan_reference() {
+        let corpora: Vec<Vec<u8>> = vec![
+            b"hello huffman, hello reduced tree! ".repeat(40),
+            (0..=255u8).cycle().take(3000).collect(),
+            vec![7u8; 1000],
+            (0..2000u32).map(|i| ((i * i) >> 5) as u8).collect(),
+        ];
+        for data in corpora {
+            for depth in [4, 8, 15] {
+                let tree = ReducedHuffman::build(&data, depth);
+                let mut w = BitWriter::new();
+                tree.encode_into(&mut w, &data);
+                let payload = w.into_bytes();
+                assert_eq!(
+                    tree.decode(&payload, data.len()),
+                    decode_by_bit_scan(&tree, &payload, data.len()),
+                    "depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_trees_use_the_long_code_fallback() {
+        // Exponential frequencies force 15-deep codes past the 11-bit root.
+        let mut data = Vec::new();
+        for i in 0..16u32 {
+            data.extend(std::iter::repeat_n(i as u8, 1usize << i));
+        }
+        let tree = ReducedHuffman::build(&data, 15);
+        assert!(tree.depth() > ROOT_BITS_CAP, "need a deep tree for this test");
+        assert!(!tree.decode_table.long.is_empty());
+        let enc = tree.encode(&data);
+        let (t2, rest) = ReducedHuffman::read_tree(&enc);
+        assert_eq!(t2.decode(rest, data.len()), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Huffman code")]
+    fn malformed_stream_panics() {
+        // A single-symbol tree leaves half the root table invalid; a
+        // stream of 1-bits hits it immediately.
+        let tree = ReducedHuffman::build(&[], DEFAULT_MAX_DEPTH);
+        let _ = tree.decode(&[0xFF, 0xFF], 4);
     }
 }

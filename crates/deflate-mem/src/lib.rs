@@ -44,8 +44,10 @@ pub mod timing;
 pub use area::{AreaModel, ModuleArea};
 pub use huffman::{FullHuffman, ReducedHuffman};
 pub use ibm::IbmDeflateModel;
-pub use lz::LzCodec;
-pub use pipeline::{CompressedPage, DeflateParams, MemDeflate, PageMode, SoftwareDeflate};
+pub use lz::{LzCodec, LzScratch};
+pub use pipeline::{
+    CompressedPage, DeflateParams, DeflateScratch, MemDeflate, PageMode, SizeQuote, SoftwareDeflate,
+};
 pub use timing::{DeflateTiming, TimingReport};
 
 /// Size of a memory page in bytes.

@@ -22,11 +22,29 @@
 //!
 //! `dist_bits = log2(window)`, so a 1 KiB CAM yields 3-byte matches and the
 //! 32 KiB software-deflate window yields 4-byte matches.
+//!
+//! ## Search state
+//!
+//! The hash-chain search state lives in a reusable [`LzScratch`]: a
+//! 4096-entry head table of absolute positions (`u64`, so arbitrarily long
+//! inputs never wrap — the old `i32` chains silently dropped every match
+//! past 2 GiB) and a **ring buffer of `window` chain links** storing the
+//! `u32` distance to the previous same-hash position. A slot is only ever
+//! read for candidates still inside the window, which is exactly the
+//! lifetime before the ring reuses it, so the chain array needs `window`
+//! entries instead of one per input byte and never needs clearing between
+//! pages.
 
 /// Maximum match length representable in the 6-bit length field.
 const MAX_LEN_CODE: u32 = 63;
 /// Escape marker byte.
 const MARKER: u8 = 0xFF;
+/// Hash-table size for the chain heads (models the CAM search).
+const HASH_BITS: u32 = 12;
+/// Head-table sentinel: no position with this hash yet.
+const NO_POS: u64 = u64::MAX;
+/// Candidates examined per position (the CAM's probe budget).
+const MAX_PROBES: u32 = 64;
 
 /// Token-level statistics from one compression pass, consumed by the cycle
 /// model (pipeline stalls depend on match structure, §V-B4).
@@ -38,6 +56,60 @@ pub struct LzStats {
     pub matches: usize,
     /// Total input bytes covered by matches.
     pub matched_bytes: usize,
+}
+
+/// Reusable hash-chain state for [`LzCodec::compress_with`].
+///
+/// One scratch serves any window size (it re-shapes itself per call) and
+/// any number of consecutive compressions; reuse removes the two
+/// per-page allocations the searcher needs.
+#[derive(Debug, Clone, Default)]
+pub struct LzScratch {
+    /// Most recent absolute position per hash bucket; [`NO_POS`] = empty.
+    heads: Vec<u64>,
+    /// Ring of `window` chain links: distance back to the previous
+    /// position with the same hash (0 = chain ends).
+    chain_dist: Vec<u32>,
+}
+
+impl LzScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the buffers for `window` and clears the head table.
+    fn prepare(&mut self, window: usize) {
+        self.heads.clear();
+        self.heads.resize(1 << HASH_BITS, NO_POS);
+        // Chain slots never need clearing: a slot is written when its
+        // position is inserted and only read while that position is still
+        // inside the window (see the module docs).
+        if self.chain_dist.len() != window {
+            self.chain_dist.clear();
+            self.chain_dist.resize(window, 0);
+        }
+    }
+}
+
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `max`, compared a word at a time.
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    let mut l = 0;
+    while l + 8 <= max {
+        let x = u64::from_le_bytes(data[a + l..a + l + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(data[b + l..b + l + 8].try_into().expect("8 bytes"));
+        let diff = x ^ y;
+        if diff != 0 {
+            return l + (diff.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < max && data[a + l] == data[b + l] {
+        l += 1;
+    }
+    l
 }
 
 /// An LZ77 codec with a configurable sliding window.
@@ -99,25 +171,64 @@ impl LzCodec {
         self.min_match + MAX_LEN_CODE as usize - 1
     }
 
-    /// Compresses `data`, returning the LZ byte stream and token statistics.
+    /// Compresses `data`, returning the LZ byte stream and token
+    /// statistics. Convenience wrapper allocating fresh scratch; hot paths
+    /// use [`compress_with`](Self::compress_with).
     pub fn compress(&self, data: &[u8]) -> (Vec<u8>, LzStats) {
-        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        let mut out = Vec::new();
+        let stats = self.compress_with(data, &mut LzScratch::new(), &mut out);
+        (out, stats)
+    }
+
+    /// Compresses `data` into `out` (cleared first), reusing `scratch`
+    /// across calls. Output is byte-identical to [`compress`](Self::compress).
+    pub fn compress_with(
+        &self,
+        data: &[u8],
+        scratch: &mut LzScratch,
+        out: &mut Vec<u8>,
+    ) -> LzStats {
+        self.compress_with_base(data, scratch, out, 0)
+    }
+
+    /// [`compress_with`](Self::compress_with) with the absolute position
+    /// counter starting at `base` instead of 0. Output is invariant to
+    /// `base` (only distances matter); the knob exists so tests can place
+    /// the stream across historical overflow boundaries (the old `i32`
+    /// chains broke at 2 GiB) without allocating gigabytes.
+    #[doc(hidden)]
+    pub fn compress_with_base(
+        &self,
+        data: &[u8],
+        scratch: &mut LzScratch,
+        out: &mut Vec<u8>,
+        base: u64,
+    ) -> LzStats {
+        out.clear();
+        out.reserve(data.len() / 2 + 16);
         let mut stats = LzStats::default();
-        // Hash chains over 4-byte prefixes model the CAM search.
-        const HASH_BITS: u32 = 12;
-        let mut heads: Vec<i32> = vec![-1; 1 << HASH_BITS];
-        let mut chain_at: Vec<i32> = vec![-1; data.len()];
+        scratch.prepare(self.window);
+        let heads = &mut scratch.heads[..];
+        let chain_dist = &mut scratch.chain_dist[..];
+        let window = self.window as u64;
+        let ring_mask = self.window - 1;
 
         let hash = |d: &[u8]| -> usize {
             let v = u32::from_le_bytes([d[0], d[1], d[2], d[3]]);
             (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
         };
 
-        let insert = |pos: usize, data: &[u8], heads: &mut Vec<i32>, chain_at: &mut Vec<i32>| {
+        let insert = |pos: usize, data: &[u8], heads: &mut [u64], chain_dist: &mut [u32]| {
             if pos + 4 <= data.len() {
                 let h = hash(&data[pos..]);
-                chain_at[pos] = heads[h];
-                heads[h] = pos as i32;
+                let abs = base + pos as u64;
+                let prev = heads[h];
+                // Links to positions already outside the window are dead:
+                // store "chain ends" so distances always fit u32.
+                let back = abs.wrapping_sub(prev);
+                chain_dist[pos & ring_mask] =
+                    if prev == NO_POS || back >= window { 0 } else { back as u32 };
+                heads[h] = abs;
             }
         };
         let mut i = 0;
@@ -126,16 +237,14 @@ impl LzCodec {
             let mut best_dist = 0usize;
             if i + 4 <= data.len() {
                 let h = hash(&data[i..]);
+                let abs = base + i as u64;
+                let floor = abs.saturating_sub(window);
+                let max = (data.len() - i).min(self.max_match());
                 let mut cand = heads[h];
-                let floor = i.saturating_sub(self.window);
                 let mut probes = 0;
-                while cand >= 0 && (cand as usize) >= floor && probes < 64 {
-                    let c = cand as usize;
-                    let max = (data.len() - i).min(self.max_match());
-                    let mut l = 0;
-                    while l < max && data[c + l] == data[i + l] {
-                        l += 1;
-                    }
+                while cand != NO_POS && cand >= floor && probes < MAX_PROBES {
+                    let c = (cand - base) as usize;
+                    let l = match_len(data, c, i, max);
                     if l > best_len {
                         best_len = l;
                         best_dist = i - c;
@@ -143,7 +252,8 @@ impl LzCodec {
                             break;
                         }
                     }
-                    cand = chain_at[c];
+                    let back = chain_dist[c & ring_mask];
+                    cand = if back == 0 { NO_POS } else { cand - back as u64 };
                     probes += 1;
                 }
             }
@@ -161,7 +271,7 @@ impl LzCodec {
                 stats.matches += 1;
                 stats.matched_bytes += best_len;
                 for p in i..i + best_len {
-                    insert(p, data, &mut heads, &mut chain_at);
+                    insert(p, data, heads, chain_dist);
                 }
                 i += best_len;
             } else {
@@ -172,11 +282,11 @@ impl LzCodec {
                     out.push(data[i]);
                 }
                 stats.literals += 1;
-                insert(i, data, &mut heads, &mut chain_at);
+                insert(i, data, heads, chain_dist);
                 i += 1;
             }
         }
-        (out, stats)
+        stats
     }
 
     /// Restores the original bytes from an LZ stream produced by
@@ -187,7 +297,20 @@ impl LzCodec {
     /// Panics on a malformed stream (truncated match fields, distances
     /// reaching before the start of output).
     pub fn decompress(&self, stream: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(stream.len() * 2);
+        let mut out = Vec::new();
+        self.decompress_into(stream, &mut out);
+        out
+    }
+
+    /// [`decompress`](Self::decompress) into a caller-owned buffer
+    /// (cleared first) — the allocation-free variant for codec scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed stream.
+    pub fn decompress_into(&self, stream: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(stream.len() * 2);
         let field_bits = 6 + self.dist_bits;
         let field_bytes = field_bits.div_ceil(8) as usize;
         let mut i = 0;
@@ -217,12 +340,16 @@ impl LzCodec {
             let len = len_code + self.min_match - 1;
             assert!(dist <= out.len(), "match distance reaches before output");
             let start = out.len() - dist;
-            for k in 0..len {
-                let byte = out[start + k];
-                out.push(byte);
+            if dist >= len {
+                out.extend_from_within(start..start + len);
+            } else {
+                // Overlapping copy (RLE-style): byte-serial by definition.
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
             }
         }
-        out
     }
 }
 
@@ -321,5 +448,74 @@ mod tests {
         let small = LzCodec::new(256).compress(&data).0.len();
         let large = LzCodec::new(4096).compress(&data).0.len();
         assert!(large < small, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        // One scratch across pages and window sizes must give the same
+        // streams as fresh scratch every time.
+        let mut scratch = LzScratch::new();
+        let pages: Vec<Vec<u8>> = (0..6u64)
+            .map(|s| {
+                let mut x = s.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                (0..4096)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        (x >> 16) as u8 & 0x3F
+                    })
+                    .collect()
+            })
+            .collect();
+        for w in [1024usize, 32768, 1024] {
+            let lz = LzCodec::new(w);
+            for page in &pages {
+                let mut out = Vec::new();
+                let stats = lz.compress_with(page, &mut scratch, &mut out);
+                let (fresh, fresh_stats) = lz.compress(page);
+                assert_eq!(out, fresh, "window {w}");
+                assert_eq!(stats, fresh_stats);
+            }
+        }
+    }
+
+    /// Regression for the `i32` hash-chain overflow: positions past 2 GiB
+    /// became negative and every match was silently dropped (and `chain_at`
+    /// was sized per input byte). The base knob artificially lowers the
+    /// overflow boundary into reach: the stream must be identical no
+    /// matter where in the address space it starts.
+    #[test]
+    fn chains_survive_positions_beyond_2gib() {
+        let lz = LzCodec::memory_specialized();
+        let data = b"the quick brown fox jumps over the lazy dog; ".repeat(60);
+        let mut scratch = LzScratch::new();
+        let mut reference = Vec::new();
+        let ref_stats = lz.compress_with(&data, &mut scratch, &mut reference);
+        assert!(ref_stats.matches > 0, "corpus must contain matches");
+        for base in [
+            (1u64 << 31) - (data.len() as u64 / 2), // straddles the old i32 cap
+            (1u64 << 32) - (data.len() as u64 / 2), // straddles a u32 cap
+            u64::from(u32::MAX) * 16,               // far past any 32-bit cap
+        ] {
+            let mut out = Vec::new();
+            let stats = lz.compress_with_base(&data, &mut scratch, &mut out, base);
+            assert_eq!(out, reference, "base {base:#x}");
+            assert_eq!(stats, ref_stats, "base {base:#x}");
+        }
+    }
+
+    #[test]
+    fn chain_ring_is_bounded_by_window() {
+        // The scratch must hold `window` chain slots, not one per byte:
+        // compress inputs much longer than the window and check the ring
+        // never grew.
+        let lz = LzCodec::new(256);
+        let data: Vec<u8> = (0..64 * 1024u32).map(|i| ((i * 31) >> 3) as u8).collect();
+        let mut scratch = LzScratch::new();
+        let mut out = Vec::new();
+        lz.compress_with(&data, &mut scratch, &mut out);
+        assert_eq!(scratch.chain_dist.len(), 256);
+        assert_eq!(lz.decompress(&out), data);
     }
 }

@@ -12,9 +12,21 @@
 //! yardstick in Fig. 15: a 32 KiB-window LZ plus a full 256-symbol
 //! canonical Huffman coder, run over whole memory dumps so the window spans
 //! pages.
+//!
+//! ## Scratch reuse and analytic sizing
+//!
+//! The hot entry points come in pairs: `compress_page` / `compressed_size`
+//! allocate nothing visible but run on a per-thread [`DeflateScratch`];
+//! the `*_with` variants take the scratch explicitly for callers that want
+//! deterministic reuse. Size queries never materialize a bit stream — the
+//! plain-format tree header is whole bytes (24 B reduced, 128 B full), so
+//! `stored_len` is computable exactly from [`ReducedHuffman::encoded_bits`]
+//! alone, which removes all Huffman bit-packing from ratio sweeps.
 
-use crate::huffman::{ReducedHuffman, DEFAULT_MAX_DEPTH};
-use crate::lz::{LzCodec, LzStats};
+use std::cell::RefCell;
+
+use crate::huffman::{FullHuffman, ReducedHuffman, DEFAULT_MAX_DEPTH};
+use crate::lz::{LzCodec, LzScratch, LzStats};
 use crate::timing::{DeflateTiming, TimingReport};
 use tmcc_compression::BitWriter;
 
@@ -31,6 +43,28 @@ pub enum PageMode {
     Raw = 3,
 }
 
+/// Reusable buffers for the page codec: the LZ hash-chain state plus the
+/// intermediate LZ byte stream, shared by compression, decompression and
+/// analytic sizing. One scratch per thread amortizes every per-page
+/// allocation except the payload that escapes into [`CompressedPage`].
+#[derive(Debug, Clone, Default)]
+pub struct DeflateScratch {
+    lz: LzScratch,
+    lz_buf: Vec<u8>,
+}
+
+impl DeflateScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the allocation-free default entry points.
+    static SCRATCH: RefCell<DeflateScratch> = RefCell::new(DeflateScratch::new());
+}
+
 /// A compressed page: mode header, original/LZ lengths and the payload.
 ///
 /// `stored_len` is the size the page occupies in ML2 and what the capacity
@@ -41,6 +75,9 @@ pub struct CompressedPage {
     original_len: usize,
     lz_len: usize,
     payload: Vec<u8>,
+    /// Exact payload length in bits — [`BitWriter::len_bits`] for Huffman
+    /// payloads, which the final byte pads with up to 7 zero bits.
+    payload_bits: usize,
     stats: LzStats,
 }
 
@@ -80,9 +117,32 @@ impl CompressedPage {
     }
 
     /// Payload bits excluding headers — what the decompressor's input side
-    /// must consume.
+    /// must consume. Exact: Huffman payloads end mid-byte and the padding
+    /// bits are *not* counted (they used to be, overstating Table II's
+    /// decompression latency by up to 7 bit-times per page).
     pub fn payload_bits(&self) -> usize {
-        self.payload.len() * 8
+        self.payload_bits
+    }
+
+    /// The stored payload bytes (tree header + Huffman stream for
+    /// [`PageMode::LzHuffman`], the LZ byte stream for
+    /// [`PageMode::LzOnly`], the raw page for [`PageMode::Raw`]).
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Reassembles a page from stored parts — used by differential tests
+    /// that decode historically recorded streams with the current decoder.
+    /// The bit length is taken as `payload.len() * 8` (stored streams do
+    /// not record their padding).
+    pub fn from_parts(
+        mode: PageMode,
+        original_len: usize,
+        lz_len: usize,
+        payload: Vec<u8>,
+    ) -> Self {
+        let payload_bits = payload.len() * 8;
+        Self { mode, original_len, lz_len, payload, payload_bits, stats: LzStats::default() }
     }
 }
 
@@ -170,6 +230,61 @@ impl Default for DeflateParams {
     }
 }
 
+/// Analytic page-size breakdown from [`MemDeflate::size_quote`]: enough to
+/// reproduce the mode decision and `stored_len` under either dynamic-skip
+/// setting without materializing a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeQuote {
+    original_len: usize,
+    lz_len: usize,
+    /// Reduced-tree payload size (24-byte header + payload bytes).
+    huff_bytes: usize,
+    zero: bool,
+}
+
+impl SizeQuote {
+    /// Stored bytes for this page under the given dynamic-skip setting —
+    /// identical to `compress_page(...).stored_len()` for a codec with the
+    /// same LZ and tree parameters.
+    pub fn stored_len(&self, dynamic_skip: bool) -> usize {
+        if self.zero {
+            return 1;
+        }
+        let payload_len = if dynamic_skip && self.huff_bytes >= self.lz_len {
+            self.lz_len
+        } else {
+            self.huff_bytes
+        };
+        if payload_len + 3 >= self.original_len {
+            self.original_len + 3
+        } else {
+            payload_len + 3
+        }
+    }
+
+    /// Length of the intermediate LZ stream (0 for zero pages).
+    pub fn lz_len(&self) -> usize {
+        self.lz_len
+    }
+
+    /// Whether the page was all zeros.
+    pub fn is_zero(&self) -> bool {
+        self.zero
+    }
+}
+
+/// Whether `page` is entirely zero, compared a word at a time.
+#[inline]
+fn is_zero_page(page: &[u8]) -> bool {
+    let mut chunks = page.chunks_exact(8);
+    for c in &mut chunks {
+        if u64::from_le_bytes(c.try_into().expect("8 bytes")) != 0 {
+            return false;
+        }
+    }
+    chunks.remainder().iter().all(|&b| b == 0)
+}
+
 /// The memory-specialized ASIC Deflate codec (functional model).
 ///
 /// # Examples
@@ -209,77 +324,165 @@ impl MemDeflate {
         &self.timing
     }
 
-    /// Compresses one page (any length up to 64 KiB; normally 4 KiB).
+    /// Compresses one page (any length up to 64 KiB; normally 4 KiB) on
+    /// the thread-local scratch.
     ///
     /// # Panics
     ///
     /// Panics if `page` is empty or longer than 65 535 bytes (the 16-bit
     /// LZ-length header).
     pub fn compress_page(&self, page: &[u8]) -> CompressedPage {
+        SCRATCH.with(|s| self.compress_page_with(page, &mut s.borrow_mut()))
+    }
+
+    /// [`compress_page`](Self::compress_page) reusing caller-owned scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is empty or longer than 65 535 bytes.
+    pub fn compress_page_with(&self, page: &[u8], scratch: &mut DeflateScratch) -> CompressedPage {
         assert!(!page.is_empty() && page.len() < 65536, "page length must be in 1..65536");
-        if page.iter().all(|&b| b == 0) {
+        if is_zero_page(page) {
             return CompressedPage {
                 mode: PageMode::Zero,
                 original_len: page.len(),
                 lz_len: 0,
                 payload: Vec::new(),
+                payload_bits: 0,
                 stats: LzStats::default(),
             };
         }
-        let (lz_stream, stats) = self.lz.compress(page);
-        // Build the reduced tree from the full LZ output, or from a prefix
-        // sample under 1.1-Pass.
-        let tree_input = if self.params.one_one_pass {
-            &lz_stream[..lz_stream.len().min(self.params.sample_bytes)]
-        } else {
-            &lz_stream[..]
-        };
-        let tree = ReducedHuffman::build(tree_input, self.params.max_tree_depth);
-        let huff_bits = tree.encoded_bits(&lz_stream);
+        let stats = self.lz.compress_with(page, &mut scratch.lz, &mut scratch.lz_buf);
+        let lz_stream = &scratch.lz_buf[..];
+        let (tree, huff_bits) = self.plan_huffman(lz_stream);
         let huff_bytes = ReducedHuffman::TREE_BYTES + huff_bits.div_ceil(8);
 
-        let (mode, payload) = if self.params.dynamic_skip && huff_bytes >= lz_stream.len() {
-            (PageMode::LzOnly, lz_stream.clone())
-        } else {
-            let mut w = BitWriter::new();
-            tree.write_tree(&mut w);
-            tree.encode_into(&mut w, &lz_stream);
-            (PageMode::LzHuffman, w.into_bytes())
-        };
+        let (mode, payload, payload_bits) =
+            if self.params.dynamic_skip && huff_bytes >= lz_stream.len() {
+                (PageMode::LzOnly, lz_stream.to_vec(), lz_stream.len() * 8)
+            } else {
+                let mut w = BitWriter::with_capacity(huff_bytes);
+                tree.write_tree(&mut w);
+                tree.encode_into(&mut w, lz_stream);
+                let bits = w.len_bits();
+                debug_assert_eq!(bits, ReducedHuffman::TREE_BYTES * 8 + huff_bits);
+                (PageMode::LzHuffman, w.into_bytes(), bits)
+            };
         if payload.len() + 3 >= page.len() {
             return CompressedPage {
                 mode: PageMode::Raw,
                 original_len: page.len(),
                 lz_len: lz_stream.len(),
                 payload: page.to_vec(),
+                payload_bits: page.len() * 8,
                 stats,
             };
         }
-        CompressedPage { mode, original_len: page.len(), lz_len: lz_stream.len(), payload, stats }
+        CompressedPage {
+            mode,
+            original_len: page.len(),
+            lz_len: lz_stream.len(),
+            payload,
+            payload_bits,
+            stats,
+        }
     }
 
-    /// Restores the original page.
+    /// Builds the reduced tree for an LZ stream (full or 1.1-Pass sampled
+    /// input) and returns it with the exact payload bit count.
+    fn plan_huffman(&self, lz_stream: &[u8]) -> (ReducedHuffman, usize) {
+        let tree_input = if self.params.one_one_pass {
+            &lz_stream[..lz_stream.len().min(self.params.sample_bytes)]
+        } else {
+            lz_stream
+        };
+        let tree = ReducedHuffman::build(tree_input, self.params.max_tree_depth);
+        let huff_bits = tree.encoded_bits(lz_stream);
+        (tree, huff_bits)
+    }
+
+    /// Restores the original page on the thread-local scratch.
     ///
     /// # Panics
     ///
     /// Panics on pages not produced by this codec configuration.
     pub fn decompress_page(&self, page: &CompressedPage) -> Vec<u8> {
+        SCRATCH.with(|s| {
+            let mut out = Vec::new();
+            self.decompress_page_into(page, &mut s.borrow_mut(), &mut out);
+            out
+        })
+    }
+
+    /// [`decompress_page`](Self::decompress_page) into a caller-owned
+    /// buffer (cleared first), reusing `scratch` for the intermediate LZ
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pages not produced by this codec configuration.
+    pub fn decompress_page_into(
+        &self,
+        page: &CompressedPage,
+        scratch: &mut DeflateScratch,
+        out: &mut Vec<u8>,
+    ) {
+        out.clear();
         match page.mode {
-            PageMode::Zero => vec![0u8; page.original_len],
-            PageMode::Raw => page.payload.clone(),
-            PageMode::LzOnly => self.lz.decompress(&page.payload),
+            PageMode::Zero => out.resize(page.original_len, 0),
+            PageMode::Raw => out.extend_from_slice(&page.payload),
+            PageMode::LzOnly => self.lz.decompress_into(&page.payload, out),
             PageMode::LzHuffman => {
                 let (tree, rest) = ReducedHuffman::read_tree(&page.payload);
-                let lz_stream = tree.decode(rest, page.lz_len);
-                self.lz.decompress(&lz_stream)
+                scratch.lz_buf.clear();
+                let mut r = tmcc_compression::BitReader::new(rest);
+                tree.decode_from_into(&mut r, page.lz_len, &mut scratch.lz_buf);
+                self.lz.decompress_into(&scratch.lz_buf, out);
             }
         }
     }
 
     /// Compressed size of a page without materializing the payload —
-    /// convenience for capacity accounting.
+    /// the capacity-accounting fast path. Exact: the Huffman payload is
+    /// `24 + ceil(bits / 8)` bytes because the plain-format tree header is
+    /// whole bytes, so no bit stream needs to be written to know
+    /// `stored_len`.
     pub fn compressed_size(&self, page: &[u8]) -> usize {
-        self.compress_page(page).stored_len()
+        SCRATCH.with(|s| self.compressed_size_with(page, &mut s.borrow_mut()))
+    }
+
+    /// [`compressed_size`](Self::compressed_size) reusing caller-owned
+    /// scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is empty or longer than 65 535 bytes.
+    pub fn compressed_size_with(&self, page: &[u8], scratch: &mut DeflateScratch) -> usize {
+        self.size_quote_with(page, scratch).stored_len(self.params.dynamic_skip)
+    }
+
+    /// Analytic sizing pass on the thread-local scratch: one LZ + tree
+    /// build prices the page under *both* dynamic-skip settings, so
+    /// sweeps comparing the two (Fig. 15) pay for compression once.
+    pub fn size_quote(&self, page: &[u8]) -> SizeQuote {
+        SCRATCH.with(|s| self.size_quote_with(page, &mut s.borrow_mut()))
+    }
+
+    /// [`size_quote`](Self::size_quote) reusing caller-owned scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is empty or longer than 65 535 bytes.
+    pub fn size_quote_with(&self, page: &[u8], scratch: &mut DeflateScratch) -> SizeQuote {
+        assert!(!page.is_empty() && page.len() < 65536, "page length must be in 1..65536");
+        if is_zero_page(page) {
+            return SizeQuote { original_len: page.len(), lz_len: 0, huff_bytes: 0, zero: true };
+        }
+        self.lz.compress_with(page, &mut scratch.lz, &mut scratch.lz_buf);
+        let lz_stream = &scratch.lz_buf[..];
+        let (_, huff_bits) = self.plan_huffman(lz_stream);
+        let huff_bytes = ReducedHuffman::TREE_BYTES + huff_bits.div_ceil(8);
+        SizeQuote { original_len: page.len(), lz_len: lz_stream.len(), huff_bytes, zero: false }
     }
 
     /// Modelled latency to compress this page.
@@ -322,22 +525,31 @@ impl SoftwareDeflate {
         Self { lz: LzCodec::new(32768) }
     }
 
-    /// Compresses a stream; returns the stored bytes
-    /// (`[u32 original_len][u32 lz_len][huffman stream]`).
+    /// Compresses a stream on the thread-local scratch; returns the stored
+    /// bytes (`[u32 original_len][u32 lz_len][flag][stream]`).
     pub fn compress(&self, data: &[u8]) -> Vec<u8> {
-        let (lz_stream, _) = self.lz.compress(data);
-        let tree = crate::huffman::FullHuffman::build(&lz_stream);
-        let encoded = tree.encode(&lz_stream);
-        let mut out = Vec::with_capacity(encoded.len() + 8);
+        SCRATCH.with(|s| self.compress_with(data, &mut s.borrow_mut()))
+    }
+
+    /// [`compress`](Self::compress) reusing caller-owned scratch.
+    pub fn compress_with(&self, data: &[u8], scratch: &mut DeflateScratch) -> Vec<u8> {
+        self.lz.compress_with(data, &mut scratch.lz, &mut scratch.lz_buf);
+        let lz_stream = &scratch.lz_buf[..];
+        let tree = FullHuffman::build(lz_stream);
+        let encoded_len = FullHuffman::TREE_BYTES + tree.encoded_bits(lz_stream).div_ceil(8);
+        // Keep whichever of (huffman, raw lz) is smaller, flagged by a
+        // byte; only the winning branch is ever bit-packed.
+        let huffman_wins = encoded_len < lz_stream.len();
+        let body_len = if huffman_wins { encoded_len } else { lz_stream.len() };
+        let mut out = Vec::with_capacity(9 + body_len);
         out.extend_from_slice(&(data.len() as u32).to_le_bytes());
         out.extend_from_slice(&(lz_stream.len() as u32).to_le_bytes());
-        // Keep whichever of (huffman, raw lz) is smaller, flagged by a byte.
-        if encoded.len() < lz_stream.len() {
+        if huffman_wins {
             out.push(1);
-            out.extend_from_slice(&encoded);
+            out.extend_from_slice(&tree.encode(lz_stream));
         } else {
             out.push(0);
-            out.extend_from_slice(&lz_stream);
+            out.extend_from_slice(lz_stream);
         }
         out
     }
@@ -359,9 +571,20 @@ impl SoftwareDeflate {
         out
     }
 
-    /// Compressed size of `data` under the reference codec.
+    /// Compressed size of `data` under the reference codec, computed
+    /// analytically — no bit stream is materialized.
     pub fn compressed_size(&self, data: &[u8]) -> usize {
-        self.compress(data).len()
+        SCRATCH.with(|s| self.compressed_size_with(data, &mut s.borrow_mut()))
+    }
+
+    /// [`compressed_size`](Self::compressed_size) reusing caller-owned
+    /// scratch.
+    pub fn compressed_size_with(&self, data: &[u8], scratch: &mut DeflateScratch) -> usize {
+        self.lz.compress_with(data, &mut scratch.lz, &mut scratch.lz_buf);
+        let lz_stream = &scratch.lz_buf[..];
+        let tree = FullHuffman::build(lz_stream);
+        let encoded_len = FullHuffman::TREE_BYTES + tree.encoded_bits(lz_stream).div_ceil(8);
+        9 + encoded_len.min(lz_stream.len())
     }
 }
 
@@ -392,7 +615,22 @@ mod tests {
         let c = codec.compress_page(&page);
         assert_eq!(c.mode(), PageMode::Zero);
         assert_eq!(c.stored_len(), 1);
+        assert_eq!(c.payload_bits(), 0);
         assert_eq!(codec.decompress_page(&c), page);
+    }
+
+    #[test]
+    fn near_zero_pages_are_not_zero_pages() {
+        // Word-at-a-time scan must catch a lone set bit anywhere,
+        // including the non-multiple-of-8 tail.
+        let codec = MemDeflate::default();
+        for (len, hot) in [(PAGE_SIZE, 0), (PAGE_SIZE, 4095), (4093, 4092), (7, 6)] {
+            let mut page = vec![0u8; len];
+            page[hot] = 1;
+            let c = codec.compress_page(&page);
+            assert_ne!(c.mode(), PageMode::Zero, "len {len} hot {hot}");
+            assert_eq!(codec.decompress_page(&c), page);
+        }
     }
 
     #[test]
@@ -458,6 +696,106 @@ mod tests {
         }
     }
 
+    /// Regression for the padded-bit over-count: `payload_bits` must be
+    /// the writer's exact bit length, not `payload.len() * 8`.
+    #[test]
+    fn payload_bits_counts_exact_bits_not_padded_bytes() {
+        let codec = MemDeflate::default();
+        let page = textish_page();
+        let c = codec.compress_page(&page);
+        assert_eq!(c.mode(), PageMode::LzHuffman);
+        // Recompute the exact count from the stored stream itself.
+        let (tree, rest) = ReducedHuffman::read_tree(c.payload());
+        let lz_stream = tree.decode(rest, c.lz_len());
+        let exact = ReducedHuffman::TREE_BYTES * 8 + tree.encoded_bits(&lz_stream);
+        assert_eq!(c.payload_bits(), exact);
+        assert_eq!(c.payload().len(), exact.div_ceil(8));
+        // This page genuinely ends mid-byte, so the old accounting
+        // (payload.len() * 8) would differ.
+        assert_ne!(exact % 8, 0, "need a padding-sensitive page");
+        assert!(c.payload_bits() < c.payload().len() * 8);
+    }
+
+    #[test]
+    fn payload_bits_is_exact_for_every_mode() {
+        // LzOnly and Raw payloads are byte streams: bits == len * 8.
+        // A page cycling through 251 values LZ-compresses well but leaves
+        // a near-uniform LZ stream; with a depth-4 tree every cold byte
+        // costs 12 bits, so Huffman must expand and dynamic skip kicks in.
+        let codec = MemDeflate::new(DeflateParams::new().max_tree_depth(4));
+        let uniform: Vec<u8> = (0..PAGE_SIZE).map(|i| ((i * 37) % 251) as u8).collect();
+        let c = codec.compress_page(&uniform);
+        assert_eq!(c.mode(), PageMode::LzOnly);
+        assert_eq!(c.payload_bits(), c.payload().len() * 8);
+        assert_eq!(codec.decompress_page(&c), uniform);
+
+        let codec = MemDeflate::default();
+
+        let mut x = 9u64;
+        let random: Vec<u8> = (0..PAGE_SIZE)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        let c = codec.compress_page(&random);
+        assert_eq!(c.mode(), PageMode::Raw);
+        assert_eq!(c.payload_bits(), PAGE_SIZE * 8);
+    }
+
+    #[test]
+    fn analytic_sizes_match_materialized_payloads() {
+        // compressed_size must agree with compress_page().stored_len() on
+        // every mode, including the 1.1-Pass and no-skip configurations.
+        let mut pages: Vec<Vec<u8>> = vec![vec![0u8; PAGE_SIZE], textish_page()];
+        let mut uniform = vec![0u8; PAGE_SIZE];
+        for (i, b) in uniform.iter_mut().enumerate() {
+            *b = ((i * 37) % 251) as u8;
+        }
+        let half: Vec<u8> = uniform[..PAGE_SIZE / 2].to_vec();
+        uniform[PAGE_SIZE / 2..].copy_from_slice(&half);
+        pages.push(uniform);
+        let mut x = 77u64;
+        pages.push(
+            (0..PAGE_SIZE)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (x >> 33) as u8
+                })
+                .collect(),
+        );
+        for params in [
+            DeflateParams::new(),
+            DeflateParams::new().dynamic_skip(false),
+            DeflateParams::new().one_one_pass(true, 512),
+            DeflateParams::new().cam_bytes(256).max_tree_depth(8),
+        ] {
+            let codec = MemDeflate::new(params);
+            for page in &pages {
+                assert_eq!(
+                    codec.compressed_size(page),
+                    codec.compress_page(page).stored_len(),
+                    "params {params:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_state() {
+        let codec = MemDeflate::default();
+        let mut scratch = DeflateScratch::new();
+        let pages = [textish_page(), vec![0u8; PAGE_SIZE], textish_page()];
+        for page in &pages {
+            let reused = codec.compress_page_with(page, &mut scratch);
+            let fresh = codec.compress_page_with(page, &mut DeflateScratch::new());
+            assert_eq!(reused, fresh);
+            let mut out = Vec::new();
+            codec.decompress_page_into(&reused, &mut scratch, &mut out);
+            assert_eq!(&out, page);
+        }
+    }
+
     #[test]
     fn latency_model_attached() {
         let codec = MemDeflate::default();
@@ -478,6 +816,29 @@ mod tests {
         let c = sw.compress(&dump);
         assert!(c.len() < dump.len() / 4);
         assert_eq!(sw.decompress(&c), dump);
+    }
+
+    #[test]
+    fn software_analytic_size_matches_compress() {
+        let sw = SoftwareDeflate::new();
+        let mut dump = Vec::new();
+        for _ in 0..3 {
+            dump.extend_from_slice(&textish_page());
+        }
+        assert_eq!(sw.compressed_size(&dump), sw.compress(&dump).len());
+        // A stream whose LZ output defeats Huffman takes the flag-0 branch.
+        let mut x = 3u64;
+        let noisy: Vec<u8> = (0..8192)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        assert_eq!(sw.compressed_size(&noisy), sw.compress(&noisy).len());
+        assert_eq!(sw.decompress(&sw.compress(&noisy)), noisy);
+        // Empty input keeps its 9-byte header form.
+        assert_eq!(sw.compressed_size(&[]), sw.compress(&[]).len());
+        assert!(sw.decompress(&sw.compress(&[])).is_empty());
     }
 
     #[test]

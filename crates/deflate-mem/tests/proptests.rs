@@ -4,7 +4,10 @@
 //! after compression and decompression").
 
 use proptest::prelude::*;
-use tmcc_deflate::{DeflateParams, LzCodec, MemDeflate, ReducedHuffman, SoftwareDeflate};
+use tmcc_deflate::{
+    DeflateParams, DeflateScratch, LzCodec, LzScratch, MemDeflate, PageMode, ReducedHuffman,
+    SoftwareDeflate,
+};
 
 /// Pages drawn from a mixture of regimes: runs, strided records, random
 /// tails — the kinds of content real memory dumps contain.
@@ -106,4 +109,69 @@ proptest! {
         let c = sw.compress(&page);
         prop_assert_eq!(sw.decompress(&c), page);
     }
+
+    /// Every page mode the codec can choose round-trips and keeps its
+    /// invariants: exact bit accounting, stored-size bounds, and agreement
+    /// between the materialized payload and the analytic size query.
+    #[test]
+    fn page_modes_keep_their_invariants(page in arb_mode_page(), skip in any::<bool>()) {
+        let codec = MemDeflate::new(DeflateParams::new().dynamic_skip(skip));
+        let c = codec.compress_page(&page);
+        prop_assert_eq!(codec.decompress_page(&c), page);
+        prop_assert_eq!(codec.compressed_size(&page), c.stored_len());
+        match c.mode() {
+            PageMode::Zero => {
+                prop_assert_eq!(c.payload_bits(), 0);
+                prop_assert_eq!(c.stored_len(), 1);
+            }
+            PageMode::LzHuffman => {
+                // Exact bits: within the final payload byte, never past it.
+                prop_assert_eq!(c.payload().len(), c.payload_bits().div_ceil(8));
+                prop_assert!(c.payload_bits() <= c.payload().len() * 8);
+            }
+            PageMode::LzOnly => {
+                prop_assert_eq!(c.payload_bits(), c.payload().len() * 8);
+                prop_assert_eq!(c.payload().len(), c.lz_len());
+                prop_assert!(!skip || c.payload().len() <= c.lz_len());
+            }
+            PageMode::Raw => {
+                prop_assert_eq!(c.payload(), &page[..]);
+                prop_assert_eq!(c.payload_bits(), page.len() * 8);
+            }
+        }
+    }
+
+    /// A shared scratch must never leak state between pages: interleaving
+    /// compressions of different pages through one scratch yields exactly
+    /// the pages' fresh-scratch results.
+    #[test]
+    fn scratch_reuse_is_invisible(pages in prop::collection::vec(arb_mode_page(), 1..6)) {
+        let codec = MemDeflate::default();
+        let mut scratch = DeflateScratch::new();
+        let mut lz_scratch = LzScratch::new();
+        let lz = LzCodec::memory_specialized();
+        for page in &pages {
+            let reused = codec.compress_page_with(page, &mut scratch);
+            let fresh = codec.compress_page_with(page, &mut DeflateScratch::new());
+            prop_assert_eq!(&reused, &fresh);
+            let mut out = Vec::new();
+            codec.decompress_page_into(&reused, &mut scratch, &mut out);
+            prop_assert_eq!(&out, page);
+            let mut lz_out = Vec::new();
+            lz.compress_with(page, &mut lz_scratch, &mut lz_out);
+            prop_assert_eq!(lz_out, lz.compress(page).0);
+        }
+    }
+}
+
+/// [`arb_page`] plus shapes engineered to hit the rarer page modes:
+/// all-zero pages ([`PageMode::Zero`]), random pages ([`PageMode::Raw`])
+/// and periodic near-uniform pages that LZ compresses but Huffman expands
+/// ([`PageMode::LzOnly`] under dynamic skip).
+fn arb_mode_page() -> impl Strategy<Value = Vec<u8>> {
+    (arb_page(), 0u8..5, 2u64..=255).prop_map(|(page, sel, m)| match sel {
+        0 => vec![0u8; 4096],
+        1 => (0..4096usize).map(|i| ((i as u64 * 37) % m) as u8).collect(),
+        _ => page,
+    })
 }

@@ -129,18 +129,28 @@ impl Bencher {
     }
 }
 
+/// Smoke mode (`TMCC_BENCH_SMOKE=1`): shrink warm-up and sample counts so
+/// a full bench binary runs in well under a second. CI uses it to assert
+/// every benchmark still *executes*; the timings it prints are noise.
+fn smoke_mode() -> bool {
+    std::env::var_os("TMCC_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(
     name: &str,
     samples: usize,
     throughput: Option<Throughput>,
     f: &mut F,
 ) {
-    // Warm-up: find an iteration count taking roughly 10ms per sample.
+    let smoke = smoke_mode();
+    let (sample_target, samples) =
+        if smoke { (Duration::from_micros(200), 1) } else { (Duration::from_millis(10), samples) };
+    // Warm-up: find an iteration count taking roughly one sample target.
     let mut iters = 1u64;
     loop {
         let mut b = Bencher { iters, elapsed: Duration::ZERO };
         f(&mut b);
-        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+        if b.elapsed >= sample_target || iters >= 1 << 20 {
             break;
         }
         iters = iters.saturating_mul(2);
