@@ -163,7 +163,7 @@ pub fn all() -> Vec<Experiment> {
         Experiment {
             name: "mt_fleet",
             budget_weight: 3.0,
-            title: "Multi-tenant — 100+-tenant fleet under packed metadata",
+            title: "Multi-tenant — thousand-tenant fleet and overcommit frontier",
             run: experiments::mt::run_fleet,
         },
     ]

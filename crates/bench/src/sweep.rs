@@ -380,6 +380,31 @@ impl SweepCtx {
         R: Send,
         F: Fn(T) -> R + Sync + Send,
     {
+        self.map_points(items, f, false)
+    }
+
+    /// Like [`SweepCtx::par_map`], but runs the points one at a time on
+    /// the calling thread with the worker pool *installed*, so all
+    /// `--jobs` parallelism serves work *inside* the point (the
+    /// multi-tenant round loop fans its tenant quanta onto the ambient
+    /// pool). Fleet-scale grids use this: one thousand-tenant roster
+    /// live at a time parallelizes cleanly, while running several such
+    /// points concurrently just thrashes the allocator.
+    pub fn seq_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + Clone,
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        self.map_points(items, f, true)
+    }
+
+    fn map_points<T, R, F>(&self, items: Vec<T>, f: F, sequential: bool) -> Vec<R>
+    where
+        T: Send + Clone,
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
         let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
         if let Some(point) = self.only_point {
             let grid = indexed.len();
@@ -395,7 +420,11 @@ impl SweepCtx {
         if self.jobs <= 1 {
             return indexed.into_iter().map(run).collect();
         }
-        self.pool.install(|| indexed.into_par_iter().map(run).collect())
+        if sequential {
+            self.pool.install(|| indexed.into_iter().map(run).collect())
+        } else {
+            self.pool.install(|| indexed.into_par_iter().map(run).collect())
+        }
     }
 
     /// One point through the retry ring (or straight through when no

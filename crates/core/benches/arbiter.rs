@@ -1,0 +1,116 @@
+//! Criterion benchmarks of the incremental capacity arbiter at fleet
+//! rosters (10 / 100 / 1k / 10k tenants) under all three QoS policies.
+//!
+//! Three cost classes matter for thousand-tenant scale-out:
+//!
+//! * `event` — one demand delta against the ledger plus the admission
+//!   query ([`CapacityArbiter::set_demand`] +
+//!   [`CapacityArbiter::can_admit`]). This is the per-churn-event fast
+//!   path; it maintains the guarantee/weight aggregates by delta and must
+//!   stay O(1) in roster size (the acceptance gate: <3× growth from 1k
+//!   to 10k).
+//! * `round` — a full scheduling round's worth of demand deltas followed
+//!   by the single batched [`CapacityArbiter::rebalance`] barrier,
+//!   reported per event. This is the amortized steady-state cost the
+//!   multi-tenant scheduler actually pays.
+//! * `rebalance` — one batched materialization alone (single dirty
+//!   event → full policy pass). O(active) by design; benched so the
+//!   constant is visible next to the O(1) paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tmcc::tenancy::{CapacityArbiter, QosPolicyKind, TenantDemand};
+
+const ROSTERS: [usize; 4] = [10, 100, 1_000, 10_000];
+const POLICIES: [QosPolicyKind; 3] = [
+    QosPolicyKind::StrictPartition,
+    QosPolicyKind::ProportionalShare,
+    QosPolicyKind::BestEffortFloors,
+];
+
+/// Deterministic per-slot demand; floors small enough that 10k tenants
+/// still fit under the guarantee aggregate.
+fn demand(slot: usize, spike: bool) -> TenantDemand {
+    TenantDemand {
+        weight: 1 + (slot % 4) as u32,
+        floor_frames: 16 + (slot % 8) as u32,
+        min_frames: 8,
+        demand_frames: if spike { 512 } else { 64 + (slot % 32) as u32 },
+    }
+}
+
+/// A materialized arbiter with every slot active.
+fn arbiter(policy: QosPolicyKind, roster: usize) -> CapacityArbiter {
+    // Pool sized so guarantees always fit (no breach branch noise).
+    let mut arb = CapacityArbiter::new(64 * roster as u64, policy, roster);
+    for slot in 0..roster {
+        arb.set_demand(slot, demand(slot, false));
+    }
+    arb.rebalance();
+    arb
+}
+
+fn bench_event(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arbiter-event");
+    for policy in POLICIES {
+        for roster in ROSTERS {
+            let mut arb = arbiter(policy, roster);
+            let probe = demand(roster / 2, false);
+            g.throughput(Throughput::Elements(1));
+            g.bench_function(&format!("{}/{roster}", policy.name()), |b| {
+                let mut spike = false;
+                b.iter(|| {
+                    spike = !spike;
+                    arb.set_demand(roster / 2, demand(roster / 2, spike));
+                    black_box(arb.can_admit(probe));
+                    black_box(arb.guaranteed_total())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arbiter-round");
+    for policy in POLICIES {
+        for roster in ROSTERS {
+            let mut arb = arbiter(policy, roster);
+            g.throughput(Throughput::Elements(roster as u64));
+            g.bench_function(&format!("{}/{roster}", policy.name()), |b| {
+                let mut spike = false;
+                b.iter(|| {
+                    spike = !spike;
+                    for slot in 0..roster {
+                        arb.set_demand(slot, demand(slot, spike));
+                    }
+                    arb.rebalance();
+                    black_box(arb.allocation(roster - 1))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_rebalance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arbiter-rebalance");
+    for policy in POLICIES {
+        for roster in ROSTERS {
+            let mut arb = arbiter(policy, roster);
+            g.throughput(Throughput::Elements(1));
+            g.bench_function(&format!("{}/{roster}", policy.name()), |b| {
+                let mut spike = false;
+                b.iter(|| {
+                    spike = !spike;
+                    arb.set_demand(roster / 2, demand(roster / 2, spike));
+                    arb.rebalance();
+                    black_box(arb.allocation(roster / 2))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event, bench_round, bench_rebalance);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Deterministic fixed-bin log-scale latency histograms.
+//!
+//! Fleet-scale figures need per-access latency *distributions* — tail
+//! percentiles, not means — but storing every sample for thousands of
+//! tenants is out of the question and anything adaptive (t-digest,
+//! HDR auto-ranging) would make the output depend on arrival order. A
+//! [`LatencyHistogram`] therefore uses [`LATENCY_BINS`] fixed
+//! power-of-two bins: a sample of `ns` nanoseconds lands in bin
+//! `⌊log2(ns)⌋ + 1` (bin 0 holds only `ns = 0`), so bin `b` covers
+//! `[2^(b-1), 2^b)` and the histogram
+//! is a pure, order-independent function of the sample multiset. Merging
+//! tenant histograms into a fleet histogram is element-wise addition —
+//! associative and commutative, so fleet percentiles are byte-stable at
+//! any `--jobs` count.
+//!
+//! Percentile queries return the *upper bound* of the bin holding the
+//! rank (a deterministic overestimate, at worst 2× the true sample).
+//! That is the right trade for a simulator: byte-reproducible goldens
+//! beat sub-bin precision.
+
+/// Number of power-of-two latency bins. Bin 63 absorbs every sample
+/// ≥ 2^62 ns (~146 years of simulated time — unreachable).
+pub const LATENCY_BINS: usize = 64;
+
+/// A fixed-bin log₂-scale histogram of per-access latencies.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BINS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { counts: [0; LATENCY_BINS], total: 0 }
+    }
+
+    /// Discards all samples.
+    pub fn reset(&mut self) {
+        self.counts = [0; LATENCY_BINS];
+        self.total = 0;
+    }
+
+    /// The bin a sample of `ns` nanoseconds lands in: `⌊log2(ns)⌋ + 1`
+    /// (0 for `ns = 0`), clamped to the last bin.
+    #[inline]
+    pub fn bin_of(ns: u64) -> usize {
+        ((u64::BITS - ns.leading_zeros()) as usize).min(LATENCY_BINS - 1)
+    }
+
+    /// The inclusive upper latency bound of `bin` in nanoseconds
+    /// (`2^bin − 1`; bin 0 holds only zero-latency samples).
+    pub fn bin_upper_ns(bin: usize) -> u64 {
+        if bin == 0 {
+            0
+        } else {
+            (1u64 << bin.min(63)).wrapping_sub(1)
+        }
+    }
+
+    /// Records one sample. Saturating (a fleet cannot overflow u64
+    /// access counts in practice, but the histogram must never wrap).
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        let b = Self::bin_of(ns);
+        self.counts[b] = self.counts[b].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The raw bin counts.
+    pub fn counts(&self) -> &[u64; LATENCY_BINS] {
+        &self.counts
+    }
+
+    /// Element-wise accumulation of another histogram (tenant → fleet
+    /// merge). Associative and commutative.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.saturating_add(*b);
+        }
+        self.total = self.total.saturating_add(other.total);
+    }
+
+    /// The latency upper bound at permille rank `permille` (e.g. 500 =
+    /// p50, 999 = p99.9): the upper bound of the first bin whose
+    /// cumulative count reaches `⌈total · permille / 1000⌉`. Returns 0
+    /// for an empty histogram.
+    pub fn percentile_ns(&self, permille: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (self.total as u128 * permille.min(1000) as u128).div_ceil(1000) as u64;
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for (bin, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Self::bin_upper_ns(bin);
+            }
+        }
+        Self::bin_upper_ns(LATENCY_BINS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_log2_with_exact_boundaries() {
+        assert_eq!(LatencyHistogram::bin_of(0), 0);
+        assert_eq!(LatencyHistogram::bin_of(1), 1);
+        assert_eq!(LatencyHistogram::bin_of(2), 2);
+        assert_eq!(LatencyHistogram::bin_of(3), 2);
+        assert_eq!(LatencyHistogram::bin_of(4), 3);
+        assert_eq!(LatencyHistogram::bin_of(1024), 11);
+        assert_eq!(LatencyHistogram::bin_of(u64::MAX), LATENCY_BINS - 1);
+        // bin b covers [2^(b-1), 2^b): its inclusive upper bound 2^b − 1
+        // is in the bin, and the next nanosecond is in the next bin.
+        for b in 1..20 {
+            let upper = LatencyHistogram::bin_upper_ns(b);
+            assert_eq!(LatencyHistogram::bin_of(upper), b);
+            assert_eq!(LatencyHistogram::bin_of(upper + 1), b + 1);
+        }
+    }
+
+    #[test]
+    fn percentiles_walk_the_cumulative_counts() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(100); // bin 7, upper 127
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bin 14, upper 16383
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.percentile_ns(500), 127);
+        assert_eq!(h.percentile_ns(900), 127);
+        assert_eq!(h.percentile_ns(950), 16_383);
+        assert_eq!(h.percentile_ns(999), 16_383);
+        assert_eq!(LatencyHistogram::new().percentile_ns(500), 0);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            if i % 3 == 0 {
+                a.record(i * 7)
+            } else {
+                b.record(i * 7)
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counts(), ba.counts());
+        assert_eq!(ab.total(), 1000);
+    }
+}

@@ -37,6 +37,7 @@ pub mod config;
 pub mod error;
 pub mod free_list;
 pub mod handle;
+pub mod latency;
 pub mod page_meta;
 pub mod page_slab;
 pub mod recency;
@@ -50,6 +51,7 @@ pub use config::{FaultEvent, FaultKind, FaultPlan, SchemeKind, SystemConfig};
 pub use error::TmccError;
 pub use free_list::{CompressoFreeList, Ml1FreeList, Ml2FreeLists};
 pub use handle::RunHandle;
+pub use latency::{LatencyHistogram, LATENCY_BINS};
 pub use page_meta::{PageInfo, PageMetaStore, Placement};
 pub use page_slab::{PageId, PageSlab};
 pub use recency::RecencyList;

@@ -62,7 +62,11 @@ pub struct MemRequest {
 /// internal state surface as [`TmccError`] instead of panicking, so the
 /// system model can abort a run with context (or a harness can record
 /// the failure and move on).
-pub trait Scheme {
+///
+/// `Send` is a supertrait: the multi-tenant scheduler moves whole tenant
+/// [`System`](crate::System)s (scheme included) across worker threads
+/// when it dispatches a round's quanta onto the work-stealing pool.
+pub trait Scheme: Send {
     /// Which scheme this is.
     fn kind(&self) -> SchemeKind;
 

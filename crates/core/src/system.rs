@@ -21,6 +21,7 @@
 use crate::config::{FaultEvent, SchemeKind, SystemConfig};
 use crate::error::TmccError;
 use crate::handle::{RunHandle, CANCEL_CHECK_PERIOD};
+use crate::latency::LatencyHistogram;
 use crate::schemes::{CompressoScheme, MemRequest, NoCompressionScheme, Scheme, TwoLevelScheme};
 use crate::size_model::SizeModel;
 use crate::stats::{RunReport, SimStats};
@@ -111,6 +112,12 @@ pub struct System {
     /// on read and are only host-resident while divergent, so simulated
     /// footprint costs no RSS (see `tmcc_workloads::store`).
     store: PageStore,
+    /// Fixed-bin log-scale histogram of per-access simulated latency
+    /// (translation + data, work cycles excluded) over the measurement
+    /// window. Lives outside [`SimStats`] so [`RunReport`] serialization
+    /// — and with it every committed golden — is unchanged; the tenancy
+    /// layer reads it for fleet tail-latency percentiles.
+    latency: LatencyHistogram,
     /// Host-time phase breakdown, populated when `cfg.profile` is set.
     profile: PhaseProfile,
     /// Cooperative cancellation token, polled every
@@ -218,6 +225,7 @@ impl System {
             walk_buf: Vec::with_capacity(4),
             evict_buf: Vec::new(),
             store,
+            latency: LatencyHistogram::new(),
             profile: PhaseProfile::default(),
             cancel: None,
             cfg,
@@ -310,6 +318,10 @@ impl System {
         self.next_stream = (self.next_stream + 1) % self.streams.len();
         self.now_ns += ev.work_cycles as f64 * CORE_NS_PER_CYCLE;
         self.stats.work_cycles = self.stats.work_cycles.saturating_add(ev.work_cycles as u64);
+        // Everything now_ns accrues past this point is memory-system
+        // latency (translation + data); the delta feeds the tail-latency
+        // histogram at the end of the step.
+        let mem_start_ns = self.now_ns;
 
         let vpn = ev.vaddr.vpn();
         let is_tmcc_ptb = matches!(self.cfg.scheme, SchemeKind::Tmcc)
@@ -392,6 +404,7 @@ impl System {
         }
         self.now_ns += lat;
         self.stats.accesses = self.stats.accesses.saturating_add(1);
+        self.latency.record((self.now_ns - mem_start_ns) as u64);
 
         let t3 = t0.map(|_| Instant::now());
 
@@ -473,6 +486,7 @@ impl System {
         self.hierarchy.reset_stats();
         self.dram.reset_stats();
         self.tlb.reset_stats();
+        self.latency.reset();
         self.measure_start_ns = self.now_ns;
         Ok(())
     }
@@ -550,5 +564,11 @@ impl System {
     /// Accesses executed since construction, warmup included.
     pub fn total_accesses(&self) -> u64 {
         self.total_accesses
+    }
+
+    /// Per-access memory-latency histogram over the measurement window
+    /// (reset by [`System::try_warmup`] alongside the counters).
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.latency
     }
 }

@@ -24,18 +24,51 @@
 //! — the exit threshold exceeds the entry threshold, so the ladder has
 //! hysteresis and cannot flap. A tenant whose simulation *fails* outright
 //! is evicted with its error recorded; neighbours keep running.
+//!
+//! # Fleet-scale scheduling
+//!
+//! Each round runs in three phases so thousand-tenant rosters use the
+//! whole machine without giving up byte-reproducibility:
+//!
+//! 1. **Plan** (serial, slot order): pick each active tenant's quantum,
+//!    capped by the remaining measured-access budget — the only
+//!    order-dependent part of quantum sizing.
+//! 2. **Execute** (parallel): the planned slices dispatch onto the
+//!    ambient work-stealing pool. Tenant systems are fully independent
+//!    between round barriers (the shared arbiter is never touched here),
+//!    so slices race only against the clock, never against each other.
+//! 3. **Commit** (serial, slot order): counters, the global access
+//!    clock, and failure-eviction all replay in slot order, so results
+//!    are byte-identical at any `--jobs` count — the same discipline the
+//!    sweep harness uses across points, applied within one point.
+//!
+//! `TMCC_MT_SERIAL_QUANTA=1` forces phase 2 onto the calling thread
+//! (identical results, used to measure the parallel speedup). Arbiter
+//! work follows the incremental-ledger design described in
+//! [`CapacityArbiter`]: events push O(1) demand deltas, and one batched
+//! rebalance per barrier materializes allocations.
 
 use crate::config::{FaultKind, SchemeKind, SystemConfig};
 use crate::error::TmccError;
 use crate::handle::RunHandle;
+use crate::latency::LatencyHistogram;
 use crate::stats::RunReport;
 use crate::system::System;
+use rayon::prelude::*;
 use tmcc_workloads::WorkloadProfile;
 
 use super::arbiter::CapacityArbiter;
 use super::churn::{ChurnEvent, ChurnKind, ChurnPlan};
 use super::qos::{QosPolicyKind, TenantDemand};
 use super::report::{MultiTenantReport, TenantReport};
+
+/// `TMCC_MT_SERIAL_QUANTA=1` forces every batch of tenant quanta (and
+/// the initial-roster warmups) onto the calling thread — the measured
+/// serial baseline for the scale-out speedup, byte-identical to the
+/// parallel path by construction.
+fn serial_quanta_override() -> bool {
+    std::env::var_os("TMCC_MT_SERIAL_QUANTA").is_some_and(|v| v == "1")
+}
 
 /// Consecutive degraded rounds before a tenant is quarantined.
 pub const ENTER_ROUNDS: u32 = 2;
@@ -280,6 +313,9 @@ struct TenantSlot {
     /// the end of the run).
     final_report: Option<RunReport>,
     final_alloc: u32,
+    /// Latency histogram sealed alongside `final_report`; feeds the
+    /// per-tenant percentiles and the fleet-wide merge.
+    final_latency: Option<LatencyHistogram>,
 }
 
 impl TenantSlot {
@@ -295,6 +331,7 @@ impl TenantSlot {
             fault: None,
             final_report: None,
             final_alloc: 0,
+            final_latency: None,
         }
     }
 
@@ -370,9 +407,7 @@ impl MultiTenantSystem {
             cancel: handle.cloned(),
             cfg,
         };
-        for slot in 0..sys.cfg.initial_tenants.min(sys.slots.len()) {
-            sys.admit(slot)?;
-        }
+        sys.admit_initial_roster()?;
         if sys.cfg.audit {
             sys.validate()?;
         }
@@ -435,43 +470,116 @@ impl MultiTenantSystem {
         }
     }
 
-    /// Active slots with their current demands, in roster order.
-    fn active_demands(&self) -> Vec<(usize, TenantDemand)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.effective_demand().map(|d| (i, d)))
-            .collect()
+    /// Pushes one slot's current effective demand into the arbiter's
+    /// ledger — the O(1) per-event path (spikes, quarantine moves).
+    fn sync_demand(&mut self, slot: usize) {
+        if let Some(d) = self.slots[slot].effective_demand() {
+            self.arbiter.set_demand(slot, d);
+        }
+    }
+
+    /// Admits the initial roster prefix as one batch. Admission checks
+    /// and demand-ledger updates run serially in slot order (each
+    /// candidate sees its predecessors' guarantees), then a single
+    /// rebalance fixes every newcomer's grant, and the — mutually
+    /// independent — tenant builds and warmups fan out onto the ambient
+    /// work-stealing pool. Commit replays in slot order, so the roster is
+    /// byte-identical to the serial fallback at any worker count.
+    fn admit_initial_roster(&mut self) -> Result<(), TmccError> {
+        let force_serial = serial_quanta_override();
+        let initial = self.cfg.initial_tenants.min(self.slots.len());
+        let mut admitted: Vec<usize> = Vec::with_capacity(initial);
+        for slot in 0..initial {
+            let candidate = self.admission_demand(slot);
+            if self.arbiter.can_admit(candidate) {
+                self.arbiter.set_demand(slot, candidate);
+                admitted.push(slot);
+            } else {
+                self.slots[slot].counters.rejections =
+                    self.slots[slot].counters.rejections.saturating_add(1);
+            }
+        }
+        self.arbiter.rebalance();
+        let work: Vec<(usize, u32, SystemConfig)> = admitted
+            .into_iter()
+            .map(|slot| {
+                let grant = self.arbiter.allocation(slot).unwrap_or(0);
+                (slot, grant, self.cfg.tenant_config(&self.slots[slot].spec, grant))
+            })
+            .collect();
+        let cancel = self.cancel.clone();
+        let build = |(slot, grant, cfg): (usize, u32, SystemConfig)| {
+            let built = System::try_new(cfg).and_then(|mut sys| {
+                if let Some(h) = &cancel {
+                    sys.attach_handle(h);
+                }
+                sys.try_warmup()?;
+                Ok(sys)
+            });
+            (slot, grant, built)
+        };
+        let built: Vec<(usize, u32, Result<System, TmccError>)> = if force_serial {
+            work.into_iter().map(build).collect()
+        } else {
+            work.into_par_iter().map(build).collect()
+        };
+        for (slot, grant, result) in built {
+            match result {
+                Ok(sys) => {
+                    let s = &mut self.slots[slot];
+                    s.active = Some(ActiveTenant {
+                        sys: Box::new(sys),
+                        alloc_frames: grant,
+                        spike_percent: 100,
+                        quarantined: false,
+                        degraded_rounds: 0,
+                        healthy_rounds: 0,
+                        last_degraded_ns: 0.0,
+                    });
+                    s.admitted = true;
+                    s.arrived_at = Some(0);
+                    s.counters.min_alloc_frames = s.counters.min_alloc_frames.min(grant);
+                }
+                Err(e) if e.is_cancelled() => return Err(e),
+                Err(_) => {
+                    // The grant was infeasible for the tenant's scheme
+                    // (or its warmup failed): roll the ledger back and
+                    // let the survivors split the freed frames.
+                    self.arbiter.clear_demand(slot);
+                    self.slots[slot].counters.rejections =
+                        self.slots[slot].counters.rejections.saturating_add(1);
+                }
+            }
+        }
+        // One settle moves every survivor to its final grant (a no-op
+        // when no build failed — the batch rebalance above already
+        // granted final allocations).
+        self.settle()
     }
 
     /// Attempts to admit roster slot `slot`. A rejected admission (the
     /// pool cannot cover everyone's guarantees, or the grant turns out
     /// infeasible for the tenant's scheme) counts against the slot and
-    /// returns `Ok(false)`. Arriving while active is a no-op.
-    fn admit(&mut self, slot: usize) -> Result<bool, TmccError> {
+    /// returns `Ok(false)`. Arriving while active is a no-op. With
+    /// `settle_now` the incumbents' balloon deltas apply immediately;
+    /// construction batches many admissions under one final settle.
+    fn admit(&mut self, slot: usize, settle_now: bool) -> Result<bool, TmccError> {
         if slot >= self.slots.len() || self.slots[slot].active.is_some() {
             return Ok(false);
         }
         let candidate = self.admission_demand(slot);
-        let incumbents: Vec<TenantDemand> =
-            self.active_demands().into_iter().map(|(_, d)| d).collect();
-        if !self.arbiter.can_admit(&incumbents, candidate) {
+        // O(1): the arbiter tracks the incumbents' guarantee sum.
+        if !self.arbiter.can_admit(candidate) {
             self.slots[slot].counters.rejections =
                 self.slots[slot].counters.rejections.saturating_add(1);
             return Ok(false);
         }
-        // Commit the rebalanced allocation (incumbents shrink to make
-        // room), then build + warm up the newcomer under its grant.
-        let mut demands = self.active_demands();
-        let insert_at = demands.partition_point(|&(i, _)| i < slot);
-        demands.insert(insert_at, (slot, candidate));
-        let grant = self
-            .arbiter
-            .rebalance(&demands)
-            .iter()
-            .find(|&&(i, _)| i == slot)
-            .map(|&(_, a)| a)
-            .unwrap_or(0);
+        // Ledger the newcomer, materialize the rebalanced allocation
+        // (incumbents shrink to make room), then build + warm up the
+        // newcomer under its grant.
+        self.arbiter.set_demand(slot, candidate);
+        self.arbiter.rebalance();
+        let grant = self.arbiter.allocation(slot).unwrap_or(0);
         let tenant_cfg = self.cfg.tenant_config(&self.slots[slot].spec, grant);
         let built = System::try_new(tenant_cfg).and_then(|mut sys| {
             if let Some(h) = &self.cancel {
@@ -496,18 +604,22 @@ impl MultiTenantSystem {
                 s.arrived_at = Some(self.global_accesses);
                 s.departed_at = None;
                 s.counters.min_alloc_frames = s.counters.min_alloc_frames.min(grant);
-                // Incumbent budgets move to their rebalanced grants.
-                self.apply_rebalance()?;
+                if settle_now {
+                    // Incumbent budgets move to their rebalanced grants.
+                    self.settle()?;
+                }
                 Ok(true)
             }
             Err(e) if e.is_cancelled() => Err(e),
             Err(_) => {
                 // The grant was infeasible for the tenant's scheme (or
-                // its warmup failed): roll the ledger back.
-                self.arbiter.release(slot);
-                let remaining = self.active_demands();
-                self.arbiter.rebalance(&remaining);
-                self.apply_rebalance()?;
+                // its warmup failed): roll the ledger back. Same demands,
+                // same pool — the rebalance restores the incumbents'
+                // previous allocations exactly.
+                self.arbiter.clear_demand(slot);
+                if settle_now {
+                    self.settle()?;
+                }
                 self.slots[slot].counters.rejections =
                     self.slots[slot].counters.rejections.saturating_add(1);
                 Ok(false)
@@ -515,8 +627,10 @@ impl MultiTenantSystem {
         }
     }
 
-    /// Seals and removes an active tenant, releasing its frames.
-    fn retire(&mut self, slot: usize, fault: Option<String>) -> Result<(), TmccError> {
+    /// Seals and removes an active tenant, releasing its frames back to
+    /// the ledger. The caller settles the batch afterwards; until then
+    /// the freed frames sit in the pool's unallocated reserve.
+    fn retire(&mut self, slot: usize, fault: Option<String>) {
         let s = &mut self.slots[slot];
         if let Some(mut t) = s.active.take() {
             if t.quarantined {
@@ -525,24 +639,23 @@ impl MultiTenantSystem {
                 s.counters.degraded_exits = s.counters.degraded_exits.saturating_add(1);
             }
             s.final_report = Some(t.sys.report());
+            s.final_latency = Some(t.sys.latency_histogram().clone());
             s.final_alloc = t.alloc_frames;
             s.departed_at = Some(self.global_accesses);
             if fault.is_some() {
                 s.fault = fault;
             }
             self.arbiter.release(slot);
-            let remaining = self.active_demands();
-            self.arbiter.rebalance(&remaining);
-            self.apply_rebalance()?;
         }
-        Ok(())
     }
 
-    /// Pushes the arbiter's current allocations into the tenant systems
-    /// as balloon faults. A tenant whose scheme fails while ballooning is
-    /// evicted (fault recorded) and the rebalance retried without it.
-    fn apply_rebalance(&mut self) -> Result<(), TmccError> {
+    /// Materializes pending ledger deltas (one batched rebalance) and
+    /// pushes the allocations into the tenant systems as balloon faults.
+    /// A tenant whose scheme fails while ballooning is evicted (fault
+    /// recorded) and the rebalance retried without it.
+    fn settle(&mut self) -> Result<(), TmccError> {
         loop {
+            self.arbiter.rebalance();
             let mut failed: Option<(usize, TmccError)> = None;
             for i in 0..self.slots.len() {
                 let Some(target) = self.arbiter.allocation(i) else { continue };
@@ -572,13 +685,16 @@ impl MultiTenantSystem {
             }
             match failed {
                 None => return Ok(()),
-                Some((slot, e)) => self.retire(slot, Some(e.to_string()))?,
+                Some((slot, e)) => self.retire(slot, Some(e.to_string())),
             }
         }
     }
 
     /// Applies every churn event due at the current global access count.
+    /// Events ledger their demand deltas in O(1) each; the whole batch is
+    /// materialized by a single rebalance + balloon pass at the end.
     fn apply_due_churn(&mut self) -> Result<(), TmccError> {
+        let mut batched = false;
         while let Some(ev) = self.churn.get(self.next_churn) {
             if ev.at_access > self.global_accesses {
                 break;
@@ -588,11 +704,16 @@ impl MultiTenantSystem {
             self.churn_applied = self.churn_applied.saturating_add(1);
             match kind {
                 ChurnKind::Arrive { roster } => {
-                    self.admit(roster)?;
+                    // Admission settles inline: the newcomer's warmup and
+                    // the incumbents' squeeze are one atomic step, and
+                    // any same-round follow-up events see the post-
+                    // admission ledger.
+                    self.admit(roster, true)?;
                 }
                 ChurnKind::Depart { roster } => {
-                    if roster < self.slots.len() {
-                        self.retire(roster, None)?;
+                    if roster < self.slots.len() && self.slots[roster].active.is_some() {
+                        self.retire(roster, None);
+                        batched = true;
                     }
                 }
                 ChurnKind::WorkingSetSpike { roster, percent } => {
@@ -603,9 +724,8 @@ impl MultiTenantSystem {
                         .map(|t| t.spike_percent = percent.max(1))
                         .is_some();
                     if spiked {
-                        let demands = self.active_demands();
-                        self.arbiter.rebalance(&demands);
-                        self.apply_rebalance()?;
+                        self.sync_demand(roster);
+                        batched = true;
                     }
                 }
                 ChurnKind::Fault { roster, kind } => {
@@ -617,22 +737,24 @@ impl MultiTenantSystem {
                     match result {
                         None | Some(Ok(())) => {}
                         Some(Err(e)) if e.is_cancelled() => return Err(e),
-                        Some(Err(e)) => self.retire(roster, Some(e.to_string()))?,
+                        Some(Err(e)) => {
+                            self.retire(roster, Some(e.to_string()));
+                            batched = true;
+                        }
                     }
                 }
                 ChurnKind::PoolShrink { frames } => {
                     self.arbiter.shrink_pool(frames);
-                    let demands = self.active_demands();
-                    self.arbiter.rebalance(&demands);
-                    self.apply_rebalance()?;
+                    batched = true;
                 }
                 ChurnKind::PoolGrow { frames } => {
                     self.arbiter.grow_pool(frames);
-                    let demands = self.active_demands();
-                    self.arbiter.rebalance(&demands);
-                    self.apply_rebalance()?;
+                    batched = true;
                 }
             }
+        }
+        if batched {
+            self.settle()?;
         }
         Ok(())
     }
@@ -655,27 +777,32 @@ impl MultiTenantSystem {
                 t.healthy_rounds = t.healthy_rounds.saturating_add(1);
                 t.degraded_rounds = 0;
             }
+            let mut moved = false;
             if !t.quarantined && t.degraded_rounds >= ENTER_ROUNDS {
                 t.quarantined = true;
                 t.degraded_rounds = 0;
                 s.counters.degraded_entries = s.counters.degraded_entries.saturating_add(1);
-                transitioned = true;
+                moved = true;
             } else if t.quarantined && t.healthy_rounds >= EXIT_ROUNDS {
                 t.quarantined = false;
                 t.healthy_rounds = 0;
                 s.counters.degraded_exits = s.counters.degraded_exits.saturating_add(1);
-                transitioned = true;
+                moved = true;
             }
             let guaranteed = s.spec.floor_frames.max(s.min_frames.unwrap_or(1));
             if t.alloc_frames < guaranteed {
                 s.counters.guarantee_breach_rounds =
                     s.counters.guarantee_breach_rounds.saturating_add(1);
             }
+            if moved {
+                // O(1) ledger delta; all of this round's transitions
+                // materialize in one batched rebalance below.
+                self.sync_demand(i);
+                transitioned = true;
+            }
         }
         if transitioned {
-            let demands = self.active_demands();
-            self.arbiter.rebalance(&demands);
-            self.apply_rebalance()?;
+            self.settle()?;
         }
         Ok(())
     }
@@ -701,6 +828,15 @@ impl MultiTenantSystem {
                         "slot {i} allocation mismatch: ledger {:?}, tenant {}",
                         self.arbiter.allocation(i),
                         t.alloc_frames
+                    ),
+                });
+            }
+            if self.arbiter.demand(i) != s.effective_demand() {
+                return Err(TmccError::InvariantViolation {
+                    detail: format!(
+                        "slot {i} demand ledger stale: arbiter {:?}, tenant {:?}",
+                        self.arbiter.demand(i),
+                        s.effective_demand()
                     ),
                 });
             }
@@ -748,6 +884,9 @@ impl MultiTenantSystem {
     /// failures evict the offender and keep the scenario alive; only
     /// cancellation and (under `audit`) invariant violations abort.
     pub fn try_run(&mut self, total_accesses: u64) -> Result<MultiTenantReport, TmccError> {
+        let force_serial = serial_quanta_override();
+        // Reused per-round scratch: the quantum plan and its outcomes.
+        let mut plan: Vec<(usize, u64, bool)> = Vec::new();
         while self.global_accesses < total_accesses {
             if let Some(h) = &self.cancel {
                 if h.is_cancelled() {
@@ -756,20 +895,59 @@ impl MultiTenantSystem {
             }
             self.rounds = self.rounds.saturating_add(1);
             self.apply_due_churn()?;
-            let mut ran = 0u64;
-            for i in 0..self.slots.len() {
-                if self.global_accesses >= total_accesses {
+
+            // Plan (serial, slot order): quantum sizing consumes the
+            // remaining measured-access budget in roster order, the one
+            // order-dependent input to the round.
+            plan.clear();
+            let mut remaining = total_accesses - self.global_accesses;
+            for (i, s) in self.slots.iter().enumerate() {
+                if remaining == 0 {
                     break;
                 }
-                let s = &mut self.slots[i];
-                let Some(t) = s.active.as_mut() else { continue };
+                let Some(t) = s.active.as_ref() else { continue };
                 let quantum =
                     if t.quarantined { (self.cfg.quantum / 4).max(1) } else { self.cfg.quantum };
-                let n = quantum.min(total_accesses - self.global_accesses);
-                match t.sys.try_run_slice(n) {
+                let n = quantum.min(remaining);
+                remaining -= n;
+                plan.push((i, n, t.quarantined));
+            }
+
+            // Execute (parallel): tenant systems are independent between
+            // round barriers, so the planned slices fan out onto the
+            // ambient work-stealing pool; outcomes come back in plan
+            // order. With no ambient pool (or `--jobs 1`, or the serial
+            // override) this degenerates to the same loop run inline —
+            // byte-identical either way.
+            let outcomes: Vec<Result<(), TmccError>> = {
+                let mut work: Vec<(&mut System, u64)> = Vec::with_capacity(plan.len());
+                let mut planned = plan.iter();
+                let mut next = planned.next();
+                for (i, s) in self.slots.iter_mut().enumerate() {
+                    let Some(&(slot, n, _)) = next else { break };
+                    if i == slot {
+                        let t = s.active.as_mut().expect("planned slot is active");
+                        work.push((&mut *t.sys, n));
+                        next = planned.next();
+                    }
+                }
+                if force_serial {
+                    work.into_iter().map(|(sys, n)| sys.try_run_slice(n)).collect()
+                } else {
+                    work.into_par_iter().map(|(sys, n)| sys.try_run_slice(n)).collect()
+                }
+            };
+
+            // Commit (serial, slot order): counters, the global clock and
+            // failure evictions replay deterministically.
+            let mut ran = 0u64;
+            let mut retired = false;
+            for (&(i, n, quarantined), result) in plan.iter().zip(outcomes) {
+                match result {
                     Ok(()) => {
+                        let s = &mut self.slots[i];
                         s.counters.quanta = s.counters.quanta.saturating_add(1);
-                        if t.quarantined {
+                        if quarantined {
                             s.counters.throttled_quanta =
                                 s.counters.throttled_quanta.saturating_add(1);
                         }
@@ -779,8 +957,14 @@ impl MultiTenantSystem {
                         ran += n;
                     }
                     Err(e) if e.is_cancelled() => return Err(e),
-                    Err(e) => self.retire(i, Some(e.to_string()))?,
+                    Err(e) => {
+                        self.retire(i, Some(e.to_string()));
+                        retired = true;
+                    }
                 }
+            }
+            if retired {
+                self.settle()?;
             }
             self.update_health()?;
             if self.cfg.audit {
@@ -802,6 +986,7 @@ impl MultiTenantSystem {
         for s in &mut self.slots {
             if let Some(t) = s.active.as_mut() {
                 s.final_report = Some(t.sys.report());
+                s.final_latency = Some(t.sys.latency_histogram().clone());
                 s.final_alloc = t.alloc_frames;
             }
         }
@@ -810,36 +995,71 @@ impl MultiTenantSystem {
     }
 
     fn build_report(&self, total_accesses: u64) -> MultiTenantReport {
+        // Fleet-wide tail latency: merge every tenant's fixed-bin
+        // histogram (element-wise addition — order-independent, so the
+        // percentiles are byte-stable at any --jobs count).
+        let mut fleet = LatencyHistogram::new();
+        for s in &self.slots {
+            if let Some(h) = &s.final_latency {
+                fleet.merge(h);
+            }
+        }
         let tenants = self
             .slots
             .iter()
-            .map(|s| TenantReport {
-                name: s.spec.name.clone(),
-                admitted: s.admitted,
-                rejections: s.counters.rejections,
-                arrived_at: s.arrived_at,
-                departed_at: s.departed_at,
-                fault: s.fault.clone(),
-                weight: s.spec.weight,
-                floor_frames: s.spec.floor_frames,
-                demand_frames: s.spec.demand_frames,
-                alloc_frames: s.active.as_ref().map_or(0, |t| t.alloc_frames),
-                min_alloc_frames: if s.counters.min_alloc_frames == u32::MAX {
-                    0
-                } else {
-                    s.counters.min_alloc_frames
-                },
-                quanta: s.counters.quanta,
-                throttled_quanta: s.counters.throttled_quanta,
-                degraded_entries: s.counters.degraded_entries,
-                degraded_exits: s.counters.degraded_exits,
-                shrink_events: s.counters.shrink_events,
-                grow_events: s.counters.grow_events,
-                guarantee_breach_rounds: s.counters.guarantee_breach_rounds,
-                measured_accesses: s.counters.measured_accesses,
-                report: s.final_report.clone(),
+            .map(|s| {
+                let lat = s.final_latency.as_ref();
+                TenantReport {
+                    name: s.spec.name.clone(),
+                    admitted: s.admitted,
+                    rejections: s.counters.rejections,
+                    arrived_at: s.arrived_at,
+                    departed_at: s.departed_at,
+                    fault: s.fault.clone(),
+                    weight: s.spec.weight,
+                    floor_frames: s.spec.floor_frames,
+                    demand_frames: s.spec.demand_frames,
+                    alloc_frames: s.active.as_ref().map_or(0, |t| t.alloc_frames),
+                    min_alloc_frames: if s.counters.min_alloc_frames == u32::MAX {
+                        0
+                    } else {
+                        s.counters.min_alloc_frames
+                    },
+                    quanta: s.counters.quanta,
+                    throttled_quanta: s.counters.throttled_quanta,
+                    degraded_entries: s.counters.degraded_entries,
+                    degraded_exits: s.counters.degraded_exits,
+                    shrink_events: s.counters.shrink_events,
+                    grow_events: s.counters.grow_events,
+                    guarantee_breach_rounds: s.counters.guarantee_breach_rounds,
+                    measured_accesses: s.counters.measured_accesses,
+                    lat_p50_ns: lat.map_or(0, |h| h.percentile_ns(500)),
+                    lat_p95_ns: lat.map_or(0, |h| h.percentile_ns(950)),
+                    lat_p99_ns: lat.map_or(0, |h| h.percentile_ns(990)),
+                    lat_p999_ns: lat.map_or(0, |h| h.percentile_ns(999)),
+                    report: s.final_report.clone(),
+                }
             })
             .collect();
+        // Capacity-overcommit frontier coordinates: how far the roster's
+        // steady demand oversubscribes the configured pool, the footprint
+        // the fleet actually achieved, and how often guarantees broke.
+        let demand_total: u64 = self.cfg.roster.iter().map(|s| s.demand_frames as u64).sum();
+        let overcommit_x100 = (demand_total * 100).checked_div(self.cfg.pool_frames).unwrap_or(0);
+        let achieved_footprint_bytes: u64 = self
+            .slots
+            .iter()
+            .filter_map(|s| s.active.as_ref())
+            .map(|t| t.sys.dram_used_bytes())
+            .sum();
+        let tenant_breach_rounds: u64 =
+            self.slots.iter().map(|s| s.counters.guarantee_breach_rounds).sum();
+        let tenant_rounds = self.rounds.saturating_mul(self.slots.len() as u64);
+        let breach_rate_ppm = if tenant_rounds == 0 {
+            0
+        } else {
+            ((tenant_breach_rounds as u128 * 1_000_000) / tenant_rounds as u128) as u64
+        };
         MultiTenantReport {
             policy: self.cfg.policy.name(),
             pool_frames: self.arbiter.pool_frames(),
@@ -849,6 +1069,13 @@ impl MultiTenantSystem {
             churn_events_applied: self.churn_applied,
             admission_rejections: self.slots.iter().map(|s| s.counters.rejections).sum(),
             guarantee_breach_rounds: self.arbiter.guarantee_breach_rounds(),
+            fleet_lat_p50_ns: fleet.percentile_ns(500),
+            fleet_lat_p95_ns: fleet.percentile_ns(950),
+            fleet_lat_p99_ns: fleet.percentile_ns(990),
+            fleet_lat_p999_ns: fleet.percentile_ns(999),
+            overcommit_x100,
+            achieved_footprint_bytes,
+            breach_rate_ppm,
             tenants,
         }
     }

@@ -43,35 +43,64 @@ impl TenantDemand {
     }
 }
 
+/// Reusable working memory for [`QosPolicy::allocate_into`]. Owning it in
+/// the caller (the arbiter) makes steady-state rebalances allocation-free.
+#[derive(Debug, Default)]
+pub struct AllocScratch {
+    /// Per-tenant surplus caps (`u32::MAX` for "uncapped").
+    caps: Vec<u32>,
+    /// Still-hungry tenant indices, rebuilt per waterfilling round.
+    hungry: Vec<usize>,
+}
+
 /// A capacity-partitioning policy.
 pub trait QosPolicy {
     /// Display name used in experiment output.
     fn name(&self) -> &'static str;
 
-    /// Splits `pool` frames among `tenants`. The returned vector has one
-    /// entry per tenant, sums to ≤ `pool`, and gives every tenant at
-    /// least its guarantee whenever the pool covers the sum of
-    /// guarantees.
-    fn allocate(&self, pool: u64, tenants: &[TenantDemand]) -> Vec<u32>;
+    /// Splits `pool` frames among `tenants` into `alloc` (cleared and
+    /// refilled; one entry per tenant). The result sums to ≤ `pool` and
+    /// gives every tenant at least its guarantee whenever the pool covers
+    /// the sum of guarantees. `scratch` is working memory only — no
+    /// observable state crosses calls.
+    fn allocate_into(
+        &self,
+        pool: u64,
+        tenants: &[TenantDemand],
+        alloc: &mut Vec<u32>,
+        scratch: &mut AllocScratch,
+    );
+
+    /// Convenience wrapper over [`QosPolicy::allocate_into`] that
+    /// allocates fresh buffers. Tests and one-shot callers only; the hot
+    /// path goes through the arbiter's owned scratch.
+    fn allocate(&self, pool: u64, tenants: &[TenantDemand]) -> Vec<u32> {
+        let mut alloc = Vec::new();
+        let mut scratch = AllocScratch::default();
+        self.allocate_into(pool, tenants, &mut alloc, &mut scratch);
+        alloc
+    }
 }
 
-/// Lays the guarantee base layer: each tenant's guarantee, scaled down
-/// proportionally when the pool cannot cover the sum. Returns the base
-/// allocation and the surplus left for the policy layer.
-fn guarantee_base(pool: u64, tenants: &[TenantDemand]) -> (Vec<u32>, u64) {
+/// Lays the guarantee base layer into `alloc` (cleared first): each
+/// tenant's guarantee, scaled down proportionally when the pool cannot
+/// cover the sum. Returns the surplus left for the policy layer.
+fn guarantee_base(pool: u64, tenants: &[TenantDemand], alloc: &mut Vec<u32>) -> u64 {
+    alloc.clear();
     let total: u64 = tenants.iter().map(|t| t.guaranteed() as u64).sum();
     if total <= pool {
-        let base: Vec<u32> = tenants.iter().map(TenantDemand::guaranteed).collect();
-        (base, pool - total)
+        alloc.extend(tenants.iter().map(TenantDemand::guaranteed));
+        pool - total
     } else {
         // Breach mode: scale guarantees to fit. Flooring keeps the sum
         // ≤ pool; the dropped remainder frames stay unallocated (the
         // next rebalance after a pool-grow hands them back).
-        let base: Vec<u32> = tenants
-            .iter()
-            .map(|t| ((t.guaranteed() as u64 * pool) / total).min(u32::MAX as u64) as u32)
-            .collect();
-        (base, 0)
+        alloc.extend(
+            tenants
+                .iter()
+                .map(|t| ((t.guaranteed() as u64 * pool) / total).min(u32::MAX as u64) as u32),
+        );
+        0
     }
 }
 
@@ -86,9 +115,11 @@ fn distribute_weighted(
     tenants: &[TenantDemand],
     mut surplus: u64,
     caps: &[u32],
+    hungry: &mut Vec<usize>,
 ) {
     loop {
-        let hungry: Vec<usize> = (0..alloc.len()).filter(|&i| alloc[i] < caps[i]).collect();
+        hungry.clear();
+        hungry.extend((0..alloc.len()).filter(|&i| alloc[i] < caps[i]));
         if hungry.is_empty() || surplus == 0 {
             return;
         }
@@ -96,7 +127,7 @@ fn distribute_weighted(
         if surplus < weight_sum {
             // Too few frames for a weighted round: hand them out one at a
             // time in roster order.
-            for &i in &hungry {
+            for &i in hungry.iter() {
                 if surplus == 0 {
                     return;
                 }
@@ -106,7 +137,7 @@ fn distribute_weighted(
             continue;
         }
         let mut granted = 0u64;
-        for &i in &hungry {
+        for &i in hungry.iter() {
             let share = surplus * tenants[i].weight.max(1) as u64 / weight_sum;
             let room = (caps[i] - alloc[i]) as u64;
             let take = share.min(room);
@@ -131,11 +162,17 @@ impl QosPolicy for StrictPartition {
         "strict-partition"
     }
 
-    fn allocate(&self, pool: u64, tenants: &[TenantDemand]) -> Vec<u32> {
-        let (mut alloc, surplus) = guarantee_base(pool, tenants);
-        let caps = vec![u32::MAX; tenants.len()];
-        distribute_weighted(&mut alloc, tenants, surplus, &caps);
-        alloc
+    fn allocate_into(
+        &self,
+        pool: u64,
+        tenants: &[TenantDemand],
+        alloc: &mut Vec<u32>,
+        scratch: &mut AllocScratch,
+    ) {
+        let surplus = guarantee_base(pool, tenants, alloc);
+        scratch.caps.clear();
+        scratch.caps.resize(tenants.len(), u32::MAX);
+        distribute_weighted(alloc, tenants, surplus, &scratch.caps, &mut scratch.hungry);
     }
 }
 
@@ -150,12 +187,17 @@ impl QosPolicy for ProportionalShare {
         "proportional-share"
     }
 
-    fn allocate(&self, pool: u64, tenants: &[TenantDemand]) -> Vec<u32> {
-        let (mut alloc, surplus) = guarantee_base(pool, tenants);
-        let caps: Vec<u32> =
-            tenants.iter().zip(&alloc).map(|(t, &a)| t.demand_frames.max(a)).collect();
-        distribute_weighted(&mut alloc, tenants, surplus, &caps);
-        alloc
+    fn allocate_into(
+        &self,
+        pool: u64,
+        tenants: &[TenantDemand],
+        alloc: &mut Vec<u32>,
+        scratch: &mut AllocScratch,
+    ) {
+        let surplus = guarantee_base(pool, tenants, alloc);
+        scratch.caps.clear();
+        scratch.caps.extend(tenants.iter().zip(alloc.iter()).map(|(t, &a)| t.demand_frames.max(a)));
+        distribute_weighted(alloc, tenants, surplus, &scratch.caps, &mut scratch.hungry);
     }
 }
 
@@ -170,15 +212,20 @@ impl QosPolicy for BestEffortFloors {
         "best-effort-floors"
     }
 
-    fn allocate(&self, pool: u64, tenants: &[TenantDemand]) -> Vec<u32> {
-        let (mut alloc, mut surplus) = guarantee_base(pool, tenants);
+    fn allocate_into(
+        &self,
+        pool: u64,
+        tenants: &[TenantDemand],
+        alloc: &mut Vec<u32>,
+        _scratch: &mut AllocScratch,
+    ) {
+        let mut surplus = guarantee_base(pool, tenants, alloc);
         for (i, t) in tenants.iter().enumerate() {
             let room = t.demand_frames.saturating_sub(alloc[i]) as u64;
             let take = room.min(surplus);
             alloc[i] += take as u32;
             surplus -= take;
         }
-        alloc
     }
 }
 

@@ -56,6 +56,15 @@ pub struct TenantReport {
     pub guarantee_breach_rounds: u64,
     /// Measured accesses the tenant executed.
     pub measured_accesses: u64,
+    /// Median per-access memory latency (fixed-bin log₂ histogram upper
+    /// bound, ns) over the tenant's measured window; 0 if never admitted.
+    pub lat_p50_ns: u64,
+    /// 95th-percentile per-access memory latency (bin upper bound, ns).
+    pub lat_p95_ns: u64,
+    /// 99th-percentile per-access memory latency (bin upper bound, ns).
+    pub lat_p99_ns: u64,
+    /// 99.9th-percentile per-access memory latency (bin upper bound, ns).
+    pub lat_p999_ns: u64,
     /// The tenant's own simulation report over its measured window
     /// (`None` if never admitted; present even for departed/faulted
     /// tenants, sealed at departure).
@@ -81,6 +90,26 @@ pub struct MultiTenantReport {
     pub admission_rejections: u64,
     /// Rounds with some guarantee breached (arbiter-wide).
     pub guarantee_breach_rounds: u64,
+    /// Fleet-wide median per-access memory latency: every tenant's
+    /// fixed-bin histogram merged, then read at permille 500 (bin upper
+    /// bound, ns).
+    pub fleet_lat_p50_ns: u64,
+    /// Fleet-wide 95th-percentile latency (bin upper bound, ns).
+    pub fleet_lat_p95_ns: u64,
+    /// Fleet-wide 99th-percentile latency (bin upper bound, ns).
+    pub fleet_lat_p99_ns: u64,
+    /// Fleet-wide 99.9th-percentile latency (bin upper bound, ns).
+    pub fleet_lat_p999_ns: u64,
+    /// Roster steady-demand oversubscription of the configured pool,
+    /// ×100 (150 = demands sum to 1.5× the pool) — the frontier curve's
+    /// x-coordinate.
+    pub overcommit_x100: u64,
+    /// DRAM bytes the still-active tenants occupied when the run ended —
+    /// the frontier curve's achieved-footprint coordinate.
+    pub achieved_footprint_bytes: u64,
+    /// Tenant-rounds spent below guarantee, in parts per million of all
+    /// tenant-rounds — the frontier curve's breach-rate coordinate.
+    pub breach_rate_ppm: u64,
     /// One report per roster slot, in roster order.
     pub tenants: Vec<TenantReport>,
 }
@@ -124,6 +153,10 @@ impl TenantReport {
             grow_events: f.u64("grow_events")?,
             guarantee_breach_rounds: f.u64("guarantee_breach_rounds")?,
             measured_accesses: f.u64("measured_accesses")?,
+            lat_p50_ns: f.u64("lat_p50_ns")?,
+            lat_p95_ns: f.u64("lat_p95_ns")?,
+            lat_p99_ns: f.u64("lat_p99_ns")?,
+            lat_p999_ns: f.u64("lat_p999_ns")?,
             report: match f.value("report")? {
                 Value::Null => None,
                 v => Some(RunReport::from_value(v)?),
@@ -158,6 +191,13 @@ impl MultiTenantReport {
             churn_events_applied: f.u64("churn_events_applied")?,
             admission_rejections: f.u64("admission_rejections")?,
             guarantee_breach_rounds: f.u64("guarantee_breach_rounds")?,
+            fleet_lat_p50_ns: f.u64("fleet_lat_p50_ns")?,
+            fleet_lat_p95_ns: f.u64("fleet_lat_p95_ns")?,
+            fleet_lat_p99_ns: f.u64("fleet_lat_p99_ns")?,
+            fleet_lat_p999_ns: f.u64("fleet_lat_p999_ns")?,
+            overcommit_x100: f.u64("overcommit_x100")?,
+            achieved_footprint_bytes: f.u64("achieved_footprint_bytes")?,
+            breach_rate_ppm: f.u64("breach_rate_ppm")?,
             tenants,
         };
         f.finish()?;
@@ -190,6 +230,10 @@ mod tests {
             grow_events: 1,
             guarantee_breach_rounds: 0,
             measured_accesses: 4096,
+            lat_p50_ns: 128,
+            lat_p95_ns: 512,
+            lat_p99_ns: 2048,
+            lat_p999_ns: 8192,
             report: None,
         }
     }
@@ -205,6 +249,13 @@ mod tests {
             churn_events_applied: 3,
             admission_rejections: 1,
             guarantee_breach_rounds: 0,
+            fleet_lat_p50_ns: 128,
+            fleet_lat_p95_ns: 1024,
+            fleet_lat_p99_ns: 4096,
+            fleet_lat_p999_ns: 16384,
+            overcommit_x100: 150,
+            achieved_footprint_bytes: 4096 * 900,
+            breach_rate_ppm: 1250,
             tenants: vec![
                 tenant(),
                 TenantReport { departed_at: Some(5000), fault: Some("boom".into()), ..tenant() },
@@ -225,6 +276,13 @@ mod tests {
             churn_events_applied: 0,
             admission_rejections: 0,
             guarantee_breach_rounds: 0,
+            fleet_lat_p50_ns: 0,
+            fleet_lat_p95_ns: 0,
+            fleet_lat_p99_ns: 0,
+            fleet_lat_p999_ns: 0,
+            overcommit_x100: 0,
+            achieved_footprint_bytes: 0,
+            breach_rate_ppm: 0,
             tenants: vec![],
         }
         .to_value();

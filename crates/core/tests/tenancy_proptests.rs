@@ -134,3 +134,134 @@ proptest! {
         prop_assert_eq!(decoded, report);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental-ledger vs. full-recompute reference, at the event level.
+//
+// The system-level interleaving test above already drives the reference
+// comparison transitively: debug builds run `reference_check()` after
+// every batched rebalance the churn/fault machinery performs. The test
+// below drives the arbiter *directly* with raw event sequences so the
+// equivalence is asserted after every single event, including shapes the
+// scheduler never emits (double departures, demand updates on empty
+// slots, pool moves with no rebalance between them).
+// ---------------------------------------------------------------------------
+
+use tmcc::tenancy::{CapacityArbiter, TenantDemand};
+
+/// One raw ledger event. Slot ranges deliberately cover the whole roster
+/// so clears/releases can hit empty slots.
+#[derive(Debug, Clone, Copy)]
+enum ArbEvent {
+    Set { slot: usize, demand: TenantDemand },
+    Clear { slot: usize },
+    Release { slot: usize },
+    PoolShrink { frames: u64 },
+    PoolGrow { frames: u64 },
+    Rebalance,
+}
+
+const ARB_SLOTS: usize = 8;
+
+fn tenant_demand() -> impl Strategy<Value = TenantDemand> {
+    // weight 0 exercises the max(1) clamp in the weight aggregate.
+    (0u32..8, 0u32..64, 0u32..32, 0u32..512).prop_map(|(weight, floor, min, demand)| TenantDemand {
+        weight,
+        floor_frames: floor,
+        min_frames: min,
+        demand_frames: demand,
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = ArbEvent> {
+    (0u8..6, 0..ARB_SLOTS, tenant_demand(), 1u64..600).prop_map(|(tag, slot, demand, frames)| {
+        match tag {
+            0 => ArbEvent::Set { slot, demand },
+            1 => ArbEvent::Clear { slot },
+            2 => ArbEvent::Release { slot },
+            3 => ArbEvent::PoolShrink { frames },
+            4 => ArbEvent::PoolGrow { frames },
+            _ => ArbEvent::Rebalance,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every event the incrementally maintained aggregates must
+    /// equal a from-scratch recount; after every materialization the
+    /// allocations must equal the retained full-recompute reference; and
+    /// the final state must be history-independent (identical to a fresh
+    /// arbiter built from the final demands in one shot).
+    #[test]
+    fn incremental_ledger_matches_reference_after_every_event(
+        policy in policy(),
+        pool in 200u64..4000,
+        events in prop::collection::vec(arb_event(), 1..64),
+    ) {
+        let mut arb = CapacityArbiter::new(pool, policy, ARB_SLOTS);
+        let mut model: Vec<Option<TenantDemand>> = vec![None; ARB_SLOTS];
+        for event in events {
+            match event {
+                ArbEvent::Set { slot, demand } => {
+                    arb.set_demand(slot, demand);
+                    model[slot] = Some(demand);
+                }
+                ArbEvent::Clear { slot } => {
+                    arb.clear_demand(slot);
+                    model[slot] = None;
+                }
+                ArbEvent::Release { slot } => {
+                    arb.release(slot);
+                    model[slot] = None;
+                }
+                ArbEvent::PoolShrink { frames } => arb.shrink_pool(frames),
+                ArbEvent::PoolGrow { frames } => arb.grow_pool(frames),
+                ArbEvent::Rebalance => {
+                    arb.rebalance();
+                    // Materialized state must match the full recompute.
+                    arb.reference_check().expect("incremental == reference after rebalance");
+                    arb.validate().expect("ledger invariants after rebalance");
+                }
+            }
+            // Ledger totals agree exactly after *every* event, including
+            // un-materialized (dirty) ones.
+            let guaranteed: u64 =
+                model.iter().flatten().map(|d| d.guaranteed() as u64).sum();
+            let weight: u64 = model.iter().flatten().map(|d| d.weight.max(1) as u64).sum();
+            prop_assert_eq!(arb.guaranteed_total(), guaranteed);
+            prop_assert_eq!(arb.weight_total(), weight);
+            prop_assert_eq!(arb.active_tenants(), model.iter().flatten().count());
+            // Admission is a pure read of the guarantee aggregate.
+            let probe = TenantDemand {
+                weight: 1,
+                floor_frames: 16,
+                min_frames: 8,
+                demand_frames: 64,
+            };
+            prop_assert_eq!(
+                arb.can_admit(probe),
+                guaranteed + probe.guaranteed() as u64 <= arb.pool_frames()
+            );
+        }
+
+        // History independence: a fresh arbiter fed only the surviving
+        // demands materializes the exact same allocations.
+        arb.rebalance();
+        arb.reference_check().expect("final reference check");
+        let mut fresh = CapacityArbiter::new(arb.pool_frames(), policy, ARB_SLOTS);
+        for (slot, d) in model.iter().enumerate() {
+            if let Some(d) = d {
+                fresh.set_demand(slot, *d);
+            }
+        }
+        fresh.rebalance();
+        for slot in 0..ARB_SLOTS {
+            prop_assert_eq!(arb.allocation(slot), fresh.allocation(slot));
+        }
+        prop_assert_eq!(arb.guaranteed_total(), fresh.guaranteed_total());
+        prop_assert_eq!(arb.weight_total(), fresh.weight_total());
+        prop_assert_eq!(arb.active_tenants(), fresh.active_tenants());
+    }
+}

@@ -21,6 +21,12 @@ echo "==> codec benches execute (TMCC_BENCH_SMOKE=1)"
 # bench binary runs end to end; timings printed here are noise.
 TMCC_BENCH_SMOKE=1 cargo bench -q -p tmcc-bench --bench codecs
 
+echo "==> arbiter benches execute (TMCC_BENCH_SMOKE=1)"
+# Covers the incremental-ledger fast path at 10..10k rosters; the <3x
+# 1k->10k growth gate is asserted over full (non-smoke) runs, this line
+# only keeps the bench compiling and running.
+TMCC_BENCH_SMOKE=1 cargo bench -q -p tmcc --bench arbiter
+
 echo "==> tmcc-bench run-all --quick --jobs 2 (bench smoke)"
 cargo run --release -p tmcc-bench --bin tmcc-bench -- \
   run-all --quick --jobs 2 --out results/ci-smoke
