@@ -1,0 +1,7 @@
+//! Standalone shim for the integrity-storm experiment: runs it at full
+//! scale through the shared sweep harness (the logic lives in
+//! `tmcc_bench::experiments`; `tmcc-bench run-all` runs the whole suite).
+
+fn main() {
+    tmcc_bench::registry::run_standalone("integrity_storm");
+}

@@ -21,6 +21,7 @@ pub mod fig19;
 pub mod fig20;
 pub mod fig21;
 pub mod fig22;
+pub mod integrity;
 pub mod mt;
 pub mod robustness;
 pub mod sens_huge_pages;

@@ -145,13 +145,15 @@ pub fn build_id() -> String {
 /// replaying stale records.
 pub fn scale_config_hash(scale: Scale) -> u64 {
     fingerprint(&format!(
-        "accesses={} warmup={:?} pages_cap={:?} size_samples={} mt={:016x} cap={:016x}",
+        "accesses={} warmup={:?} pages_cap={:?} size_samples={} mt={:016x} cap={:016x} \
+         int={:016x}",
         scale.accesses(),
         scale.warmup(),
         scale.pages_cap(),
         scale.size_samples(),
         fingerprint(&crate::experiments::mt::grid_signature(scale)),
-        fingerprint(&crate::experiments::capacity_cliff::grid_signature(scale))
+        fingerprint(&crate::experiments::capacity_cliff::grid_signature(scale)),
+        fingerprint(&crate::experiments::integrity::grid_signature(scale))
     ))
 }
 
@@ -163,18 +165,10 @@ pub fn fingerprint(s: &str) -> u64 {
     h.finish()
 }
 
-/// CRC32 (IEEE, reflected) — per-record corruption check.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// CRC32 (IEEE, reflected) — per-record corruption check. The shared
+/// workspace implementation, re-exported so existing call sites (and the
+/// reference-vector test below) keep working.
+pub use tmcc_types::crc32::crc32;
 
 /// One parsed record.
 #[derive(Debug, Clone, PartialEq)]

@@ -137,6 +137,12 @@ pub fn all() -> Vec<Experiment> {
             run: experiments::robustness::run,
         },
         Experiment {
+            name: "integrity_storm",
+            budget_weight: 2.0,
+            title: "Integrity storm — flip rate vs. detection coverage and SDC escapes",
+            run: experiments::integrity::run,
+        },
+        Experiment {
             name: "capacity_cliff",
             budget_weight: 2.0,
             title: "Capacity cliff — TB-scale footprints under lazy materialization",

@@ -579,9 +579,43 @@ impl SweepCtx {
     /// timeouts reach the retry ring even from callers that handle the
     /// `Err` branch themselves.
     pub fn try_run(&self, cfg: SystemConfig, accesses: u64) -> Result<RunReport, TmccError> {
+        self.try_run_keyed("", cfg, accesses)
+    }
+
+    /// Integrity-storm counterpart of [`SweepCtx::try_run`]: identical
+    /// replay and journaling, but keys carry the `int|` prefix (like
+    /// `mt|` and `cap|`) so storm records — whose configs differ from a
+    /// plain run's only by the flip plan — live in their own key space
+    /// and can never shadow or be shadowed by another family's record.
+    pub fn try_run_integrity(
+        &self,
+        cfg: SystemConfig,
+        accesses: u64,
+    ) -> Result<RunReport, TmccError> {
+        self.try_run_keyed("int|", cfg, accesses)
+    }
+
+    /// Runs one integrity point, panicking on error so failures route
+    /// through the retry ring (the storm counterpart of [`SweepCtx::run`]).
+    pub fn run_integrity(&self, cfg: SystemConfig, accesses: u64) -> RunReport {
+        match self.try_run_integrity(cfg, accesses) {
+            Ok(r) => r,
+            Err(e) => {
+                LAST_SIM_ERROR.with(|c| *c.borrow_mut() = Some(e.to_string()));
+                panic!("{e}")
+            }
+        }
+    }
+
+    fn try_run_keyed(
+        &self,
+        key_prefix: &'static str,
+        cfg: SystemConfig,
+        accesses: u64,
+    ) -> Result<RunReport, TmccError> {
         let cfg = self.tune(cfg);
         let warmup = cfg.warmup_accesses;
-        let key = fingerprint(&format!("{cfg:?}|{accesses}"));
+        let key = fingerprint(&format!("{key_prefix}{cfg:?}|{accesses}"));
         if let Some(journal) = &self.journal {
             if let Some(json) = journal.lookup(self.experiment, key) {
                 match decode_report(json) {

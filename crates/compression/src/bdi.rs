@@ -22,7 +22,7 @@
 //! (The per-value mask records which base — explicit or zero — each delta is
 //! relative to.)
 
-use crate::{BlockCodec, BLOCK_SIZE};
+use crate::{BlockCodec, CodecError, BLOCK_SIZE};
 
 /// Encoding identifiers stored in the first output byte.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -38,8 +38,8 @@ enum Encoding {
 }
 
 impl Encoding {
-    fn from_id(id: u8) -> Self {
-        match id {
+    fn try_from_id(id: u8) -> Result<Self, CodecError> {
+        Ok(match id {
             0 => Self::Zeros,
             1 => Self::Repeat8,
             2 => Self::B8D1,
@@ -48,8 +48,13 @@ impl Encoding {
             5 => Self::B4D1,
             6 => Self::B4D2,
             7 => Self::B2D1,
-            other => panic!("invalid BDI encoding id {other}"),
-        }
+            other => {
+                return Err(CodecError::InvalidCode {
+                    context: "BDI encoding id",
+                    value: other as u64,
+                })
+            }
+        })
     }
 
     fn base_delta(self) -> Option<(usize, usize)> {
@@ -193,20 +198,33 @@ impl BlockCodec for BdiCodec {
         best.filter(|b| b.len() < BLOCK_SIZE)
     }
 
-    fn decompress(&self, data: &[u8]) -> [u8; BLOCK_SIZE] {
-        let enc = Encoding::from_id(data[0]);
+    fn try_decompress(&self, data: &[u8]) -> Result<[u8; BLOCK_SIZE], CodecError> {
+        let &header = data.first().ok_or(CodecError::UnexpectedEnd { context: "BDI header" })?;
+        let enc = Encoding::try_from_id(header)?;
         let mut out = [0u8; BLOCK_SIZE];
         match enc {
-            Encoding::Zeros => out,
+            Encoding::Zeros => Ok(out),
             Encoding::Repeat8 => {
+                let word = data
+                    .get(1..9)
+                    .ok_or(CodecError::UnexpectedEnd { context: "BDI repeat word" })?;
                 for chunk in out.chunks_exact_mut(8) {
-                    chunk.copy_from_slice(&data[1..9]);
+                    chunk.copy_from_slice(word);
                 }
-                out
+                Ok(out)
             }
             _ => {
                 let (bs, ds) = enc.base_delta().expect("base-delta encoding");
                 let n = BLOCK_SIZE / bs;
+                // Fixed layout per encoding: header + base + mask + deltas.
+                let expected = 1 + bs + n.div_ceil(8) + n * ds;
+                if data.len() < expected {
+                    return Err(CodecError::LengthMismatch {
+                        context: "BDI base-delta body",
+                        expected,
+                        got: data.len(),
+                    });
+                }
                 let mut pos = 1;
                 let mut base_bytes = [0u8; 8];
                 base_bytes[..bs].copy_from_slice(&data[pos..pos + bs]);
@@ -231,7 +249,7 @@ impl BlockCodec for BdiCodec {
                     let v = b.wrapping_add(delta) & vmask;
                     out[i * bs..(i + 1) * bs].copy_from_slice(&v.to_le_bytes()[..bs]);
                 }
-                out
+                Ok(out)
             }
         }
     }
@@ -287,6 +305,31 @@ mod tests {
         let codec = BdiCodec::new();
         let block = sample_blocks().pop().unwrap();
         assert_eq!(codec.compressed_size(&block), BLOCK_SIZE);
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        let codec = BdiCodec::new();
+        assert_eq!(
+            codec.try_decompress(&[]),
+            Err(CodecError::UnexpectedEnd { context: "BDI header" })
+        );
+        assert_eq!(
+            codec.try_decompress(&[200]),
+            Err(CodecError::InvalidCode { context: "BDI encoding id", value: 200 })
+        );
+        assert_eq!(
+            codec.try_decompress(&[Encoding::Repeat8 as u8, 1, 2]),
+            Err(CodecError::UnexpectedEnd { context: "BDI repeat word" })
+        );
+        assert_eq!(
+            codec.try_decompress(&[Encoding::B8D1 as u8, 0, 0]),
+            Err(CodecError::LengthMismatch {
+                context: "BDI base-delta body",
+                expected: 18,
+                got: 3
+            })
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! Block"). A one-byte header records which codec won so the block can be
 //! restored.
 
-use crate::{BdiCodec, BlockCodec, BpcCodec, CpackCodec, ZeroBlockCodec, BLOCK_SIZE};
+use crate::{BdiCodec, BlockCodec, BpcCodec, CodecError, CpackCodec, ZeroBlockCodec, BLOCK_SIZE};
 
 /// Identifier of the winning codec, stored in the composite header byte.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -83,14 +83,17 @@ impl BlockCodec for BestOfCodec {
         Some(out)
     }
 
-    fn decompress(&self, data: &[u8]) -> [u8; BLOCK_SIZE] {
-        let payload = &data[1..];
-        match data[0] {
-            0 => self.zero.decompress(payload),
-            1 => self.bdi.decompress(payload),
-            2 => self.bpc.decompress(payload),
-            3 => self.cpack.decompress(payload),
-            other => panic!("invalid best-of header {other}"),
+    fn try_decompress(&self, data: &[u8]) -> Result<[u8; BLOCK_SIZE], CodecError> {
+        let (&header, payload) =
+            data.split_first().ok_or(CodecError::UnexpectedEnd { context: "best-of header" })?;
+        match header {
+            0 => self.zero.try_decompress(payload),
+            1 => self.bdi.try_decompress(payload),
+            2 => self.bpc.try_decompress(payload),
+            3 => self.cpack.try_decompress(payload),
+            other => {
+                Err(CodecError::InvalidCode { context: "best-of header", value: other as u64 })
+            }
         }
     }
 }
@@ -127,6 +130,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        let codec = BestOfCodec::new();
+        assert_eq!(
+            codec.try_decompress(&[]),
+            Err(CodecError::UnexpectedEnd { context: "best-of header" })
+        );
+        assert_eq!(
+            codec.try_decompress(&[9, 0]),
+            Err(CodecError::InvalidCode { context: "best-of header", value: 9 })
+        );
+        // Errors from the inner codec surface unchanged.
+        assert_eq!(
+            codec.try_decompress(&[0, 7]),
+            Err(CodecError::InvalidCode { context: "zero marker", value: 7 })
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   of the stream without advancing, so a table lookup may safely read
 //!   more bits than the code it resolves actually consumes.
 
+use crate::error::CodecError;
+
 /// Bit mask with the low `n` bits set (`n <= 64`).
 #[inline]
 fn mask(n: u32) -> u64 {
@@ -187,6 +189,39 @@ impl<'a> BitReader<'a> {
         self.get(1) != 0
     }
 
+    /// Fallible [`get`](Self::get): returns
+    /// [`CodecError::UnexpectedEnd`] instead of panicking when fewer than
+    /// `n` bits remain. `context` names the decoder stage for the error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` (a caller bug, not a data property).
+    #[inline]
+    pub fn try_get(&mut self, n: u32, context: &'static str) -> Result<u64, CodecError> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        if n == 0 {
+            return Ok(0);
+        }
+        if n > 56 {
+            let hi = self.try_get(n - 32, context)?;
+            return Ok((hi << 32) | self.try_get(32, context)?);
+        }
+        if self.acc_bits < n {
+            self.refill();
+            if self.acc_bits < n {
+                return Err(CodecError::UnexpectedEnd { context });
+            }
+        }
+        self.acc_bits -= n;
+        Ok((self.acc >> self.acc_bits) & mask(n))
+    }
+
+    /// Fallible [`get_bit`](Self::get_bit).
+    #[inline]
+    pub fn try_get_bit(&mut self, context: &'static str) -> Result<bool, CodecError> {
+        Ok(self.try_get(1, context)? != 0)
+    }
+
     /// Returns the next `n <= 56` bits without advancing, zero-padded if
     /// fewer remain — the lookup key for table-driven Huffman decoding.
     ///
@@ -216,6 +251,23 @@ impl<'a> BitReader<'a> {
         assert!(self.acc_bits >= n, "cannot consume more bits than peeked");
         self.acc_bits -= n;
         self.acc &= mask(self.acc_bits);
+    }
+
+    /// Fallible [`consume`](Self::consume): a corrupt stream can resolve a
+    /// symbol off [`peek`](Self::peek)'s zero padding whose code is longer
+    /// than the bits actually left; that surfaces here as
+    /// [`CodecError::UnexpectedEnd`] instead of a panic.
+    #[inline]
+    pub fn try_consume(&mut self, n: u32, context: &'static str) -> Result<(), CodecError> {
+        if self.acc_bits < n {
+            self.refill();
+            if self.acc_bits < n {
+                return Err(CodecError::UnexpectedEnd { context });
+            }
+        }
+        self.acc_bits -= n;
+        self.acc &= mask(self.acc_bits);
+        Ok(())
     }
 
     /// Bits remaining (counting byte padding).

@@ -22,7 +22,7 @@
 //! The base word uses a small width code (zero / 4 / 8 / 16 / 32 bits).
 
 use crate::bits::{BitReader, BitWriter};
-use crate::{BlockCodec, BLOCK_SIZE};
+use crate::{BlockCodec, CodecError, BLOCK_SIZE};
 
 const WORDS: usize = 16;
 const DELTAS: usize = WORDS - 1; // 15
@@ -105,13 +105,14 @@ impl BpcCodec {
         }
     }
 
-    fn decode_base(r: &mut BitReader<'_>) -> u32 {
-        match r.get(2) {
+    fn decode_base(r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        const CTX: &str = "BPC base word";
+        Ok(match r.try_get(2, CTX)? {
             0 => 0,
-            1 => r.get(8) as u32,
-            2 => r.get(16) as u32,
-            _ => r.get(32) as u32,
-        }
+            1 => r.try_get(8, CTX)? as u32,
+            2 => r.try_get(16, CTX)? as u32,
+            _ => r.try_get(32, CTX)? as u32,
+        })
     }
 }
 
@@ -170,47 +171,57 @@ impl BlockCodec for BpcCodec {
         }
     }
 
-    fn decompress(&self, data: &[u8]) -> [u8; BLOCK_SIZE] {
+    fn try_decompress(&self, data: &[u8]) -> Result<[u8; BLOCK_SIZE], CodecError> {
+        const CTX: &str = "BPC plane code";
         let mut r = BitReader::new(data);
-        let base = Self::decode_base(&mut r);
+        let base = Self::decode_base(&mut r)?;
         const ALL_ONES: u16 = (1 << DELTAS as u16) - 1;
         let mut dbp = [0u16; PLANES];
         let mut p = 0;
         while p < PLANES {
             let prev = if p == 0 { 0 } else { dbp[p - 1] };
             // Decode by prefix.
-            if r.get_bit() {
+            if r.try_get_bit(CTX)? {
                 // '1' + raw 15 bits of DBX.
-                let dbx = r.get(DELTAS as u32) as u16;
+                let dbx = r.try_get(DELTAS as u32, CTX)? as u16;
                 dbp[p] = dbx ^ prev;
                 p += 1;
                 continue;
             }
-            if r.get_bit() {
-                // '01' + 5-bit run of zero-DBX planes.
-                let run = r.get(5) as usize + 2;
+            if r.try_get_bit(CTX)? {
+                // '01' + 5-bit run of zero-DBX planes. A flipped run count
+                // can claim more planes than remain; that run never came
+                // from `compress`.
+                let run = r.try_get(5, CTX)? as usize + 2;
+                if run > PLANES - p {
+                    return Err(CodecError::LengthMismatch {
+                        context: "BPC zero-DBX run",
+                        expected: PLANES - p,
+                        got: run,
+                    });
+                }
                 for _ in 0..run {
                     dbp[p] = if p == 0 { 0 } else { dbp[p - 1] };
                     p += 1;
                 }
                 continue;
             }
-            if r.get_bit() {
+            if r.try_get_bit(CTX)? {
                 // '001': single zero-DBX plane.
                 dbp[p] = prev;
                 p += 1;
                 continue;
             }
             // '000' + 2 more bits.
-            match r.get(2) {
+            match r.try_get(2, CTX)? {
                 0b00 => dbp[p] = ALL_ONES ^ prev,
                 0b01 => dbp[p] = 0,
                 0b10 => {
-                    let pos = r.get(4) as u16;
+                    let pos = r.try_get(4, CTX)? as u16;
                     dbp[p] = (1 << pos) ^ prev;
                 }
                 _ => {
-                    let pos = r.get(4) as u16;
+                    let pos = r.try_get(4, CTX)? as u16;
                     dbp[p] = (0b11 << pos) ^ prev;
                 }
             }
@@ -235,7 +246,7 @@ impl BlockCodec for BpcCodec {
         for (i, wv) in words.iter().enumerate() {
             out[i * 4..(i + 1) * 4].copy_from_slice(&wv.to_le_bytes());
         }
-        out
+        Ok(out)
     }
 }
 
@@ -301,6 +312,37 @@ mod tests {
         if let Some(c) = codec.compress(&block) {
             assert_eq!(codec.decompress(&c), block);
         }
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        let codec = BpcCodec::new();
+        // Empty input dies reading the base width selector.
+        assert_eq!(
+            codec.try_decompress(&[]),
+            Err(CodecError::UnexpectedEnd { context: "BPC base word" })
+        );
+        // A single raw-plane code ('1' + 15 bits) with nothing after it:
+        // the second plane's prefix bit is past the end. 2 bits base(0) +
+        // 16 bits = 18 bits, so 3 bytes carry it; stop after those.
+        let mut w = BitWriter::new();
+        w.put(0, 2); // base = 0
+        w.put(0b1, 1);
+        w.put(0x5555, DELTAS as u32);
+        let bytes = w.into_bytes();
+        // 18 bits of payload in 3 bytes leaves 6 zero pad bits: the decoder
+        // misreads pads as '01'-run prefixes until the stream runs dry.
+        assert!(codec.try_decompress(&bytes).is_err());
+        // An overlong zero-DBX run (claims 33 planes after one is done).
+        let mut w = BitWriter::new();
+        w.put(0, 2); // base = 0
+        w.put(0b001, 3); // one single zero plane => 32 remain
+        w.put(0b01, 2);
+        w.put(31, 5); // run = 33 > 32 remaining
+        assert_eq!(
+            codec.try_decompress(&w.into_bytes()),
+            Err(CodecError::LengthMismatch { context: "BPC zero-DBX run", expected: 32, got: 33 })
+        );
     }
 
     #[test]

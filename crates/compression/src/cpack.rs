@@ -21,7 +21,7 @@
 //! no dictionary is stored in the output.
 
 use crate::bits::{BitReader, BitWriter};
-use crate::{BlockCodec, BLOCK_SIZE};
+use crate::{BlockCodec, CodecError, BLOCK_SIZE};
 
 const DICT_ENTRIES: usize = 16;
 
@@ -146,46 +146,53 @@ impl BlockCodec for CpackCodec {
         }
     }
 
-    fn decompress(&self, data: &[u8]) -> [u8; BLOCK_SIZE] {
+    fn try_decompress(&self, data: &[u8]) -> Result<[u8; BLOCK_SIZE], CodecError> {
+        const CTX: &str = "CPack word code";
         let mut dict = Dict::new();
         let mut r = BitReader::new(data);
         let mut out = [0u8; BLOCK_SIZE];
         for chunk in out.chunks_exact_mut(4) {
-            let word = match r.get(2) {
+            let word = match r.try_get(2, CTX)? {
                 0b00 => 0u32,
                 0b01 => {
-                    let word = r.get(32) as u32;
+                    let word = r.try_get(32, CTX)? as u32;
                     dict.push(word);
                     word
                 }
-                0b10 => dict.entries[r.get(4) as usize],
-                _ => match r.get(2) {
+                0b10 => dict.entries[r.try_get(4, CTX)? as usize],
+                _ => match r.try_get(2, CTX)? {
                     0b00 => {
                         // mmxx
-                        let idx = r.get(4) as usize;
-                        let low = r.get(16) as u32;
+                        let idx = r.try_get(4, CTX)? as usize;
+                        let low = r.try_get(16, CTX)? as u32;
                         let word = (dict.entries[idx] & 0xffff_0000) | low;
                         dict.push(word);
                         word
                     }
                     0b01 => {
                         // zzzx
-                        r.get(8) as u32
+                        r.try_get(8, CTX)? as u32
                     }
                     0b10 => {
                         // mmmx
-                        let idx = r.get(4) as usize;
-                        let low = r.get(8) as u32;
+                        let idx = r.try_get(4, CTX)? as usize;
+                        let low = r.try_get(8, CTX)? as u32;
                         let word = (dict.entries[idx] & 0xffff_ff00) | low;
                         dict.push(word);
                         word
                     }
-                    other => panic!("invalid CPack code 11{other:02b}"),
+                    other => {
+                        // `11 11` is unassigned in the pattern table.
+                        return Err(CodecError::InvalidCode {
+                            context: "CPack pattern",
+                            value: 0b1100 | other,
+                        });
+                    }
                 },
             };
             chunk.copy_from_slice(&word.to_be_bytes());
         }
-        out
+        Ok(out)
     }
 }
 
@@ -235,6 +242,32 @@ mod tests {
         }
         let c = codec.compress(&block).expect("compresses");
         assert_eq!(codec.decompress(&c), block);
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        let codec = CpackCodec::new();
+        // Empty input dies on the first word's prefix.
+        assert_eq!(
+            codec.try_decompress(&[]),
+            Err(CodecError::UnexpectedEnd { context: "CPack word code" })
+        );
+        // The unassigned `11 11` pattern is an invalid code.
+        let mut w = BitWriter::new();
+        w.put(0b1111, 4);
+        w.put(0, 28); // padding so the stream is not merely short
+        assert_eq!(
+            codec.try_decompress(&w.into_bytes()),
+            Err(CodecError::InvalidCode { context: "CPack pattern", value: 0b1111 })
+        );
+        // A literal word cut short mid-payload.
+        let mut w = BitWriter::new();
+        w.put(0b01, 2);
+        w.put(0xAB, 8); // only 8 of the 32 literal bits
+        assert_eq!(
+            codec.try_decompress(&w.into_bytes()),
+            Err(CodecError::UnexpectedEnd { context: "CPack word code" })
+        );
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Typed decode errors: a corrupt stream is a value, not an abort.
+//!
+//! Every fallible decode path in this crate and in `tmcc-deflate` reports
+//! malformed input through [`CodecError`]. The variants distinguish the
+//! structurally different ways a bit-flipped stream can fail to parse —
+//! exhaustion, invalid code points, impossible back-references, length
+//! contradictions and failed integrity seals — because the simulator's
+//! recovery ladder treats payload corruption and metadata corruption
+//! differently.
+//!
+//! The type is small, `Copy`, and carries only plain integers so it can
+//! ride inside `TmccError` (which requires `Clone + PartialEq`) and be
+//! asserted exactly in differential fixtures.
+
+use std::fmt;
+
+/// Why a decoder rejected its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The bit/byte stream ended before the decoder got what it needed.
+    UnexpectedEnd {
+        /// Which decoder stage hit the end.
+        context: &'static str,
+    },
+    /// A code point that no valid stream can contain (invalid Huffman
+    /// code, unknown CPack prefix, bad BDI encoding id, …).
+    InvalidCode {
+        /// Which decoder stage rejected the code.
+        context: &'static str,
+        /// The offending code/value, widened for display.
+        value: u64,
+    },
+    /// An LZ back-reference reaching before the start of the output.
+    BadBackref {
+        /// The encoded distance.
+        distance: usize,
+        /// Bytes of output produced when the reference was seen.
+        produced: usize,
+    },
+    /// Decoded output disagrees with a length the stream declared.
+    LengthMismatch {
+        /// Which decoder stage found the contradiction.
+        context: &'static str,
+        /// The declared length.
+        expected: usize,
+        /// The length actually produced/observed.
+        got: usize,
+    },
+    /// The decoder would exceed its output bound (corrupt streams must
+    /// never allocate unboundedly).
+    OutputOverflow {
+        /// Which decoder stage overflowed.
+        context: &'static str,
+        /// The configured output cap in bytes.
+        cap: usize,
+    },
+    /// A CRC32 integrity seal over the payload failed verification.
+    ChecksumMismatch {
+        /// CRC stored in the seal.
+        stored: u32,
+        /// CRC recomputed over the payload.
+        computed: u32,
+    },
+    /// The sealed metadata tag (mode, lengths, CTE rank) disagrees with
+    /// the page being decoded — metadata corruption, distinct from
+    /// payload corruption.
+    MetadataMismatch {
+        /// Tag word stored in the seal.
+        stored: u64,
+        /// Tag word recomputed from the page.
+        computed: u64,
+    },
+}
+
+impl CodecError {
+    /// Whether this error indicates metadata (tag) corruption rather than
+    /// payload corruption — the recovery ladder accounts them separately.
+    pub fn is_metadata(&self) -> bool {
+        matches!(self, CodecError::MetadataMismatch { .. })
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd { context } => {
+                write!(f, "{context}: stream exhausted")
+            }
+            CodecError::InvalidCode { context, value } => {
+                write!(f, "{context}: invalid code {value:#x}")
+            }
+            CodecError::BadBackref { distance, produced } => {
+                write!(f, "LZ match distance {distance} reaches before output ({produced} bytes)")
+            }
+            CodecError::LengthMismatch { context, expected, got } => {
+                write!(f, "{context}: declared length {expected}, got {got}")
+            }
+            CodecError::OutputOverflow { context, cap } => {
+                write!(f, "{context}: output exceeds the {cap}-byte bound")
+            }
+            CodecError::ChecksumMismatch { stored, computed } => {
+                write!(f, "payload CRC mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            CodecError::MetadataMismatch { stored, computed } => {
+                write!(f, "metadata tag mismatch: stored {stored:#x}, computed {computed:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        let e = CodecError::UnexpectedEnd { context: "bit reader" };
+        assert_eq!(e.to_string(), "bit reader: stream exhausted");
+        let e = CodecError::ChecksumMismatch { stored: 1, computed: 2 };
+        assert!(e.to_string().contains("CRC mismatch"));
+    }
+
+    #[test]
+    fn metadata_classification() {
+        assert!(CodecError::MetadataMismatch { stored: 0, computed: 1 }.is_metadata());
+        assert!(!CodecError::ChecksumMismatch { stored: 0, computed: 1 }.is_metadata());
+        assert!(!CodecError::BadBackref { distance: 9, produced: 1 }.is_metadata());
+    }
+}

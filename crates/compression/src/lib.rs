@@ -28,6 +28,7 @@ mod bestof;
 mod bits;
 mod bpc;
 mod cpack;
+mod error;
 mod zero;
 
 pub use bdi::BdiCodec;
@@ -35,6 +36,7 @@ pub use bestof::BestOfCodec;
 pub use bits::{BitReader, BitWriter};
 pub use bpc::BpcCodec;
 pub use cpack::CpackCodec;
+pub use error::CodecError;
 pub use zero::ZeroBlockCodec;
 
 /// Size of a memory block in bytes (one cacheline).
@@ -53,14 +55,25 @@ pub trait BlockCodec {
     /// encoding would not be smaller than [`BLOCK_SIZE`].
     fn compress(&self, block: &[u8; BLOCK_SIZE]) -> Option<Vec<u8>>;
 
+    /// Fallible decode: restores the original block, or reports *why* the
+    /// bytes cannot be a stream this codec produced. Implementations must
+    /// never panic, over-read, or allocate unboundedly on arbitrary input —
+    /// a corrupt stream is a value, not an abort.
+    fn try_decompress(&self, data: &[u8]) -> Result<[u8; BLOCK_SIZE], CodecError>;
+
     /// Restores the original block from bytes produced by
     /// [`compress`](Self::compress).
     ///
     /// # Panics
     ///
-    /// Implementations may panic on byte streams not produced by the same
-    /// codec's `compress`.
-    fn decompress(&self, data: &[u8]) -> [u8; BLOCK_SIZE];
+    /// Panics on byte streams not produced by the same codec's `compress`
+    /// (the [`try_decompress`](Self::try_decompress) error, formatted).
+    fn decompress(&self, data: &[u8]) -> [u8; BLOCK_SIZE] {
+        match self.try_decompress(data) {
+            Ok(block) => block,
+            Err(e) => panic!("{} decode failed: {e}", self.name()),
+        }
+    }
 
     /// The size the block occupies after compression: the encoded length,
     /// or [`BLOCK_SIZE`] when the codec declines to compress.

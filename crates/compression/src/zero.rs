@@ -4,7 +4,7 @@
 //! represented by metadata alone. The paper's block-level composite ("Zero
 //! Block", Fig. 15) and Compresso both special-case it.
 
-use crate::{BlockCodec, BLOCK_SIZE};
+use crate::{BlockCodec, CodecError, BLOCK_SIZE};
 
 /// Recognizes all-zero blocks and encodes them in a single marker byte.
 ///
@@ -38,9 +38,19 @@ impl BlockCodec for ZeroBlockCodec {
         block.iter().all(|&b| b == 0).then(|| vec![0u8])
     }
 
-    fn decompress(&self, data: &[u8]) -> [u8; BLOCK_SIZE] {
-        assert_eq!(data, [0u8], "zero codec only decodes its marker byte");
-        [0u8; BLOCK_SIZE]
+    fn try_decompress(&self, data: &[u8]) -> Result<[u8; BLOCK_SIZE], CodecError> {
+        match data {
+            [0u8] => Ok([0u8; BLOCK_SIZE]),
+            [] => Err(CodecError::UnexpectedEnd { context: "zero marker" }),
+            [b, ..] if data.len() == 1 => {
+                Err(CodecError::InvalidCode { context: "zero marker", value: *b as u64 })
+            }
+            _ => Err(CodecError::LengthMismatch {
+                context: "zero marker",
+                expected: 1,
+                got: data.len(),
+            }),
+        }
     }
 }
 
@@ -62,5 +72,22 @@ mod tests {
         let mut block = [0u8; BLOCK_SIZE];
         block[63] = 1;
         assert!(codec.compress(&block).is_none());
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        let codec = ZeroBlockCodec::new();
+        assert_eq!(
+            codec.try_decompress(&[]),
+            Err(CodecError::UnexpectedEnd { context: "zero marker" })
+        );
+        assert_eq!(
+            codec.try_decompress(&[7]),
+            Err(CodecError::InvalidCode { context: "zero marker", value: 7 })
+        );
+        assert_eq!(
+            codec.try_decompress(&[0, 0]),
+            Err(CodecError::LengthMismatch { context: "zero marker", expected: 1, got: 2 })
+        );
     }
 }

@@ -165,6 +165,128 @@ impl FaultPlan {
     }
 }
 
+/// Which stored structure a scheduled bit flip lands in.
+///
+/// Targets are chosen by *what protection covers them*, so a sweep over
+/// targets measures the coverage map of the integrity ladder: CRC-sealed
+/// compressed payloads, parity-protected translation metadata, the
+/// conservation-audited free list, and unprotected uncompressed data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FlipTarget {
+    /// A compressed (ML2) page payload — covered by the per-page CRC seal.
+    Ml2Payload,
+    /// An uncompressed (ML1) data frame — no tag covers it; flips here are
+    /// the scheme's irreducible silent-data-corruption exposure.
+    Ml1Data,
+    /// A CTE-cache slot (tag/valid/rank) — covered by per-line parity.
+    CteSlot,
+    /// A free-list bitmap word — covered by the frame-conservation audit.
+    FreeListBitmap,
+}
+
+impl FlipTarget {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlipTarget::Ml2Payload => "ml2-payload",
+            FlipTarget::Ml1Data => "ml1-data",
+            FlipTarget::CteSlot => "cte-slot",
+            FlipTarget::FreeListBitmap => "free-bitmap",
+        }
+    }
+
+    /// All targets, in sweep order.
+    pub const ALL: [FlipTarget; 4] = [
+        FlipTarget::Ml2Payload,
+        FlipTarget::Ml1Data,
+        FlipTarget::CteSlot,
+        FlipTarget::FreeListBitmap,
+    ];
+}
+
+/// Spatial shape of one upset event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FlipShape {
+    /// One flipped bit (the classic particle-strike SEU).
+    Single,
+    /// A short burst of adjacent flipped bits within one word.
+    Burst,
+    /// A row-hammer-shaped event: many flips spread across the structure,
+    /// beyond what single-structure recovery can absorb.
+    RowHammer,
+}
+
+impl FlipShape {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlipShape::Single => "single",
+            FlipShape::Burst => "burst",
+            FlipShape::RowHammer => "row-hammer",
+        }
+    }
+}
+
+/// One scheduled bit-flip event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlipEvent {
+    /// Access count (measured from system construction, warmup included)
+    /// at which the flip lands — injected just before this access.
+    pub at_access: u64,
+    /// Which structure it lands in.
+    pub target: FlipTarget,
+    /// How many bits, and how spread out.
+    pub shape: FlipShape,
+}
+
+/// A deterministic schedule of memory upsets, the integrity-layer
+/// counterpart of [`FaultPlan`]: where a fault plan models *operational*
+/// shocks (ballooning, flush storms), a flip plan models *physical* ones.
+///
+/// The plan is part of [`SystemConfig`]; two runs with the same seed and
+/// the same plan are bit-identical, and an empty plan draws zero random
+/// numbers — so every flip-free golden stays byte-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitFlipPlan {
+    /// The scheduled flips, in any order (the system sorts internally).
+    pub events: Vec<BitFlipEvent>,
+}
+
+impl BitFlipPlan {
+    /// An empty plan (no flips).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event (builder style).
+    pub fn with(mut self, at_access: u64, target: FlipTarget, shape: FlipShape) -> Self {
+        self.events.push(BitFlipEvent { at_access, target, shape });
+        self
+    }
+
+    /// A deterministic storm: `count` flips starting at `start`, one every
+    /// `period` accesses, cycling round-robin through every target and,
+    /// more slowly, through the shapes — so any prefix of the storm
+    /// already covers the full target × shape matrix roughly uniformly.
+    pub fn storm(start: u64, period: u64, count: u64) -> Self {
+        let shapes = [FlipShape::Single, FlipShape::Burst, FlipShape::RowHammer];
+        let mut plan = Self::none();
+        for i in 0..count {
+            plan.events.push(BitFlipEvent {
+                at_access: start + i * period.max(1),
+                target: FlipTarget::ALL[(i % 4) as usize],
+                shape: shapes[((i / 4) % 3) as usize],
+            });
+        }
+        plan
+    }
+
+    /// Whether the plan schedules anything.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 /// Full configuration of one simulated system.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -205,6 +327,9 @@ pub struct SystemConfig {
     /// Runtime faults to inject, scheduled by access count. Empty by
     /// default.
     pub fault_plan: FaultPlan,
+    /// Memory upsets (bit flips) to inject, scheduled by access count.
+    /// Empty by default; an empty plan draws zero random numbers.
+    pub flip_plan: BitFlipPlan,
     /// Run the invariant auditor ([`crate::System::validate`]) after
     /// every maintenance interval, aborting the run with
     /// [`crate::TmccError::InvariantViolation`] on the first
@@ -255,6 +380,7 @@ impl SystemConfig {
             warmup_accesses: 60_000,
             recency_sample: 0.15,
             fault_plan: FaultPlan::none(),
+            flip_plan: BitFlipPlan::none(),
             audit: false,
             profile: false,
             size_samples: 128,
@@ -282,6 +408,12 @@ impl SystemConfig {
     /// Sets the fault plan (builder style).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the bit-flip plan (builder style).
+    pub fn with_flip_plan(mut self, plan: BitFlipPlan) -> Self {
+        self.flip_plan = plan;
         self
     }
 
@@ -323,6 +455,25 @@ mod tests {
         assert!(t.toggles.embedded_ctes && t.toggles.fast_deflate);
         let b = SystemConfig::for_workload("mcf", SchemeKind::OsInspired).unwrap();
         assert!(!b.toggles.embedded_ctes && !b.toggles.fast_deflate);
+    }
+
+    #[test]
+    fn storm_plan_covers_target_shape_matrix() {
+        let plan = BitFlipPlan::storm(1_000, 50, 24);
+        assert_eq!(plan.events.len(), 24);
+        assert_eq!(plan.events[0].at_access, 1_000);
+        assert_eq!(plan.events[23].at_access, 1_000 + 23 * 50);
+        for target in FlipTarget::ALL {
+            for shape in [FlipShape::Single, FlipShape::Burst] {
+                assert!(
+                    plan.events.iter().any(|e| e.target == target && e.shape == shape),
+                    "storm misses {} x {}",
+                    target.name(),
+                    shape.name()
+                );
+            }
+        }
+        assert!(BitFlipPlan::none().is_empty());
     }
 
     #[test]

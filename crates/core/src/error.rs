@@ -10,6 +10,7 @@
 //! are thin shims over the fallible `try_*` constructors.
 
 use std::fmt;
+use tmcc_compression::CodecError;
 
 /// Result alias for fallible TMCC operations.
 pub type Result<T> = std::result::Result<T, TmccError>;
@@ -77,6 +78,16 @@ pub enum TmccError {
         /// observed.
         at_access: u64,
     },
+    /// A codec-level integrity failure surfaced outside the recovery
+    /// ladder — a decode the scheme *expected* to succeed (clean stream,
+    /// verified seal) returned a typed [`CodecError`]. Ladder-handled
+    /// corruption never raises this; it lands in the corruption counters.
+    Codec {
+        /// Which operation hit the error.
+        context: &'static str,
+        /// The underlying decode failure.
+        error: CodecError,
+    },
 }
 
 impl TmccError {
@@ -123,6 +134,9 @@ impl fmt::Display for TmccError {
             TmccError::Cancelled { at_access } => {
                 write!(f, "run cancelled after {at_access} accesses")
             }
+            TmccError::Codec { context, error } => {
+                write!(f, "codec failure during {context}: {error}")
+            }
         }
     }
 }
@@ -147,6 +161,14 @@ mod tests {
 
         let e = TmccError::UnmappedVpn { vpn: 0xabc };
         assert!(e.to_string().contains("0xabc"));
+
+        let e = TmccError::Codec {
+            context: "sealed page decode",
+            error: CodecError::ChecksumMismatch { stored: 1, computed: 2 },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("sealed page decode"));
+        assert!(msg.contains("CRC mismatch"));
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub mod stats;
 pub mod system;
 pub mod tenancy;
 
-pub use config::{FaultEvent, FaultKind, FaultPlan, SchemeKind, SystemConfig};
+pub use config::{
+    BitFlipEvent, BitFlipPlan, FaultEvent, FaultKind, FaultPlan, FlipShape, FlipTarget, SchemeKind,
+    SystemConfig,
+};
 pub use error::TmccError;
 pub use free_list::{CompressoFreeList, Ml1FreeList, Ml2FreeLists};
 pub use handle::RunHandle;

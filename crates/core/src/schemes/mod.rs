@@ -14,7 +14,7 @@ pub use compresso::CompressoScheme;
 pub use nocomp::NoCompressionScheme;
 pub use two_level::TwoLevelScheme;
 
-use crate::config::{FaultKind, SchemeKind};
+use crate::config::{BitFlipEvent, FaultKind, SchemeKind};
 use crate::error::TmccError;
 use crate::stats::SimStats;
 use tmcc_sim_dram::DramSim;
@@ -36,6 +36,21 @@ pub struct SchemePressure {
     pub degraded: bool,
     /// Frames owed to a balloon shrink that have not been reclaimed yet.
     pub reclaim_debt_frames: u64,
+}
+
+/// Page content handed to [`Scheme::apply_bit_flip`] for payload-targeted
+/// flips: the real bytes (regenerated from the content seed or
+/// host-resident) plus whether the page has diverged from its
+/// deterministic source — a divergent page cannot be recovered by
+/// regeneration, only from its raw-store copy, which bounds the ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct FlipPageContext<'a> {
+    /// The targeted physical page.
+    pub ppn: Ppn,
+    /// The page's current content (one full 4 KiB page).
+    pub bytes: &'a [u8],
+    /// Whether the content has diverged from the regenerable source.
+    pub dirty: bool,
 }
 
 /// An LLC-miss request delivered to the memory controller.
@@ -115,6 +130,31 @@ pub trait Scheme: Send {
         _now_ns: f64,
         _stats: &mut SimStats,
     ) -> Result<(), TmccError> {
+        Ok(())
+    }
+
+    /// Injects one memory upset from the configured
+    /// [`BitFlipPlan`](crate::config::BitFlipPlan) and runs whatever
+    /// detect/recover/poison ladder the scheme has over it, accounting
+    /// the outcome into the corruption counters of [`SimStats`].
+    ///
+    /// `entropy` is a value drawn from the system's dedicated flip RNG
+    /// (never the scheme's own, so flip-free runs draw zero numbers);
+    /// every in-scheme placement decision must derive from it. `page`
+    /// carries the targeted page's content for payload-targeted flips.
+    ///
+    /// The default implementation models a scheme with *no* integrity
+    /// machinery: the upset lands as silent data corruption.
+    fn apply_bit_flip(
+        &mut self,
+        _flip: &BitFlipEvent,
+        _entropy: u64,
+        _page: Option<FlipPageContext<'_>>,
+        _now_ns: f64,
+        stats: &mut SimStats,
+    ) -> Result<(), TmccError> {
+        stats.flips_injected = stats.flips_injected.saturating_add(1);
+        stats.sdc_escapes = stats.sdc_escapes.saturating_add(1);
         Ok(())
     }
 

@@ -26,8 +26,8 @@
 //! size class cannot be carved). [`Scheme::validate`] audits frame
 //! conservation and CTE/placement consistency at any point.
 
-use super::{cte_dram_addr, MemRequest, Scheme, SchemePressure};
-use crate::config::{FaultKind, SchemeKind, TmccToggles};
+use super::{cte_dram_addr, FlipPageContext, MemRequest, Scheme, SchemePressure};
+use crate::config::{BitFlipEvent, FaultKind, FlipShape, FlipTarget, SchemeKind, TmccToggles};
 use crate::error::TmccError;
 use crate::free_list::{Ml1FreeList, Ml2FreeLists};
 use crate::page_meta::{PageInfo, PageMetaStore, Placement};
@@ -38,7 +38,7 @@ use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
-use tmcc_deflate::{DeflateTiming, IbmDeflateModel};
+use tmcc_deflate::{DeflateParams, DeflateScratch, DeflateTiming, IbmDeflateModel, MemDeflate};
 use tmcc_sim_dram::DramSim;
 use tmcc_sim_mem::{CteBuffer, CteCache, CteCacheConfig, PageTable};
 use tmcc_types::addr::{BlockAddr, DramAddr, Ppn, PAGE_SIZE};
@@ -68,6 +68,15 @@ const EMERGENCY_EVICTION_BURST: u32 = 32;
 /// super-chunk needs at most 8 contiguous chunks, so draining below this
 /// floor would leave eviction unable to grow ML2 and the debt unpayable.
 const CARVE_RESERVE: usize = 8;
+
+/// Cost of refilling one scrubbed CTE-cache line from the in-DRAM table:
+/// a single uncached 64 B read at closed-row latency.
+const CTE_SCRUB_REFILL_NS: f64 = 60.0;
+
+/// Per-frame cost of rebuilding the ML1 free map from the authoritative
+/// page-placement metadata after the conservation audit flags it: a
+/// sequential sweep touching one packed word per frame.
+const FREE_MAP_REBUILD_NS_PER_FRAME: f64 = 0.5;
 
 /// The shared two-level scheme.
 pub struct TwoLevelScheme {
@@ -430,6 +439,23 @@ impl TwoLevelScheme {
             self.degraded = true;
             self.degraded_mark_ns = now_ns;
         }
+    }
+
+    /// Retires one frame whose contents are beyond recovery: the ladder's
+    /// terminal rung. The frame leaves the budget permanently — taken off
+    /// the free list when one can be spared, otherwise booked as reclaim
+    /// debt exactly like a budget shrink — so a poisoned frame can never
+    /// be handed out again.
+    fn poison_frame(&mut self, now_ns: f64, stats: &mut SimStats) {
+        if self.ml1_free.len() > CARVE_RESERVE && self.ml1_free.pop().is_some() {
+            // Quarantined straight off the free list.
+        } else {
+            self.reclaim_debt += 1;
+        }
+        self.total_frames = self.total_frames.saturating_sub(1);
+        self.rescale_watermarks();
+        stats.frames_poisoned = stats.frames_poisoned.saturating_add(1);
+        self.update_degradation(now_ns, stats);
     }
 
     /// Compressed size of a page at eviction time, after any
@@ -906,6 +932,190 @@ impl Scheme for TwoLevelScheme {
             }
         }
         stats.faults_injected = stats.faults_injected.saturating_add(1);
+        self.update_degradation(now_ns, stats);
+        Ok(())
+    }
+
+    /// The detect → recover → poison ladder over one injected upset.
+    ///
+    /// Every event books `flips_injected` exactly once and exactly one of
+    /// `corruptions_detected` / `sdc_escapes`; a detected event books
+    /// exactly one of `corruptions_corrected` / `corruptions_uncorrectable`
+    /// — the audit invariants of [`SimStats`] hold per event, not just in
+    /// aggregate. The end-to-end Ml2 path runs the *real* codec and seal:
+    /// the page's bytes are compressed, bits are flipped in the stored
+    /// payload (or the seal, for incompressible-to-nothing zero pages),
+    /// and [`MemDeflate::try_decompress_sealed`] renders the verdict.
+    fn apply_bit_flip(
+        &mut self,
+        flip: &BitFlipEvent,
+        entropy: u64,
+        page: Option<FlipPageContext<'_>>,
+        now_ns: f64,
+        stats: &mut SimStats,
+    ) -> Result<(), TmccError> {
+        stats.flips_injected = stats.flips_injected.saturating_add(1);
+        match flip.target {
+            FlipTarget::Ml2Payload => {
+                let Some(ctx) = page else {
+                    // No page content was delivered: nothing to exercise,
+                    // and nothing detected the upset.
+                    stats.sdc_escapes += 1;
+                    return Ok(());
+                };
+                let codec = MemDeflate::new(DeflateParams::new());
+                let mut comp = codec.compress_page(ctx.bytes);
+                let mut seal = comp.seal(0);
+                let payload_bits = comp.payload().len() * 8;
+                // Land the upset: Single = 1 bit, Burst = 4 adjacent bits,
+                // RowHammer = 16 bits sprayed across the payload plus one
+                // in the seal words. A zero page stores no payload, so its
+                // flips can only land in the seal/metadata.
+                let flips: u32 = match flip.shape {
+                    FlipShape::Single => 1,
+                    FlipShape::Burst => 4,
+                    FlipShape::RowHammer => 16,
+                };
+                if payload_bits == 0 {
+                    for i in 0..flips {
+                        seal.flip_bit((entropy >> (7 * (i % 8))) as u32 + 11 * i);
+                    }
+                } else {
+                    let base = (entropy % payload_bits as u64) as usize;
+                    for i in 0..flips as usize {
+                        let bit = match flip.shape {
+                            // Adjacent bits of one word, like a real burst.
+                            FlipShape::Single | FlipShape::Burst => (base + i) % payload_bits,
+                            // Spread across victim rows.
+                            FlipShape::RowHammer => {
+                                (base + i * (payload_bits / 17 + 1)) % payload_bits
+                            }
+                        };
+                        comp.payload_mut()[bit / 8] ^= 1 << (bit % 8);
+                    }
+                    if flip.shape == FlipShape::RowHammer {
+                        // The aggressor row also clips the seal metadata.
+                        seal.flip_bit(entropy as u32);
+                    }
+                }
+                // Detect: the sealed decode is the only read path.
+                let mut scratch = DeflateScratch::new();
+                let mut out = Vec::with_capacity(PAGE_SIZE);
+                let verdict = codec.try_decompress_sealed(&comp, &seal, 0, &mut scratch, &mut out);
+                let Err(err) = verdict else {
+                    // Distinct-bit flips cannot cancel, so a passing seal
+                    // means the upset was absorbed by dead payload space —
+                    // book it as an escape rather than claim credit.
+                    stats.sdc_escapes += 1;
+                    return Ok(());
+                };
+                stats.corruptions_detected += 1;
+                if err.is_metadata() {
+                    stats.metadata_corruptions_detected += 1;
+                }
+                // The failed decode attempt is the detection cost.
+                let mut recovery =
+                    self.timing.decompress_latency(payload_bits.max(8), PAGE_SIZE).ns;
+                if !ctx.dirty {
+                    // Clean page: regenerate from the content source and
+                    // recompress — a full repair.
+                    let rebuilt = codec.compress_page(ctx.bytes);
+                    recovery += self
+                        .timing
+                        .compress_latency(
+                            ctx.bytes.len(),
+                            rebuilt.lz_stats(),
+                            rebuilt.lz_len(),
+                            rebuilt.payload_bits(),
+                        )
+                        .ns;
+                    stats.corruptions_corrected += 1;
+                } else {
+                    match flip.shape {
+                        FlipShape::RowHammer => {
+                            // Divergent content, multi-bit spray across the
+                            // row: the raw copy sits in the same blast
+                            // radius, so nothing authoritative remains.
+                            stats.corruptions_uncorrectable += 1;
+                            self.poison_frame(now_ns, stats);
+                        }
+                        _ => {
+                            // Divergent page: restore from the raw-storage
+                            // copy (a plain 4 KiB read, no decompression).
+                            recovery += self.timing.decompress_latency(PAGE_SIZE * 8, PAGE_SIZE).ns;
+                            stats.corruptions_corrected += 1;
+                            stats.raw_fallbacks += 1;
+                        }
+                    }
+                }
+                stats.recovery_ns += recovery;
+            }
+            FlipTarget::Ml1Data => {
+                // ML1 frames hold raw uncompressed data with no seal or
+                // parity over them — the defining hole in the coverage
+                // story, measured rather than hidden.
+                stats.sdc_escapes += 1;
+            }
+            FlipTarget::CteSlot => {
+                let line = (entropy >> 24) as usize;
+                let bit = entropy as u32;
+                match flip.shape {
+                    // One stored bit: odd weight, parity always fires.
+                    FlipShape::Single => self.cte_cache.corrupt_slot_bit(line, bit),
+                    // Two adjacent bits of one line: even weight — the
+                    // per-line parity's blind spot.
+                    FlipShape::Burst => {
+                        self.cte_cache.corrupt_slot_bit(line, bit);
+                        self.cte_cache.corrupt_slot_bit(line, bit + 1);
+                    }
+                    // One bit in each of three victim lines: every line
+                    // trips its own parity.
+                    FlipShape::RowHammer => {
+                        for i in 0..3usize {
+                            self.cte_cache.corrupt_slot_bit(line + i, bit.wrapping_add(i as u32));
+                        }
+                    }
+                }
+                let violating = self.cte_cache.audit_parity();
+                if violating > 0 {
+                    stats.corruptions_detected += 1;
+                    stats.metadata_corruptions_detected += 1;
+                    // Scrub drops the poisoned translations; later walks
+                    // refill them from the authoritative in-DRAM table, so
+                    // the event is fully corrected.
+                    let dropped = self.cte_cache.scrub();
+                    stats.corruptions_corrected += 1;
+                    stats.recovery_ns += dropped as f64 * CTE_SCRUB_REFILL_NS;
+                } else {
+                    // An even-weight burst slipped past the parity: a
+                    // forged translation is now live.
+                    stats.sdc_escapes += 1;
+                }
+            }
+            FlipTarget::FreeListBitmap => {
+                // The free map is covered by the frame-conservation audit
+                // ([`Scheme::validate`]): a flipped free bit makes the
+                // free/owned/resident books disagree with the budget, so
+                // detection is certain and the map is rebuilt from the
+                // page-placement metadata (which stayed intact).
+                stats.corruptions_detected += 1;
+                stats.metadata_corruptions_detected += 1;
+                match flip.shape {
+                    FlipShape::Single | FlipShape::Burst => {
+                        stats.corruptions_corrected += 1;
+                        stats.recovery_ns +=
+                            self.total_frames as f64 * FREE_MAP_REBUILD_NS_PER_FRAME;
+                    }
+                    FlipShape::RowHammer => {
+                        // The spray straddles the map *and* the frame it
+                        // describes: rebuild cannot vouch for the frame's
+                        // contents, so it leaves service.
+                        stats.corruptions_uncorrectable += 1;
+                        self.poison_frame(now_ns, stats);
+                    }
+                }
+            }
+        }
         self.update_degradation(now_ns, stats);
         Ok(())
     }

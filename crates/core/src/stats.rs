@@ -109,6 +109,30 @@ pub struct SimStats {
     /// Times the scheme exited degraded mode (pressure fully relieved).
     pub recoveries: u64,
 
+    /// Bit-flip events injected from the configured
+    /// [`BitFlipPlan`](crate::config::BitFlipPlan).
+    pub flips_injected: u64,
+    /// Flips caught by an integrity check (payload CRC, metadata tag or
+    /// parity, conservation audit) before the corrupted value was used.
+    pub corruptions_detected: u64,
+    /// Detected corruptions repaired in place (content regenerated from
+    /// the page source, raw-store fallback, directory scrub + refill).
+    pub corruptions_corrected: u64,
+    /// Detected corruptions the ladder could not repair; the affected
+    /// frame was poisoned and quarantined.
+    pub corruptions_uncorrectable: u64,
+    /// Flips no check covers (or that defeated their check, e.g. an
+    /// even-weight burst under parity): silent data corruption escapes.
+    pub sdc_escapes: u64,
+    /// Subset of detections caught by a *metadata* check (seal tag, CTE
+    /// parity, free-list audit) rather than the payload CRC.
+    pub metadata_corruptions_detected: u64,
+    /// Frames permanently removed from the budget by poisoning.
+    pub frames_poisoned: u64,
+    /// Simulated ns spent in detect/recover work (decode attempts,
+    /// recompression, scrubs) attributable to injected flips.
+    pub recovery_ns: f64,
+
     /// Final DRAM bytes used by data + metadata.
     pub dram_used_bytes: u64,
     /// Uncompressed footprint bytes.
@@ -155,6 +179,22 @@ impl SimStats {
         ratio(self.ml2_reads, self.llc_misses() + self.llc_writebacks)
     }
 
+    /// Fraction of injected flips an integrity check caught (detected or
+    /// landed harmlessly); 1 − this is the SDC escape rate.
+    pub fn detection_coverage(&self) -> f64 {
+        ratio(self.corruptions_detected, self.flips_injected)
+    }
+
+    /// Fraction of injected flips that escaped every check silently.
+    pub fn sdc_escape_rate(&self) -> f64 {
+        ratio(self.sdc_escapes, self.flips_injected)
+    }
+
+    /// Fraction of detected corruptions the ladder repaired in place.
+    pub fn recovery_rate(&self) -> f64 {
+        ratio(self.corruptions_corrected, self.corruptions_detected)
+    }
+
     /// Effective capacity ratio: footprint / DRAM used.
     pub fn effective_ratio(&self) -> f64 {
         if self.dram_used_bytes == 0 {
@@ -194,6 +234,27 @@ impl SimStats {
                 self.cte_misses_after_tlb_miss, self.cte_misses
             ));
         }
+        if self.corruptions_corrected + self.corruptions_uncorrectable > self.corruptions_detected {
+            return Err(format!(
+                "corruption ladder outcomes ({} corrected + {} uncorrectable) exceed \
+                 detections ({})",
+                self.corruptions_corrected,
+                self.corruptions_uncorrectable,
+                self.corruptions_detected
+            ));
+        }
+        if self.corruptions_detected + self.sdc_escapes > self.flips_injected {
+            return Err(format!(
+                "corruption outcomes ({} detected + {} escaped) exceed flips injected ({})",
+                self.corruptions_detected, self.sdc_escapes, self.flips_injected
+            ));
+        }
+        if self.metadata_corruptions_detected > self.corruptions_detected {
+            return Err(format!(
+                "metadata_corruptions_detected ({}) exceeds corruptions_detected ({})",
+                self.metadata_corruptions_detected, self.corruptions_detected
+            ));
+        }
         let times = [
             ("elapsed_ns", self.elapsed_ns),
             ("l3_miss_latency_sum_ns", self.l3_miss_latency_sum_ns),
@@ -201,6 +262,7 @@ impl SimStats {
             ("ml2_latency_sum_ns", self.ml2_latency_sum_ns),
             ("migration_stall_ns", self.migration_stall_ns),
             ("degraded_ns", self.degraded_ns),
+            ("recovery_ns", self.recovery_ns),
         ];
         for (name, value) in times {
             if !value.is_finite() || value < 0.0 {
@@ -248,6 +310,14 @@ impl SimStats {
             raw_fallbacks: f.u64("raw_fallbacks")?,
             degraded_ns: f.f64("degraded_ns")?,
             recoveries: f.u64("recoveries")?,
+            flips_injected: f.u64("flips_injected")?,
+            corruptions_detected: f.u64("corruptions_detected")?,
+            corruptions_corrected: f.u64("corruptions_corrected")?,
+            corruptions_uncorrectable: f.u64("corruptions_uncorrectable")?,
+            sdc_escapes: f.u64("sdc_escapes")?,
+            metadata_corruptions_detected: f.u64("metadata_corruptions_detected")?,
+            frames_poisoned: f.u64("frames_poisoned")?,
+            recovery_ns: f.f64("recovery_ns")?,
             dram_used_bytes: f.u64("dram_used_bytes")?,
             footprint_bytes: f.u64("footprint_bytes")?,
         };
@@ -382,6 +452,43 @@ mod tests {
 
         let nan_time = SimStats { elapsed_ns: f64::NAN, ..Default::default() };
         assert!(nan_time.audit().unwrap_err().contains("elapsed_ns"));
+
+        let over_resolved = SimStats {
+            flips_injected: 5,
+            corruptions_detected: 2,
+            corruptions_corrected: 2,
+            corruptions_uncorrectable: 1,
+            ..Default::default()
+        };
+        assert!(over_resolved.audit().unwrap_err().contains("ladder outcomes"));
+
+        let over_detected = SimStats {
+            flips_injected: 1,
+            corruptions_detected: 1,
+            sdc_escapes: 1,
+            ..Default::default()
+        };
+        assert!(over_detected.audit().unwrap_err().contains("exceed flips injected"));
+    }
+
+    #[test]
+    fn integrity_metrics_derive_from_counters() {
+        let s = SimStats {
+            flips_injected: 10,
+            corruptions_detected: 8,
+            corruptions_corrected: 6,
+            corruptions_uncorrectable: 2,
+            sdc_escapes: 2,
+            metadata_corruptions_detected: 3,
+            frames_poisoned: 2,
+            recovery_ns: 420.0,
+            ..Default::default()
+        };
+        assert!(s.audit().is_ok());
+        assert!((s.detection_coverage() - 0.8).abs() < 1e-12);
+        assert!((s.sdc_escape_rate() - 0.2).abs() < 1e-12);
+        assert!((s.recovery_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(SimStats::default().detection_coverage(), 0.0);
     }
 
     #[test]

@@ -18,13 +18,17 @@
 //! auditor after every maintenance interval, turning silent state
 //! corruption into a typed [`TmccError::InvariantViolation`].
 
-use crate::config::{FaultEvent, SchemeKind, SystemConfig};
+use crate::config::{BitFlipEvent, FaultEvent, FlipTarget, SchemeKind, SystemConfig};
 use crate::error::TmccError;
 use crate::handle::{RunHandle, CANCEL_CHECK_PERIOD};
 use crate::latency::LatencyHistogram;
-use crate::schemes::{CompressoScheme, MemRequest, NoCompressionScheme, Scheme, TwoLevelScheme};
+use crate::schemes::{
+    CompressoScheme, FlipPageContext, MemRequest, NoCompressionScheme, Scheme, TwoLevelScheme,
+};
 use crate::size_model::SizeModel;
 use crate::stats::{RunReport, SimStats};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use std::time::Instant;
 use tmcc_sim_dram::DramSim;
@@ -96,6 +100,13 @@ pub struct System {
     /// Fault events sorted by `at_access`, applied in order.
     fault_events: Vec<FaultEvent>,
     next_fault: usize,
+    /// Bit-flip events sorted by `at_access`, applied in order.
+    flip_events: Vec<BitFlipEvent>,
+    next_flip: usize,
+    /// Dedicated RNG for flip placement, seeded independently of every
+    /// other stream: an empty flip plan draws nothing from it, so
+    /// flip-free runs are bit-identical with or without the machinery.
+    flip_rng: SmallRng,
     /// Accesses executed since construction, warmup included — the clock
     /// fault events are scheduled against.
     total_accesses: u64,
@@ -205,6 +216,9 @@ impl System {
 
         let mut fault_events = cfg.fault_plan.events.clone();
         fault_events.sort_by_key(|e| e.at_access);
+        let mut flip_events = cfg.flip_plan.events.clone();
+        flip_events.sort_by_key(|e| e.at_access);
+        let flip_rng = SmallRng::seed_from_u64(cfg.seed ^ 0xB17_F11B5);
 
         Ok(Self {
             tlb: Tlb::new(cfg.tlb_entries, 8),
@@ -220,6 +234,9 @@ impl System {
             accesses_since_maintenance: 0,
             fault_events,
             next_fault: 0,
+            flip_events,
+            next_flip: 0,
+            flip_rng,
             total_accesses: 0,
             measure_start_ns: 0.0,
             walk_buf: Vec::with_capacity(4),
@@ -300,6 +317,55 @@ impl System {
         Ok(())
     }
 
+    /// Applies every bit-flip event scheduled at or before the current
+    /// access count: picks a deterministic target page where the flip
+    /// needs one, reads its real content from the lazy store, and hands
+    /// the upset to the scheme's detect/recover/poison ladder.
+    fn apply_due_flips(&mut self) -> Result<(), TmccError> {
+        while let Some(ev) = self.flip_events.get(self.next_flip) {
+            if ev.at_access > self.total_accesses {
+                break;
+            }
+            let flip = *ev;
+            self.next_flip += 1;
+            let entropy: u64 = self.flip_rng.gen();
+            let page = match flip.target {
+                FlipTarget::Ml2Payload | FlipTarget::Ml1Data => {
+                    let pages = self.cfg.workload.sim_pages.max(1);
+                    let ppn = Ppn::new(entropy % pages);
+                    let dirty = self.store.is_pinned(ppn.raw());
+                    Some((ppn, dirty))
+                }
+                FlipTarget::CteSlot | FlipTarget::FreeListBitmap => None,
+            };
+            match page {
+                Some((ppn, dirty)) => {
+                    // Field-level borrows: the store lends the page bytes
+                    // while the scheme and stats are borrowed separately.
+                    let bytes = self.store.read(ppn.raw());
+                    let ctx = FlipPageContext { ppn, bytes, dirty };
+                    self.scheme.apply_bit_flip(
+                        &flip,
+                        entropy,
+                        Some(ctx),
+                        self.now_ns,
+                        &mut self.stats,
+                    )?;
+                }
+                None => {
+                    self.scheme.apply_bit_flip(
+                        &flip,
+                        entropy,
+                        None,
+                        self.now_ns,
+                        &mut self.stats,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Executes one workload access end to end.
     fn try_step(&mut self) -> Result<(), TmccError> {
         // Host-time phase stamps, only taken under `cfg.profile`.
@@ -313,6 +379,7 @@ impl System {
             }
         }
         self.apply_due_faults()?;
+        self.apply_due_flips()?;
         self.total_accesses += 1;
         let ev = self.streams[self.next_stream].next_access();
         self.next_stream = (self.next_stream + 1) % self.streams.len();

@@ -1032,6 +1032,21 @@ impl MultiTenantSystem {
                     shrink_events: s.counters.shrink_events,
                     grow_events: s.counters.grow_events,
                     guarantee_breach_rounds: s.counters.guarantee_breach_rounds,
+                    flips_injected: s.final_report.as_ref().map_or(0, |r| r.stats.flips_injected),
+                    corruptions_detected: s
+                        .final_report
+                        .as_ref()
+                        .map_or(0, |r| r.stats.corruptions_detected),
+                    corruptions_corrected: s
+                        .final_report
+                        .as_ref()
+                        .map_or(0, |r| r.stats.corruptions_corrected),
+                    corruptions_uncorrectable: s
+                        .final_report
+                        .as_ref()
+                        .map_or(0, |r| r.stats.corruptions_uncorrectable),
+                    sdc_escapes: s.final_report.as_ref().map_or(0, |r| r.stats.sdc_escapes),
+                    frames_poisoned: s.final_report.as_ref().map_or(0, |r| r.stats.frames_poisoned),
                     measured_accesses: s.counters.measured_accesses,
                     lat_p50_ns: lat.map_or(0, |h| h.percentile_ns(500)),
                     lat_p95_ns: lat.map_or(0, |h| h.percentile_ns(950)),

@@ -54,6 +54,21 @@ pub struct TenantReport {
     pub grow_events: u64,
     /// Rounds this tenant spent below its guarantee (pool-shrink storms).
     pub guarantee_breach_rounds: u64,
+    /// Bit flips injected into this tenant's memory system — the blast
+    /// radius of an integrity storm is per-tenant by construction (each
+    /// tenant owns its frames, seals and CTE directory), and these
+    /// counters prove it: a neighbour's flips never appear here.
+    pub flips_injected: u64,
+    /// Flips the tenant's seals/parity caught.
+    pub corruptions_detected: u64,
+    /// Detected flips repaired (regeneration, raw fallback, scrub).
+    pub corruptions_corrected: u64,
+    /// Detected flips beyond repair (frame poisoned).
+    pub corruptions_uncorrectable: u64,
+    /// Flips that escaped detection — silent data corruption.
+    pub sdc_escapes: u64,
+    /// Frames the poison rung took out of this tenant's budget.
+    pub frames_poisoned: u64,
     /// Measured accesses the tenant executed.
     pub measured_accesses: u64,
     /// Median per-access memory latency (fixed-bin log₂ histogram upper
@@ -152,6 +167,12 @@ impl TenantReport {
             shrink_events: f.u64("shrink_events")?,
             grow_events: f.u64("grow_events")?,
             guarantee_breach_rounds: f.u64("guarantee_breach_rounds")?,
+            flips_injected: f.u64("flips_injected")?,
+            corruptions_detected: f.u64("corruptions_detected")?,
+            corruptions_corrected: f.u64("corruptions_corrected")?,
+            corruptions_uncorrectable: f.u64("corruptions_uncorrectable")?,
+            sdc_escapes: f.u64("sdc_escapes")?,
+            frames_poisoned: f.u64("frames_poisoned")?,
             measured_accesses: f.u64("measured_accesses")?,
             lat_p50_ns: f.u64("lat_p50_ns")?,
             lat_p95_ns: f.u64("lat_p95_ns")?,
@@ -229,6 +250,12 @@ mod tests {
             shrink_events: 1,
             grow_events: 1,
             guarantee_breach_rounds: 0,
+            flips_injected: 6,
+            corruptions_detected: 5,
+            corruptions_corrected: 4,
+            corruptions_uncorrectable: 1,
+            sdc_escapes: 1,
+            frames_poisoned: 1,
             measured_accesses: 4096,
             lat_p50_ns: 128,
             lat_p95_ns: 512,

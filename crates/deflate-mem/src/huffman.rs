@@ -23,7 +23,7 @@
 //! short sorted scan. Streams are bit-identical to the pre-table decoder's.
 
 use crate::PAGE_SIZE;
-use tmcc_compression::{BitReader, BitWriter};
+use tmcc_compression::{BitReader, BitWriter, CodecError};
 
 /// Number of leaves in the reduced tree (15 hot symbols + escape).
 pub const REDUCED_LEAVES: usize = 16;
@@ -103,6 +103,19 @@ fn canonical_codes(lengths: &[u32]) -> Vec<(u32, u32)> {
     codes
 }
 
+/// Validates the Kraft inequality for *untrusted* code lengths (a tree
+/// header read from a possibly bit-flipped stream). An oversubscribed tree
+/// has colliding canonical codes whose values overflow their own bit
+/// width, which would index past the end of the decode table.
+fn validate_kraft(lengths: &[u32]) -> Result<(), CodecError> {
+    const ONE: u64 = 1 << 15; // lengths are 4-bit fields, so always <= 15
+    let sum: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| ONE >> l).sum();
+    if sum > ONE {
+        return Err(CodecError::InvalidCode { context: "Huffman tree lengths", value: sum });
+    }
+    Ok(())
+}
+
 /// Root-table size cap in bits: 2^11 × 2 B = 4 KiB, comfortably
 /// cache-resident while still resolving every code of length ≤ 11 in one
 /// lookup. Canonical codes longer than this belong to symbols with
@@ -167,20 +180,35 @@ impl DecodeTable {
     /// Panics if the next bits match no code in the tree.
     #[inline]
     fn decode_sym(&self, r: &mut BitReader<'_>) -> u16 {
-        let e = self.table[r.peek(self.root_bits) as usize];
+        match self.try_decode_sym(r) {
+            Ok(sym) => sym,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible symbol decode: the next bits matching no code, or the
+    /// stream ending inside a code, is an error value instead of a panic.
+    /// `peek` zero-pads past the end, so exhaustion is caught by the
+    /// consume step after the (padded) prefix resolves.
+    #[inline]
+    fn try_decode_sym(&self, r: &mut BitReader<'_>) -> Result<u16, CodecError> {
+        let key = r.peek(self.root_bits);
+        let e = self.table[key as usize];
         if e != LONG_CODE {
-            assert!(e != 0, "invalid Huffman code");
-            r.consume((e >> 12) as u32);
-            return e & 0x0FFF;
+            if e == 0 {
+                return Err(CodecError::InvalidCode { context: "Huffman code", value: key });
+            }
+            r.try_consume((e >> 12) as u32, "Huffman code")?;
+            return Ok(e & 0x0FFF);
         }
         let bits = r.peek(self.max_len) as u32;
         for &(len, code, sym) in &self.long {
             if bits >> (self.max_len - len) == code {
-                r.consume(len);
-                return sym;
+                r.try_consume(len, "Huffman long code")?;
+                return Ok(sym);
             }
         }
-        panic!("code longer than any in tree");
+        Err(CodecError::InvalidCode { context: "Huffman long code", value: bits as u64 })
     }
 }
 
@@ -347,9 +375,23 @@ impl ReducedHuffman {
     ///
     /// # Panics
     ///
-    /// Panics if `stream` is shorter than [`Self::TREE_BYTES`].
+    /// Panics if `stream` is shorter than [`Self::TREE_BYTES`] or the tree
+    /// entries are corrupt (the [`try_read_tree`](Self::try_read_tree)
+    /// error, formatted).
     pub fn read_tree(stream: &[u8]) -> (Self, &[u8]) {
-        assert!(stream.len() >= Self::TREE_BYTES, "stream too short for tree");
+        match Self::try_read_tree(stream) {
+            Ok(parts) => parts,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible tree read for untrusted streams: reports a short header or
+    /// an oversubscribed (Kraft-violating) set of code lengths — which a
+    /// single flipped length bit can produce — instead of panicking.
+    pub fn try_read_tree(stream: &[u8]) -> Result<(Self, &[u8]), CodecError> {
+        if stream.len() < Self::TREE_BYTES {
+            return Err(CodecError::UnexpectedEnd { context: "reduced tree header" });
+        }
         let mut r = BitReader::new(&stream[..Self::TREE_BYTES]);
         let mut hot = Vec::new();
         let mut lengths = Vec::new();
@@ -363,7 +405,8 @@ impl ReducedHuffman {
         }
         let _ = r.get(8);
         lengths.push(r.get(4) as u32); // escape
-        (Self::from_parts(hot, lengths), &stream[Self::TREE_BYTES..])
+        validate_kraft(&lengths)?;
+        Ok((Self::from_parts(hot, lengths), &stream[Self::TREE_BYTES..]))
     }
 
     /// Decodes `n` original bytes from `payload` (no tree header).
@@ -404,6 +447,39 @@ impl ReducedHuffman {
                 out.push(self.hot[s as usize]);
             }
         }
+    }
+
+    /// Fallible decode of `n` bytes from `payload` (no tree header).
+    pub fn try_decode(&self, payload: &[u8], n: usize) -> Result<Vec<u8>, CodecError> {
+        let mut r = BitReader::new(payload);
+        let mut out = Vec::new();
+        self.try_decode_from_into(&mut r, n, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fallible variant of [`decode_from_into`](Self::decode_from_into):
+    /// invalid codes and exhaustion are error values. `out` may hold a
+    /// partial prefix on error; the length is bounded by `n` either way.
+    pub fn try_decode_from_into(
+        &self,
+        r: &mut BitReader<'_>,
+        n: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let escape = self.escape_idx() as u16;
+        // `n` may come from corrupted metadata: the reserve is only a hint,
+        // so bound it — the loop exhausts the (bounded) stream long before
+        // a huge `n` is reached.
+        out.reserve(n.min(1 << 20));
+        for _ in 0..n {
+            let s = self.decode_table.try_decode_sym(r)?;
+            if s == escape {
+                out.push(r.try_get(8, "Huffman escape byte")? as u8);
+            } else {
+                out.push(self.hot[s as usize]);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -457,19 +533,35 @@ impl FullHuffman {
     ///
     /// # Panics
     ///
-    /// Panics on malformed streams.
+    /// Panics on malformed streams (the [`try_decode`](Self::try_decode)
+    /// error, formatted).
     pub fn decode(stream: &[u8], n: usize) -> Vec<u8> {
+        match Self::try_decode(stream, n) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible decode for untrusted streams: a short header, an
+    /// oversubscribed length table, or a payload that exhausts or hits an
+    /// invalid code is an error value instead of a panic.
+    pub fn try_decode(stream: &[u8], n: usize) -> Result<Vec<u8>, CodecError> {
+        if stream.len() < Self::TREE_BYTES {
+            return Err(CodecError::UnexpectedEnd { context: "full tree header" });
+        }
         let mut r = BitReader::new(stream);
         let mut lengths = vec![0u32; 256];
         for l in lengths.iter_mut() {
             *l = r.get(4) as u32;
         }
+        validate_kraft(&lengths)?;
         let table = DecodeTable::build(&canonical_codes(&lengths));
-        let mut out = Vec::with_capacity(n);
+        // `n` may come from a corrupted header; the stream runs dry first.
+        let mut out = Vec::with_capacity(n.min(1 << 20));
         while out.len() < n {
-            out.push(table.decode_sym(&mut r) as u8);
+            out.push(table.try_decode_sym(&mut r)? as u8);
         }
-        out
+        Ok(out)
     }
 
     /// Encoded size in bits, excluding the tree header.
@@ -673,11 +765,75 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid Huffman code")]
+    #[should_panic(expected = "invalid code")]
     fn malformed_stream_panics() {
         // A single-symbol tree leaves half the root table invalid; a
         // stream of 1-bits hits it immediately.
         let tree = ReducedHuffman::build(&[], DEFAULT_MAX_DEPTH);
         let _ = tree.decode(&[0xFF, 0xFF], 4);
+    }
+
+    #[test]
+    fn malformed_stream_is_a_typed_error() {
+        let tree = ReducedHuffman::build(&[], DEFAULT_MAX_DEPTH);
+        assert_eq!(
+            tree.try_decode(&[0xFF, 0xFF], 4),
+            Err(CodecError::InvalidCode { context: "Huffman code", value: 1 })
+        );
+        // An exhausted payload is UnexpectedEnd, not a panic.
+        let data = b"abcabcabc".repeat(10);
+        let tree = ReducedHuffman::build(&data, DEFAULT_MAX_DEPTH);
+        let mut w = BitWriter::new();
+        tree.encode_into(&mut w, &data);
+        let payload = w.into_bytes();
+        let err = tree.try_decode(&payload, data.len() + 512).unwrap_err();
+        assert!(
+            matches!(err, CodecError::UnexpectedEnd { .. } | CodecError::InvalidCode { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_tree_header_is_rejected() {
+        // Hand-build a tree header claiming three codes of length 1: the
+        // canonical third code would be `10` in 1 bit — impossible, and
+        // exactly what a flipped length nibble can produce.
+        let mut w = BitWriter::new();
+        for sym in [b'a', b'b'] {
+            w.put(sym as u64, 8);
+            w.put(1, 4);
+        }
+        for _ in 2..REDUCED_LEAVES - 1 {
+            w.put(0, 12);
+        }
+        w.put(0, 8);
+        w.put(1, 4); // escape also claims length 1 => Kraft sum 3/2
+        let header = w.into_bytes();
+        assert_eq!(header.len(), ReducedHuffman::TREE_BYTES);
+        let err = ReducedHuffman::try_read_tree(&header).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::InvalidCode { context: "Huffman tree lengths", value: 3 * (1 << 14) }
+        );
+        // Short headers are UnexpectedEnd.
+        assert!(matches!(
+            ReducedHuffman::try_read_tree(&header[..10]),
+            Err(CodecError::UnexpectedEnd { context: "reduced tree header" })
+        ));
+    }
+
+    #[test]
+    fn full_huffman_rejects_corrupt_streams() {
+        assert_eq!(
+            FullHuffman::try_decode(&[0u8; 16], 4),
+            Err(CodecError::UnexpectedEnd { context: "full tree header" })
+        );
+        // All-0x11 header: every symbol claims length 1 => massively
+        // oversubscribed.
+        let bad = vec![0x11u8; FullHuffman::TREE_BYTES];
+        assert!(matches!(
+            FullHuffman::try_decode(&bad, 4),
+            Err(CodecError::InvalidCode { context: "Huffman tree lengths", .. })
+        ));
     }
 }

@@ -46,9 +46,11 @@ pub use huffman::{FullHuffman, ReducedHuffman};
 pub use ibm::IbmDeflateModel;
 pub use lz::{LzCodec, LzScratch};
 pub use pipeline::{
-    CompressedPage, DeflateParams, DeflateScratch, MemDeflate, PageMode, SizeQuote, SoftwareDeflate,
+    CompressedPage, DeflateParams, DeflateScratch, MemDeflate, PageMode, PageSeal, SizeQuote,
+    SoftwareDeflate,
 };
 pub use timing::{DeflateTiming, TimingReport};
+pub use tmcc_compression::CodecError;
 
 /// Size of a memory page in bytes.
 pub const PAGE_SIZE: usize = 4096;

@@ -35,6 +35,8 @@
 //! entries instead of one per input byte and never needs clearing between
 //! pages.
 
+use tmcc_compression::CodecError;
+
 /// Maximum match length representable in the 6-bit length field.
 const MAX_LEN_CODE: u32 = 63;
 /// Escape marker byte.
@@ -307,8 +309,26 @@ impl LzCodec {
     ///
     /// # Panics
     ///
-    /// Panics on a malformed stream.
+    /// Panics on a malformed stream (the
+    /// [`try_decompress_into`](Self::try_decompress_into) error, formatted).
     pub fn decompress_into(&self, stream: &[u8], out: &mut Vec<u8>) {
+        if let Err(e) = self.try_decompress_into(stream, out, usize::MAX) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible decompression for untrusted streams: truncated escape
+    /// sequences and match fields, zero length codes, and back-references
+    /// past the start of output are error values, and the output never
+    /// grows past `cap` bytes (a corrupt stream must not allocate
+    /// unboundedly). `out` is cleared first and may hold a partial prefix
+    /// on error.
+    pub fn try_decompress_into(
+        &self,
+        stream: &[u8],
+        out: &mut Vec<u8>,
+        cap: usize,
+    ) -> Result<(), CodecError> {
         out.clear();
         out.reserve(stream.len() * 2);
         let field_bits = 6 + self.dist_bits;
@@ -318,16 +338,25 @@ impl LzCodec {
             let b = stream[i];
             i += 1;
             if b != MARKER {
+                if out.len() >= cap {
+                    return Err(CodecError::OutputOverflow { context: "LZ literal", cap });
+                }
                 out.push(b);
                 continue;
             }
-            assert!(i < stream.len(), "truncated escape sequence");
-            if stream[i] == 0 {
+            let &next =
+                stream.get(i).ok_or(CodecError::UnexpectedEnd { context: "LZ escape sequence" })?;
+            if next == 0 {
+                if out.len() >= cap {
+                    return Err(CodecError::OutputOverflow { context: "LZ literal", cap });
+                }
                 out.push(MARKER);
                 i += 1;
                 continue;
             }
-            assert!(i + field_bytes <= stream.len(), "truncated match field");
+            if i + field_bytes > stream.len() {
+                return Err(CodecError::UnexpectedEnd { context: "LZ match field" });
+            }
             let mut packed: u64 = 0;
             for k in 0..field_bytes {
                 packed = (packed << 8) | stream[i + k] as u64;
@@ -336,9 +365,16 @@ impl LzCodec {
             packed >>= field_bytes as u32 * 8 - field_bits;
             let len_code = (packed >> self.dist_bits) as usize;
             let dist = (packed & ((1 << self.dist_bits) - 1)) as usize + 1;
-            assert!(len_code >= 1, "invalid zero length code");
+            if len_code == 0 {
+                return Err(CodecError::InvalidCode { context: "LZ length code", value: 0 });
+            }
             let len = len_code + self.min_match - 1;
-            assert!(dist <= out.len(), "match distance reaches before output");
+            if dist > out.len() {
+                return Err(CodecError::BadBackref { distance: dist, produced: out.len() });
+            }
+            if len > cap.saturating_sub(out.len()) {
+                return Err(CodecError::OutputOverflow { context: "LZ match", cap });
+            }
             let start = out.len() - dist;
             if dist >= len {
                 out.extend_from_within(start..start + len);
@@ -350,6 +386,7 @@ impl LzCodec {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -503,6 +540,42 @@ mod tests {
             assert_eq!(out, reference, "base {base:#x}");
             assert_eq!(stats, ref_stats, "base {base:#x}");
         }
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        let lz = LzCodec::memory_specialized(); // field_bytes = 2
+        let mut out = Vec::new();
+        // Marker with nothing after it.
+        assert_eq!(
+            lz.try_decompress_into(&[0xFF], &mut out, 4096),
+            Err(CodecError::UnexpectedEnd { context: "LZ escape sequence" })
+        );
+        // Marker + one byte of a two-byte match field.
+        assert_eq!(
+            lz.try_decompress_into(&[0xFF, 0x40], &mut out, 4096),
+            Err(CodecError::UnexpectedEnd { context: "LZ match field" })
+        );
+        // Nonzero first field byte whose 6-bit length code is still zero.
+        assert_eq!(
+            lz.try_decompress_into(&[0xFF, 0x01, 0x00], &mut out, 4096),
+            Err(CodecError::InvalidCode { context: "LZ length code", value: 0 })
+        );
+        // A back-reference with no output produced yet.
+        assert_eq!(
+            lz.try_decompress_into(&[0xFF, 0x44, 0x02], &mut out, 4096),
+            Err(CodecError::BadBackref { distance: 3, produced: 0 })
+        );
+        // Output cap: a valid RLE stream that would exceed 4 bytes.
+        let data = vec![9u8; 300];
+        let (stream, _) = lz.compress(&data);
+        assert_eq!(
+            lz.try_decompress_into(&stream, &mut out, 4),
+            Err(CodecError::OutputOverflow { context: "LZ match", cap: 4 })
+        );
+        // The same stream under a sufficient cap round-trips.
+        lz.try_decompress_into(&stream, &mut out, 4096).unwrap();
+        assert_eq!(out, data);
     }
 
     #[test]

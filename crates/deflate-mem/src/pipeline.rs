@@ -28,7 +28,8 @@ use std::cell::RefCell;
 use crate::huffman::{FullHuffman, ReducedHuffman, DEFAULT_MAX_DEPTH};
 use crate::lz::{LzCodec, LzScratch, LzStats};
 use crate::timing::{DeflateTiming, TimingReport};
-use tmcc_compression::BitWriter;
+use tmcc_compression::{BitWriter, CodecError};
+use tmcc_types::crc32;
 
 /// How a page is stored (first byte of the serialized form).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +144,82 @@ impl CompressedPage {
     ) -> Self {
         let payload_bits = payload.len() * 8;
         Self { mode, original_len, lz_len, payload, payload_bits, stats: LzStats::default() }
+    }
+
+    /// Returns a mutable view of the payload bytes — the bit-flip fault
+    /// injector's way of corrupting a stored page in place.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.payload
+    }
+
+    /// The packed metadata tag the seal covers: mode, original/LZ lengths,
+    /// exact payload bit count and the owning CTE's rank. 62 bits used.
+    fn tag_word(&self, cte_rank: u8) -> u64 {
+        (self.mode as u64)
+            | (self.original_len as u64) << 2
+            | (self.payload_bits as u64) << 18
+            | (cte_rank as u64) << 38
+            | (self.lz_len as u64) << 46
+    }
+
+    /// Seals the page: a CRC32 over the payload plus the metadata tag.
+    /// `cte_rank` binds the seal to the translation entry that owns the
+    /// page, so a page attached to the wrong CTE fails as metadata
+    /// corruption rather than decoding garbage.
+    pub fn seal(&self, cte_rank: u8) -> PageSeal {
+        PageSeal { tag: self.tag_word(cte_rank), crc: crc32(&self.payload) }
+    }
+
+    /// Verifies a seal produced by [`seal`](Self::seal). Metadata (tag)
+    /// disagreement is reported separately from payload (CRC) corruption —
+    /// the recovery ladder accounts the two differently.
+    pub fn verify_seal(&self, seal: &PageSeal, cte_rank: u8) -> Result<(), CodecError> {
+        let computed = self.tag_word(cte_rank);
+        if seal.tag != computed {
+            return Err(CodecError::MetadataMismatch { stored: seal.tag, computed });
+        }
+        let crc = crc32(&self.payload);
+        if seal.crc != crc {
+            return Err(CodecError::ChecksumMismatch { stored: seal.crc, computed: crc });
+        }
+        Ok(())
+    }
+}
+
+/// Integrity seal for one stored [`CompressedPage`]: a CRC32 over the
+/// payload bytes and a packed copy of the metadata the decoder trusts
+/// (mode, lengths, CTE rank). Stored alongside the page's translation
+/// metadata, so payload corruption and metadata corruption are separately
+/// detectable (paper-adjacent: the TMCC metadata cache already holds
+/// per-page state; the seal rides in the same structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageSeal {
+    tag: u64,
+    crc: u32,
+}
+
+impl PageSeal {
+    /// Modeled storage cost of a seal in ML2 metadata: 4 CRC bytes + 8 tag
+    /// bytes.
+    pub const STORED_BYTES: usize = 12;
+
+    /// The stored CRC32.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// The stored metadata tag word.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Flips one bit of the stored seal itself — fault injection on the
+    /// metadata side.
+    pub fn flip_bit(&mut self, bit: u32) {
+        match bit % 96 {
+            b @ 0..=31 => self.crc ^= 1 << b,
+            b => self.tag ^= 1 << ((b - 32) % 64),
+        }
     }
 }
 
@@ -420,26 +497,79 @@ impl MemDeflate {
     ///
     /// # Panics
     ///
-    /// Panics on pages not produced by this codec configuration.
+    /// Panics on pages not produced by this codec configuration (the
+    /// [`try_decompress_page_into`](Self::try_decompress_page_into) error,
+    /// formatted).
     pub fn decompress_page_into(
         &self,
         page: &CompressedPage,
         scratch: &mut DeflateScratch,
         out: &mut Vec<u8>,
     ) {
+        if let Err(e) = self.try_decompress_page_into(page, scratch, out) {
+            panic!("page decode failed: {e}");
+        }
+    }
+
+    /// Fallible page decompression for untrusted (possibly bit-flipped)
+    /// pages: every malformed-stream condition in the tree reader, Huffman
+    /// decoder and LZ back end is an error value; output is bounded by the
+    /// page's declared `original_len`; decoded output whose length
+    /// disagrees with the declaration is itself an error. `out` may hold a
+    /// partial prefix on error.
+    pub fn try_decompress_page_into(
+        &self,
+        page: &CompressedPage,
+        scratch: &mut DeflateScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
         out.clear();
         match page.mode {
             PageMode::Zero => out.resize(page.original_len, 0),
-            PageMode::Raw => out.extend_from_slice(&page.payload),
-            PageMode::LzOnly => self.lz.decompress_into(&page.payload, out),
+            PageMode::Raw => {
+                if page.payload.len() != page.original_len {
+                    return Err(CodecError::LengthMismatch {
+                        context: "raw page payload",
+                        expected: page.original_len,
+                        got: page.payload.len(),
+                    });
+                }
+                out.extend_from_slice(&page.payload);
+            }
+            PageMode::LzOnly => {
+                self.lz.try_decompress_into(&page.payload, out, page.original_len)?;
+            }
             PageMode::LzHuffman => {
-                let (tree, rest) = ReducedHuffman::read_tree(&page.payload);
+                let (tree, rest) = ReducedHuffman::try_read_tree(&page.payload)?;
                 scratch.lz_buf.clear();
                 let mut r = tmcc_compression::BitReader::new(rest);
-                tree.decode_from_into(&mut r, page.lz_len, &mut scratch.lz_buf);
-                self.lz.decompress_into(&scratch.lz_buf, out);
+                tree.try_decode_from_into(&mut r, page.lz_len, &mut scratch.lz_buf)?;
+                self.lz.try_decompress_into(&scratch.lz_buf, out, page.original_len)?;
             }
         }
+        if out.len() != page.original_len {
+            return Err(CodecError::LengthMismatch {
+                context: "decoded page length",
+                expected: page.original_len,
+                got: out.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Sealed decode: verifies the integrity seal (metadata tag first,
+    /// then payload CRC) before running the fallible decoder — the
+    /// end-to-end entry point of the detect/recover/poison ladder.
+    pub fn try_decompress_sealed(
+        &self,
+        page: &CompressedPage,
+        seal: &PageSeal,
+        cte_rank: u8,
+        scratch: &mut DeflateScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        page.verify_seal(seal, cte_rank)?;
+        self.try_decompress_page_into(page, scratch, out)
     }
 
     /// Compressed size of a page without materializing the payload —
@@ -558,17 +688,47 @@ impl SoftwareDeflate {
     ///
     /// # Panics
     ///
-    /// Panics on malformed input.
+    /// Panics on malformed input (the
+    /// [`try_decompress`](Self::try_decompress) error, formatted).
     pub fn decompress(&self, data: &[u8]) -> Vec<u8> {
-        let original_len = u32::from_le_bytes(data[..4].try_into().expect("len")) as usize;
-        let lz_len = u32::from_le_bytes(data[4..8].try_into().expect("len")) as usize;
-        let lz_stream = match data[8] {
-            1 => crate::huffman::FullHuffman::decode(&data[9..], lz_len),
-            _ => data[9..9 + lz_len].to_vec(),
+        match self.try_decompress(data) {
+            Ok(out) => out,
+            Err(e) => panic!("software deflate decode failed: {e}"),
+        }
+    }
+
+    /// Fallible decompression for untrusted streams: short headers,
+    /// truncated bodies and length contradictions are error values, and
+    /// output is bounded by the header's declared length.
+    pub fn try_decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        const HDR: &str = "software deflate header";
+        let original_len = u32::from_le_bytes(
+            data.get(..4).ok_or(CodecError::UnexpectedEnd { context: HDR })?.try_into().expect("4"),
+        ) as usize;
+        let lz_len = u32::from_le_bytes(
+            data.get(4..8)
+                .ok_or(CodecError::UnexpectedEnd { context: HDR })?
+                .try_into()
+                .expect("4"),
+        ) as usize;
+        let &flag = data.get(8).ok_or(CodecError::UnexpectedEnd { context: HDR })?;
+        let lz_stream = match flag {
+            1 => crate::huffman::FullHuffman::try_decode(&data[9..], lz_len)?,
+            _ => data
+                .get(9..9 + lz_len)
+                .ok_or(CodecError::UnexpectedEnd { context: "software deflate LZ body" })?
+                .to_vec(),
         };
-        let out = self.lz.decompress(&lz_stream);
-        assert_eq!(out.len(), original_len, "length mismatch");
-        out
+        let mut out = Vec::new();
+        self.lz.try_decompress_into(&lz_stream, &mut out, original_len)?;
+        if out.len() != original_len {
+            return Err(CodecError::LengthMismatch {
+                context: "software deflate output",
+                expected: original_len,
+                got: out.len(),
+            });
+        }
+        Ok(out)
     }
 
     /// Compressed size of `data` under the reference codec, computed
@@ -865,5 +1025,103 @@ mod tests {
     #[should_panic(expected = "page length must be in 1..65536")]
     fn rejects_empty_page() {
         let _ = MemDeflate::default().compress_page(&[]);
+    }
+
+    #[test]
+    fn seal_round_trips_and_detects_payload_flips() {
+        let codec = MemDeflate::default();
+        let page = textish_page();
+        let mut c = codec.compress_page(&page);
+        let seal = c.seal(3);
+        c.verify_seal(&seal, 3).expect("clean page verifies");
+        // Any single payload bit flip fails the CRC, payload-classified.
+        for bit in [0usize, 7, 100, c.payload().len() * 8 - 1] {
+            c.payload_mut()[bit / 8] ^= 1 << (bit % 8);
+            let err = c.verify_seal(&seal, 3).unwrap_err();
+            assert!(matches!(err, CodecError::ChecksumMismatch { .. }), "bit {bit}: {err}");
+            assert!(!err.is_metadata());
+            c.payload_mut()[bit / 8] ^= 1 << (bit % 8); // restore
+        }
+        c.verify_seal(&seal, 3).expect("restored page verifies");
+        // A wrong CTE rank is metadata corruption, not payload corruption.
+        let err = c.verify_seal(&seal, 4).unwrap_err();
+        assert!(err.is_metadata(), "{err}");
+        // So is a flipped bit of the stored seal itself.
+        let mut bad_seal = seal;
+        bad_seal.flip_bit(40);
+        assert!(c.verify_seal(&bad_seal, 3).unwrap_err().is_metadata());
+        let mut bad_crc = seal;
+        bad_crc.flip_bit(5);
+        assert!(matches!(c.verify_seal(&bad_crc, 3), Err(CodecError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn sealed_decode_runs_the_full_ladder() {
+        let codec = MemDeflate::default();
+        let page = textish_page();
+        let c = codec.compress_page(&page);
+        let seal = c.seal(0);
+        let mut scratch = DeflateScratch::new();
+        let mut out = Vec::new();
+        codec.try_decompress_sealed(&c, &seal, 0, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, page);
+        // A corrupted payload is caught by the seal before the decoder runs.
+        let mut bad = c.clone();
+        bad.payload_mut()[10] ^= 0x20;
+        let err = codec.try_decompress_sealed(&bad, &seal, 0, &mut scratch, &mut out).unwrap_err();
+        assert!(matches!(err, CodecError::ChecksumMismatch { .. }));
+    }
+
+    #[test]
+    fn corrupt_pages_decode_to_typed_errors_not_panics() {
+        let codec = MemDeflate::default();
+        let page = textish_page();
+        let c = codec.compress_page(&page);
+        assert_eq!(c.mode(), PageMode::LzHuffman);
+        let mut scratch = DeflateScratch::new();
+        let mut out = Vec::new();
+        // Flip every bit of the payload in turn: each decode must return
+        // Ok (undetected but bounded) or Err — never panic. This is the
+        // in-crate smoke version of the dedicated corruption proptests.
+        let mut bad = c.clone();
+        let bits = bad.payload().len() * 8;
+        let mut errors = 0usize;
+        for bit in (0..bits).step_by(97) {
+            bad.payload_mut()[bit / 8] ^= 1 << (bit % 8);
+            match codec.try_decompress_page_into(&bad, &mut scratch, &mut out) {
+                Ok(()) => assert_eq!(out.len(), c.original_len()),
+                Err(_) => errors += 1,
+            }
+            assert!(out.len() <= c.original_len());
+            bad.payload_mut()[bit / 8] ^= 1 << (bit % 8);
+        }
+        assert!(errors > 0, "some flips must be structurally detectable");
+        // Truncated raw page: typed length mismatch.
+        let raw = CompressedPage::from_parts(PageMode::Raw, PAGE_SIZE, 0, vec![1u8; 100]);
+        assert_eq!(
+            codec.try_decompress_page_into(&raw, &mut scratch, &mut out),
+            Err(CodecError::LengthMismatch {
+                context: "raw page payload",
+                expected: PAGE_SIZE,
+                got: 100
+            })
+        );
+    }
+
+    #[test]
+    fn software_deflate_rejects_corrupt_streams() {
+        let sw = SoftwareDeflate::new();
+        assert_eq!(
+            sw.try_decompress(&[1, 2, 3]),
+            Err(CodecError::UnexpectedEnd { context: "software deflate header" })
+        );
+        let good = sw.compress(&textish_page());
+        assert_eq!(sw.try_decompress(&good).unwrap(), textish_page());
+        // Truncating the body is detected, never a panic.
+        assert!(sw.try_decompress(&good[..good.len() - 3]).is_err());
+        // Inflating the declared original_len is a typed error.
+        let mut bad = good.clone();
+        bad[0] ^= 0x80;
+        assert!(sw.try_decompress(&bad).is_err());
     }
 }

@@ -11,7 +11,8 @@
 //!    golden ratio results can never drift from a "pure speedup".
 
 use tmcc_deflate::{
-    CompressedPage, FullHuffman, MemDeflate, PageMode, ReducedHuffman, SoftwareDeflate,
+    CodecError, CompressedPage, DeflateScratch, FullHuffman, MemDeflate, PageMode, ReducedHuffman,
+    SoftwareDeflate,
 };
 
 /// Deterministic page generator shared verbatim with
@@ -164,6 +165,75 @@ fn mem_deflate_decodes_old_pages() {
         assert_eq!(fresh.mode(), mode, "seed {}", f.seed);
         assert_eq!(fresh.lz_len(), lz_len, "seed {}", f.seed);
         assert_eq!(fresh.payload(), &f.stream[..], "seed {} kind {}", f.seed, f.kind);
+    }
+}
+
+/// Corrupting the recorded streams must produce *typed* decode errors —
+/// never panics — from the same decoders that accept the clean streams.
+/// (These assertions used to be impossible: the old decoders aborted.)
+#[test]
+fn corrupted_old_streams_yield_typed_errors() {
+    let mem = MemDeflate::default();
+    let mut scratch = DeflateScratch::new();
+    let mut out = Vec::new();
+    for f in load_fixtures() {
+        match f.codec.as_str() {
+            "reduced" => {
+                // A truncated tree header is UnexpectedEnd, typed.
+                assert_eq!(
+                    ReducedHuffman::try_read_tree(&f.stream[..10]).unwrap_err(),
+                    CodecError::UnexpectedEnd { context: "reduced tree header" },
+                    "seed {}",
+                    f.seed
+                );
+                // Clean stream still decodes through the fallible path.
+                let n: usize = f.extra.parse().expect("page len");
+                let (tree, rest) = ReducedHuffman::try_read_tree(&f.stream).expect("clean tree");
+                assert_eq!(
+                    tree.try_decode(rest, n).expect("clean decode"),
+                    fixture_page(f.seed, f.kind)
+                );
+            }
+            "full" => {
+                assert_eq!(
+                    FullHuffman::try_decode(&f.stream[..64], 16).unwrap_err(),
+                    CodecError::UnexpectedEnd { context: "full tree header" },
+                    "seed {}",
+                    f.seed
+                );
+            }
+            "mem" => {
+                let (mode_tag, lz_len) = f.extra.split_once(':').expect("mode:lz_len");
+                let mode = page_mode(mode_tag.parse().expect("mode"));
+                let lz_len: usize = lz_len.parse().expect("lz_len");
+                if mode == PageMode::Zero {
+                    continue;
+                }
+                // Truncate the payload hard: every mode detects it.
+                let cut = f.stream.len() / 2;
+                let bad = CompressedPage::from_parts(mode, 4096, lz_len, f.stream[..cut].to_vec());
+                let err = mem
+                    .try_decompress_page_into(&bad, &mut scratch, &mut out)
+                    .expect_err("truncated page must not decode");
+                assert!(
+                    matches!(
+                        err,
+                        CodecError::UnexpectedEnd { .. }
+                            | CodecError::InvalidCode { .. }
+                            | CodecError::LengthMismatch { .. }
+                            | CodecError::BadBackref { .. }
+                            | CodecError::OutputOverflow { .. }
+                    ),
+                    "seed {}: {err}",
+                    f.seed
+                );
+            }
+            "software" => {
+                let sw = SoftwareDeflate::new();
+                assert!(sw.try_decompress(&f.stream[..f.stream.len() / 2]).is_err());
+            }
+            other => panic!("unknown codec {other}"),
+        }
     }
 }
 

@@ -150,6 +150,25 @@ impl CteCache {
         self.adjust = 0;
     }
 
+    /// Fault-injection hook: flips one stored bit of directory line
+    /// `line % capacity` *without* updating its parity (see
+    /// [`PackedCteSlots::corrupt_line_bit`]).
+    pub fn corrupt_slot_bit(&mut self, line: usize, bit: u32) {
+        let cap = self.slots.capacity();
+        self.slots.corrupt_line_bit(line % cap, bit);
+    }
+
+    /// Number of directory lines whose parity check currently fails.
+    pub fn audit_parity(&self) -> usize {
+        self.slots.audit_parity()
+    }
+
+    /// Invalidates every parity-violating line (a later walk refills it
+    /// from the authoritative CTE table). Returns the lines dropped.
+    pub fn scrub(&mut self) -> usize {
+        self.slots.scrub()
+    }
+
     /// Heap bytes the packed slot directory occupies on the host.
     pub fn heap_bytes(&self) -> usize {
         self.slots.heap_bytes()

@@ -50,6 +50,11 @@ pub struct PackedCteSlots {
     tags: PackedSeq,
     /// `sets * ways` nibbles: valid bit + per-set recency rank.
     meta: PackedSeq,
+    /// One even-parity bit per line over (tag, meta) — the metadata
+    /// integrity check of the fault ladder. Maintained by every directory
+    /// mutation; only [`corrupt_line_bit`](Self::corrupt_line_bit) flips
+    /// state without it, modeling a DRAM bit flip.
+    parity: PackedSeq,
     sets: usize,
     ways: usize,
     hits: u64,
@@ -70,11 +75,23 @@ impl PackedCteSlots {
         Self {
             tags: PackedSeq::with_len(TAG_BITS, lines),
             meta: PackedSeq::with_len(meta_bits(ways), lines),
+            parity: PackedSeq::with_len(1, lines),
             sets: num_sets,
             ways,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Even parity over one line's tag and meta fields.
+    fn line_parity(&self, line: usize) -> u64 {
+        ((self.tags.get(line).count_ones() + self.meta.get(line).count_ones()) & 1) as u64
+    }
+
+    /// Recomputes the stored parity bit after a legitimate mutation.
+    fn refresh_parity(&mut self, line: usize) {
+        let p = self.line_parity(line);
+        self.parity.set(line, p);
     }
 
     /// Total line capacity.
@@ -120,6 +137,7 @@ impl PackedCteSlots {
             let old_rank = self.meta.get(base + w) >> RANK_SHIFT;
             self.demote_above(base, old_rank);
             self.meta.set(base + w, VALID_BIT | ((valid - 1) << RANK_SHIFT));
+            self.refresh_parity(base + w);
             return true;
         }
         self.misses = self.misses.saturating_add(1);
@@ -133,6 +151,7 @@ impl PackedCteSlots {
         };
         self.tags.set(base + w, key);
         self.meta.set(base + w, VALID_BIT | (new_rank << RANK_SHIFT));
+        self.refresh_parity(base + w);
         false
     }
 
@@ -143,6 +162,7 @@ impl PackedCteSlots {
             let m = self.meta.get(base + w);
             if m & VALID_BIT != 0 && m >> RANK_SHIFT > rank {
                 self.meta.set(base + w, m - (1 << RANK_SHIFT));
+                self.refresh_parity(base + w);
             }
         }
     }
@@ -167,6 +187,7 @@ impl PackedCteSlots {
             let m = self.meta.get(base + w);
             if m & VALID_BIT != 0 && self.tags.get(base + w) == key {
                 self.meta.set(base + w, 0);
+                self.refresh_parity(base + w);
                 self.demote_above(base, m >> RANK_SHIFT);
                 return true;
             }
@@ -179,7 +200,78 @@ impl PackedCteSlots {
         let lines = self.capacity();
         for i in 0..lines {
             self.meta.set(i, 0);
+            self.refresh_parity(i);
         }
+    }
+
+    /// Bits of protected state per line: tag + meta + the parity bit
+    /// itself (a flip landing on the parity bit is also detectable).
+    fn line_bits(&self) -> u32 {
+        TAG_BITS + self.meta.width() + 1
+    }
+
+    /// Fault-injection hook: flips one bit of `line`'s stored state
+    /// *without* updating parity — exactly what a DRAM upset does. `bit`
+    /// is taken modulo the line's protected width (tag bits, then meta
+    /// bits, then the parity bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn corrupt_line_bit(&mut self, line: usize, bit: u32) {
+        assert!(line < self.capacity(), "line {line} out of range");
+        let b = bit % self.line_bits();
+        if b < TAG_BITS {
+            self.tags.set(line, self.tags.get(line) ^ (1 << b));
+        } else if b < TAG_BITS + self.meta.width() {
+            self.meta.set(line, self.meta.get(line) ^ (1 << (b - TAG_BITS)));
+        } else {
+            self.parity.set(line, self.parity.get(line) ^ 1);
+        }
+    }
+
+    /// Read-only integrity audit: number of lines whose stored parity
+    /// bit disagrees with the parity recomputed over (tag, meta). Zero
+    /// on an uncorrupted directory; odd-weight corruptions always show
+    /// up here, even-weight ones (e.g. a 2-bit burst within one line)
+    /// can escape — that asymmetry is what the fault ladder measures.
+    pub fn audit_parity(&self) -> usize {
+        (0..self.capacity()).filter(|&i| self.parity.get(i) != self.line_parity(i)).count()
+    }
+
+    /// Scrubs the directory: every parity-violating line is invalidated
+    /// (its contents are untrustworthy — a re-walk will refill it) and
+    /// each affected set's recency ranks are re-compacted so LRU
+    /// invariants hold again. Returns the number of lines dropped.
+    pub fn scrub(&mut self) -> usize {
+        let mut dropped = 0usize;
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            let mut dirty = false;
+            for w in 0..self.ways {
+                if self.parity.get(base + w) != self.line_parity(base + w) {
+                    self.meta.set(base + w, 0);
+                    self.refresh_parity(base + w);
+                    dropped += 1;
+                    dirty = true;
+                }
+            }
+            if !dirty {
+                continue;
+            }
+            // Re-rank the survivors 0..n preserving their relative order;
+            // the corrupted line may have held (or claimed) any rank.
+            let mut ways: Vec<(u64, usize)> = (0..self.ways)
+                .filter(|&w| self.meta.get(base + w) & VALID_BIT != 0)
+                .map(|w| (self.meta.get(base + w) >> RANK_SHIFT, w))
+                .collect();
+            ways.sort_unstable();
+            for (rank, &(_, w)) in ways.iter().enumerate() {
+                self.meta.set(base + w, VALID_BIT | ((rank as u64) << RANK_SHIFT));
+                self.refresh_parity(base + w);
+            }
+        }
+        dropped
     }
 
     /// `(hits, misses)` since construction or [`reset_stats`](Self::reset_stats).
@@ -195,7 +287,7 @@ impl PackedCteSlots {
 
     /// Heap bytes owned by the directory.
     pub fn heap_bytes(&self) -> usize {
-        self.tags.heap_bytes() + self.meta.heap_bytes()
+        self.tags.heap_bytes() + self.meta.heap_bytes() + self.parity.heap_bytes()
     }
 }
 
@@ -286,6 +378,92 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_pow2_sets() {
         let _ = PackedCteSlots::new(3, 2);
+    }
+
+    #[test]
+    fn clean_directory_audits_clean_under_any_trace() {
+        let mut d = PackedCteSlots::new(8, 4);
+        let mut rng = SmallRng::seed_from_u64(0xA0D17);
+        for _ in 0..5_000u32 {
+            let key = rng.gen_range(0..96u64);
+            match rng.gen_range(0..8u32) {
+                0 => {
+                    d.invalidate(key);
+                }
+                1 => d.clear(),
+                _ => {
+                    d.access(key);
+                }
+            }
+            assert_eq!(d.audit_parity(), 0, "legitimate mutations must keep parity");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_are_always_detected() {
+        let mut rng = SmallRng::seed_from_u64(0xF11);
+        for trial in 0..200u32 {
+            let mut d = PackedCteSlots::new(4, 4);
+            for _ in 0..64 {
+                d.access(rng.gen_range(0..48u64));
+            }
+            let line = rng.gen_range(0..d.capacity());
+            d.corrupt_line_bit(line, rng.gen());
+            assert_eq!(d.audit_parity(), 1, "trial {trial}: odd-weight flip must be seen");
+        }
+    }
+
+    #[test]
+    fn even_weight_bursts_can_escape_parity() {
+        // Flip the same tag bit twice (net no-op) and two distinct bits
+        // (real corruption): the former audits clean by construction,
+        // the latter escapes parity — the documented SDC window.
+        let mut d = PackedCteSlots::new(2, 2);
+        d.access(5);
+        let line = d.set_of(5) * d.ways; // way 0 of 5's set holds the fill
+        d.corrupt_line_bit(line, 3);
+        d.corrupt_line_bit(line, 3);
+        assert_eq!(d.audit_parity(), 0);
+        d.corrupt_line_bit(line, 3);
+        d.corrupt_line_bit(line, 7);
+        assert_eq!(d.audit_parity(), 0, "2-bit burst in one line escapes parity");
+        assert!(d.contains(5 ^ 0x88), "the silently corrupted tag is live");
+    }
+
+    #[test]
+    fn scrub_drops_corrupt_lines_and_restores_lru_invariants() {
+        let mut d = PackedCteSlots::new(1, 4);
+        for key in 1..=4u64 {
+            d.access(key);
+        }
+        // Corrupt a high tag bit of the way holding key 2: its tag now
+        // claims a key that was never inserted.
+        let victim = (0..4).find(|&w| d.tags.get(w) == 2).expect("2 is resident");
+        d.corrupt_line_bit(victim, 20);
+        assert!(d.contains(2 | (1 << 20)), "pre-scrub, the forged tag answers lookups");
+        assert_eq!(d.audit_parity(), 1);
+        assert_eq!(d.scrub(), 1);
+        assert_eq!(d.audit_parity(), 0);
+        assert!(!d.contains(2) && !d.contains(2 | (1 << 20)), "corrupt line dropped");
+        assert!(d.contains(1) && d.contains(3) && d.contains(4), "survivors kept");
+        // Ranks were re-compacted: fills and evictions still behave.
+        d.access(9); // refills the scrubbed way: set is 1, 3, 4, 9
+        d.access(10); // set full again: evicts the oldest survivor (1)
+        assert!(!d.contains(1) && d.contains(3) && d.contains(4));
+        assert!(d.contains(9) && d.contains(10));
+        assert_eq!(d.audit_parity(), 0);
+    }
+
+    #[test]
+    fn parity_bit_flip_itself_is_detected_and_scrubbed() {
+        let mut d = PackedCteSlots::new(2, 2);
+        d.access(7);
+        let line = d.set_of(7) * d.ways;
+        let parity_bit = TAG_BITS + d.meta.width(); // past tag and meta
+        d.corrupt_line_bit(line, parity_bit);
+        assert_eq!(d.audit_parity(), 1);
+        assert_eq!(d.scrub(), 1);
+        assert!(!d.contains(7), "a line with untrusted parity is dropped, not believed");
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! CRC-32 (IEEE 802.3, reflected) shared by the whole workspace.
+//!
+//! One implementation serves two very different masters: the sweep
+//! journal's record checksums (crash-consistent resume in `tmcc-bench`)
+//! and the compressed-page integrity seals of the codec layer. Keeping
+//! them on the same polynomial means a corruption injected below the
+//! codec is detected with exactly the arithmetic the journal already
+//! trusts, and neither crate needs a table at build time — the bitwise
+//! form is fast enough for 4 KiB payloads and journal lines alike.
+
+/// CRC-32 (IEEE, reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        // The standard CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_crc() {
+        let base = vec![0xA5u8; 64];
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

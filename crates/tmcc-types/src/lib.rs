@@ -34,6 +34,7 @@
 
 pub mod addr;
 pub mod bitvec;
+pub mod crc32;
 pub mod cte;
 pub mod fxhash;
 pub mod packed;
@@ -44,6 +45,7 @@ pub use addr::{
     BlockAddr, DramAddr, PhysAddr, Ppn, VirtAddr, Vpn, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE,
 };
 pub use bitvec::{BitVec, RankSelect};
+pub use crc32::crc32;
 pub use cte::{BlockMetadata, Cte, MemoryLevel, TruncatedCte};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use packed::PackedSeq;

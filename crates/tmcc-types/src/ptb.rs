@@ -152,6 +152,13 @@ pub struct CompressedPtb {
     /// Entry `i` holds the embedded CTE for the page `ppn_suffixes[i]` points
     /// to, if one has been written and slot `i` is within capacity.
     embedded: [Option<TruncatedCte>; PTES_PER_PTB],
+    /// Bit `i` = even parity over `embedded[i]`'s frame bits. Maintained by
+    /// every legitimate write; only
+    /// [`corrupt_embedded_bit`](Self::corrupt_embedded_bit) changes state
+    /// without it, so [`audit_embedded`](Self::audit_embedded) detects any
+    /// odd-weight upset of an embedded CTE separately from payload CRCs.
+    #[serde(default)]
+    embedded_parity: u8,
 }
 
 impl CompressedPtb {
@@ -190,7 +197,22 @@ impl CompressedPtb {
             ppn_prefix: first >> geometry.ppn_bits(),
             ppn_suffixes: suffixes,
             embedded: [None; PTES_PER_PTB],
+            embedded_parity: 0,
         })
+    }
+
+    /// Even parity of one embedded slot's frame bits (0 for empty slots).
+    fn slot_parity(&self, slot: usize) -> u8 {
+        match self.embedded[slot] {
+            Some(cte) => (cte.frame().count_ones() & 1) as u8,
+            None => 0,
+        }
+    }
+
+    /// Recomputes slot `slot`'s stored parity bit after a legitimate write.
+    fn refresh_parity(&mut self, slot: usize) {
+        let p = self.slot_parity(slot);
+        self.embedded_parity = (self.embedded_parity & !(1 << slot)) | (p << slot);
     }
 
     /// Reconstructs the software-visible PTB ("≈1 cycle, only wiring",
@@ -241,6 +263,7 @@ impl CompressedPtb {
             return false;
         }
         self.embedded[slot] = Some(cte);
+        self.refresh_parity(slot);
         true
     }
 
@@ -252,6 +275,56 @@ impl CompressedPtb {
     pub fn clear_cte(&mut self, slot: usize) {
         assert!(slot < PTES_PER_PTB, "slot out of range");
         self.embedded[slot] = None;
+        self.refresh_parity(slot);
+    }
+
+    /// Fault-injection hook: flips one bit of embedded slot `slot` *without*
+    /// updating parity — what a DRAM upset inside the compressed PTB does.
+    /// `bit` is taken modulo `TruncatedCte::BITS + 1`; the extra position is
+    /// the parity bit itself. Returns `false` (no flip) when the slot holds
+    /// no CTE and the target is a frame bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn corrupt_embedded_bit(&mut self, slot: usize, bit: u32) -> bool {
+        assert!(slot < PTES_PER_PTB, "slot out of range");
+        let b = bit % (TruncatedCte::BITS + 1);
+        if b == TruncatedCte::BITS {
+            self.embedded_parity ^= 1 << slot;
+            return true;
+        }
+        match self.embedded[slot] {
+            Some(cte) => {
+                self.embedded[slot] = Some(TruncatedCte::new(cte.frame() ^ (1 << b)));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Read-only integrity audit: bitmask of slots whose stored parity bit
+    /// disagrees with the parity recomputed over the embedded frame. Zero on
+    /// an uncorrupted PTB; any odd-weight upset of a slot shows up here,
+    /// even-weight bursts within one slot can escape.
+    pub fn audit_embedded(&self) -> u8 {
+        (0..PTES_PER_PTB as u32)
+            .filter(|&s| self.embedded_parity >> s & 1 != self.slot_parity(s as usize))
+            .fold(0, |m, s| m | (1 << s))
+    }
+
+    /// Drops every parity-violating embedded CTE (a corrupt embedding must
+    /// not launch a speculative DRAM access — the walk falls back to the
+    /// authoritative CTE fetch instead). Returns the number dropped.
+    pub fn scrub_embedded(&mut self) -> u32 {
+        let bad = self.audit_embedded();
+        for slot in 0..PTES_PER_PTB {
+            if bad >> slot & 1 != 0 {
+                self.embedded[slot] = None;
+                self.refresh_parity(slot);
+            }
+        }
+        bad.count_ones()
     }
 
     /// Copies every embedded CTE from `stale` into `self` where the PTE's
@@ -265,6 +338,10 @@ impl CompressedPtb {
                 && self.ppn_prefix == stale.ppn_prefix
             {
                 self.embedded[slot] = stale.embedded[slot];
+                // Copy the *stored* parity bit verbatim: recomputing here
+                // would launder a corrupt stale embedding into a valid one.
+                self.embedded_parity = (self.embedded_parity & !(1 << slot))
+                    | (stale.embedded_parity >> slot & 1) << slot;
             }
         }
     }
@@ -352,6 +429,49 @@ mod tests {
         c.embed_cte(3, TruncatedCte::new(77));
         // Software sees exactly the original PTB.
         assert_eq!(c.decompress(), ptb);
+    }
+
+    #[test]
+    fn embedded_parity_detects_single_bit_flips() {
+        let ptb = uniform_ptb(0x2000);
+        let mut c = CompressedPtb::compress(&ptb, PtbGeometry::paper_default()).unwrap();
+        c.embed_cte(2, TruncatedCte::new(0xABCDE));
+        c.embed_cte(5, TruncatedCte::new(0x1));
+        assert_eq!(c.audit_embedded(), 0);
+        for bit in 0..TruncatedCte::BITS + 1 {
+            let mut bad = c.clone();
+            assert!(bad.corrupt_embedded_bit(2, bit));
+            assert_eq!(bad.audit_embedded(), 1 << 2, "flip of bit {bit} must be seen");
+            assert_eq!(bad.scrub_embedded(), 1);
+            assert_eq!(bad.audit_embedded(), 0);
+            assert_eq!(bad.embedded_cte(2), None, "corrupt embedding dropped");
+            assert_eq!(bad.embedded_cte(5), Some(TruncatedCte::new(0x1)), "clean slot kept");
+        }
+        // An empty slot has no frame bits to corrupt.
+        assert!(!c.corrupt_embedded_bit(0, 3));
+    }
+
+    #[test]
+    fn embedded_double_flips_can_escape_parity() {
+        let ptb = uniform_ptb(0x3000);
+        let mut c = CompressedPtb::compress(&ptb, PtbGeometry::paper_default()).unwrap();
+        c.embed_cte(1, TruncatedCte::new(0x100));
+        c.corrupt_embedded_bit(1, 0);
+        c.corrupt_embedded_bit(1, 4);
+        assert_eq!(c.audit_embedded(), 0, "even-weight burst escapes parity");
+        assert_eq!(c.embedded_cte(1), Some(TruncatedCte::new(0x111)), "silently wrong");
+    }
+
+    #[test]
+    fn preserve_embeddings_carries_parity_verbatim() {
+        let g = PtbGeometry::paper_default();
+        let ptb = uniform_ptb(0x4000);
+        let mut old = CompressedPtb::compress(&ptb, g).unwrap();
+        old.embed_cte(0, TruncatedCte::new(7));
+        old.corrupt_embedded_bit(0, 1); // now detectably corrupt in `old`
+        let mut new = CompressedPtb::compress(&ptb, g).unwrap();
+        new.preserve_embeddings_from(&old);
+        assert_eq!(new.audit_embedded(), 1, "corruption must not launder through a copy");
     }
 
     #[test]

@@ -27,6 +27,14 @@ echo "==> arbiter benches execute (TMCC_BENCH_SMOKE=1)"
 # only keeps the bench compiling and running.
 TMCC_BENCH_SMOKE=1 cargo bench -q -p tmcc --bench arbiter
 
+echo "==> decoder fuzz smoke (TMCC_FUZZ_CASES=10000, fixed seed)"
+# Bounded corruption fuzzing of the Deflate decode path: ~10k corrupted
+# streams through the sealed decoder must yield typed errors, never a
+# panic, over-read, or unbounded allocation. The seed is fixed inside the
+# test, so failures reproduce exactly.
+TMCC_FUZZ_CASES=10000 cargo test -q -p tmcc-deflate --release \
+  --test corruption_proptests fuzz_smoke
+
 echo "==> tmcc-bench run-all --quick --jobs 2 (bench smoke)"
 cargo run --release -p tmcc-bench --bin tmcc-bench -- \
   run-all --quick --jobs 2 --out results/ci-smoke
